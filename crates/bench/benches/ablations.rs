@@ -1,0 +1,213 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * learning on/off — bystander-LAN traffic ratio;
+//! * spanning tree on/off — loop survival;
+//! * native vs VM data plane — end-to-end throughput and the measured
+//!   interpreter instruction count per frame;
+//! * verifier cost vs module size.
+
+use ab_bench::{run_ttcp, table, Forwarder};
+use active_bridge::scenario::{self, host_ip, host_mac};
+use active_bridge::{BridgeConfig, BridgeNode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ether::MacAddr;
+use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+use netsim::{PortId, SimDuration, SimTime, World};
+use switchlet::{verify_module, ModuleBuilder, Op, Ty};
+
+fn bystander_traffic(learning: bool) -> u64 {
+    let mut world = World::new(21);
+    let segs = scenario::lans(&mut world, 3);
+    let boot: &[&str] = if learning {
+        &["bridge_learning"]
+    } else {
+        &["bridge_dumb"]
+    };
+    scenario::bridge(&mut world, 0, &segs, BridgeConfig::default(), boot);
+    // Host 2 announces itself, then host 1 streams 200 frames to it.
+    let h2 = world.add_node(HostNode::new(
+        "h2",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![BlastApp::new(PortId(0), host_mac(1), 64, 1, SimDuration::from_ms(1))],
+    ));
+    world.attach(h2, segs[1]);
+    let h1 = world.add_node(HostNode::new(
+        "h1",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(PortId(0), host_mac(2), 512, 200, SimDuration::from_ms(2))],
+    ));
+    world.attach(h1, segs[0]);
+    world.run_until(SimTime::from_secs(2));
+    // Frames the bridge put onto the bystander LAN's wire.
+    world.segment(segs[2]).counters().tx_frames
+}
+
+fn loop_frames(stp: bool) -> u64 {
+    let mut world = World::new(22);
+    let segs = scenario::lans(&mut world, 2);
+    let boot: &[&str] = if stp {
+        &["bridge_learning", "stp_ieee"]
+    } else {
+        &["bridge_learning"]
+    };
+    for i in 0..2 {
+        scenario::bridge(&mut world, i, &segs, BridgeConfig::default(), boot);
+    }
+    world.run_until(SimTime::from_secs(35));
+    let before = world.segment(segs[0]).counters().tx_frames
+        + world.segment(segs[1]).counters().tx_frames;
+    let h = world.add_node(HostNode::new(
+        "h",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            MacAddr::BROADCAST,
+            64,
+            1,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(h, segs[0]);
+    world.run_until(SimTime::from_secs(36));
+    world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames
+        - before
+}
+
+fn vm_instructions_per_frame() -> (f64, u64) {
+    let mut world = World::new(23);
+    let segs = scenario::lans(&mut world, 2);
+    let mut node = BridgeNode::new(
+        "b",
+        scenario::bridge_mac(0),
+        scenario::bridge_ip(0),
+        2,
+        BridgeConfig::default(),
+    );
+    node.boot_load_native(active_bridge::loader::NAME);
+    node.boot_load(active_bridge::switchlets::dumb_vm::build_image());
+    let b = world.add_node(node);
+    for &s in &segs {
+        world.attach(b, s);
+    }
+    let count = 200;
+    let h = world.add_node(HostNode::new(
+        "h",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            512,
+            count,
+            SimDuration::from_ms(2),
+        )],
+    ));
+    world.attach(h, segs[0]);
+    let sink = world.add_node(HostNode::new(
+        "s",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(sink, segs[1]);
+    world.run_until(SimTime::from_secs(2));
+    let instr = world.node::<BridgeNode>(b).vm_instructions;
+    (instr as f64 / count as f64, instr)
+}
+
+/// A straight-line module with `n` arithmetic instructions.
+fn straightline_module(n: usize) -> switchlet::Module {
+    let mut mb = ModuleBuilder::new("straight");
+    let mut f = mb.func("f", vec![], Ty::Int);
+    f.op(Op::ConstInt(1));
+    for _ in 0..n {
+        f.op(Op::ConstInt(3));
+        f.op(Op::Add);
+    }
+    f.op(Op::Return);
+    let idx = mb.finish(f);
+    mb.export("f", idx);
+    mb.build()
+}
+
+fn print_ablations() {
+    println!("\n=== Ablations ===");
+    let dumb = bystander_traffic(false);
+    let learn = bystander_traffic(true);
+    println!(
+        "{}",
+        table::render(
+            &["ablation", "configuration", "result"],
+            &[
+                vec![
+                    "learning".into(),
+                    "dumb flood".into(),
+                    format!("{dumb} frames on bystander LAN"),
+                ],
+                vec![
+                    "learning".into(),
+                    "self-learning".into(),
+                    format!("{learn} frames on bystander LAN"),
+                ],
+            ]
+        )
+    );
+    let no_stp = loop_frames(false);
+    let stp = loop_frames(true);
+    println!(
+        "{}",
+        table::render(
+            &["ablation", "configuration", "result"],
+            &[
+                vec![
+                    "spanning tree".into(),
+                    "off (loop!)".into(),
+                    format!("{no_stp} wire frames from ONE broadcast in 1 s"),
+                ],
+                vec![
+                    "spanning tree".into(),
+                    "802.1D on".into(),
+                    format!("{stp} wire frames (loop broken)"),
+                ],
+            ]
+        )
+    );
+    let native = run_ttcp(Forwarder::Bridge, 8192, 1_000_000, 24);
+    let vm = run_ttcp(Forwarder::VmBridge, 8192, 1_000_000, 24);
+    let (per_frame, _) = vm_instructions_per_frame();
+    println!(
+        "{}",
+        table::render(
+            &["ablation", "configuration", "result"],
+            &[
+                vec![
+                    "data plane".into(),
+                    "native learning switchlet".into(),
+                    format!("{:.1} Mb/s", native.mbps),
+                ],
+                vec![
+                    "data plane".into(),
+                    "VM bytecode switchlet".into(),
+                    format!(
+                        "{:.1} Mb/s (modelled cost identical; {per_frame:.0} VM instr/frame measured)",
+                        vm.mbps
+                    ),
+                ],
+            ]
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablations();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for n in [10usize, 100, 1000, 10_000] {
+        let module = straightline_module(n);
+        g.bench_function(format!("verify_{n}_ops"), |b| {
+            b.iter(|| verify_module(&module).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 5 — the seven-step packet path through the active node, with
+//! the modelled per-step cost at three frame sizes.
+
+use ab_bench::{fig5_walk, table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::CostModel;
+
+fn print_walk() {
+    println!("\n=== Figure 5: path for a packet in the active node (us) ===");
+    let sizes = [64usize, 1024, 1514];
+    let walks: Vec<_> = sizes.iter().map(|&s| fig5_walk(s)).collect();
+    let mut rows = Vec::new();
+    for i in 0..7 {
+        rows.push(vec![
+            format!("{}", walks[0][i].step),
+            walks[0][i].what.to_string(),
+            format!("{:.1}", walks[0][i].us),
+            format!("{:.1}", walks[1][i].us),
+            format!("{:.1}", walks[2][i].us),
+        ]);
+    }
+    let model = CostModel::active_bridge_1997();
+    rows.push(vec![
+        "".into(),
+        "total software path (steps 2-6)".into(),
+        format!("{:.1}", model.service_time(64).as_micros_f64()),
+        format!("{:.1}", model.service_time(1024).as_micros_f64()),
+        format!("{:.1}", model.service_time(1514).as_micros_f64()),
+    ]);
+    println!(
+        "{}",
+        table::render(&["step", "what", "64B", "1024B", "1514B"], &rows)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_walk();
+    let mut g = c.benchmark_group("fig05");
+    g.bench_function("walk", |b| b.iter(|| fig5_walk(1024)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 9 — ping latencies vs packet size, for the direct connection,
+//! the C buffered repeater, and the active bridge.
+//!
+//! Prints the full figure series, then benchmarks one representative
+//! simulation as the Criterion target.
+
+use ab_bench::{run_ping, table, Forwarder};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SIZES: [usize; 6] = [32, 256, 512, 1024, 2048, 4096];
+
+fn print_figure() {
+    println!("\n=== Figure 9: ping latencies (ms RTT, 20 echoes each) ===");
+    let mut rows = Vec::new();
+    for &size in &SIZES {
+        let d = run_ping(Forwarder::Direct, size, 20, 9);
+        let r = run_ping(Forwarder::Repeater, size, 20, 9);
+        let b = run_ping(Forwarder::Bridge, size, 20, 9);
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.3}", d.avg_rtt_ms),
+            format!("{:.3}", r.avg_rtt_ms),
+            format!("{:.3}", b.avg_rtt_ms),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["size(B)", "direct", "C repeater", "active bridge"],
+            &rows
+        )
+    );
+    println!("paper (Figure 9): direct < repeater < bridge at every size; the");
+    println!("bridge's extra latency is the user-space crossing + interpretation.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("bridge_ping_1024B_x20", |b| {
+        b.iter(|| run_ping(Forwarder::Bridge, 1024, 20, 9))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

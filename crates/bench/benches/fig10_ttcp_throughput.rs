@@ -1,0 +1,58 @@
+//! Figure 10 — ttcp throughput vs packet (write) size for the three
+//! configurations. Paper endpoints: 76 Mb/s direct, 16 Mb/s bridged at
+//! 8 KB writes; the bridge sustains ~44% of the C repeater.
+
+use ab_bench::{run_ttcp, table, Forwarder};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SIZES: [usize; 6] = [32, 512, 1024, 2048, 4096, 8192];
+
+fn volume(write: usize) -> u64 {
+    // Enough writes to reach steady state without hour-long small-write
+    // transfers: at least 60 KB, at most 2 MB, targeting ~400 writes.
+    ((write as u64) * 400).clamp(60_000, 2_000_000)
+}
+
+fn print_figure() {
+    println!("\n=== Figure 10: ttcp throughput (Mb/s) ===");
+    let mut rows = Vec::new();
+    for &size in &SIZES {
+        let d = run_ttcp(Forwarder::Direct, size, volume(size), 10);
+        let r = run_ttcp(Forwarder::Repeater, size, volume(size), 10);
+        let b = run_ttcp(Forwarder::Bridge, size, volume(size), 10);
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.2}", d.mbps),
+            format!("{:.2}", r.mbps),
+            format!("{:.2}", b.mbps),
+            format!("{:.0}%", b.mbps / r.mbps * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "size(B)",
+                "direct",
+                "C repeater",
+                "active bridge",
+                "bridge/repeater"
+            ],
+            &rows
+        )
+    );
+    println!("paper: direct 76 Mb/s and bridge 16 Mb/s at 8 KB; bridge = 44% of repeater.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("bridge_ttcp_8K_1MB", |b| {
+        b.iter(|| run_ttcp(Forwarder::Bridge, 8192, 1_000_000, 10))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

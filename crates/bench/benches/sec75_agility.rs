@@ -1,0 +1,44 @@
+//! Section 7.5 — function agility on the ring: time from injecting an
+//! 802.1D BPDU to (a) the new protocol reaching the far side and (b) data
+//! forwarding again. Paper: 0.056 s and 30.1 s.
+
+use ab_bench::run_agility;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("\n=== Section 7.5: agility on the 3-bridge ring ===");
+    println!(
+        "{:>5}  {:>14}  {:>14}",
+        "run", "start->IEEE(s)", "start->ping(s)"
+    );
+    let mut sum_ieee = 0.0;
+    let mut sum_ping = 0.0;
+    let n = 5;
+    for seed in 0..n {
+        let a = run_agility(seed as u64 + 1);
+        let ieee = a.to_ieee_s.unwrap_or(f64::NAN);
+        let ping = a.to_ping_s.unwrap_or(f64::NAN);
+        sum_ieee += ieee;
+        sum_ping += ping;
+        println!("{seed:>5}  {ieee:>14.4}  {ping:>14.3}");
+    }
+    println!(
+        "{:>5}  {:>14.4}  {:>14.3}",
+        "avg",
+        sum_ieee / n as f64,
+        sum_ping / n as f64
+    );
+    println!("paper:          0.0560          30.100");
+    println!("(switch-over beats 0.1 s; re-forwarding is 2 x forward-delay)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("sec75");
+    g.sample_size(10);
+    g.bench_function("agility_run", |b| b.iter(|| run_agility(1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 1 — the automatic protocol transition state machine, regenerated
+//! with simulation timestamps for all three scenarios (pass, failed
+//! tests, late old-protocol packets).
+
+use ab_bench::{run_transition, TransitionMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_run(title: &str, mode: TransitionMode) {
+    println!("--- {title} ---");
+    let r = run_transition(mode, 12);
+    for b in &r.bridges {
+        println!("{}:", b.name);
+        if b.events.is_empty() {
+            println!("  (never upgraded — kept speaking DEC)");
+        }
+        for (t, what) in &b.events {
+            println!("  t={t:>9.3}s  {what}");
+        }
+        println!(
+            "  final: IEEE={} DEC={} suppressed_dec_pkts={}",
+            b.ieee_running, b.dec_running, b.dec_suppressed
+        );
+    }
+    println!();
+}
+
+fn print_table() {
+    println!("\n=== Table 1: automatic protocol transition ===");
+    println!("(paper rows: load/start -> recv IEEE packet -> 30 s suppress ->");
+    println!(" 60 s perform tests -> pass: terminate | fail: fallback)\n");
+    print_run("tests pass: transition sticks", TransitionMode::Pass);
+    print_run(
+        "new protocol defective: tests fail, fall back",
+        TransitionMode::FailTests,
+    );
+    print_run(
+        "late DEC packets (one bridge never upgraded): fall back",
+        TransitionMode::LateDec,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("tab1");
+    g.sample_size(10);
+    g.bench_function("transition_pass", |b| {
+        b.iter(|| run_transition(TransitionMode::Pass, 12))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

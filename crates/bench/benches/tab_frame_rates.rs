@@ -1,0 +1,54 @@
+//! Section 7.3's frame-rate table: measured frames/second through the
+//! active bridge during ttcp, plus the "limiting rate" the cost model's
+//! per-frame cost alone would allow (the paper's 0.47 ms ⇒ 2100 f/s
+//! arithmetic).
+
+use ab_bench::{run_ttcp, table, Forwarder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::CostModel;
+
+fn print_table() {
+    println!("\n=== Section 7.3: frame rates through the active bridge ===");
+    let model = CostModel::active_bridge_1997();
+    let mut rows = Vec::new();
+    for &(write, label) in &[
+        (50usize, "~50"),
+        (512, "512"),
+        (1024, "1024"),
+        (8192, "8192 (MSS frames)"),
+    ] {
+        let total = ((write as u64) * 400).clamp(40_000, 2_000_000);
+        let s = run_ttcp(Forwarder::Bridge, write, total, 11);
+        // Wire frame: write-sized payload + TcpLite/IP/Ethernet headers
+        // (MSS-capped for large writes).
+        let frame = write.min(1462) + 18 + 20 + 14;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", s.frames_per_sec),
+            format!("{:.0}", model.limiting_frame_rate(frame)),
+            format!("{:.2}", s.mbps),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["write(B)", "measured f/s", "bridge-limit f/s", "Mb/s"],
+            &rows
+        )
+    );
+    println!("paper: ~360 f/s at ~50 B rising to ~1790 f/s at 1024 B; a ~2100 f/s");
+    println!("ceiling from the interpreted per-frame cost alone.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("tab_fps");
+    g.sample_size(10);
+    g.bench_function("bridge_ttcp_1024B", |b| {
+        b.iter(|| run_ttcp(Forwarder::Bridge, 1024, 400_000, 11))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Plain-text table rendering for experiment output.
+
+/// Render rows as an aligned plain-text table with a header.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_aligned() {
+        let s = super::render(
+            &["size", "Mb/s"],
+            &[
+                vec!["32".into(), "0.5".into()],
+                vec!["8192".into(), "16.0".into()],
+            ],
+        );
+        assert!(s.contains("size"));
+        assert!(s.contains("8192"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

@@ -1,0 +1,670 @@
+//! The Active Bridge node.
+//!
+//! Implements the paper's Figure 5 pipeline on top of `netsim`: frames
+//! arrive on promiscuous ports, pass through a single-server input queue
+//! whose service time comes from the calibrated [`netsim::CostModel`]
+//! (steps 2–6 of the seven-step path), and are then demultiplexed —
+//! address-registered handlers first (spanning-tree groups, the loader's
+//! own station address), then the installed *switching function* (the
+//! dumb/learning switchlet, native or VM).
+//!
+//! Switchlets are managed exactly as the paper describes: loaded (from
+//! "disk" at boot, or over the network through the TFTP loader), started,
+//! suspended, resumed, and stopped; the control switchlet drives those
+//! transitions through `switchctl` commands, which are queued during
+//! dispatch and applied when the switchlet returns (a reentrancy
+//! discipline the single-address-space Caml prototype got from its
+//! cooperative threads).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use ether::{EtherType, Frame, MacAddr};
+use netsim::{
+    Ctx, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken,
+};
+use switchlet::{ExecConfig, FuncVal, Module, Namespace, Value};
+
+use crate::config::BridgeConfig;
+use crate::hostmods;
+use crate::plane::{DataPlaneSel, Plane, SwitchletStatus};
+
+/// Timer token kinds (top byte of the `u64`).
+const KIND_SERVICE: u64 = 0;
+const KIND_SWITCHLET: u64 = 1;
+const KIND_VM_TIMER: u64 = 2;
+
+fn service_token() -> TimerToken {
+    TimerToken(KIND_SERVICE << 56)
+}
+
+fn switchlet_token(slot: usize, user: u32) -> TimerToken {
+    TimerToken(KIND_SWITCHLET << 56 | (slot as u64) << 32 | user as u64)
+}
+
+fn vm_timer_token(idx: usize) -> TimerToken {
+    TimerToken(KIND_VM_TIMER << 56 | idx as u64)
+}
+
+/// Commands a switchlet may queue against the bridge (applied after the
+/// switchlet returns).
+#[derive(Debug)]
+pub enum BridgeCommand {
+    /// Suspend a switchlet by name.
+    Suspend(String),
+    /// Resume a suspended switchlet.
+    Resume(String),
+    /// Halt a switchlet permanently.
+    Stop(String),
+    /// Load a switchlet image (native or VM) as if it arrived from the
+    /// network.
+    LoadImage(Vec<u8>),
+    /// Arm a timer for a VM callback.
+    VmTimer {
+        /// Callback to invoke.
+        callback: FuncVal,
+        /// Delay.
+        after: SimDuration,
+        /// Token passed to the callback.
+        token: i64,
+    },
+}
+
+/// The services a native switchlet sees — ports, timers, the shared
+/// plane, logging, and `switchctl`.
+pub struct BridgeCtx<'a, 'w> {
+    /// The underlying simulator context.
+    pub sim: &'a mut Ctx<'w>,
+    /// The shared forwarding plane (the "access points").
+    pub plane: &'a mut Plane,
+    /// Bridge configuration.
+    pub cfg: &'a BridgeConfig,
+    /// The bridge's station address.
+    pub mac: MacAddr,
+    /// The bridge's loader IP address.
+    pub ip: Ipv4Addr,
+    /// The bridge's name (for logs).
+    pub bridge_name: &'a str,
+    slot: usize,
+    cmds: &'a mut Vec<BridgeCommand>,
+}
+
+impl<'a, 'w> BridgeCtx<'a, 'w> {
+    /// Current simulated time.
+    pub fn now(&self) -> netsim::SimTime {
+        self.sim.now()
+    }
+
+    /// Number of bridge ports.
+    pub fn num_ports(&self) -> usize {
+        self.plane.flags.len()
+    }
+
+    /// Transmit a frame out of `port`.
+    pub fn send_frame(&mut self, port: PortId, frame: Bytes) {
+        self.sim.send(port, frame);
+    }
+
+    /// Schedule a timer for this switchlet; `user` comes back in
+    /// `on_timer`.
+    pub fn schedule(&mut self, after: SimDuration, user: u32) -> TimerHandle {
+        let slot = self.slot;
+        self.sim.schedule(after, switchlet_token(slot, user))
+    }
+
+    /// Cancel a previously scheduled timer.
+    pub fn cancel(&mut self, handle: TimerHandle) {
+        self.sim.cancel(handle);
+    }
+
+    /// Append a log line attributed to this bridge.
+    pub fn log(&mut self, msg: impl AsRef<str>) {
+        let line = format!("{}: {}", self.bridge_name, msg.as_ref());
+        self.sim.trace(line);
+    }
+
+    /// Queue a `switchctl` command.
+    pub fn command(&mut self, cmd: BridgeCommand) {
+        self.cmds.push(cmd);
+    }
+}
+
+/// A native switchlet: the Rust-implemented counterpart of a Caml
+/// switchlet, loaded through the same image format, digest checks and
+/// lifecycle (see DESIGN.md §1 for the substitution rationale).
+pub trait NativeSwitchlet: Any {
+    /// The switchlet's unit name.
+    fn name(&self) -> &'static str;
+    /// Evaluated at load time (the "registration" forms).
+    fn on_install(&mut self, _bc: &mut BridgeCtx<'_, '_>) {}
+    /// The switchlet was suspended by `switchctl`.
+    fn on_suspend(&mut self, _bc: &mut BridgeCtx<'_, '_>) {}
+    /// The switchlet was resumed.
+    fn on_resume(&mut self, _bc: &mut BridgeCtx<'_, '_>) {}
+    /// A frame whose destination address this switchlet registered for.
+    fn on_registered_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &Frame<'_>) {
+    }
+    /// Invoked when this switchlet is the installed switching function.
+    fn switch_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &Frame<'_>) {}
+    /// A timer scheduled via [`BridgeCtx::schedule`] fired.
+    fn on_timer(&mut self, _bc: &mut BridgeCtx<'_, '_>, _user: u32) {}
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Parameters handed to a native switchlet factory.
+pub struct NativeInit {
+    /// Bridge configuration.
+    pub cfg: BridgeConfig,
+    /// Bridge station address.
+    pub mac: MacAddr,
+    /// Port count.
+    pub n_ports: usize,
+}
+
+/// Creates a native switchlet instance.
+pub type NativeFactory = Box<dyn Fn(&NativeInit) -> Box<dyn NativeSwitchlet>>;
+
+enum SwitchletImpl {
+    Native(Box<dyn NativeSwitchlet>),
+    /// A VM module; its handlers live in `vm_handlers`.
+    Vm,
+}
+
+struct Slot {
+    name: String,
+    imp: Option<SwitchletImpl>,
+}
+
+/// The Active Bridge node.
+pub struct BridgeNode {
+    name: String,
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    cfg: BridgeConfig,
+    service: ServiceQueue<(PortId, Bytes)>,
+    plane: Plane,
+    slots: Vec<Slot>,
+    by_name: HashMap<String, usize>,
+    ns: Namespace,
+    vm_handlers: HashMap<String, FuncVal>,
+    vm_owner: HashMap<FuncVal, String>,
+    vm_timers: Vec<(FuncVal, i64)>,
+    factories: HashMap<String, NativeFactory>,
+    boot_images: Vec<Vec<u8>>,
+    cmds: Vec<BridgeCommand>,
+    /// Cumulative VM stats on this node.
+    pub vm_instructions: u64,
+    ports_known: bool,
+}
+
+impl BridgeNode {
+    /// Create a bridge. `n_ports` must match the number of segments the
+    /// scenario attaches it to.
+    pub fn new(
+        name: impl Into<String>,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        n_ports: usize,
+        cfg: BridgeConfig,
+    ) -> BridgeNode {
+        let plane = Plane::new(n_ports, cfg.learn_age);
+        let input_queue = cfg.input_queue;
+        BridgeNode {
+            name: name.into(),
+            mac,
+            ip,
+            cfg,
+            service: ServiceQueue::new(input_queue),
+            plane,
+            slots: Vec::new(),
+            by_name: HashMap::new(),
+            ns: Namespace::new(hostmods::host_env()),
+            vm_handlers: HashMap::new(),
+            vm_owner: HashMap::new(),
+            vm_timers: Vec::new(),
+            factories: crate::switchlets::default_factories(),
+            boot_images: Vec::new(),
+            cmds: Vec::new(),
+            vm_instructions: 0,
+            ports_known: false,
+        }
+    }
+
+    /// Queue a switchlet image for the boot loader ("the initial loader
+    /// can only load switchlets from disk"). Loaded in order at start.
+    pub fn boot_load(&mut self, image: Vec<u8>) {
+        self.boot_images.push(image);
+    }
+
+    /// Convenience: boot-load a native switchlet by name (wraps it in an
+    /// empty carrier module).
+    pub fn boot_load_native(&mut self, name: &str) {
+        let module = switchlet::ModuleBuilder::new(name).build();
+        self.boot_images.push(module.encode());
+    }
+
+    /// The bridge's station address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The bridge's loader IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Forwarding-plane access (for tests and experiment harnesses).
+    pub fn plane(&self) -> &Plane {
+        &self.plane
+    }
+
+    /// Mutable plane access (experiment setup).
+    pub fn plane_mut(&mut self) -> &mut Plane {
+        &mut self.plane
+    }
+
+    /// Register an additional native factory (e.g. defect-injected
+    /// variants for the fallback experiment).
+    pub fn register_factory(&mut self, name: &str, factory: NativeFactory) {
+        self.factories.insert(name.to_owned(), factory);
+    }
+
+    /// The administrative interface: apply a `switchctl` command from
+    /// outside the node (the paper: "Programming can be accomplished
+    /// out-of-band, through an administrative interface, or in-band").
+    /// Call through [`netsim::World::with_ctx`].
+    pub fn administer(&mut self, ctx: &mut Ctx<'_>, cmd: BridgeCommand) {
+        self.cmds.push(cmd);
+        self.apply_cmds(ctx);
+    }
+
+    /// Inspect a loaded native switchlet by concrete type.
+    pub fn switchlet<S: NativeSwitchlet>(&self, name: &str) -> Option<&S> {
+        let idx = *self.by_name.get(name)?;
+        match self.slots[idx].imp.as_ref()? {
+            SwitchletImpl::Native(b) => b.as_any().downcast_ref::<S>(),
+            SwitchletImpl::Vm => None,
+        }
+    }
+
+    /// Status of a switchlet.
+    pub fn switchlet_status(&self, name: &str) -> Option<SwitchletStatus> {
+        self.plane.status.get(name).copied()
+    }
+
+    // ---------------------------------------------------------- dispatch
+
+    fn with_slot(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        f: impl FnOnce(&mut dyn NativeSwitchlet, &mut BridgeCtx<'_, '_>),
+    ) {
+        let Some(imp) = self.slots[idx].imp.take() else {
+            return; // re-entered (cannot happen with queued commands)
+        };
+        match imp {
+            SwitchletImpl::Native(mut native) => {
+                {
+                    let mut bc = BridgeCtx {
+                        sim: ctx,
+                        plane: &mut self.plane,
+                        cfg: &self.cfg,
+                        mac: self.mac,
+                        ip: self.ip,
+                        bridge_name: &self.name,
+                        slot: idx,
+                        cmds: &mut self.cmds,
+                    };
+                    f(native.as_mut(), &mut bc);
+                }
+                self.slots[idx].imp = Some(SwitchletImpl::Native(native));
+            }
+            SwitchletImpl::Vm => {
+                self.slots[idx].imp = Some(SwitchletImpl::Vm);
+            }
+        }
+    }
+
+    fn call_vm(&mut self, ctx: &mut Ctx<'_>, target: FuncVal, args: Vec<Value>) {
+        let exec = ExecConfig {
+            fuel: self.cfg.vm_fuel,
+            max_depth: 64,
+        };
+        let owner = self.vm_owner.get(&target).cloned().unwrap_or_default();
+        let mut env = hostmods::HostEnv {
+            sim: ctx,
+            plane: &mut self.plane,
+            cmds: &mut self.cmds,
+            vm_handlers: &mut self.vm_handlers,
+            vm_owner: &mut self.vm_owner,
+            mac: self.mac,
+            bridge_name: &self.name,
+            module_name: owner,
+        };
+        match switchlet::call(&self.ns, &mut env, target, args, &exec) {
+            Ok((_, stats)) => {
+                self.vm_instructions += stats.instructions;
+                self.plane.stats.vm_instructions += stats.instructions;
+            }
+            Err(e) => {
+                // Contained: the switchlet invocation failed, the bridge
+                // carries on (the paper's "protect itself from some
+                // algorithmic failures").
+                let name = self.name.clone();
+                ctx.trace(format!("{name}: vm switchlet trapped: {e}"));
+                ctx.bump("bridge.vm_traps", 1);
+            }
+        }
+    }
+
+    fn dispatch_registered(&mut self, ctx: &mut Ctx<'_>, name: &str, port: PortId, frame: &Bytes) {
+        if let Some(key) = name.strip_prefix("vm:") {
+            if let Some(&fv) = self.vm_handlers.get(key) {
+                let args = vec![
+                    Value::str(frame.to_vec()),
+                    Value::Int(port.0 as i64),
+                ];
+                self.call_vm(ctx, fv, args);
+            }
+            return;
+        }
+        let Some(&idx) = self.by_name.get(name) else {
+            return;
+        };
+        if !self.plane.is_running(name) {
+            return;
+        }
+        let parsed = match Frame::parse(frame) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        self.with_slot(ctx, idx, |s, bc| s.on_registered_frame(bc, port, &parsed));
+    }
+
+    fn dispatch_data_plane(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &Bytes) {
+        match self.plane.data_plane.clone() {
+            DataPlaneSel::None => {
+                self.plane.stats.no_plane += 1;
+            }
+            DataPlaneSel::Native(name) => {
+                let Some(&idx) = self.by_name.get(&name) else {
+                    self.plane.stats.no_plane += 1;
+                    return;
+                };
+                if !self.plane.is_running(&name) {
+                    self.plane.stats.no_plane += 1;
+                    return;
+                }
+                let parsed = match Frame::parse(frame) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                self.with_slot(ctx, idx, |s, bc| s.switch_frame(bc, port, &parsed));
+            }
+            DataPlaneSel::Vm(fv) => {
+                let args = vec![Value::str(frame.to_vec()), Value::Int(port.0 as i64)];
+                self.call_vm(ctx, fv, args);
+            }
+        }
+    }
+
+    /// The demultiplexer (Figure 5 step 4 entry): address-registered
+    /// handlers first, then the switching function.
+    fn process_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let (dst, ethertype) = match Frame::parse(&frame) {
+            Ok(p) => (p.dst(), p.ethertype()),
+            Err(_) => return,
+        };
+        if let Some(name) = self.plane.addr_handler(dst).map(str::to_owned) {
+            self.plane.stats.registered += 1;
+            self.dispatch_registered(ctx, &name, port, &frame);
+            self.apply_cmds(ctx);
+            return;
+        }
+        // The loader endpoint also hears broadcast ARP (hosts resolving
+        // the bridge's loader address); the frame is still bridged.
+        if dst.is_broadcast() && ethertype == EtherType::ARP {
+            if let Some(name) = self.plane.addr_handler(self.mac).map(str::to_owned) {
+                self.plane.stats.to_loader += 1;
+                self.dispatch_registered(ctx, &name, port, &frame);
+            }
+        }
+        self.dispatch_data_plane(ctx, port, &frame);
+        self.apply_cmds(ctx);
+    }
+
+    // ------------------------------------------------------ switchlet mgmt
+
+    fn install_native(&mut self, ctx: &mut Ctx<'_>, name: &str) {
+        if self.by_name.contains_key(name) {
+            let n = self.name.clone();
+            ctx.trace(format!("{n}: switchlet {name} already loaded"));
+            return;
+        }
+        let Some(factory) = self.factories.get(name) else {
+            let n = self.name.clone();
+            ctx.trace(format!("{n}: no native implementation for {name}"));
+            self.plane.stats.images_rejected += 1;
+            return;
+        };
+        let init = NativeInit {
+            cfg: self.cfg.clone(),
+            mac: self.mac,
+            n_ports: self.plane.flags.len(),
+        };
+        let imp = factory(&init);
+        let idx = self.slots.len();
+        self.slots.push(Slot {
+            name: name.to_owned(),
+            imp: Some(SwitchletImpl::Native(imp)),
+        });
+        self.by_name.insert(name.to_owned(), idx);
+        self.plane
+            .status
+            .insert(name.to_owned(), SwitchletStatus::Running);
+        let n = self.name.clone();
+        ctx.trace(format!("{n}: installed switchlet {name}"));
+        self.with_slot(ctx, idx, |s, bc| s.on_install(bc));
+    }
+
+    fn load_image(&mut self, ctx: &mut Ctx<'_>, image: &[u8]) {
+        // Decode first so digest/tamper checks apply to native carriers
+        // exactly as to VM modules.
+        let module = match Module::decode(image) {
+            Ok(m) => m,
+            Err(e) => {
+                let n = self.name.clone();
+                ctx.trace(format!("{n}: rejected switchlet image: {e}"));
+                self.plane.stats.images_rejected += 1;
+                return;
+            }
+        };
+        self.plane.stats.images_loaded += 1;
+        if self.factories.contains_key(module.name.as_str()) && module.functions.is_empty() {
+            let name = module.name.clone();
+            self.install_native(ctx, &name);
+            return;
+        }
+        // A real VM module: link, verify, run its init.
+        let exec = ExecConfig {
+            fuel: self.cfg.vm_fuel,
+            max_depth: 64,
+        };
+        let name = module.name.clone();
+        let image_owned = image.to_vec();
+        let mut env = hostmods::HostEnv {
+            sim: ctx,
+            plane: &mut self.plane,
+            cmds: &mut self.cmds,
+            vm_handlers: &mut self.vm_handlers,
+            vm_owner: &mut self.vm_owner,
+            mac: self.mac,
+            bridge_name: &self.name,
+            module_name: name.clone(),
+        };
+        match self.ns.load_and_init(&image_owned, &mut env, &exec) {
+            Ok((_, stats)) => {
+                self.vm_instructions += stats.instructions;
+                let idx = self.slots.len();
+                self.slots.push(Slot {
+                    name: name.clone(),
+                    imp: Some(SwitchletImpl::Vm),
+                });
+                self.by_name.insert(name.clone(), idx);
+                self.plane
+                    .status
+                    .insert(name.clone(), SwitchletStatus::Running);
+                let n = self.name.clone();
+                ctx.trace(format!("{n}: loaded vm switchlet {name}"));
+            }
+            Err(e) => {
+                self.plane.stats.images_rejected += 1;
+                self.plane.stats.images_loaded -= 1;
+                let n = self.name.clone();
+                ctx.trace(format!("{n}: rejected switchlet {name}: {e}"));
+                ctx.bump("bridge.load_rejects", 1);
+            }
+        }
+    }
+
+    fn apply_cmds(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.cmds.is_empty() {
+            let batch: Vec<BridgeCommand> = self.cmds.drain(..).collect();
+            for cmd in batch {
+                match cmd {
+                    BridgeCommand::Suspend(name) => {
+                        if let Some(&idx) = self.by_name.get(&name) {
+                            if self.plane.is_running(&name) {
+                                self.plane
+                                    .status
+                                    .insert(name.clone(), SwitchletStatus::Suspended);
+                                self.with_slot(ctx, idx, |s, bc| s.on_suspend(bc));
+                                let n = self.name.clone();
+                                ctx.trace(format!("{n}: suspended {name}"));
+                            }
+                        }
+                    }
+                    BridgeCommand::Resume(name) => {
+                        if let Some(&idx) = self.by_name.get(&name) {
+                            if self.plane.status.get(&name) == Some(&SwitchletStatus::Suspended)
+                            {
+                                self.plane
+                                    .status
+                                    .insert(name.clone(), SwitchletStatus::Running);
+                                self.with_slot(ctx, idx, |s, bc| s.on_resume(bc));
+                                let n = self.name.clone();
+                                ctx.trace(format!("{n}: resumed {name}"));
+                            }
+                        }
+                    }
+                    BridgeCommand::Stop(name) => {
+                        if self.by_name.contains_key(&name) {
+                            self.plane
+                                .status
+                                .insert(name.clone(), SwitchletStatus::Stopped);
+                            let n = self.name.clone();
+                            ctx.trace(format!("{n}: stopped {name}"));
+                        }
+                    }
+                    BridgeCommand::LoadImage(image) => {
+                        self.load_image(ctx, &image);
+                    }
+                    BridgeCommand::VmTimer {
+                        callback,
+                        after,
+                        token,
+                    } => {
+                        let idx = self.vm_timers.len();
+                        self.vm_timers.push((callback, token));
+                        ctx.schedule(after, vm_timer_token(idx));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node for BridgeNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert_eq!(
+            ctx.num_ports(),
+            self.plane.flags.len(),
+            "bridge {} configured for {} ports but attached to {}",
+            self.name,
+            self.plane.flags.len(),
+            ctx.num_ports()
+        );
+        self.ports_known = true;
+        // The boot loader: load the "disk" images in order.
+        let images: Vec<Vec<u8>> = self.boot_images.drain(..).collect();
+        for image in images {
+            self.load_image(ctx, &image);
+            self.apply_cmds(ctx);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        self.plane.stats.frames_in += 1;
+        let service_time = self.cfg.cost.service_time(frame.len());
+        match self.service.offer((port, frame)) {
+            Offer::Started => {
+                ctx.schedule(service_time, service_token());
+            }
+            Offer::Queued => {}
+            Offer::Dropped => {
+                self.plane.stats.queue_drops += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        let kind = token.0 >> 56;
+        match kind {
+            KIND_SERVICE => {
+                let ((port, frame), next) = self.service.complete();
+                if let Some((_, next_frame)) = next {
+                    let t = self.cfg.cost.service_time(next_frame.len());
+                    ctx.schedule(t, service_token());
+                }
+                self.process_frame(ctx, port, frame);
+            }
+            KIND_SWITCHLET => {
+                let slot = ((token.0 >> 32) & 0xFF_FFFF) as usize;
+                let user = (token.0 & 0xFFFF_FFFF) as u32;
+                if slot < self.slots.len() {
+                    let name = self.slots[slot].name.clone();
+                    if self.plane.is_running(&name) {
+                        self.with_slot(ctx, slot, |s, bc| s.on_timer(bc, user));
+                    }
+                }
+                self.apply_cmds(ctx);
+            }
+            KIND_VM_TIMER => {
+                let idx = (token.0 & 0xFFFF_FFFF) as usize;
+                if let Some((fv, user)) = self.vm_timers.get(idx).copied() {
+                    self.call_vm(ctx, fv, vec![Value::Int(user)]);
+                }
+                self.apply_cmds(ctx);
+            }
+            _ => unreachable!("unknown bridge timer kind {kind}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,102 @@
+//! Bridge configuration: calibrated cost constants and protocol timers.
+
+use netsim::{CostModel, SimDuration};
+
+/// Spanning-tree timer set (802.1D defaults, which the paper's 30-second
+/// agility result depends on: two forward-delay intervals before a new
+/// path forwards).
+#[derive(Copy, Clone, Debug)]
+pub struct StpTimers {
+    /// Interval between configuration BPDUs from the root.
+    pub hello: SimDuration,
+    /// Lifetime of stored protocol information.
+    pub max_age: SimDuration,
+    /// Listening→Learning and Learning→Forwarding delay.
+    pub forward_delay: SimDuration,
+}
+
+impl Default for StpTimers {
+    fn default() -> Self {
+        StpTimers {
+            hello: SimDuration::from_secs(2),
+            max_age: SimDuration::from_secs(20),
+            forward_delay: SimDuration::from_secs(15),
+        }
+    }
+}
+
+/// Control-switchlet timing (paper Table 1: suppress DEC packets for the
+/// first 30 seconds, run validation tests at 60 seconds).
+#[derive(Copy, Clone, Debug)]
+pub struct TransitionTimers {
+    /// The "initial transition period": DEC packets arriving within it are
+    /// suppressed; after it they trigger fallback.
+    pub suppress_window: SimDuration,
+    /// When to compare the new protocol's spanning tree against the
+    /// captured old state.
+    pub test_at: SimDuration,
+}
+
+impl Default for TransitionTimers {
+    fn default() -> Self {
+        TransitionTimers {
+            suppress_window: SimDuration::from_secs(30),
+            test_at: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Full bridge configuration.
+#[derive(Clone, Debug)]
+pub struct BridgeConfig {
+    /// Software path cost model (Figure 5). Default: the calibrated
+    /// 1997 active-bridge preset.
+    pub cost: CostModel,
+    /// Input service queue capacity (frames waiting for the bridge
+    /// program).
+    pub input_queue: usize,
+    /// STP timers.
+    pub stp: StpTimers,
+    /// Protocol-transition timers.
+    pub transition: TransitionTimers,
+    /// Bridge priority for spanning tree (lower wins root election).
+    pub priority: u16,
+    /// Learning-table entry lifetime.
+    pub learn_age: SimDuration,
+    /// Fuel budget per VM switchlet invocation.
+    pub vm_fuel: u64,
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig {
+            cost: CostModel::active_bridge_1997(),
+            input_queue: 256,
+            stp: StpTimers::default(),
+            transition: TransitionTimers::default(),
+            priority: 0x8000,
+            learn_age: SimDuration::from_secs(300),
+            vm_fuel: 200_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_802_1d() {
+        let t = StpTimers::default();
+        assert_eq!(t.hello, SimDuration::from_secs(2));
+        assert_eq!(t.max_age, SimDuration::from_secs(20));
+        assert_eq!(t.forward_delay, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn transition_windows_match_table1() {
+        let t = TransitionTimers::default();
+        assert_eq!(t.suppress_window, SimDuration::from_secs(30));
+        assert_eq!(t.test_at, SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,327 @@
+//! The host modules offered to VM switchlets — the paper's Section 5.2.1
+//! module set, thinned.
+//!
+//! [`host_env`] builds the *signatures* (what is nameable); [`HostEnv`]
+//! implements the dispatch. The implementation deliberately contains
+//! functions that the signatures do **not** expose (`safeunix.system`,
+//! `safeunix.open_file`): they exist behind the dispatcher, but no
+//! switchlet can link to them — module thinning "leaves the switchlet
+//! with no way of naming the excluded function and thus, no way of
+//! accessing it". Tests in this module and the integration suite verify
+//! that importing them fails at link time.
+//!
+//! | module    | paper analogue | contents |
+//! |-----------|----------------|----------|
+//! | `safestd` | Safestd        | string hashing (tables/ints are VM instructions) |
+//! | `safeunix`| Safeunix       | time-of-day only — heavily thinned |
+//! | `log`     | Log            | message logging (sink is the simulator trace) |
+//! | `func`    | Func           | handler registration glue |
+//! | `timer`   | (threads)      | event-driven replacement for blocking threads |
+//! | `unixnet` | Unixnet (Fig.4)| port binding + raw frame output, first-bind-wins |
+//! | `bridgectl` | "access points" | port suppression, learning flush, counters |
+//! | `switchctl` | (control's levers) | switchlet lifecycle inspection/control |
+
+use bytes::Bytes;
+use ether::MacAddr;
+use netsim::{Ctx, PortId, SimDuration};
+use switchlet::{Env, FuncVal, HostDispatch, HostModuleSig, Ty, Value, VmError};
+
+use crate::bridge::BridgeCommand;
+use crate::plane::{DataPlaneSel, Plane};
+
+/// The frame-handler function type: `(frame, in_port) -> unit`.
+pub fn handler_ty() -> Ty {
+    Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit)
+}
+
+/// The timer-callback type: `(token) -> unit`.
+pub fn timer_cb_ty() -> Ty {
+    Ty::func(vec![Ty::Int], Ty::Unit)
+}
+
+/// Build the thinned host environment every bridge offers.
+pub fn host_env() -> Env {
+    let mut env = Env::new();
+    env.add_module(
+        HostModuleSig::new("safestd").func("hash_string", Ty::func(vec![Ty::Str], Ty::Int)),
+    );
+    env.add_module(
+        // Heavily thinned: time only. The implementation behind the
+        // dispatcher also knows `system` and `open_file`; they are
+        // excluded here, hence unnameable.
+        HostModuleSig::new("safeunix").func("gettimeofday", Ty::func(vec![], Ty::Int)),
+    );
+    env.add_module(HostModuleSig::new("log").func("msg", Ty::func(vec![Ty::Str], Ty::Unit)));
+    env.add_module(HostModuleSig::new("func").func(
+        "register_handler",
+        Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit),
+    ));
+    env.add_module(HostModuleSig::new("timer").func(
+        "set_timeout",
+        Ty::func(vec![Ty::Int, Ty::Int, timer_cb_ty()], Ty::Unit),
+    ));
+    env.add_module(
+        HostModuleSig::new("unixnet")
+            .func("num_ports", Ty::func(vec![], Ty::Int))
+            .func("bind_in", Ty::func(vec![Ty::Int], Ty::named("iport")))
+            .func("bind_out", Ty::func(vec![Ty::Int], Ty::named("oport")))
+            .func(
+                "iport_to_oport",
+                Ty::func(vec![Ty::named("iport")], Ty::named("oport")),
+            )
+            .func(
+                "send_pkt_out",
+                Ty::func(vec![Ty::named("oport"), Ty::Str], Ty::Int),
+            )
+            .func("unbind_in", Ty::func(vec![Ty::named("iport")], Ty::Unit))
+            .func("unbind_out", Ty::func(vec![Ty::named("oport")], Ty::Unit)),
+    );
+    env.add_module(
+        HostModuleSig::new("bridgectl")
+            .func(
+                "register_addr",
+                Ty::func(vec![Ty::Str, Ty::Str], Ty::Unit),
+            )
+            .func(
+                "set_port_forward",
+                Ty::func(vec![Ty::Int, Ty::Bool], Ty::Unit),
+            )
+            .func(
+                "set_port_learn",
+                Ty::func(vec![Ty::Int, Ty::Bool], Ty::Unit),
+            )
+            .func("flush_learning", Ty::func(vec![], Ty::Unit))
+            .func("counter_bump", Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit)),
+    );
+    env.add_module(
+        HostModuleSig::new("switchctl")
+            .func("is_running", Ty::func(vec![Ty::Str], Ty::Bool))
+            .func("loaded", Ty::func(vec![Ty::Str], Ty::Bool))
+            .func("suspend", Ty::func(vec![Ty::Str], Ty::Unit))
+            .func("resume", Ty::func(vec![Ty::Str], Ty::Unit))
+            .func("stop", Ty::func(vec![Ty::Str], Ty::Unit)),
+    );
+    env
+}
+
+/// The dispatch side, bound to one bridge during one VM invocation.
+pub struct HostEnv<'a, 'w> {
+    /// Simulator context.
+    pub sim: &'a mut Ctx<'w>,
+    /// Shared forwarding plane.
+    pub plane: &'a mut Plane,
+    /// Bridge command queue.
+    pub cmds: &'a mut Vec<BridgeCommand>,
+    /// Registered VM handlers (`module.key` → callable).
+    pub vm_handlers: &'a mut std::collections::HashMap<String, FuncVal>,
+    /// Callable → owning module (restores identity in callbacks).
+    pub vm_owner: &'a mut std::collections::HashMap<FuncVal, String>,
+    /// Bridge station address.
+    pub mac: MacAddr,
+    /// Bridge name (logs).
+    pub bridge_name: &'a str,
+    /// The module being initialized ("" during handler callbacks).
+    pub module_name: String,
+}
+
+fn str_arg(args: &[Value], i: usize) -> String {
+    String::from_utf8_lossy(args[i].as_str()).into_owned()
+}
+
+impl HostDispatch for HostEnv<'_, '_> {
+    fn call(&mut self, module: &str, item: &str, args: Vec<Value>) -> Result<Value, VmError> {
+        match (module, item) {
+            ("safestd", "hash_string") => {
+                // FNV-1a, stable across runs.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in args[0].as_str().iter() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                Ok(Value::Int((h & 0x7FFF_FFFF_FFFF_FFFF) as i64))
+            }
+            ("safeunix", "gettimeofday") => {
+                Ok(Value::Int((self.sim.now().as_ns() / 1_000_000) as i64))
+            }
+            ("log", "msg") => {
+                let line = format!(
+                    "{}: [{}] {}",
+                    self.bridge_name,
+                    if self.module_name.is_empty() {
+                        "vm"
+                    } else {
+                        &self.module_name
+                    },
+                    str_arg(&args, 0)
+                );
+                self.sim.trace(line);
+                Ok(Value::Unit)
+            }
+            ("func", "register_handler") => {
+                let key = str_arg(&args, 0);
+                let Value::Func(fv) = args[1] else {
+                    return Err(VmError::Host("register_handler expects a function".into()));
+                };
+                let full = format!("{}.{}", self.module_name, key);
+                self.vm_handlers.insert(full, fv);
+                self.vm_owner.insert(fv, self.module_name.clone());
+                if key == "switching" {
+                    // Convention: registering "switching" installs this
+                    // handler as the bridge's switching function —
+                    // "this switchlet replaces the switching function".
+                    self.plane.data_plane = DataPlaneSel::Vm(fv);
+                }
+                Ok(Value::Unit)
+            }
+            ("timer", "set_timeout") => {
+                let ms = args[0].as_int().max(0) as u64;
+                let token = args[1].as_int();
+                let Value::Func(fv) = args[2] else {
+                    return Err(VmError::Host("set_timeout expects a function".into()));
+                };
+                self.vm_owner.insert(fv, self.module_name.clone());
+                self.cmds.push(BridgeCommand::VmTimer {
+                    callback: fv,
+                    after: SimDuration::from_ms(ms),
+                    token,
+                });
+                Ok(Value::Unit)
+            }
+            ("unixnet", "num_ports") => Ok(Value::Int(self.plane.flags.len() as i64)),
+            ("unixnet", "bind_in") => {
+                let port = args[0].as_int();
+                if port < 0 || port as usize >= self.plane.flags.len() {
+                    return Err(VmError::Host("No_interface".into()));
+                }
+                if !self.plane.bind_in(port as usize, &self.module_name) {
+                    // The paper's `Already_bound` exception.
+                    return Err(VmError::Host("Already_bound".into()));
+                }
+                Ok(Value::handle("iport", port as u64))
+            }
+            ("unixnet", "bind_out") => {
+                let port = args[0].as_int();
+                if port < 0 || port as usize >= self.plane.flags.len() {
+                    return Err(VmError::Host("No_interface".into()));
+                }
+                if !self.plane.bind_out(port as usize, &self.module_name) {
+                    return Err(VmError::Host("Already_bound".into()));
+                }
+                Ok(Value::handle("oport", port as u64))
+            }
+            ("unixnet", "iport_to_oport") => {
+                let id = args[0].as_handle("iport");
+                Ok(Value::handle("oport", id))
+            }
+            ("unixnet", "send_pkt_out") => {
+                let id = args[0].as_handle("oport") as usize;
+                let bytes = args[1].as_str().as_ref().clone();
+                if id >= self.plane.flags.len() {
+                    return Err(VmError::Host("No_interface".into()));
+                }
+                let len = bytes.len();
+                self.sim.send(PortId(id), Bytes::from(bytes));
+                Ok(Value::Int(len as i64))
+            }
+            ("unixnet", "unbind_in") | ("unixnet", "unbind_out") => {
+                // Per-port unbind: release everything this module bound on
+                // that port index (ownership is per name).
+                self.plane.unbind_all(&self.module_name);
+                Ok(Value::Unit)
+            }
+            ("bridgectl", "register_addr") => {
+                let mac_bytes = args[0].as_str();
+                let Some(addr) = MacAddr::from_slice(&mac_bytes[..]) else {
+                    return Err(VmError::Host("register_addr: need 6 octets".into()));
+                };
+                let key = str_arg(&args, 1);
+                let full = format!("vm:{}.{}", self.module_name, key);
+                self.plane.register_addr(addr, full);
+                Ok(Value::Unit)
+            }
+            ("bridgectl", "set_port_forward") => {
+                let port = args[0].as_int() as usize;
+                if port >= self.plane.flags.len() {
+                    return Err(VmError::Host("No_interface".into()));
+                }
+                self.plane.flags[port].forward = args[1].as_bool();
+                Ok(Value::Unit)
+            }
+            ("bridgectl", "set_port_learn") => {
+                let port = args[0].as_int() as usize;
+                if port >= self.plane.flags.len() {
+                    return Err(VmError::Host("No_interface".into()));
+                }
+                self.plane.flags[port].learn = args[1].as_bool();
+                Ok(Value::Unit)
+            }
+            ("bridgectl", "flush_learning") => {
+                self.plane.learn.flush();
+                Ok(Value::Unit)
+            }
+            ("bridgectl", "counter_bump") => {
+                let key = str_arg(&args, 0);
+                let n = args[1].as_int().max(0) as u64;
+                self.sim.bump(&key, n);
+                Ok(Value::Unit)
+            }
+            ("switchctl", "is_running") => {
+                Ok(Value::Bool(self.plane.is_running(&str_arg(&args, 0))))
+            }
+            ("switchctl", "loaded") => {
+                Ok(Value::Bool(self.plane.is_loaded(&str_arg(&args, 0))))
+            }
+            ("switchctl", "suspend") => {
+                self.cmds.push(BridgeCommand::Suspend(str_arg(&args, 0)));
+                Ok(Value::Unit)
+            }
+            ("switchctl", "resume") => {
+                self.cmds.push(BridgeCommand::Resume(str_arg(&args, 0)));
+                Ok(Value::Unit)
+            }
+            ("switchctl", "stop") => {
+                self.cmds.push(BridgeCommand::Stop(str_arg(&args, 0)));
+                Ok(Value::Unit)
+            }
+            // `safeunix.system` and `safeunix.open_file` exist here — and
+            // are unreachable: the Env never lists them, so no verified
+            // module can hold a resolved import for them. Reaching this
+            // arm would mean the thinning invariant broke.
+            ("safeunix", "system") | ("safeunix", "open_file") => {
+                unreachable!("thinned host function reached — name-space security broken")
+            }
+            _ => Err(VmError::HostUnavailable(format!("{module}.{item}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_exposes_expected_surface() {
+        let env = host_env();
+        assert!(env.lookup("log", "msg").is_some());
+        assert!(env.lookup("unixnet", "send_pkt_out").is_some());
+        assert!(env.lookup("switchctl", "is_running").is_some());
+    }
+
+    #[test]
+    fn thinned_names_are_absent() {
+        let env = host_env();
+        assert!(env.lookup("safeunix", "system").is_none());
+        assert!(env.lookup("safeunix", "open_file").is_none());
+        assert!(env.lookup("unixnet", "set_promiscuous").is_none());
+    }
+
+    #[test]
+    fn handler_type_is_frame_port_to_unit() {
+        let env = host_env();
+        let (_, ty) = env.lookup("func", "register_handler").unwrap();
+        assert_eq!(
+            *ty,
+            Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit)
+        );
+    }
+}

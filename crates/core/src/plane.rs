@@ -1,0 +1,354 @@
+//! The shared forwarding plane — the state the paper's switchlets reach
+//! through "access points in the previous switchlets": per-port
+//! forwarding/learning flags (set by the spanning-tree switchlet, honored
+//! by the switching function), the learning table, the demultiplexer's
+//! address registrations, and the published spanning-tree snapshots the
+//! control switchlet monitors.
+
+use std::collections::HashMap;
+
+use ether::MacAddr;
+use netsim::{PortId, SimDuration, SimTime};
+
+use crate::switchlets::stp::engine::StpSnapshot;
+
+/// Per-port permission flags (the spanning tree's access points).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PortFlags {
+    /// May data frames be accepted from / emitted to this port?
+    pub forward: bool,
+    /// May source addresses be learned from this port?
+    pub learn: bool,
+}
+
+impl Default for PortFlags {
+    fn default() -> Self {
+        // Before any spanning tree runs, the bridge forwards everywhere
+        // (the paper's buffered repeater "cannot tolerate a network
+        // topology with any loops").
+        PortFlags {
+            forward: true,
+            learn: true,
+        }
+    }
+}
+
+/// The self-learning table: source address → (port, last-seen time).
+/// Paper Section 5.3: "the triple (source address, current time, input
+/// port) is placed into a hash table keyed by the source address,
+/// replacing any previous entry".
+#[derive(Debug)]
+pub struct LearningTable {
+    map: HashMap<MacAddr, (PortId, SimTime)>,
+    age: SimDuration,
+}
+
+impl LearningTable {
+    /// Table with the given entry lifetime.
+    pub fn new(age: SimDuration) -> LearningTable {
+        LearningTable {
+            map: HashMap::new(),
+            age,
+        }
+    }
+
+    /// Record that `src` was seen on `port`. Group addresses are never
+    /// learned (paper footnote 3).
+    pub fn learn(&mut self, src: MacAddr, port: PortId, now: SimTime) {
+        if src.is_multicast() {
+            return;
+        }
+        self.map.insert(src, (port, now));
+    }
+
+    /// Look up a destination; a stale entry counts as absent (and is
+    /// dropped).
+    pub fn lookup(&mut self, dst: MacAddr, now: SimTime) -> Option<PortId> {
+        match self.map.get(&dst) {
+            Some((port, seen)) if now.saturating_since(*seen) <= self.age => Some(*port),
+            Some(_) => {
+                self.map.remove(&dst);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Drop every entry older than the age limit.
+    pub fn sweep(&mut self, now: SimTime) {
+        let age = self.age;
+        self.map
+            .retain(|_, (_, seen)| now.saturating_since(*seen) <= age);
+    }
+
+    /// Forget everything (used on topology change).
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate entries (for display/debugging).
+    pub fn entries(&self) -> impl Iterator<Item = (&MacAddr, &(PortId, SimTime))> {
+        self.map.iter()
+    }
+}
+
+/// Which switching function is installed.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum DataPlaneSel {
+    /// No switching function yet: frames are dropped (the bare loader).
+    #[default]
+    None,
+    /// A native switchlet, by name.
+    Native(String),
+    /// A VM switchlet handler (registered under "switching").
+    Vm(switchlet::FuncVal),
+}
+
+/// Lifecycle status of a switchlet.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SwitchletStatus {
+    /// Dispatching normally.
+    Running,
+    /// Loaded but not receiving events.
+    Suspended,
+    /// Halted permanently.
+    Stopped,
+}
+
+/// Forwarding statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BridgeStats {
+    /// Frames accepted into the input queue.
+    pub frames_in: u64,
+    /// Frames dropped because the input queue was full.
+    pub queue_drops: u64,
+    /// Frames flooded to all other ports.
+    pub flooded: u64,
+    /// Frames forwarded to a single learned port.
+    pub directed: u64,
+    /// Frames suppressed because the learned port was the arrival port.
+    pub filtered: u64,
+    /// Frames dropped because a port was not forwarding.
+    pub blocked: u64,
+    /// Frames delivered to address-registered switchlets (BPDUs etc.).
+    pub registered: u64,
+    /// Frames consumed by the loader endpoint.
+    pub to_loader: u64,
+    /// Frames dropped for want of any switching function.
+    pub no_plane: u64,
+    /// Aggregate octets forwarded (directed + flooded).
+    pub bytes_forwarded: u64,
+    /// VM instructions retired on the data path.
+    pub vm_instructions: u64,
+    /// Switchlet images loaded over the network.
+    pub images_loaded: u64,
+    /// Switchlet images rejected (decode/link/verify failures).
+    pub images_rejected: u64,
+}
+
+/// The shared plane.
+pub struct Plane {
+    /// Per-port flags, indexed by port.
+    pub flags: Vec<PortFlags>,
+    /// The learning table (shared so the spanning tree can flush it).
+    pub learn: LearningTable,
+    /// Demultiplexer registrations: destination address → switchlet name.
+    addr_handlers: Vec<(MacAddr, String)>,
+    /// The installed switching function.
+    pub data_plane: DataPlaneSel,
+    /// Switchlet lifecycle status mirror (readable by other switchlets —
+    /// the control switchlet "checks that the DEC switchlet is operating
+    /// and that the 802.1D switchlet is not").
+    pub status: HashMap<String, SwitchletStatus>,
+    /// Spanning-tree snapshots published by protocol switchlets.
+    pub published: HashMap<String, StpSnapshot>,
+    /// Input-port ownership (paper: "the first switchlet to bind to a
+    /// given port succeeds and all others fail").
+    pub owners_in: Vec<Option<String>>,
+    /// Output-port ownership.
+    pub owners_out: Vec<Option<String>>,
+    /// Counters.
+    pub stats: BridgeStats,
+}
+
+impl Plane {
+    /// A plane for `n_ports` ports.
+    pub fn new(n_ports: usize, learn_age: SimDuration) -> Plane {
+        Plane {
+            flags: vec![PortFlags::default(); n_ports],
+            learn: LearningTable::new(learn_age),
+            addr_handlers: Vec::new(),
+            data_plane: DataPlaneSel::None,
+            status: HashMap::new(),
+            published: HashMap::new(),
+            owners_in: vec![None; n_ports],
+            owners_out: vec![None; n_ports],
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// Claim an input port for `owner`; `false` if already bound to
+    /// someone else (re-binding by the same owner succeeds).
+    pub fn bind_in(&mut self, port: usize, owner: &str) -> bool {
+        match &self.owners_in[port] {
+            Some(existing) => existing == owner,
+            None => {
+                self.owners_in[port] = Some(owner.to_owned());
+                true
+            }
+        }
+    }
+
+    /// Claim an output port for `owner`.
+    pub fn bind_out(&mut self, port: usize, owner: &str) -> bool {
+        match &self.owners_out[port] {
+            Some(existing) => existing == owner,
+            None => {
+                self.owners_out[port] = Some(owner.to_owned());
+                true
+            }
+        }
+    }
+
+    /// Release every port bound by `owner`.
+    pub fn unbind_all(&mut self, owner: &str) {
+        for slot in self.owners_in.iter_mut().chain(self.owners_out.iter_mut()) {
+            if slot.as_deref() == Some(owner) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Register (or rebind) the handler for a destination address.
+    /// Rebinding is how the control switchlet takes over the All Bridges
+    /// address and later hands it to the 802.1D switchlet.
+    pub fn register_addr(&mut self, addr: MacAddr, switchlet: impl Into<String>) {
+        let name = switchlet.into();
+        if let Some(slot) = self.addr_handlers.iter_mut().find(|(a, _)| *a == addr) {
+            slot.1 = name;
+        } else {
+            self.addr_handlers.push((addr, name));
+        }
+    }
+
+    /// Remove a registration.
+    pub fn unregister_addr(&mut self, addr: MacAddr) {
+        self.addr_handlers.retain(|(a, _)| *a != addr);
+    }
+
+    /// Who handles frames to `addr`?
+    pub fn addr_handler(&self, addr: MacAddr) -> Option<&str> {
+        self.addr_handlers
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, n)| n.as_str())
+    }
+
+    /// Is a switchlet currently running?
+    pub fn is_running(&self, name: &str) -> bool {
+        self.status.get(name) == Some(&SwitchletStatus::Running)
+    }
+
+    /// Is a switchlet loaded (running or suspended)?
+    pub fn is_loaded(&self, name: &str) -> bool {
+        matches!(
+            self.status.get(name),
+            Some(SwitchletStatus::Running | SwitchletStatus::Suspended)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn learning_replaces_and_ages() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(300));
+        let mac = MacAddr::local(7);
+        lt.learn(mac, PortId(0), t(0));
+        assert_eq!(lt.lookup(mac, t(10)), Some(PortId(0)));
+        // Host moved: new port replaces old.
+        lt.learn(mac, PortId(1), t(20));
+        assert_eq!(lt.lookup(mac, t(21)), Some(PortId(1)));
+        // Stale after 300 s.
+        assert_eq!(lt.lookup(mac, t(321)), None);
+        assert!(lt.is_empty(), "stale entry evicted on lookup");
+    }
+
+    #[test]
+    fn group_addresses_never_learned() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(300));
+        lt.learn(MacAddr::BROADCAST, PortId(0), t(0));
+        lt.learn(MacAddr::ALL_BRIDGES, PortId(0), t(0));
+        assert!(lt.is_empty());
+    }
+
+    #[test]
+    fn sweep_evicts_only_stale() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(100));
+        lt.learn(MacAddr::local(1), PortId(0), t(0));
+        lt.learn(MacAddr::local(2), PortId(0), t(90));
+        lt.sweep(t(120));
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt.lookup(MacAddr::local(2), t(120)), Some(PortId(0)));
+    }
+
+    #[test]
+    fn addr_registration_rebinds() {
+        let mut plane = Plane::new(2, SimDuration::from_secs(300));
+        plane.register_addr(MacAddr::ALL_BRIDGES, "stp_ieee");
+        assert_eq!(plane.addr_handler(MacAddr::ALL_BRIDGES), Some("stp_ieee"));
+        // The control switchlet takes it over.
+        plane.register_addr(MacAddr::ALL_BRIDGES, "control");
+        assert_eq!(plane.addr_handler(MacAddr::ALL_BRIDGES), Some("control"));
+        assert_eq!(plane.addr_handlers.len(), 1, "rebound, not duplicated");
+        plane.unregister_addr(MacAddr::ALL_BRIDGES);
+        assert_eq!(plane.addr_handler(MacAddr::ALL_BRIDGES), None);
+    }
+
+    #[test]
+    fn first_bind_wins() {
+        let mut plane = Plane::new(2, SimDuration::from_secs(300));
+        assert!(plane.bind_in(0, "dumb"));
+        assert!(!plane.bind_in(0, "other"), "second binder must fail");
+        assert!(plane.bind_in(0, "dumb"), "same owner may rebind");
+        assert!(plane.bind_out(0, "other"), "output space is separate");
+        plane.unbind_all("dumb");
+        assert!(plane.bind_in(0, "other"));
+    }
+
+    #[test]
+    fn status_queries() {
+        let mut plane = Plane::new(1, SimDuration::from_secs(300));
+        assert!(!plane.is_running("stp_dec"));
+        plane
+            .status
+            .insert("stp_dec".into(), SwitchletStatus::Running);
+        assert!(plane.is_running("stp_dec"));
+        assert!(plane.is_loaded("stp_dec"));
+        plane
+            .status
+            .insert("stp_dec".into(), SwitchletStatus::Suspended);
+        assert!(!plane.is_running("stp_dec"));
+        assert!(plane.is_loaded("stp_dec"));
+        plane
+            .status
+            .insert("stp_dec".into(), SwitchletStatus::Stopped);
+        assert!(!plane.is_loaded("stp_dec"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Switchlet 1: the minimal "dumb" bridge — a buffered repeater.
+//!
+//! Paper Section 5.3: "It has three parts. Part one is a function that
+//! reads an input packet from a queue and sends it out through a given
+//! network interface. Part two is a function that takes an input packet
+//! and queues it to all network interfaces except for the one on which it
+//! was received. Part three is a function that reads packets from a
+//! network interface and demultiplexes them to the functions from part
+//! two." Parts one and three are the bridge's output path and
+//! demultiplexer; this switchlet is part two. "It cannot tolerate a
+//! network topology with any loops."
+
+use bytes::Bytes;
+use ether::Frame;
+use netsim::PortId;
+
+use crate::bridge::{BridgeCtx, NativeSwitchlet};
+use crate::plane::DataPlaneSel;
+
+/// The switchlet's unit name.
+pub const NAME: &str = "bridge_dumb";
+
+/// The buffered-repeater switching function.
+#[derive(Default)]
+pub struct DumbBridge {
+    /// Frames flooded.
+    pub forwarded: u64,
+}
+
+impl NativeSwitchlet for DumbBridge {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn on_install(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        // Claim every port (first-bind-wins) and install as the
+        // switching function.
+        for p in 0..bc.num_ports() {
+            bc.plane.bind_in(p, NAME);
+            bc.plane.bind_out(p, NAME);
+        }
+        bc.plane.data_plane = DataPlaneSel::Native(NAME.into());
+        bc.log("dumb bridge installed: flooding all ports");
+    }
+
+    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+        // Even the dumb bridge honors the spanning tree's access points
+        // if one happens to be running above it.
+        if !bc.plane.flags[port.0].forward {
+            bc.plane.stats.blocked += 1;
+            return;
+        }
+        let bytes = Bytes::copy_from_slice(frame.as_bytes());
+        let mut sent = false;
+        for p in 0..bc.num_ports() {
+            if p != port.0 && bc.plane.flags[p].forward {
+                bc.send_frame(PortId(p), bytes.clone());
+                sent = true;
+            }
+        }
+        if sent {
+            self.forwarded += 1;
+            bc.plane.stats.flooded += 1;
+            bc.plane.stats.bytes_forwarded += frame.len() as u64;
+        } else {
+            bc.plane.stats.blocked += 1;
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}

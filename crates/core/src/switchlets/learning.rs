@@ -1,0 +1,119 @@
+//! Switchlet 2: the self-learning bridge.
+//!
+//! Paper Section 5.3: "This switchlet replaces the switching function from
+//! the dumb bridge with one that learns the locations of the hosts on the
+//! network. For each packet received, the triple (source address, current
+//! time, input port) is placed into a hash table keyed by the source
+//! address, replacing any previous entry. Next, the hash table is searched
+//! for the destination address of the packet. If a match is found and is
+//! current, the packet is sent out on the port indicated unless that was
+//! the port on which the packet was received. If no match is found ... the
+//! packet is sent out on all ports except the one on which it arrived."
+//! Footnote 3 gives the group-address rules, implemented here and in
+//! [`crate::plane::LearningTable::learn`].
+
+use bytes::Bytes;
+use ether::Frame;
+use netsim::{PortId, SimDuration};
+
+use crate::bridge::{BridgeCtx, NativeSwitchlet};
+use crate::plane::DataPlaneSel;
+
+/// The switchlet's unit name.
+pub const NAME: &str = "bridge_learning";
+
+const SWEEP_TOKEN: u32 = 1;
+const SWEEP_EVERY: SimDuration = SimDuration::from_secs(60);
+
+/// The learning switching function.
+#[derive(Default)]
+pub struct LearningBridge {
+    /// Frames sent to a single learned port.
+    pub directed: u64,
+    /// Frames flooded for want of a (current) table entry.
+    pub flooded: u64,
+}
+
+impl LearningBridge {
+    fn flood(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+        let bytes = Bytes::copy_from_slice(frame.as_bytes());
+        let mut sent = false;
+        for p in 0..bc.num_ports() {
+            if p != port.0 && bc.plane.flags[p].forward {
+                bc.send_frame(PortId(p), bytes.clone());
+                sent = true;
+            }
+        }
+        if sent {
+            self.flooded += 1;
+            bc.plane.stats.flooded += 1;
+            bc.plane.stats.bytes_forwarded += frame.len() as u64;
+        } else {
+            bc.plane.stats.blocked += 1;
+        }
+    }
+}
+
+impl NativeSwitchlet for LearningBridge {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn on_install(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        // Replace the switching function (the dumb bridge's part two).
+        bc.plane.data_plane = DataPlaneSel::Native(NAME.into());
+        bc.schedule(SWEEP_EVERY, SWEEP_TOKEN);
+        bc.log("learning bridge installed: replaced switching function");
+    }
+
+    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+        if !bc.plane.flags[port.0].forward {
+            bc.plane.stats.blocked += 1;
+            return;
+        }
+        let now = bc.now();
+        let src = frame.src();
+        let dst = frame.dst();
+        // Learn (footnote 3: skipped for group sources — enforced by the
+        // table — and only on learning-enabled ports).
+        if bc.plane.flags[port.0].learn {
+            bc.plane.learn.learn(src, port, now);
+        }
+        // Group destinations always flood (footnote 3).
+        if dst.is_multicast() {
+            self.flood(bc, port, frame);
+            return;
+        }
+        match bc.plane.learn.lookup(dst, now) {
+            Some(out) if out == port => {
+                // Destination is on the arrival segment: filter.
+                bc.plane.stats.filtered += 1;
+            }
+            Some(out) if bc.plane.flags[out.0].forward => {
+                bc.send_frame(out, Bytes::copy_from_slice(frame.as_bytes()));
+                self.directed += 1;
+                bc.plane.stats.directed += 1;
+                bc.plane.stats.bytes_forwarded += frame.len() as u64;
+            }
+            // Entry points at a non-forwarding port (stale across a
+            // topology change): fall back to flooding.
+            Some(_) | None => self.flood(bc, port, frame),
+        }
+    }
+
+    fn on_timer(&mut self, bc: &mut BridgeCtx<'_, '_>, user: u32) {
+        if user == SWEEP_TOKEN {
+            let now = bc.now();
+            bc.plane.learn.sweep(now);
+            bc.schedule(SWEEP_EVERY, SWEEP_TOKEN);
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}

@@ -1,0 +1,66 @@
+//! The bridge switchlets: the three of Section 5.3 (dumb, learning,
+//! spanning tree), the DEC-style variant and control switchlet of
+//! Section 5.4, and a bytecode edition of the dumb data path.
+
+pub mod control;
+pub mod dumb;
+pub mod dumb_vm;
+pub mod learning;
+pub mod stp;
+
+use std::collections::HashMap;
+
+use crate::bridge::{NativeFactory, NativeSwitchlet};
+use crate::loader::NetLoader;
+
+/// The native switchlet factories every bridge knows out of the box
+/// (its "disk"). Experiments may override entries — e.g. replacing
+/// `stp_ieee` with a defect-injected build for the fallback run.
+pub fn default_factories() -> HashMap<String, NativeFactory> {
+    let mut map: HashMap<String, NativeFactory> = HashMap::new();
+    map.insert(
+        crate::loader::NAME.into(),
+        Box::new(|_| Box::new(NetLoader::default()) as Box<dyn NativeSwitchlet>),
+    );
+    map.insert(
+        dumb::NAME.into(),
+        Box::new(|_| Box::new(dumb::DumbBridge::default()) as Box<dyn NativeSwitchlet>),
+    );
+    map.insert(
+        learning::NAME.into(),
+        Box::new(|_| Box::new(learning::LearningBridge::default()) as Box<dyn NativeSwitchlet>),
+    );
+    map.insert(
+        stp::IEEE_NAME.into(),
+        Box::new(|_| Box::new(stp::StpSwitchlet::ieee()) as Box<dyn NativeSwitchlet>),
+    );
+    map.insert(
+        stp::DEC_NAME.into(),
+        Box::new(|_| Box::new(stp::StpSwitchlet::dec()) as Box<dyn NativeSwitchlet>),
+    );
+    map.insert(
+        control::NAME.into(),
+        Box::new(|_| Box::new(control::ControlSwitchlet::default()) as Box<dyn NativeSwitchlet>),
+    );
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_standard_switchlets_present() {
+        let f = default_factories();
+        for name in [
+            "netloader",
+            "bridge_dumb",
+            "bridge_learning",
+            "stp_ieee",
+            "stp_dec",
+            "control",
+        ] {
+            assert!(f.contains_key(name), "missing factory {name}");
+        }
+    }
+}

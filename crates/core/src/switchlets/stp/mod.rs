@@ -1,0 +1,227 @@
+//! Switchlet 3: spanning tree — the protocol engine, both wire codecs,
+//! and the switchlet wrappers for the IEEE 802.1D and DEC-style variants.
+
+pub mod bpdu;
+pub mod engine;
+
+use ether::{EtherType, Frame, FrameBuilder, Llc, MacAddr};
+use netsim::{PortId, SimDuration};
+
+use crate::bridge::{BridgeCommand, BridgeCtx, NativeSwitchlet};
+use crate::plane::PortFlags;
+use crate::switchlets::stp::bpdu::{Bpdu, BridgeId, StpVariant};
+use crate::switchlets::stp::engine::{Defect, StpAction, StpEngine};
+
+/// Unit name of the IEEE 802.1D switchlet (the "new" protocol).
+pub const IEEE_NAME: &str = "stp_ieee";
+/// Unit name of the DEC-style switchlet (the "old" protocol).
+pub const DEC_NAME: &str = "stp_dec";
+
+const TICK_TOKEN: u32 = 1;
+const TICK: SimDuration = SimDuration::from_secs(1);
+
+/// The spanning-tree switchlet: one engine behind one of two codecs.
+pub struct StpSwitchlet {
+    variant: StpVariant,
+    engine: Option<StpEngine>,
+    defect: Defect,
+    tick: Option<netsim::TimerHandle>,
+}
+
+impl StpSwitchlet {
+    /// IEEE 802.1D flavour.
+    pub fn ieee() -> StpSwitchlet {
+        StpSwitchlet {
+            variant: StpVariant::Ieee,
+            engine: None,
+            defect: Defect::None,
+            tick: None,
+        }
+    }
+
+    /// DEC-style flavour.
+    pub fn dec() -> StpSwitchlet {
+        StpSwitchlet {
+            variant: StpVariant::Dec,
+            engine: None,
+            defect: Defect::None,
+            tick: None,
+        }
+    }
+
+    /// Inject a defect into the election (the paper's "bug in the new
+    /// protocol implementation" for the fallback experiment).
+    pub fn with_defect(mut self, defect: Defect) -> StpSwitchlet {
+        self.defect = defect;
+        self
+    }
+
+    /// The running engine, if any (tests/experiments).
+    pub fn engine(&self) -> Option<&StpEngine> {
+        self.engine.as_ref()
+    }
+
+    fn unit_name(&self) -> &'static str {
+        match self.variant {
+            StpVariant::Ieee => IEEE_NAME,
+            StpVariant::Dec => DEC_NAME,
+        }
+    }
+
+    fn start(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        let bridge_id = BridgeId::new(bc.cfg.priority, bc.mac);
+        let (mut engine, actions) =
+            StpEngine::new(bridge_id, bc.num_ports(), 100, bc.cfg.stp, bc.now());
+        engine.set_defect(self.defect);
+        self.engine = Some(engine);
+        bc.plane.register_addr(self.variant.group_addr(), self.unit_name());
+        self.apply(bc, actions);
+        self.tick = Some(bc.schedule(TICK, TICK_TOKEN));
+        let name = self.unit_name();
+        bc.log(format!("{name}: protocol started"));
+    }
+
+    fn emit_config(&self, bc: &mut BridgeCtx<'_, '_>, port: usize, bpdu: &Bpdu) {
+        let payload = self.variant.emit(bpdu);
+        let frame = match self.variant {
+            StpVariant::Ieee => FrameBuilder::new_llc(MacAddr::ALL_BRIDGES, bc.mac)
+                .payload(&Llc::BPDU.wrap(&payload))
+                .build(),
+            StpVariant::Dec => FrameBuilder::new(MacAddr::DEC_BRIDGES, bc.mac, EtherType::DEC_STP)
+                .payload(&payload)
+                .build(),
+        };
+        bc.send_frame(PortId(port), frame);
+    }
+
+    fn apply(&mut self, bc: &mut BridgeCtx<'_, '_>, actions: Vec<StpAction>) {
+        for action in actions {
+            match action {
+                StpAction::SendConfig { port, config } => {
+                    self.emit_config(bc, port, &Bpdu::Config(config));
+                }
+                StpAction::SetPortState { port, state } => {
+                    bc.plane.flags[port] = PortFlags {
+                        forward: state.forwards(),
+                        learn: state.learns(),
+                    };
+                }
+            }
+        }
+        if let Some(engine) = &self.engine {
+            bc.plane
+                .published
+                .insert(self.unit_name().to_owned(), engine.snapshot());
+        }
+    }
+
+    fn decode(&self, frame: &Frame<'_>) -> Option<Bpdu> {
+        match self.variant {
+            StpVariant::Ieee => {
+                let (llc, rest) = Llc::parse(frame.payload())?;
+                if llc != Llc::BPDU {
+                    return None;
+                }
+                StpVariant::Ieee.parse(rest)
+            }
+            StpVariant::Dec => {
+                if frame.ethertype() != EtherType::DEC_STP {
+                    return None;
+                }
+                StpVariant::Dec.parse(frame.payload())
+            }
+        }
+    }
+}
+
+impl NativeSwitchlet for StpSwitchlet {
+    fn name(&self) -> &'static str {
+        self.unit_name()
+    }
+
+    fn on_install(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        // The paper's deployment story: the new protocol is loaded while
+        // the old one operates, and stays dormant — "It checks that the
+        // DEC switchlet is operating and that the 802.1D switchlet is
+        // not." If the other variant is already running, install
+        // suspended and wait for the control switchlet.
+        let other = match self.variant {
+            StpVariant::Ieee => DEC_NAME,
+            StpVariant::Dec => IEEE_NAME,
+        };
+        if bc.plane.is_running(other) {
+            bc.log(format!(
+                "{}: loaded dormant ({other} is operating)",
+                self.unit_name()
+            ));
+            let name = self.unit_name().to_owned();
+            bc.command(BridgeCommand::Suspend(name));
+            return;
+        }
+        self.start(bc);
+    }
+
+    fn on_suspend(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        // Halt the protocol; the engine's last snapshot stays published
+        // (the control switchlet captures it at suspension time).
+        self.engine = None;
+        if let Some(handle) = self.tick.take() {
+            bc.cancel(handle);
+        }
+        let name = self.unit_name();
+        bc.log(format!("{name}: protocol halted"));
+    }
+
+    fn on_resume(&mut self, bc: &mut BridgeCtx<'_, '_>) {
+        // Restart fresh: a resumed protocol re-elects from scratch.
+        self.start(bc);
+    }
+
+    fn on_registered_frame(
+        &mut self,
+        bc: &mut BridgeCtx<'_, '_>,
+        port: PortId,
+        frame: &Frame<'_>,
+    ) {
+        let Some(bpdu) = self.decode(frame) else {
+            return;
+        };
+        let Some(engine) = &mut self.engine else {
+            return;
+        };
+        match bpdu {
+            Bpdu::Config(config) => {
+                let now = bc.now();
+                let actions = engine.on_config(port.0, &config, now);
+                self.apply(bc, actions);
+            }
+            Bpdu::Tcn => {
+                // Topology-change notifications shorten learning-table
+                // aging in full 802.1D; flushing is the conservative
+                // equivalent at our scale.
+                bc.plane.learn.flush();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, bc: &mut BridgeCtx<'_, '_>, user: u32) {
+        if user != TICK_TOKEN {
+            return;
+        }
+        let Some(engine) = &mut self.engine else {
+            return;
+        };
+        let now = bc.now();
+        let actions = engine.on_tick(now);
+        self.apply(bc, actions);
+        self.tick = Some(bc.schedule(TICK, TICK_TOKEN));
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}

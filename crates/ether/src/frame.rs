@@ -1,0 +1,249 @@
+//! Ethernet II / 802.3 framing.
+//!
+//! Parse/emit in the smoltcp idiom: [`Frame`] wraps a borrowed byte slice
+//! and exposes typed accessors after a length check; [`FrameBuilder`]
+//! assembles a new frame into an owned buffer. Frames in this reproduction
+//! carry no FCS (the simulated segment charges FCS as wire overhead); the
+//! [`crate::crc`] module is available when an experiment wants a real FCS.
+
+use bytes::Bytes;
+
+use crate::ethertype::EtherType;
+use crate::mac::MacAddr;
+
+/// Destination(6) + source(6) + type(2).
+pub const HEADER_LEN: usize = 14;
+/// Minimum Ethernet payload (frames are padded to this).
+pub const MIN_PAYLOAD: usize = 46;
+/// Maximum standard Ethernet payload.
+pub const MAX_PAYLOAD: usize = 1500;
+/// Maximum frame size without FCS.
+pub const MAX_FRAME: usize = HEADER_LEN + MAX_PAYLOAD;
+/// Minimum frame size without FCS.
+pub const MIN_FRAME: usize = HEADER_LEN + MIN_PAYLOAD;
+
+/// Errors from [`Frame::parse`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the 14-byte header.
+    Truncated,
+    /// Longer than the 1514-byte maximum.
+    Oversized,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than Ethernet header"),
+            FrameError::Oversized => write!(f, "frame exceeds Ethernet maximum"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A parsed view over an Ethernet frame.
+#[derive(Copy, Clone, Debug)]
+pub struct Frame<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Frame<'a> {
+    /// Validate the length and wrap the buffer.
+    pub fn parse(buf: &'a [u8]) -> Result<Frame<'a>, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        if buf.len() > MAX_FRAME {
+            return Err(FrameError::Oversized);
+        }
+        Ok(Frame { buf })
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buf[0..6]).unwrap()
+    }
+
+    /// Source address.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buf[6..12]).unwrap()
+    }
+
+    /// The type/length field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType(u16::from_be_bytes([self.buf[12], self.buf[13]]))
+    }
+
+    /// The payload after the header. For 802.3 (length-typed) frames this
+    /// trims trailing pad octets using the length field.
+    pub fn payload(&self) -> &'a [u8] {
+        let ty = self.ethertype();
+        let body = &self.buf[HEADER_LEN..];
+        if ty.is_length() {
+            let len = (ty.0 as usize).min(body.len());
+            &body[..len]
+        } else {
+            body
+        }
+    }
+
+    /// The whole frame.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Total frame length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frames are never empty once parsed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Assemble an Ethernet frame.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    dst: MacAddr,
+    src: MacAddr,
+    ethertype: EtherType,
+    llc: bool,
+    payload: Vec<u8>,
+    pad: bool,
+}
+
+impl FrameBuilder {
+    /// Start a frame with the given addressing and type.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
+        FrameBuilder {
+            dst,
+            src,
+            ethertype,
+            llc: false,
+            payload: Vec::new(),
+            pad: true,
+        }
+    }
+
+    /// An 802.3 frame whose type field is the payload length (LLC framing,
+    /// used by 802.1D BPDUs). The length is filled in at [`build`] time.
+    ///
+    /// [`build`]: FrameBuilder::build
+    pub fn new_llc(dst: MacAddr, src: MacAddr) -> Self {
+        FrameBuilder {
+            dst,
+            src,
+            ethertype: EtherType(0), // patched in build()
+            llc: true,
+            payload: Vec::new(),
+            pad: true,
+        }
+    }
+
+    /// Set the payload.
+    pub fn payload(mut self, payload: &[u8]) -> Self {
+        self.payload = payload.to_vec();
+        self
+    }
+
+    /// Disable padding to the 60-byte Ethernet minimum (for tests that want
+    /// exact frame contents).
+    pub fn no_pad(mut self) -> Self {
+        self.pad = false;
+        self
+    }
+
+    /// Emit the frame.
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; the caller is
+    /// expected to have segmented above this layer (the paper's bridge
+    /// cannot fragment either — bridges must not modify frames).
+    pub fn build(self) -> Bytes {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD,
+            "payload {} exceeds Ethernet maximum {}",
+            self.payload.len(),
+            MAX_PAYLOAD
+        );
+        let ty = if self.llc {
+            EtherType(self.payload.len() as u16)
+        } else {
+            self.ethertype
+        };
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len().max(MIN_PAYLOAD));
+        buf.extend_from_slice(&self.dst.octets());
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&ty.0.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        if self.pad && buf.len() < MIN_FRAME {
+            buf.resize(MIN_FRAME, 0);
+        }
+        Bytes::from(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let dst = MacAddr::local(1);
+        let src = MacAddr::local(2);
+        let frame = FrameBuilder::new(dst, src, EtherType::IPV4)
+            .payload(b"datagram goes here, long enough not to matter")
+            .build();
+        let parsed = Frame::parse(&frame).unwrap();
+        assert_eq!(parsed.dst(), dst);
+        assert_eq!(parsed.src(), src);
+        assert_eq!(parsed.ethertype(), EtherType::IPV4);
+        assert!(parsed
+            .payload()
+            .starts_with(b"datagram goes here, long enough not to matter"));
+    }
+
+    #[test]
+    fn short_payload_padded_to_minimum() {
+        let frame = FrameBuilder::new(MacAddr::local(1), MacAddr::local(2), EtherType::IPV4)
+            .payload(b"x")
+            .build();
+        assert_eq!(frame.len(), MIN_FRAME);
+    }
+
+    #[test]
+    fn llc_frame_sets_length_and_trims_pad() {
+        let bpdu = [0x42u8, 0x42, 0x03, 1, 2, 3];
+        let frame = FrameBuilder::new_llc(MacAddr::ALL_BRIDGES, MacAddr::local(9))
+            .payload(&bpdu)
+            .build();
+        assert_eq!(frame.len(), MIN_FRAME); // padded
+        let parsed = Frame::parse(&frame).unwrap();
+        assert!(parsed.ethertype().is_length());
+        assert_eq!(parsed.payload(), &bpdu); // pad trimmed by length field
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            Frame::parse(&[0u8; 13]),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let buf = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(Frame::parse(&buf), Err(FrameError::Oversized)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds Ethernet maximum")]
+    fn oversized_build_panics() {
+        let _ = FrameBuilder::new(MacAddr::local(1), MacAddr::local(2), EtherType::IPV4)
+            .payload(&vec![0u8; MAX_PAYLOAD + 1])
+            .build();
+    }
+}

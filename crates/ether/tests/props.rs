@@ -1,0 +1,87 @@
+//! Property tests for the Ethernet wire formats.
+
+use ether::{crc32, frame, EtherType, Frame, FrameBuilder, Llc, MacAddr};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+proptest! {
+    /// Build→parse is the identity on addressing, type, and payload
+    /// prefix (padding may extend short payloads).
+    #[test]
+    fn frame_roundtrip(
+        dst in arb_mac(),
+        src in arb_mac(),
+        ty in 0x0600u16..=0xFFFF,
+        payload in prop::collection::vec(any::<u8>(), 0..frame::MAX_PAYLOAD),
+    ) {
+        let built = FrameBuilder::new(dst, src, EtherType(ty))
+            .payload(&payload)
+            .build();
+        let parsed = Frame::parse(&built).unwrap();
+        prop_assert_eq!(parsed.dst(), dst);
+        prop_assert_eq!(parsed.src(), src);
+        prop_assert_eq!(parsed.ethertype(), EtherType(ty));
+        prop_assert!(parsed.payload().starts_with(&payload));
+        prop_assert!(built.len() >= frame::MIN_FRAME);
+        prop_assert!(built.len() <= frame::MAX_FRAME);
+    }
+
+    /// LLC-framed (802.3) payloads come back exactly, pad-trimmed.
+    #[test]
+    fn llc_frame_roundtrip(
+        dst in arb_mac(),
+        src in arb_mac(),
+        payload in prop::collection::vec(any::<u8>(), 0..1000),
+    ) {
+        let built = FrameBuilder::new_llc(dst, src).payload(&payload).build();
+        let parsed = Frame::parse(&built).unwrap();
+        prop_assert!(parsed.ethertype().is_length());
+        prop_assert_eq!(parsed.payload(), &payload[..]);
+    }
+
+    /// CRC-32 detects every single-bit flip.
+    #[test]
+    fn crc_detects_single_bit_flips(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        bit in 0usize..2048,
+    ) {
+        let c = crc32(&data);
+        let mut mutated = data.clone();
+        let idx = (bit / 8) % mutated.len();
+        mutated[idx] ^= 1 << (bit % 8);
+        prop_assert_ne!(c, crc32(&mutated));
+    }
+
+    /// MAC display→parse is the identity.
+    #[test]
+    fn mac_display_roundtrip(mac in arb_mac()) {
+        let s = mac.to_string();
+        prop_assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    /// LLC wrap→parse is the identity.
+    #[test]
+    fn llc_wrap_roundtrip(
+        dsap in any::<u8>(),
+        ssap in any::<u8>(),
+        control in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let llc = Llc { dsap, ssap, control };
+        let wrapped = llc.wrap(&body);
+        let (parsed, rest) = Llc::parse(&wrapped).unwrap();
+        prop_assert_eq!(parsed, llc);
+        prop_assert_eq!(rest, &body[..]);
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = Frame::parse(&bytes);
+        let _ = Llc::parse(&bytes);
+        let _ = ether::check_fcs(&bytes);
+    }
+}

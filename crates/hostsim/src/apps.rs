@@ -1,0 +1,988 @@
+//! Measurement applications — the tools the paper's evaluation runs on
+//! its hosts: `ping` (Figure 9), a `ttcp`-style blaster (Figure 10 and
+//! the frame-rate table), a TFTP uploader (the switchlet delivery path),
+//! the Section 7.5 agility probe, and a raw-frame workload generator.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ether::{EtherType, Frame, FrameBuilder, Llc, MacAddr};
+use netsim::{Ctx, PortId, SimDuration, SimTime};
+use netstack::ipv4::Protocol;
+use netstack::tcplite::{
+    ReceiverConfig, RecvAction, Segment, SenderConfig, TcpReceiver, TcpSender,
+};
+use netstack::{Echo, EchoKind, SenderStep, TftpSender, UdpDatagram};
+
+use crate::host::{app_token, HostCore};
+
+/// A host application.
+pub enum App {
+    /// ICMP echo latency measurement.
+    Ping(PingApp),
+    /// ttcp transmitter.
+    TtcpSend(TtcpSendApp),
+    /// ttcp receiver.
+    TtcpRecv(TtcpRecvApp),
+    /// TFTP switchlet uploader.
+    Upload(UploadApp),
+    /// Section 7.5 agility probe.
+    Probe(ProbeApp),
+    /// Raw frame generator (workload for learning/flooding experiments).
+    Blast(BlastApp),
+}
+
+impl App {
+    pub(crate) fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        match self {
+            App::Ping(a) => a.on_start(core, ctx, idx),
+            App::TtcpSend(a) => a.on_start(core, ctx, idx),
+            App::Upload(a) => a.on_start(core, ctx, idx),
+            App::Probe(a) => a.on_start(core, ctx, idx),
+            App::Blast(a) => a.on_start(core, ctx, idx),
+            App::TtcpRecv(_) => {}
+        }
+    }
+
+    pub(crate) fn on_timer(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        user: u32,
+    ) {
+        match self {
+            App::Ping(a) => a.on_timer(core, ctx, idx, user),
+            App::TtcpSend(a) => a.on_timer(core, ctx, idx, user),
+            App::TtcpRecv(a) => a.on_timer(core, ctx, idx, user),
+            App::Upload(a) => a.on_timer(core, ctx, idx, user),
+            App::Probe(a) => a.on_timer(core, ctx, idx, user),
+            App::Blast(a) => a.on_timer(core, ctx, idx, user),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_ip(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        port: PortId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+    ) {
+        match self {
+            App::TtcpSend(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
+            App::TtcpRecv(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
+            App::Upload(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
+            _ => {}
+        }
+    }
+
+    pub(crate) fn on_echo_reply(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        ident: u16,
+        seq: u16,
+    ) {
+        if let App::Ping(a) = self {
+            a.on_echo_reply(core, ctx, idx, ident, seq);
+        }
+    }
+
+    pub(crate) fn on_raw(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        port: PortId,
+        frame: &Frame<'_>,
+    ) {
+        if let App::Probe(a) = self {
+            a.on_raw(core, ctx, idx, port, frame);
+        }
+    }
+
+    pub(crate) fn on_tx_done(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if let App::TtcpSend(a) = self {
+            a.pump_and_write(core, ctx, idx);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ ping
+
+const PING_SEND: u32 = 1;
+
+/// `ping`: an ICMP ECHO train with RTT statistics.
+pub struct PingApp {
+    /// Port to ping from.
+    pub port: PortId,
+    /// Target address.
+    pub dst: Ipv4Addr,
+    /// Echo requests to send.
+    pub count: u32,
+    /// ICMP data bytes per request (the Figure 9 "packet size").
+    pub payload_len: usize,
+    /// Inter-request interval.
+    pub interval: SimDuration,
+    /// Session identifier.
+    pub ident: u16,
+    next_seq: u16,
+    sent_at: HashMap<u16, SimTime>,
+    /// Measured round-trip times.
+    pub rtts: Vec<SimDuration>,
+    /// Requests sent.
+    pub sent: u32,
+    /// Replies received.
+    pub received: u32,
+    /// When the last reply arrived.
+    pub done_at: Option<SimTime>,
+}
+
+impl PingApp {
+    /// Configure a ping train.
+    pub fn new(
+        port: PortId,
+        dst: Ipv4Addr,
+        count: u32,
+        payload_len: usize,
+        interval: SimDuration,
+        ident: u16,
+    ) -> App {
+        App::Ping(PingApp {
+            port,
+            dst,
+            count,
+            payload_len,
+            interval,
+            ident,
+            next_seq: 0,
+            sent_at: HashMap::new(),
+            rtts: Vec::new(),
+            sent: 0,
+            received: 0,
+            done_at: None,
+        })
+    }
+
+    /// Average RTT over received replies.
+    pub fn avg_rtt(&self) -> Option<SimDuration> {
+        if self.rtts.is_empty() {
+            return None;
+        }
+        let total: u64 = self.rtts.iter().map(|d| d.as_ns()).sum();
+        Some(SimDuration::from_ns(total / self.rtts.len() as u64))
+    }
+
+    fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent += 1;
+        self.sent_at.insert(seq, ctx.now());
+        let payload = vec![0xA5u8; self.payload_len];
+        let icmp = Echo::emit(EchoKind::Request, self.ident, seq, &payload);
+        core.send_ip_fragmenting(ctx, self.port, self.dst, Protocol::ICMP, icmp);
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        self.send_one(core, ctx);
+        if self.sent < self.count {
+            ctx.schedule(self.interval, app_token(idx, PING_SEND));
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == PING_SEND && self.sent < self.count {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, PING_SEND));
+            }
+        }
+    }
+
+    fn on_echo_reply(
+        &mut self,
+        _core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        _idx: usize,
+        ident: u16,
+        seq: u16,
+    ) {
+        if ident != self.ident {
+            return;
+        }
+        if let Some(sent) = self.sent_at.remove(&seq) {
+            self.rtts.push(ctx.now().saturating_since(sent));
+            self.received += 1;
+            if self.received == self.count {
+                self.done_at = Some(ctx.now());
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ ttcp
+
+const TTCP_WRITE: u32 = 1;
+const TTCP_RTO: u32 = 2;
+const TTCP_DELACK: u32 = 3;
+
+/// The ttcp transmitter: `total_bytes` in `write_size` chunks over
+/// TcpLite.
+pub struct TtcpSendApp {
+    /// Port to send from.
+    pub port: PortId,
+    /// Receiver address.
+    pub dst: Ipv4Addr,
+    /// Our TcpLite port.
+    pub src_port: u16,
+    /// Receiver's TcpLite port.
+    pub dst_port: u16,
+    /// Total bytes to move.
+    pub total_bytes: u64,
+    /// Application write size (the Figure 10 "packet size").
+    pub write_size: usize,
+    tcp: TcpSender,
+    writes_left: u64,
+    bytes_left: u64,
+    write_pending: bool,
+    armed_rto: Option<u64>,
+    /// When the first write happened.
+    pub started_at: Option<SimTime>,
+    /// When the last byte was acknowledged.
+    pub done_at: Option<SimTime>,
+    /// Data frames emitted.
+    pub frames_sent: u64,
+}
+
+impl TtcpSendApp {
+    /// Configure a transmitter.
+    pub fn new(
+        port: PortId,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        total_bytes: u64,
+        write_size: usize,
+        sender_cfg: SenderConfig,
+    ) -> App {
+        assert!(write_size > 0 && total_bytes > 0);
+        App::TtcpSend(TtcpSendApp {
+            port,
+            dst,
+            src_port,
+            dst_port,
+            total_bytes,
+            write_size,
+            tcp: TcpSender::new(sender_cfg),
+            writes_left: total_bytes.div_ceil(write_size as u64),
+            bytes_left: total_bytes,
+            write_pending: false,
+            armed_rto: None,
+            started_at: None,
+            done_at: None,
+            frames_sent: 0,
+        })
+    }
+
+    /// Finished?
+    pub fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+
+    /// Measured goodput in bits/second (None until done).
+    pub fn throughput_bps(&self) -> Option<f64> {
+        let (start, end) = (self.started_at?, self.done_at?);
+        let secs = end.saturating_since(start).as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(self.total_bytes as f64 * 8.0 / secs)
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        self.started_at = Some(ctx.now());
+        self.try_write(core, ctx, idx);
+    }
+
+    /// Schedule the next application write (after the write-syscall cost).
+    ///
+    /// Large writes keep the socket buffer topped up (up to one write
+    /// ahead) so the stream stays MSS-aligned, as a real socket does;
+    /// sub-MSS writes pace stop-and-wait behind Nagle — each `write()`
+    /// happens only once the previous small segment drained and was
+    /// acknowledged, which is what pins the paper's small-packet ttcp to
+    /// hundreds of frames per second.
+    fn try_write(&mut self, core: &HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.write_pending || self.writes_left == 0 {
+            return;
+        }
+        if self.write_size >= self.tcp.mss() {
+            if self.tcp.unsent() >= self.write_size as u64 {
+                return; // socket buffer full enough
+            }
+        } else if self.write_size >= self.tcp.nagle_threshold() {
+            // Mid-size writes stream one write at a time: segments stay
+            // write-sized (the paper's 1024-byte frames on the wire).
+            if self.tcp.unsent() > 0 {
+                return;
+            }
+        } else {
+            if self.tcp.unsent() > 0 {
+                return;
+            }
+            if self.tcp.in_flight() > 0 {
+                return; // Nagle stop-and-wait for small writes
+            }
+        }
+        self.write_pending = true;
+        let cost = core.cfg.cost.write_time().max(SimDuration::from_ns(1));
+        ctx.schedule(cost, app_token(idx, TTCP_WRITE));
+    }
+
+    fn pump(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        let now_ns = ctx.now().as_ns();
+        while let Some(seg) = self.tcp.poll(now_ns) {
+            let wire = Segment {
+                src_port: self.src_port,
+                dst_port: self.dst_port,
+                seq: seg.seq,
+                ack: 0,
+                is_ack: false,
+                payload: &seg.payload,
+            }
+            .emit(core.cfg.ips[self.port.0], self.dst);
+            core.send_ip(ctx, self.port, self.dst, Protocol::TCPLITE, wire);
+            self.frames_sent += 1;
+        }
+        self.arm_rto(ctx, idx);
+    }
+
+    fn pump_and_write(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        self.pump(core, ctx, idx);
+        self.try_write(core, ctx, idx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        if let Some(deadline) = self.tcp.next_timeout() {
+            if self.armed_rto != Some(deadline) {
+                self.armed_rto = Some(deadline);
+                let now = ctx.now().as_ns();
+                let delay = SimDuration::from_ns(deadline.saturating_sub(now).max(1));
+                ctx.schedule(delay, app_token(idx, TTCP_RTO));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        match user {
+            TTCP_WRITE => {
+                // The write-syscall cost was charged by the schedule delay.
+                self.write_pending = false;
+                let chunk = (self.write_size as u64).min(self.bytes_left);
+                self.bytes_left -= chunk;
+                self.writes_left -= 1;
+                self.tcp.write(chunk);
+                self.pump(core, ctx, idx);
+                self.try_write(core, ctx, idx);
+            }
+            TTCP_RTO => {
+                let now_ns = ctx.now().as_ns();
+                if let Some(deadline) = self.tcp.next_timeout() {
+                    if deadline <= now_ns {
+                        self.tcp.on_timeout(now_ns);
+                        self.armed_rto = None;
+                        self.pump(core, ctx, idx);
+                    } else {
+                        self.armed_rto = None;
+                        self.arm_rto(ctx, idx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ip(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        _port: PortId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+    ) {
+        if proto != Protocol::TCPLITE || src != self.dst {
+            return;
+        }
+        let Ok(seg) = Segment::parse(payload, src, dst) else {
+            return;
+        };
+        if !seg.is_ack || seg.dst_port != self.src_port {
+            return;
+        }
+        let now_ns = ctx.now().as_ns();
+        self.tcp.on_ack(seg.ack, now_ns);
+        if self.tcp.all_acked() && self.writes_left == 0 && self.done_at.is_none() {
+            self.done_at = Some(ctx.now());
+            ctx.bump("ttcp.done", 1);
+            return;
+        }
+        self.pump(core, ctx, idx);
+        self.try_write(core, ctx, idx);
+    }
+}
+
+/// The ttcp receiver.
+pub struct TtcpRecvApp {
+    /// Our TcpLite port.
+    pub port_num: u16,
+    rx: TcpReceiver,
+    delack_armed: bool,
+    peer: Option<(Ipv4Addr, u16, PortId)>,
+    /// First data arrival.
+    pub first_at: Option<SimTime>,
+    /// Latest data arrival.
+    pub last_at: Option<SimTime>,
+}
+
+impl TtcpRecvApp {
+    /// Configure a receiver.
+    pub fn new(port_num: u16, cfg: ReceiverConfig) -> App {
+        App::TtcpRecv(TtcpRecvApp {
+            port_num,
+            rx: TcpReceiver::new(cfg),
+            delack_armed: false,
+            peer: None,
+            first_at: None,
+            last_at: None,
+        })
+    }
+
+    /// Bytes received in order.
+    pub fn bytes_received(&self) -> u64 {
+        self.rx.bytes_received
+    }
+
+    /// Data segments accepted.
+    pub fn segments_received(&self) -> u64 {
+        self.rx.segments_received
+    }
+
+    fn send_ack(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, ack: u32) {
+        let Some((peer_ip, peer_port, port)) = self.peer else {
+            return;
+        };
+        let wire = Segment {
+            src_port: self.port_num,
+            dst_port: peer_port,
+            seq: 0,
+            ack,
+            is_ack: true,
+            payload: &[],
+        }
+        .emit(core.cfg.ips[port.0], peer_ip);
+        core.send_ip(ctx, port, peer_ip, Protocol::TCPLITE, wire);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ip(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        port: PortId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+    ) {
+        if proto != Protocol::TCPLITE {
+            return;
+        }
+        let Ok(seg) = Segment::parse(payload, src, dst) else {
+            return;
+        };
+        if seg.is_ack || seg.dst_port != self.port_num {
+            return;
+        }
+        self.peer = Some((src, seg.src_port, port));
+        if self.first_at.is_none() {
+            self.first_at = Some(ctx.now());
+        }
+        self.last_at = Some(ctx.now());
+        let now_ns = ctx.now().as_ns();
+        match self.rx.on_segment(seg.seq, seg.payload.len(), now_ns) {
+            RecvAction::AckNow(a) => self.send_ack(core, ctx, a),
+            RecvAction::AckAt(deadline) => {
+                if !self.delack_armed {
+                    self.delack_armed = true;
+                    let delay = SimDuration::from_ns(deadline.saturating_sub(now_ns).max(1));
+                    ctx.schedule(delay, app_token(idx, TTCP_DELACK));
+                }
+            }
+            RecvAction::None => {}
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == TTCP_DELACK {
+            self.delack_armed = false;
+            let now_ns = ctx.now().as_ns();
+            if let Some(ack) = self.rx.on_timer(now_ns) {
+                self.send_ack(core, ctx, ack);
+            } else if let Some(deadline) = self.rx.ack_deadline() {
+                // The deadline moved while the timer was in flight: re-arm
+                // or the pending ACK would wait for the sender's RTO.
+                self.delack_armed = true;
+                let delay = SimDuration::from_ns(deadline.saturating_sub(now_ns).max(1));
+                ctx.schedule(delay, app_token(idx, TTCP_DELACK));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- upload
+
+const UPLOAD_RETRY: u32 = 1;
+
+/// Uploads a switchlet image to a bridge's TFTP loader.
+pub struct UploadApp {
+    /// Port to upload from.
+    pub port: PortId,
+    /// The bridge's loader address.
+    pub dst: Ipv4Addr,
+    /// Our UDP port.
+    pub src_port: u16,
+    sender: TftpSender,
+    /// Completion time.
+    pub done_at: Option<SimTime>,
+    /// Failure reason, if the server refused.
+    pub failed: Option<String>,
+    last_tx: SimTime,
+    /// Retransmissions performed.
+    pub retries: u32,
+}
+
+impl UploadApp {
+    /// Configure an upload.
+    pub fn new(
+        port: PortId,
+        dst: Ipv4Addr,
+        src_port: u16,
+        filename: impl Into<String>,
+        image: Vec<u8>,
+    ) -> App {
+        App::Upload(UploadApp {
+            port,
+            dst,
+            src_port,
+            sender: TftpSender::new(filename, image),
+            done_at: None,
+            failed: None,
+            last_tx: SimTime::ZERO,
+            retries: 0,
+        })
+    }
+
+    /// True once the final block is acknowledged.
+    pub fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+
+    fn send_udp(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, payload: &[u8]) {
+        let wire = netstack::udp::emit(
+            core.cfg.ips[self.port.0],
+            self.src_port,
+            self.dst,
+            crate::TFTP_PORT,
+            payload,
+        );
+        core.send_ip(ctx, self.port, self.dst, Protocol::UDP, wire);
+        self.last_tx = ctx.now();
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        let wrq = self.sender.start();
+        self.send_udp(core, ctx, &wrq);
+        ctx.schedule(SimDuration::from_ms(500), app_token(idx, UPLOAD_RETRY));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ip(
+        &mut self,
+        core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        _idx: usize,
+        _port: PortId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+    ) {
+        if proto != Protocol::UDP || src != self.dst {
+            return;
+        }
+        let Ok(udp) = UdpDatagram::parse(payload, src, dst) else {
+            return;
+        };
+        if udp.dst_port() != self.src_port {
+            return;
+        }
+        match self.sender.on_packet(udp.payload()) {
+            SenderStep::Send(next) => self.send_udp(core, ctx, &next),
+            SenderStep::Done => self.done_at = Some(ctx.now()),
+            SenderStep::Failed(msg) => self.failed = Some(msg),
+            SenderStep::Ignore => {}
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user != UPLOAD_RETRY || self.done_at.is_some() || self.failed.is_some() {
+            return;
+        }
+        if ctx.now().saturating_since(self.last_tx) >= SimDuration::from_ms(400) {
+            if let Some(current) = self.sender.current() {
+                self.retries += 1;
+                self.send_udp(core, ctx, &current);
+            }
+        }
+        ctx.schedule(SimDuration::from_ms(500), app_token(idx, UPLOAD_RETRY));
+    }
+}
+
+// ----------------------------------------------------------------- probe
+
+const PROBE_PING: u32 = 1;
+const PROBE_START: u32 = 2;
+
+/// The Section 7.5 agility probe: a two-NIC host that injects an 802.1D
+/// BPDU on `eth0`, waits to see one on `eth1` (all bridges in the path
+/// have switched), and sends a prebuilt ICMP ECHO once per second on
+/// `eth0` until it sees it arrive on `eth1`.
+pub struct ProbeApp {
+    /// ICMP identifier for the prebuilt pings.
+    pub ident: u16,
+    /// Wait this long before injecting (lets the old protocol converge).
+    pub start_delay: SimDuration,
+    seq: u16,
+    /// When the triggering BPDU was sent.
+    pub sent_bpdu_at: Option<SimTime>,
+    /// When an IEEE BPDU first appeared on eth1.
+    pub ieee_seen_at: Option<SimTime>,
+    /// When the first probe ping arrived on eth1.
+    pub ping_seen_at: Option<SimTime>,
+    /// Pings sent.
+    pub pings_sent: u32,
+}
+
+impl ProbeApp {
+    /// Configure a probe that fires immediately.
+    pub fn new(ident: u16) -> App {
+        Self::new_delayed(ident, SimDuration::ZERO)
+    }
+
+    /// Configure a probe that waits `start_delay` before injecting the
+    /// triggering BPDU (so the old protocol can converge first).
+    pub fn new_delayed(ident: u16, start_delay: SimDuration) -> App {
+        App::Probe(ProbeApp {
+            ident,
+            start_delay,
+            seq: 0,
+            sent_bpdu_at: None,
+            ieee_seen_at: None,
+            ping_seen_at: None,
+            pings_sent: 0,
+        })
+    }
+
+    /// The paper's "start to IEEE" interval.
+    pub fn to_ieee(&self) -> Option<SimDuration> {
+        Some(self.ieee_seen_at?.saturating_since(self.sent_bpdu_at?))
+    }
+
+    /// The paper's "start to received ping" interval.
+    pub fn to_ping(&self) -> Option<SimDuration> {
+        Some(self.ping_seen_at?.saturating_since(self.sent_bpdu_at?))
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        assert!(
+            core.cfg.macs.len() >= 2,
+            "the agility probe needs two NICs (eth0, eth1)"
+        );
+        assert!(core.cfg.promiscuous, "the probe reads raw frames");
+        if self.start_delay.is_zero() {
+            self.fire(core, ctx, idx);
+        } else {
+            ctx.schedule(self.start_delay, app_token(idx, PROBE_START));
+        }
+    }
+
+    fn fire(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        // The triggering BPDU: a valid 802.1D configuration message from
+        // a never-winning "bridge" (priority 0xFFFF).
+        use active_bridge_types::*;
+        let me = BridgeId::new(0xFFFF, core.cfg.macs[0]);
+        let config = ConfigBpdu {
+            root: me,
+            root_cost: 0,
+            bridge: me,
+            port: 1,
+            message_age: 0,
+            max_age: 20,
+            hello_time: 2,
+            forward_delay: 15,
+            tc: false,
+            tca: false,
+        };
+        let payload = ieee_emit(&Bpdu::Config(config));
+        let frame = FrameBuilder::new_llc(MacAddr::ALL_BRIDGES, core.cfg.macs[0])
+            .payload(&Llc::BPDU.wrap(&payload))
+            .build();
+        core.send_raw(ctx, PortId(0), frame);
+        self.sent_bpdu_at = Some(ctx.now());
+        ctx.schedule(SimDuration::from_secs(1), app_token(idx, PROBE_PING));
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == PROBE_START {
+            self.fire(core, ctx, idx);
+            return;
+        }
+        if user != PROBE_PING || self.ping_seen_at.is_some() {
+            return;
+        }
+        // Prebuilt ICMP ECHO addressed to our own eth1, sent raw on eth0:
+        // unknown destination, so bridges flood it — once they forward.
+        let icmp = Echo::emit(EchoKind::Request, self.ident, self.seq, b"agility-probe");
+        self.seq += 1;
+        let ip = netstack::ipv4::emit(
+            core.cfg.ips[0],
+            core.cfg.ips[1],
+            Protocol::ICMP,
+            self.seq,
+            64,
+            &icmp,
+            1500,
+        )
+        .expect("probe ping fits MTU");
+        let frame = FrameBuilder::new(core.cfg.macs[1], core.cfg.macs[0], EtherType::IPV4)
+            .payload(&ip)
+            .build();
+        core.send_raw(ctx, PortId(0), frame);
+        self.pings_sent += 1;
+        ctx.schedule(SimDuration::from_secs(1), app_token(idx, PROBE_PING));
+    }
+
+    fn on_raw(
+        &mut self,
+        _core: &mut HostCore,
+        ctx: &mut Ctx<'_>,
+        _idx: usize,
+        port: PortId,
+        frame: &Frame<'_>,
+    ) {
+        if port != PortId(1) {
+            return;
+        }
+        if frame.dst() == MacAddr::ALL_BRIDGES && self.ieee_seen_at.is_none() {
+            // An IEEE BPDU on eth1: every bridge in the path switched.
+            if let Some((llc, rest)) = Llc::parse(frame.payload()) {
+                if llc == Llc::BPDU && active_bridge_types::ieee_parse(rest).is_some() {
+                    self.ieee_seen_at = Some(ctx.now());
+                }
+            }
+            return;
+        }
+        if frame.ethertype() == EtherType::IPV4 && self.ping_seen_at.is_none() {
+            if let Ok(ip) = netstack::ipv4::Packet::parse(frame.payload()) {
+                if ip.protocol() == Protocol::ICMP {
+                    if let Ok(echo) = Echo::parse(ip.payload()) {
+                        if echo.kind == EchoKind::Request && echo.ident == self.ident {
+                            self.ping_seen_at = Some(ctx.now());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Minimal local copies of the 802.1D BPDU shapes the probe needs.
+///
+/// `hostsim` deliberately does not depend on the `active-bridge` crate
+/// (hosts are substrate, the bridge is the system under test), so the
+/// probe carries its own copy of the IEEE BPDU codec — byte-compatible
+/// with `active_bridge::switchlets::stp::bpdu::ieee` and cross-checked by
+/// an integration test at the workspace root.
+pub mod active_bridge_types {
+    use ether::MacAddr;
+
+    /// Bridge identifier (priority, MAC).
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    pub struct BridgeId {
+        /// Priority.
+        pub priority: u16,
+        /// MAC.
+        pub mac: MacAddr,
+    }
+
+    impl BridgeId {
+        /// Construct.
+        pub fn new(priority: u16, mac: MacAddr) -> BridgeId {
+            BridgeId { priority, mac }
+        }
+    }
+
+    /// Configuration BPDU fields.
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    pub struct ConfigBpdu {
+        /// Claimed root.
+        pub root: BridgeId,
+        /// Cost to root.
+        pub root_cost: u32,
+        /// Transmitting bridge.
+        pub bridge: BridgeId,
+        /// Transmitting port.
+        pub port: u16,
+        /// Age (s).
+        pub message_age: u16,
+        /// Max age (s).
+        pub max_age: u16,
+        /// Hello (s).
+        pub hello_time: u16,
+        /// Forward delay (s).
+        pub forward_delay: u16,
+        /// Topology change.
+        pub tc: bool,
+        /// Topology change ack.
+        pub tca: bool,
+    }
+
+    /// A BPDU.
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    pub enum Bpdu {
+        /// Configuration.
+        Config(ConfigBpdu),
+        /// Topology-change notification.
+        Tcn,
+    }
+
+    /// Encode an IEEE 802.1D BPDU.
+    pub fn ieee_emit(bpdu: &Bpdu) -> Vec<u8> {
+        match bpdu {
+            Bpdu::Tcn => vec![0, 0, 0, 0x80],
+            Bpdu::Config(c) => {
+                let mut out = Vec::with_capacity(35);
+                out.extend_from_slice(&[0, 0, 0, 0]);
+                let mut flags = 0u8;
+                if c.tc {
+                    flags |= 0x01;
+                }
+                if c.tca {
+                    flags |= 0x80;
+                }
+                out.push(flags);
+                out.extend_from_slice(&c.root.priority.to_be_bytes());
+                out.extend_from_slice(&c.root.mac.octets());
+                out.extend_from_slice(&c.root_cost.to_be_bytes());
+                out.extend_from_slice(&c.bridge.priority.to_be_bytes());
+                out.extend_from_slice(&c.bridge.mac.octets());
+                out.extend_from_slice(&c.port.to_be_bytes());
+                for t in [c.message_age, c.max_age, c.hello_time, c.forward_delay] {
+                    out.extend_from_slice(&(t * 256).to_be_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Minimal recognizer for IEEE config BPDUs.
+    pub fn ieee_parse(buf: &[u8]) -> Option<()> {
+        if buf.len() >= 4 && buf[0] == 0 && buf[1] == 0 && buf[2] == 0 && buf[3] == 0 {
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+// ----------------------------------------------------------------- blast
+
+const BLAST_TICK: u32 = 1;
+
+/// A raw-frame generator for flooding/learning experiments.
+pub struct BlastApp {
+    /// Port to send from.
+    pub port: PortId,
+    /// Destination address.
+    pub dst_mac: MacAddr,
+    /// Frame payload size.
+    pub size: usize,
+    /// Frames to send.
+    pub count: u64,
+    /// Inter-frame interval.
+    pub interval: SimDuration,
+    /// Frames sent so far.
+    pub sent: u64,
+}
+
+impl BlastApp {
+    /// Configure a blaster.
+    pub fn new(
+        port: PortId,
+        dst_mac: MacAddr,
+        size: usize,
+        count: u64,
+        interval: SimDuration,
+    ) -> App {
+        App::Blast(BlastApp {
+            port,
+            dst_mac,
+            size,
+            count,
+            interval,
+            sent: 0,
+        })
+    }
+
+    fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
+        let payload = vec![0x42u8; self.size];
+        let frame = FrameBuilder::new(
+            self.dst_mac,
+            core.cfg.macs[self.port.0],
+            EtherType::EXPERIMENTAL,
+        )
+        .payload(&payload)
+        .build();
+        core.send_raw(ctx, self.port, frame);
+        self.sent += 1;
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.count > 0 {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, BLAST_TICK));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == BLAST_TICK && self.sent < self.count {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, BLAST_TICK));
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Simulated end systems: a host with (possibly several) NICs, a small
+//! protocol stack (ARP, IPv4, ICMP echo responder), software costs on
+//! both paths, and pluggable measurement applications.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use ether::{EtherType, Frame, FrameBuilder, MacAddr};
+use netsim::{Ctx, Node, Offer, PortId, ServiceQueue, TimerToken};
+use netstack::ipv4::Protocol;
+use netstack::{ArpOp, ArpPacket, Echo, EchoKind};
+
+use crate::apps::App;
+use crate::cost::HostCostModel;
+
+const KIND_RX: u64 = 0;
+const KIND_TX: u64 = 1;
+const KIND_APP: u64 = 2;
+
+fn rx_token() -> TimerToken {
+    TimerToken(KIND_RX << 56)
+}
+fn tx_token() -> TimerToken {
+    TimerToken(KIND_TX << 56)
+}
+pub(crate) fn app_token(app: usize, user: u32) -> TimerToken {
+    TimerToken(KIND_APP << 56 | (app as u64) << 32 | user as u64)
+}
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// One MAC per port.
+    pub macs: Vec<MacAddr>,
+    /// One IP per port.
+    pub ips: Vec<Ipv4Addr>,
+    /// Software cost model.
+    pub cost: HostCostModel,
+    /// Accept all frames (the Section 7.5 measurement host reads raw
+    /// packets), not just ours/broadcast.
+    pub promiscuous: bool,
+}
+
+impl HostConfig {
+    /// A single-homed host.
+    pub fn simple(mac: MacAddr, ip: Ipv4Addr, cost: HostCostModel) -> HostConfig {
+        HostConfig {
+            macs: vec![mac],
+            ips: vec![ip],
+            cost,
+            promiscuous: false,
+        }
+    }
+}
+
+/// The host's stack state, shared with its applications.
+pub struct HostCore {
+    /// Display name.
+    pub name: String,
+    /// Configuration.
+    pub cfg: HostConfig,
+    arp: HashMap<Ipv4Addr, MacAddr>,
+    arp_waiting: HashMap<Ipv4Addr, Vec<(PortId, Protocol, Vec<u8>, bool)>>,
+    rx_q: ServiceQueue<(PortId, Bytes)>,
+    tx_q: ServiceQueue<(PortId, Bytes)>,
+    reasm: netstack::ipv4::Reassembler,
+    ip_ident: u16,
+    /// Echo requests answered.
+    pub echo_replies_sent: u64,
+    /// Frames accepted off the wire.
+    pub frames_rx: u64,
+    /// Experimental-EtherType frames received (workload accounting).
+    pub exp_frames_rx: u64,
+    /// Octets of experimental frames received.
+    pub exp_bytes_rx: u64,
+}
+
+impl HostCore {
+    /// The port whose IP is `ip`.
+    fn port_of_ip(&self, ip: Ipv4Addr) -> Option<usize> {
+        self.cfg.ips.iter().position(|&i| i == ip)
+    }
+
+    /// Queue a raw frame for transmission (charged the tx cost).
+    pub fn send_raw(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let t = self.cfg.cost.tx_time(frame.len());
+        match self.tx_q.offer((port, frame)) {
+            Offer::Started => {
+                ctx.schedule(t, tx_token());
+            }
+            Offer::Queued => {}
+            Offer::Dropped => {
+                ctx.bump("host.tx_drops", 1);
+            }
+        }
+    }
+
+    /// Send an IP payload to `dst_ip` out of `port`, resolving the MAC
+    /// via ARP if necessary (pending packets queue behind the request).
+    /// Payloads exceeding the MTU are refused (the loader-stack rule).
+    pub fn send_ip(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload: Vec<u8>,
+    ) {
+        self.send_ip_inner(ctx, port, dst_ip, proto, payload, false);
+    }
+
+    /// Like [`HostCore::send_ip`], but fragments oversize payloads (the
+    /// hosts run full IP; `ping -s 4096` worked on the paper's testbed).
+    pub fn send_ip_fragmenting(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload: Vec<u8>,
+    ) {
+        self.send_ip_inner(ctx, port, dst_ip, proto, payload, true);
+    }
+
+    fn send_ip_inner(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload: Vec<u8>,
+        fragment: bool,
+    ) {
+        let Some(&dst_mac) = self.arp.get(&dst_ip) else {
+            // ARP: broadcast a who-has, park the packet.
+            self.arp_waiting
+                .entry(dst_ip)
+                .or_default()
+                .push((port, proto, payload, fragment));
+            let req = ArpPacket::request(self.cfg.macs[port.0], self.cfg.ips[port.0], dst_ip);
+            let frame = FrameBuilder::new(MacAddr::BROADCAST, self.cfg.macs[port.0], EtherType::ARP)
+                .payload(&req.emit())
+                .build();
+            self.send_raw(ctx, port, frame);
+            return;
+        };
+        self.emit_ip(ctx, port, dst_mac, dst_ip, proto, &payload, fragment);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_ip(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+        fragment: bool,
+    ) {
+        let src_ip = self.cfg.ips[port.0];
+        let ident = self.ip_ident;
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        let packets = if fragment {
+            netstack::ipv4::emit_fragments(src_ip, dst_ip, proto, ident, 64, payload, 1500)
+        } else {
+            match netstack::ipv4::emit(src_ip, dst_ip, proto, ident, 64, payload, 1500) {
+                Ok(p) => vec![p],
+                Err(_) => {
+                    ctx.bump("host.oversize_drops", 1);
+                    return;
+                }
+            }
+        };
+        for ip in packets {
+            let frame = FrameBuilder::new(dst_mac, self.cfg.macs[port.0], EtherType::IPV4)
+                .payload(&ip)
+                .build();
+            self.send_raw(ctx, port, frame);
+        }
+    }
+
+    /// Look up a resolved MAC (tests).
+    pub fn arp_entry(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.arp.get(&ip).copied()
+    }
+}
+
+/// A simulated host node.
+pub struct HostNode {
+    /// The stack.
+    pub core: HostCore,
+    apps: Vec<Option<App>>,
+}
+
+impl HostNode {
+    /// Build a host with the given applications.
+    pub fn new(name: impl Into<String>, cfg: HostConfig, apps: Vec<App>) -> HostNode {
+        HostNode {
+            core: HostCore {
+                name: name.into(),
+                cfg,
+                arp: HashMap::new(),
+                arp_waiting: HashMap::new(),
+                rx_q: ServiceQueue::new(256),
+                tx_q: ServiceQueue::new(256),
+                reasm: netstack::ipv4::Reassembler::new(),
+                ip_ident: 1,
+                echo_replies_sent: 0,
+                frames_rx: 0,
+                exp_frames_rx: 0,
+                exp_bytes_rx: 0,
+            },
+            apps: apps.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Application access (results inspection after a run).
+    pub fn app(&self, idx: usize) -> &App {
+        self.apps[idx].as_ref().expect("app checked out")
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self, idx: usize) -> &mut App {
+        self.apps[idx].as_mut().expect("app checked out")
+    }
+
+    /// Number of applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    fn for_each_app(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        mut f: impl FnMut(&mut App, &mut HostCore, &mut Ctx<'_>, usize),
+    ) {
+        for i in 0..self.apps.len() {
+            if let Some(mut app) = self.apps[i].take() {
+                f(&mut app, &mut self.core, ctx, i);
+                self.apps[i] = Some(app);
+            }
+        }
+    }
+
+    fn process_rx(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let Ok(parsed) = Frame::parse(&frame) else {
+            return;
+        };
+        let my_mac = self.core.cfg.macs[port.0];
+        let dst = parsed.dst();
+        let mine = dst == my_mac || dst.is_broadcast();
+        if !mine && !self.core.cfg.promiscuous {
+            return;
+        }
+        self.core.frames_rx += 1;
+
+        // Raw tap for every accepted frame (the probe app).
+        self.for_each_app(ctx, |app, core, ctx, idx| {
+            app.on_raw(core, ctx, idx, port, &parsed)
+        });
+
+        if !mine {
+            return;
+        }
+        match parsed.ethertype() {
+            EtherType::ARP => {
+                let Ok(arp) = ArpPacket::parse(parsed.payload()) else {
+                    return;
+                };
+                match arp.op {
+                    ArpOp::Request if arp.tpa == self.core.cfg.ips[port.0] => {
+                        let reply = arp.reply_with(my_mac);
+                        let out = FrameBuilder::new(arp.sha, my_mac, EtherType::ARP)
+                            .payload(&reply.emit())
+                            .build();
+                        self.core.send_raw(ctx, port, out);
+                    }
+                    ArpOp::Reply => {
+                        self.core.arp.insert(arp.spa, arp.sha);
+                        if let Some(pending) = self.core.arp_waiting.remove(&arp.spa) {
+                            for (p, proto, payload, fragment) in pending {
+                                self.core
+                                    .emit_ip(ctx, p, arp.sha, arp.spa, proto, &payload, fragment);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            EtherType::IPV4 => {
+                // Fragment-tolerant parse (the hosts run full IP).
+                let Ok(ip) = netstack::ipv4::FragPacket::parse(parsed.payload()) else {
+                    return;
+                };
+                if self.core.port_of_ip(ip.dst()).is_none() {
+                    return;
+                }
+                // Opportunistic ARP learning from traffic.
+                self.core.arp.insert(ip.src(), parsed.src());
+                let (src, dst, proto) = (ip.src(), ip.dst(), ip.protocol());
+                let payload = if ip.is_fragment() {
+                    match self.core.reasm.push(&ip) {
+                        Some(whole) => whole,
+                        None => return, // more fragments pending
+                    }
+                } else {
+                    ip.payload().to_vec()
+                };
+                self.handle_ip(ctx, port, src, dst, proto, &payload);
+            }
+            EtherType::EXPERIMENTAL => {
+                self.core.exp_frames_rx += 1;
+                self.core.exp_bytes_rx += parsed.len() as u64;
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_ip(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: Protocol,
+        payload: &[u8],
+    ) {
+        match proto {
+            Protocol::ICMP => {
+                if let Ok(echo) = Echo::parse(payload) {
+                    match echo.kind {
+                        EchoKind::Request => {
+                            let reply = echo.reply();
+                            self.core
+                                .send_ip_fragmenting(ctx, port, src, Protocol::ICMP, reply);
+                            self.core.echo_replies_sent += 1;
+                        }
+                        EchoKind::Reply => {
+                            let (ident, seq) = (echo.ident, echo.seq);
+                            self.for_each_app(ctx, |app, core, ctx, idx| {
+                                app.on_echo_reply(core, ctx, idx, ident, seq)
+                            });
+                        }
+                    }
+                }
+            }
+            proto => {
+                self.for_each_app(ctx, |app, core, ctx, idx| {
+                    app.on_ip(core, ctx, idx, port, src, dst, proto, payload)
+                });
+            }
+        }
+    }
+}
+
+impl Node for HostNode {
+    fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert_eq!(
+            ctx.num_ports(),
+            self.core.cfg.macs.len(),
+            "host {} configured for {} ports but attached to {}",
+            self.core.name,
+            self.core.cfg.macs.len(),
+            ctx.num_ports()
+        );
+        self.for_each_app(ctx, |app, core, ctx, idx| app.on_start(core, ctx, idx));
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let t = self.core.cfg.cost.rx_time(frame.len());
+        match self.core.rx_q.offer((port, frame)) {
+            Offer::Started => {
+                ctx.schedule(t, rx_token());
+            }
+            Offer::Queued => {}
+            Offer::Dropped => {
+                ctx.bump("host.rx_drops", 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        match token.0 >> 56 {
+            KIND_RX => {
+                let ((port, frame), next) = self.core.rx_q.complete();
+                if let Some((_, f)) = next {
+                    let t = self.core.cfg.cost.rx_time(f.len());
+                    ctx.schedule(t, rx_token());
+                }
+                self.process_rx(ctx, port, frame);
+            }
+            KIND_TX => {
+                let ((port, frame), next) = self.core.tx_q.complete();
+                if let Some((_, f)) = next {
+                    let t = self.core.cfg.cost.tx_time(f.len());
+                    ctx.schedule(t, tx_token());
+                }
+                ctx.send(port, frame);
+                // Transmission completed: apps may have more to send
+                // (write pacing).
+                self.for_each_app(ctx, |app, core, ctx, idx| app.on_tx_done(core, ctx, idx));
+            }
+            KIND_APP => {
+                let app_idx = ((token.0 >> 32) & 0xFF_FFFF) as usize;
+                let user = (token.0 & 0xFFFF_FFFF) as u32;
+                if let Some(mut app) = self.apps.get_mut(app_idx).and_then(Option::take) {
+                    app.on_timer(&mut self.core, ctx, app_idx, user);
+                    self.apps[app_idx] = Some(app);
+                }
+            }
+            k => unreachable!("unknown host timer kind {k}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}

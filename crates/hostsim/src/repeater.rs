@@ -1,0 +1,76 @@
+//! The "very simple buffered repeater in C" — the paper's user-mode
+//! baseline: "This program simply opens two Ethernet devices in
+//! promiscuous mode and, for each packet received on one of the
+//! interfaces, writes the packet on the other. This gives some idea of the
+//! costs caused by bringing the data through the Linux kernel into user
+//! space."
+//!
+//! Same store-compute-forward structure as the bridge, with the
+//! [`netsim::CostModel::c_repeater_1997`] cost model (kernel path, near-
+//! zero processing) and no bridge logic at all.
+
+use bytes::Bytes;
+use netsim::{CostModel, Ctx, Node, Offer, PortId, ServiceQueue, TimerToken};
+
+/// The C buffered repeater.
+pub struct RepeaterNode {
+    name: String,
+    cost: CostModel,
+    q: ServiceQueue<(PortId, Bytes)>,
+    /// Frames forwarded.
+    pub forwarded: u64,
+}
+
+impl RepeaterNode {
+    /// Create a repeater (must be attached to exactly two segments).
+    pub fn new(name: impl Into<String>, cost: CostModel) -> RepeaterNode {
+        RepeaterNode {
+            name: name.into(),
+            cost,
+            q: ServiceQueue::new(256),
+            forwarded: 0,
+        }
+    }
+}
+
+impl Node for RepeaterNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert_eq!(ctx.num_ports(), 2, "a repeater joins exactly two LANs");
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let t = self.cost.service_time(frame.len());
+        match self.q.offer((port, frame)) {
+            Offer::Started => {
+                ctx.schedule(t, TimerToken(0));
+            }
+            Offer::Queued => {}
+            Offer::Dropped => {
+                ctx.bump("repeater.drops", 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        let ((port, frame), next) = self.q.complete();
+        if let Some((_, f)) = next {
+            let t = self.cost.service_time(f.len());
+            ctx.schedule(t, TimerToken(0));
+        }
+        let out = PortId(1 - port.0);
+        ctx.send(out, frame);
+        self.forwarded += 1;
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}

@@ -1,0 +1,152 @@
+//! The event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`: two events scheduled
+//! for the same instant fire in the order they were scheduled. This is what
+//! makes runs reproducible — the heap never breaks ties arbitrarily.
+
+use alloc_collections::{BinaryHeap, Reverse};
+
+use bytes::Bytes;
+
+use crate::node::{NodeId, PortId, TimerToken};
+use crate::segment::SegId;
+use crate::time::SimTime;
+
+mod alloc_collections {
+    pub use std::cmp::Reverse;
+    pub use std::collections::BinaryHeap;
+}
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver the node's start callback.
+    Start(NodeId),
+    /// Deliver a frame to a node port.
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
+    /// Fire a node timer (unless cancelled).
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        id: u64,
+    },
+    /// A segment finished serializing the frame at the head of its queue.
+    SegTxDone { seg: SegId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of events ordered by `(time, seq)`.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Remove and return the next event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1);
+        q.push(t, EventKind::Start(NodeId(0)));
+        q.push(t, EventKind::Start(NodeId(1)));
+        q.push(t, EventKind::Start(NodeId(2)));
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().kind {
+                EventKind::Start(n) => n.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn time_order_dominates_insert_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5), EventKind::Start(NodeId(5)));
+        q.push(SimTime::from_ms(1), EventKind::Start(NodeId(1)));
+        q.push(SimTime::from_ms(3), EventKind::Start(NodeId(3)));
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().kind {
+                EventKind::Start(n) => n.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn peek_time_tracks_head() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ms(9), EventKind::Start(NodeId(0)));
+        q.push(SimTime::from_ms(2), EventKind::Start(NodeId(1)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
+    }
+}

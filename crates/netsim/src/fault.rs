@@ -1,0 +1,148 @@
+//! Fault injection for segments.
+//!
+//! Following the smoltcp example conventions, each segment can be configured
+//! to randomly drop, corrupt, or duplicate frames. Faults are applied when a
+//! frame finishes serializing, before delivery, and are drawn from the
+//! world's deterministic RNG — so a faulty run replays exactly.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::rng::Xoshiro;
+
+/// Per-segment fault configuration. The default injects no faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Drop one frame in `drop_one_in` (0 = never drop).
+    pub drop_one_in: u64,
+    /// Corrupt one octet of one frame in `corrupt_one_in` (0 = never).
+    pub corrupt_one_in: u64,
+    /// Deliver one frame in `duplicate_one_in` twice (0 = never).
+    pub duplicate_one_in: u64,
+}
+
+/// What the fault layer decided about one frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver as-is.
+    Deliver(Bytes),
+    /// Deliver twice.
+    Duplicate(Bytes),
+    /// Silently dropped.
+    Drop,
+}
+
+impl FaultConfig {
+    /// True if this configuration can never alter traffic.
+    pub fn is_transparent(&self) -> bool {
+        self.drop_one_in == 0 && self.corrupt_one_in == 0 && self.duplicate_one_in == 0
+    }
+
+    /// Apply the configured faults to one frame.
+    pub fn apply(&self, frame: Bytes, rng: &mut Xoshiro) -> FaultOutcome {
+        if self.is_transparent() {
+            return FaultOutcome::Deliver(frame);
+        }
+        if rng.one_in(self.drop_one_in) {
+            return FaultOutcome::Drop;
+        }
+        let frame = if !frame.is_empty() && rng.one_in(self.corrupt_one_in) {
+            let mut buf = BytesMut::from(&frame[..]);
+            let idx = rng.range(buf.len() as u64) as usize;
+            // Flip a random bit so corruption is always a real change.
+            let bit = 1u8 << rng.range(8);
+            buf[idx] ^= bit;
+            buf.freeze()
+        } else {
+            frame
+        };
+        if rng.one_in(self.duplicate_one_in) {
+            FaultOutcome::Duplicate(frame)
+        } else {
+            FaultOutcome::Deliver(frame)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_by_default() {
+        let cfg = FaultConfig::default();
+        assert!(cfg.is_transparent());
+        let mut rng = Xoshiro::seed_from_u64(1);
+        let frame = Bytes::from_static(b"hello");
+        assert_eq!(
+            cfg.apply(frame.clone(), &mut rng),
+            FaultOutcome::Deliver(frame)
+        );
+    }
+
+    #[test]
+    fn always_drop() {
+        let cfg = FaultConfig {
+            drop_one_in: 1,
+            ..Default::default()
+        };
+        let mut rng = Xoshiro::seed_from_u64(1);
+        assert_eq!(
+            cfg.apply(Bytes::from_static(b"x"), &mut rng),
+            FaultOutcome::Drop
+        );
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_bit() {
+        let cfg = FaultConfig {
+            corrupt_one_in: 1,
+            ..Default::default()
+        };
+        let mut rng = Xoshiro::seed_from_u64(3);
+        let original = Bytes::from_static(b"abcdefgh");
+        match cfg.apply(original.clone(), &mut rng) {
+            FaultOutcome::Deliver(out) => {
+                let diff_bits: u32 = original
+                    .iter()
+                    .zip(out.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(diff_bits, 1);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches() {
+        let cfg = FaultConfig {
+            drop_one_in: 4,
+            ..Default::default()
+        };
+        let mut rng = Xoshiro::seed_from_u64(5);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|_| {
+                matches!(
+                    cfg.apply(Bytes::from_static(b"y"), &mut rng),
+                    FaultOutcome::Drop
+                )
+            })
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.22..0.28).contains(&rate), "rate was {rate}");
+    }
+
+    #[test]
+    fn empty_frame_never_corrupted() {
+        let cfg = FaultConfig {
+            corrupt_one_in: 1,
+            ..Default::default()
+        };
+        let mut rng = Xoshiro::seed_from_u64(6);
+        match cfg.apply(Bytes::new(), &mut rng) {
+            FaultOutcome::Deliver(out) => assert!(out.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The [`Node`] trait: anything attached to segments — hosts, bridges,
+//! repeaters, measurement probes — implements it.
+//!
+//! Nodes are event-driven: the world calls [`Node::on_start`] once,
+//! [`Node::on_frame`] for every frame delivered to one of the node's ports,
+//! and [`Node::on_timer`] when a timer the node scheduled fires. All services
+//! a node may use during a callback are exposed on [`crate::Ctx`].
+
+use core::any::Any;
+use core::fmt;
+
+use bytes::Bytes;
+
+use crate::Ctx;
+
+/// Identifies a node within a [`crate::World`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Identifies one of a node's ports (attachment points), in attachment
+/// order: the first `attach` call creates port 0, the next port 1, and so
+/// on. This mirrors the paper's `eth0`, `eth1`, ... device naming.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub usize);
+
+/// An opaque user payload carried by a timer, returned to the node when the
+/// timer fires. Nodes typically encode a small enum into it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(pub u64);
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(pub(crate) u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eth{}", self.0)
+    }
+}
+
+/// A simulated network element.
+///
+/// Implementations must also provide `as_any`/`as_any_mut` (one-liners) so
+/// that experiment code can downcast a node back to its concrete type after
+/// a run to read results out of it.
+pub trait Node: Any {
+    /// Human-readable name used in traces.
+    fn name(&self) -> &str;
+
+    /// Called once when the world starts, before any frame flows.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes);
+
+    /// A timer scheduled via [`Ctx::schedule`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
+
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

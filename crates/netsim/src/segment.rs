@@ -1,0 +1,257 @@
+//! Shared-medium Ethernet segment model.
+//!
+//! A segment is one LAN: every attached port hears every frame (the paper's
+//! bridges put their ports in promiscuous mode and rely on this). The medium
+//! serializes one frame at a time at the configured bandwidth — senders
+//! queue behind each other exactly as they would contend for a shared
+//! 100 Mb/s Ethernet. Collisions are idealized into queueing (a common DES
+//! simplification; the paper's measurements were taken on otherwise idle
+//! LANs where collisions are negligible).
+//!
+//! Per-frame wire overhead (preamble + SFD + inter-frame gap + FCS if the
+//! caller does not include one) is charged via
+//! [`SegmentConfig::overhead_bytes`].
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use crate::fault::FaultConfig;
+use crate::node::{NodeId, PortId};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a segment within a [`crate::World`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SegId(pub usize);
+
+impl core::fmt::Display for SegId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "lan{}", self.0)
+    }
+}
+
+/// Configuration for one LAN segment.
+#[derive(Clone, Debug)]
+pub struct SegmentConfig {
+    /// Human-readable name for traces.
+    pub name: String,
+    /// Link bandwidth in bits per second. Default: 100 Mb/s (the paper's
+    /// "100 Mbps Ethernet LANs").
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay. Default: 1 us (a few hundred meters).
+    pub propagation: SimDuration,
+    /// Extra octets charged per frame for preamble/SFD/IFG/FCS.
+    /// Default: 24 (8 preamble + 12 IFG + 4 FCS).
+    pub overhead_bytes: usize,
+    /// Transmit queue capacity in frames; frames offered beyond this are
+    /// dropped and counted. Default: 512.
+    pub queue_cap: usize,
+    /// Fault injection configuration.
+    pub fault: FaultConfig,
+    /// When true, every frame that completes serialization is recorded in
+    /// [`Segment::captured`] (a pcap-like trace for tests).
+    pub capture: bool,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            name: String::from("lan"),
+            bandwidth_bps: 100_000_000,
+            propagation: SimDuration::from_us(1),
+            overhead_bytes: 24,
+            queue_cap: 512,
+            fault: FaultConfig::default(),
+            capture: false,
+        }
+    }
+}
+
+impl SegmentConfig {
+    /// A named 100 Mb/s segment with defaults.
+    pub fn named(name: impl Into<String>) -> Self {
+        SegmentConfig {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Traffic counters for one segment.
+#[derive(Clone, Debug, Default)]
+pub struct SegCounters {
+    /// Frames fully serialized onto the wire.
+    pub tx_frames: u64,
+    /// Payload octets serialized (excluding configured overhead).
+    pub tx_bytes: u64,
+    /// Frame deliveries to ports (one frame to N listeners counts N).
+    pub deliveries: u64,
+    /// Frames dropped because the transmit queue was full.
+    pub queue_drops: u64,
+    /// Frames dropped by fault injection.
+    pub fault_drops: u64,
+    /// Frames corrupted by fault injection.
+    pub corrupted: u64,
+}
+
+/// A frame captured on the wire (when [`SegmentConfig::capture`] is set).
+#[derive(Clone, Debug)]
+pub struct CapturedFrame {
+    /// Instant serialization completed.
+    pub at: SimTime,
+    /// Sending node and port.
+    pub src: (NodeId, PortId),
+    /// Frame contents.
+    pub data: Bytes,
+}
+
+#[derive(Debug)]
+pub(crate) struct PendingTx {
+    pub src: (NodeId, PortId),
+    pub frame: Bytes,
+}
+
+/// One LAN segment: attachments plus the in-flight transmit state.
+pub struct Segment {
+    pub(crate) cfg: SegmentConfig,
+    /// Attached `(node, port)` pairs in attachment order.
+    pub(crate) attachments: Vec<(NodeId, PortId)>,
+    /// The frame currently being serialized, if any.
+    pub(crate) current: Option<PendingTx>,
+    /// Frames waiting behind `current`.
+    pub(crate) queue: VecDeque<PendingTx>,
+    pub(crate) counters: SegCounters,
+    pub(crate) captured: Vec<CapturedFrame>,
+}
+
+impl Segment {
+    pub(crate) fn new(cfg: SegmentConfig) -> Self {
+        Segment {
+            cfg,
+            attachments: Vec::new(),
+            current: None,
+            queue: VecDeque::new(),
+            counters: SegCounters::default(),
+            captured: Vec::new(),
+        }
+    }
+
+    /// Time for `len` payload octets plus per-frame overhead on this medium.
+    pub(crate) fn serialization_time(&self, len: usize) -> SimDuration {
+        SimDuration::serialization(len + self.cfg.overhead_bytes, self.cfg.bandwidth_bps)
+    }
+
+    /// Offer a frame for transmission. Returns `true` if it was accepted
+    /// (either began serializing, in which case the caller must schedule a
+    /// `SegTxDone`, or queued) and `false` if the queue was full.
+    ///
+    /// The boolean pair is `(accepted, started_now)`.
+    pub(crate) fn offer(&mut self, tx: PendingTx) -> (bool, bool) {
+        if self.current.is_none() {
+            self.current = Some(tx);
+            (true, true)
+        } else if self.queue.len() < self.cfg.queue_cap {
+            self.queue.push_back(tx);
+            (true, false)
+        } else {
+            self.counters.queue_drops += 1;
+            (false, false)
+        }
+    }
+
+    /// Complete the current transmission; returns it, and moves the next
+    /// queued frame (if any) into `current`, returning whether a new
+    /// serialization must be scheduled.
+    pub(crate) fn complete(&mut self) -> (PendingTx, bool) {
+        let done = self
+            .current
+            .take()
+            .expect("SegTxDone with no frame in flight");
+        let started_next = if let Some(next) = self.queue.pop_front() {
+            self.current = Some(next);
+            true
+        } else {
+            false
+        };
+        (done, started_next)
+    }
+
+    /// Read-only counters.
+    pub fn counters(&self) -> &SegCounters {
+        &self.counters
+    }
+
+    /// Captured frames (empty unless capture was enabled).
+    pub fn captured(&self) -> &[CapturedFrame] {
+        &self.captured
+    }
+
+    /// Segment name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Attached `(node, port)` pairs.
+    pub fn attachments(&self) -> &[(NodeId, PortId)] {
+        &self.attachments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(n: usize) -> PendingTx {
+        PendingTx {
+            src: (NodeId(n), PortId(0)),
+            frame: Bytes::from(vec![0u8; 10]),
+        }
+    }
+
+    #[test]
+    fn offer_starts_when_idle_then_queues() {
+        let mut seg = Segment::new(SegmentConfig::default());
+        assert_eq!(seg.offer(tx(0)), (true, true));
+        assert_eq!(seg.offer(tx(1)), (true, false));
+        assert_eq!(seg.offer(tx(2)), (true, false));
+        let (done, more) = seg.complete();
+        assert_eq!(done.src.0, NodeId(0));
+        assert!(more);
+        let (done, more) = seg.complete();
+        assert_eq!(done.src.0, NodeId(1));
+        assert!(more);
+        let (done, more) = seg.complete();
+        assert_eq!(done.src.0, NodeId(2));
+        assert!(!more);
+    }
+
+    #[test]
+    fn queue_cap_drops() {
+        let mut seg = Segment::new(SegmentConfig {
+            queue_cap: 1,
+            ..Default::default()
+        });
+        assert_eq!(seg.offer(tx(0)), (true, true)); // in flight
+        assert_eq!(seg.offer(tx(1)), (true, false)); // queued
+        assert_eq!(seg.offer(tx(2)), (false, false)); // dropped
+        assert_eq!(seg.counters.queue_drops, 1);
+    }
+
+    #[test]
+    fn serialization_includes_overhead() {
+        let seg = Segment::new(SegmentConfig {
+            bandwidth_bps: 100_000_000,
+            overhead_bytes: 24,
+            ..Default::default()
+        });
+        // (1500 + 24) * 8 / 100e6 = 121.92 us
+        assert_eq!(seg.serialization_time(1500).as_ns(), 121_920);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frame in flight")]
+    fn complete_without_current_panics() {
+        let mut seg = Segment::new(SegmentConfig::default());
+        let _ = seg.complete();
+    }
+}

@@ -1,0 +1,137 @@
+//! Run-wide trace log and counters.
+//!
+//! The trace is a bounded ring of human-readable entries that nodes and the
+//! kernel of the simulator append to; tests assert on it and examples print
+//! it. Counters are a string-keyed map used by experiment harnesses to
+//! accumulate results (frames forwarded, bytes received, ...).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which node logged it (None for simulator-kernel entries).
+    pub node: Option<NodeId>,
+    /// The message.
+    pub msg: String,
+}
+
+/// Bounded in-memory trace.
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    cap: usize,
+    /// Total entries ever appended (including evicted ones).
+    appended: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    pub(crate) fn new(cap: usize) -> Self {
+        Trace {
+            entries: VecDeque::new(),
+            cap,
+            appended: 0,
+            enabled: true,
+        }
+    }
+
+    /// Turn tracing off (entries are discarded) or back on.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, node: Option<NodeId>, msg: String) {
+        self.appended += 1;
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { at, node, msg });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Total entries ever appended.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// True if any retained entry's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.msg.contains(needle))
+    }
+
+    /// Retained entries whose message contains `needle`.
+    pub fn find<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.msg.contains(needle))
+    }
+}
+
+/// String-keyed experiment counters. Uses a BTreeMap so printed output is
+/// stable.
+#[derive(Default, Debug, Clone)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Add `n` to `key`.
+    pub fn bump(&mut self, key: &str, n: u64) {
+        *self.map.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Read `key` (0 if never bumped).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// All counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.push(SimTime::from_ms(1), None, "a".into());
+        t.push(SimTime::from_ms(2), None, "b".into());
+        t.push(SimTime::from_ms(3), None, "c".into());
+        let msgs: Vec<&str> = t.entries().map(|e| e.msg.as_str()).collect();
+        assert_eq!(msgs, vec!["b", "c"]);
+        assert_eq!(t.appended(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_discards() {
+        let mut t = Trace::new(10);
+        t.set_enabled(false);
+        t.push(SimTime::ZERO, None, "x".into());
+        assert_eq!(t.entries().count(), 0);
+        assert_eq!(t.appended(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.bump("rx", 2);
+        c.bump("rx", 3);
+        assert_eq!(c.get("rx"), 5);
+        assert_eq!(c.get("missing"), 0);
+    }
+}

@@ -1,0 +1,658 @@
+//! The [`World`]: owns nodes, segments, the event queue and the clock, and
+//! drives the whole simulation.
+//!
+//! # Dispatch model
+//!
+//! Nodes are stored as `Option<Box<dyn Node>>`. To deliver an event the
+//! world *takes* the node out of its slot, builds a [`Ctx`] borrowing the
+//! world core, invokes the callback, and puts the node back. This gives the
+//! node full mutable access to simulator services without aliasing itself.
+
+use bytes::Bytes;
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::FaultOutcome;
+use crate::node::{Node, NodeId, PortId, TimerHandle, TimerToken};
+use crate::rng::Xoshiro;
+use crate::segment::{CapturedFrame, PendingTx, SegId, Segment, SegmentConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Counters, Trace};
+
+/// Everything in the world except the nodes themselves (so a node callback
+/// can borrow this mutably while the node is checked out of its slot).
+pub struct WorldCore {
+    time: SimTime,
+    queue: EventQueue,
+    segments: Vec<Segment>,
+    /// Per node: the segment each port attaches to, in port order.
+    node_ports: Vec<Vec<SegId>>,
+    node_names: Vec<String>,
+    rng: Xoshiro,
+    next_timer_id: u64,
+    cancelled_timers: std::collections::HashSet<u64>,
+    live_timers: u64,
+    pub(crate) trace: Trace,
+    pub(crate) counters: Counters,
+    /// Frames handed to `Ctx::send` (before segment queueing).
+    pub frames_sent: u64,
+    /// Frame deliveries to node ports.
+    pub frames_delivered: u64,
+}
+
+impl WorldCore {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The deterministic RNG.
+    pub fn rng(&mut self) -> &mut Xoshiro {
+        &mut self.rng
+    }
+
+    /// Experiment counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Experiment counters, mutable.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    fn send_on_segment(&mut self, seg_id: SegId, src: (NodeId, PortId), frame: Bytes) {
+        self.frames_sent += 1;
+        let seg = &mut self.segments[seg_id.0];
+        let ser = seg.serialization_time(frame.len());
+        let (accepted, started) = seg.offer(PendingTx { src, frame });
+        if accepted && started {
+            self.queue
+                .push(self.time + ser, EventKind::SegTxDone { seg: seg_id });
+        }
+    }
+}
+
+/// The services available to a node during a callback.
+pub struct Ctx<'w> {
+    core: &'w mut WorldCore,
+    node: NodeId,
+}
+
+impl<'w> Ctx<'w> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports this node has.
+    pub fn num_ports(&self) -> usize {
+        self.core.node_ports[self.node.0].len()
+    }
+
+    /// The segment a port attaches to.
+    pub fn port_segment(&self, port: PortId) -> SegId {
+        self.core.node_ports[self.node.0][port.0]
+    }
+
+    /// Transmit a frame out of `port`. The frame contends for the segment's
+    /// medium; delivery to every other attached port happens after
+    /// serialization and propagation. Panics if the port does not exist.
+    pub fn send(&mut self, port: PortId, frame: Bytes) {
+        let seg = self.core.node_ports[self.node.0]
+            .get(port.0)
+            .copied()
+            .unwrap_or_else(|| panic!("node {} has no port {}", self.node, port));
+        self.core.send_on_segment(seg, (self.node, port), frame);
+    }
+
+    /// Schedule a timer `after` from now carrying `token`.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) -> TimerHandle {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        self.core.live_timers += 1;
+        self.core.queue.push(
+            self.core.time + after,
+            EventKind::Timer {
+                node: self.node,
+                token,
+                id,
+            },
+        );
+        TimerHandle(id)
+    }
+
+    /// Cancel a previously scheduled timer. Cancelling an already-fired or
+    /// already-cancelled timer is a no-op.
+    pub fn cancel(&mut self, handle: TimerHandle) {
+        self.core.cancelled_timers.insert(handle.0);
+    }
+
+    /// The deterministic RNG.
+    pub fn rng(&mut self) -> &mut Xoshiro {
+        self.core.rng()
+    }
+
+    /// Append a trace entry attributed to this node.
+    pub fn trace(&mut self, msg: impl Into<String>) {
+        let at = self.core.time;
+        let node = self.node;
+        self.core.trace.push(at, Some(node), msg.into());
+    }
+
+    /// Bump an experiment counter.
+    pub fn bump(&mut self, key: &str, n: u64) {
+        self.core.counters.bump(key, n);
+    }
+
+    /// Read an experiment counter.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.core.counters.get(key)
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    core: WorldCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    /// Nodes `0..started` have had their `on_start` scheduled.
+    started: usize,
+}
+
+impl World {
+    /// Create a world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            core: WorldCore {
+                time: SimTime::ZERO,
+                queue: EventQueue::new(),
+                segments: Vec::new(),
+                node_ports: Vec::new(),
+                node_names: Vec::new(),
+                rng: Xoshiro::seed_from_u64(seed),
+                next_timer_id: 0,
+                cancelled_timers: std::collections::HashSet::new(),
+                live_timers: 0,
+                trace: Trace::new(65_536),
+                counters: Counters::default(),
+                frames_sent: 0,
+                frames_delivered: 0,
+            },
+            nodes: Vec::new(),
+            started: 0,
+        }
+    }
+
+    /// Add a LAN segment.
+    pub fn add_segment(&mut self, cfg: SegmentConfig) -> SegId {
+        let id = SegId(self.core.segments.len());
+        self.core.segments.push(Segment::new(cfg));
+        id
+    }
+
+    /// Add a node. Its `on_start` runs when [`World::start`] is called.
+    pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.core.node_names.push(node.name().to_owned());
+        self.nodes.push(Some(Box::new(node)));
+        self.core.node_ports.push(Vec::new());
+        id
+    }
+
+    /// Attach `node` to `seg`; returns the new port's id (ports number from
+    /// 0 in attachment order, like `eth0`, `eth1`, ...).
+    pub fn attach(&mut self, node: NodeId, seg: SegId) -> PortId {
+        let ports = &mut self.core.node_ports[node.0];
+        let port = PortId(ports.len());
+        ports.push(seg);
+        self.core.segments[seg.0].attachments.push((node, port));
+        port
+    }
+
+    /// Schedule `on_start` for every node that has not started yet (in
+    /// node order, at the current time). Called implicitly by the run
+    /// methods, so nodes added mid-simulation start when the world next
+    /// runs.
+    pub fn start(&mut self) {
+        let now = self.core.time;
+        for i in self.started..self.nodes.len() {
+            self.core.queue.push(now, EventKind::Start(NodeId(i)));
+        }
+        self.started = self.nodes.len();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Event { at, kind, .. }) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.core.time, "event queue went backwards");
+        self.core.time = at;
+        match kind {
+            EventKind::Start(node) => {
+                self.with_node(node, |n, ctx| n.on_start(ctx));
+            }
+            EventKind::Deliver { node, port, frame } => {
+                self.core.frames_delivered += 1;
+                self.with_node(node, |n, ctx| n.on_frame(ctx, port, frame));
+            }
+            EventKind::Timer { node, token, id } => {
+                self.core.live_timers -= 1;
+                if self.core.cancelled_timers.remove(&id) {
+                    // Cancelled; skip.
+                } else {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+            }
+            EventKind::SegTxDone { seg } => self.seg_tx_done(seg),
+        }
+        true
+    }
+
+    fn seg_tx_done(&mut self, seg_id: SegId) {
+        let now = self.core.time;
+        // Pull what we need out of the segment first.
+        let (done, started_next, next_ser) = {
+            let seg = &mut self.core.segments[seg_id.0];
+            let (done, started_next) = seg.complete();
+            let next_ser = seg
+                .current
+                .as_ref()
+                .map(|p| seg.serialization_time(p.frame.len()));
+            seg.counters.tx_frames += 1;
+            seg.counters.tx_bytes += done.frame.len() as u64;
+            (done, started_next, next_ser)
+        };
+        if started_next {
+            let ser = next_ser.expect("started_next implies a current frame");
+            self.core
+                .queue
+                .push(now + ser, EventKind::SegTxDone { seg: seg_id });
+        }
+        // Fault injection on the completed frame.
+        let fault = self.core.segments[seg_id.0].cfg.fault.clone();
+        let outcome = fault.apply(done.frame, &mut self.core.rng);
+        let (frame, copies) = match outcome {
+            FaultOutcome::Deliver(f) => (f, 1),
+            FaultOutcome::Duplicate(f) => (f, 2),
+            FaultOutcome::Drop => {
+                self.core.segments[seg_id.0].counters.fault_drops += 1;
+                return;
+            }
+        };
+        let seg = &mut self.core.segments[seg_id.0];
+        if seg.cfg.capture {
+            seg.captured.push(CapturedFrame {
+                at: now,
+                src: done.src,
+                data: frame.clone(),
+            });
+        }
+        let prop = seg.cfg.propagation;
+        let listeners: Vec<(NodeId, PortId)> = seg
+            .attachments
+            .iter()
+            .copied()
+            .filter(|&a| a != done.src)
+            .collect();
+        for _ in 0..copies {
+            for &(node, port) in &listeners {
+                self.core.segments[seg_id.0].counters.deliveries += 1;
+                self.core.queue.push(
+                    now + prop,
+                    EventKind::Deliver {
+                        node,
+                        port,
+                        frame: frame.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = self.nodes[id.0]
+            .take()
+            .unwrap_or_else(|| panic!("node {id} re-entered"));
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: id,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+    }
+
+    /// Run until the clock reaches `t` (events at exactly `t` are
+    /// processed). The clock is left at `t` even if the queue drains early.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.core.time < t {
+            self.core.time = t;
+        }
+    }
+
+    /// Run for `d` from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.core.time + d;
+        self.run_until(t);
+    }
+
+    /// Run until the event queue is empty or the clock passes `horizon`.
+    /// Returns `true` if the queue drained.
+    pub fn run_until_idle(&mut self, horizon: SimTime) -> bool {
+        self.start();
+        loop {
+            match self.core.queue.peek_time() {
+                None => return true,
+                Some(next) if next > horizon => {
+                    self.core.time = horizon;
+                    return false;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Access a node by concrete type (e.g. to read results after a run).
+    pub fn node<N: Node>(&self, id: NodeId) -> &N {
+        self.nodes[id.0]
+            .as_deref()
+            .expect("node checked out")
+            .as_any()
+            .downcast_ref::<N>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", core::any::type_name::<N>()))
+    }
+
+    /// Mutable access to a node by concrete type.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> &mut N {
+        self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node checked out")
+            .as_any_mut()
+            .downcast_mut::<N>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", core::any::type_name::<N>()))
+    }
+
+    /// Invoke a closure with a [`Ctx`] for `id`, outside normal dispatch.
+    /// Used by experiment harnesses to poke nodes (e.g. start a workload).
+    pub fn with_ctx<N: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut node = self.nodes[id.0]
+            .take()
+            .unwrap_or_else(|| panic!("node {id} re-entered"));
+        let result = {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: id,
+            };
+            let concrete = node
+                .as_any_mut()
+                .downcast_mut::<N>()
+                .unwrap_or_else(|| panic!("node {id} is not a {}", core::any::type_name::<N>()));
+            f(concrete, &mut ctx)
+        };
+        self.nodes[id.0] = Some(node);
+        result
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.node_names[id.0]
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Segment access.
+    pub fn segment(&self, id: SegId) -> &Segment {
+        &self.core.segments[id.0]
+    }
+
+    /// Run-wide trace.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Run-wide trace, mutable (to enable/disable).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.core.trace
+    }
+
+    /// Experiment counters.
+    pub fn counters(&self) -> &Counters {
+        &self.core.counters
+    }
+
+    /// Frames handed to `send` across the whole run.
+    pub fn frames_sent(&self) -> u64 {
+        self.core.frames_sent
+    }
+
+    /// Frame deliveries across the whole run.
+    pub fn frames_delivered(&self) -> u64 {
+        self.core.frames_delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received frame back out the port it came in on, once.
+    struct Echo {
+        name: String,
+        received: Vec<(SimTime, PortId, Bytes)>,
+        echo: bool,
+    }
+
+    impl Node for Echo {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+            self.received.push((ctx.now(), port, frame.clone()));
+            if self.echo {
+                self.echo = false;
+                ctx.send(port, frame);
+            }
+        }
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+            self
+        }
+    }
+
+    /// Sends one frame at start, then pings itself with a timer.
+    struct Talker {
+        sent_timer: bool,
+    }
+
+    impl Node for Talker {
+        fn name(&self) -> &str {
+            "talker"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(PortId(0), Bytes::from_static(b"hello"));
+            ctx.schedule(SimDuration::from_ms(5), TimerToken(7));
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+            assert_eq!(token, TimerToken(7));
+            assert_eq!(ctx.now(), SimTime::from_ms(5));
+            self.sent_timer = true;
+        }
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+            self
+        }
+    }
+
+    fn echo(name: &str, echo: bool) -> Echo {
+        Echo {
+            name: name.into(),
+            received: Vec::new(),
+            echo,
+        }
+    }
+
+    #[test]
+    fn frame_reaches_all_other_attachments() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        let b = w.add_node(echo("b", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.attach(b, lan);
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.node::<Echo>(a).received.len(), 1);
+        assert_eq!(w.node::<Echo>(b).received.len(), 1);
+        assert!(w.node::<Talker>(t).sent_timer);
+        // Sender must not hear its own frame.
+        assert_eq!(w.frames_delivered(), 2);
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig {
+            bandwidth_bps: 100_000_000,
+            propagation: SimDuration::from_us(1),
+            overhead_bytes: 24,
+            ..Default::default()
+        });
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.run_until(SimTime::from_ms(10));
+        let rx = &w.node::<Echo>(a).received;
+        assert_eq!(rx.len(), 1);
+        // 5 bytes + 24 overhead = 29 bytes = 232 bits @100Mb/s = 2320 ns, + 1000 ns prop.
+        assert_eq!(rx[0].0, SimTime::from_ns(2320 + 1000));
+    }
+
+    #[test]
+    fn echo_bounces_once() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", true));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.run_until(SimTime::from_ms(10));
+        // talker's frame delivered to a; a echoed; echo delivered to talker.
+        assert_eq!(w.frames_delivered(), 2);
+        assert_eq!(w.segment(lan).counters().tx_frames, 2);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct Canceller;
+        impl Node for Canceller {
+            fn name(&self) -> &str {
+                "c"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let h = ctx.schedule(SimDuration::from_ms(1), TimerToken(1));
+                ctx.cancel(h);
+                ctx.schedule(SimDuration::from_ms(2), TimerToken(2));
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+                assert_eq!(token, TimerToken(2));
+                ctx.bump("fired", 1);
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        w.add_node(Canceller);
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.counters().get("fired"), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w = World::new(1);
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_counters() {
+        fn build_and_run(seed: u64) -> u64 {
+            let mut w = World::new(seed);
+            let lan = w.add_segment(SegmentConfig {
+                fault: crate::fault::FaultConfig {
+                    drop_one_in: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let t = w.add_node(Talker { sent_timer: false });
+            let a = w.add_node(echo("a", true));
+            w.attach(t, lan);
+            w.attach(a, lan);
+            w.run_until(SimTime::from_ms(50));
+            w.frames_delivered() + w.segment(lan).counters().fault_drops * 1000
+        }
+        assert_eq!(build_and_run(99), build_and_run(99));
+    }
+
+    #[test]
+    fn capture_records_wire_frames() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig {
+            capture: true,
+            ..Default::default()
+        });
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.run_until(SimTime::from_ms(10));
+        let cap = w.segment(lan).captured();
+        assert_eq!(cap.len(), 1);
+        assert_eq!(&cap[0].data[..], b"hello");
+        assert_eq!(cap[0].src, (t, PortId(0)));
+    }
+}

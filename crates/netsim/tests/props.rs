@@ -1,0 +1,164 @@
+//! Property tests for the simulator substrate: time arithmetic, RNG
+//! determinism, delivery ordering and conservation on segments.
+
+use bytes::Bytes;
+use netsim::{
+    Ctx, FaultConfig, Node, PortId, SegmentConfig, SimDuration, SimTime, TimerToken, World,
+    Xoshiro,
+};
+use proptest::prelude::*;
+
+/// Sends `n` frames of `size` bytes at fixed intervals from start.
+struct Sender {
+    n: u32,
+    size: usize,
+    interval: SimDuration,
+    sent: u32,
+}
+
+impl Node for Sender {
+    fn name(&self) -> &str {
+        "sender"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.schedule(SimDuration::from_ns(1), TimerToken(0));
+    }
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: TimerToken) {
+        if self.sent < self.n {
+            // Tag each frame with its sequence number.
+            let mut payload = vec![0u8; self.size.max(4)];
+            payload[..4].copy_from_slice(&self.sent.to_be_bytes());
+            ctx.send(PortId(0), Bytes::from(payload));
+            self.sent += 1;
+            ctx.schedule(self.interval, TimerToken(0));
+        }
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+/// Records sequence numbers in arrival order.
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<u32>,
+}
+
+impl Node for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, frame: Bytes) {
+        self.seen
+            .push(u32::from_be_bytes(frame[..4].try_into().unwrap()));
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+proptest! {
+    /// FIFO: a shared segment never reorders one sender's frames, for
+    /// any frame size/interval combination.
+    #[test]
+    fn segment_preserves_order(
+        n in 1u32..60,
+        size in 4usize..1500,
+        interval_us in 1u64..500,
+    ) {
+        let mut world = World::new(1);
+        let lan = world.add_segment(SegmentConfig::default());
+        let s = world.add_node(Sender {
+            n,
+            size,
+            interval: SimDuration::from_us(interval_us),
+            sent: 0,
+        });
+        let r = world.add_node(Recorder::default());
+        world.attach(s, lan);
+        world.attach(r, lan);
+        world.run_until(SimTime::from_secs(2));
+        let seen = &world.node::<Recorder>(r).seen;
+        prop_assert_eq!(seen.len(), n as usize);
+        for (i, &v) in seen.iter().enumerate() {
+            prop_assert_eq!(v, i as u32);
+        }
+    }
+
+    /// Conservation under loss: delivered + dropped = sent, for any drop
+    /// rate, and the run is deterministic per seed.
+    #[test]
+    fn fault_injection_conserves_frames(
+        n in 1u32..80,
+        drop_one_in in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let run = |seed: u64| {
+            let mut world = World::new(seed);
+            let lan = world.add_segment(SegmentConfig {
+                fault: FaultConfig { drop_one_in, ..Default::default() },
+                ..Default::default()
+            });
+            let s = world.add_node(Sender {
+                n,
+                size: 64,
+                interval: SimDuration::from_us(100),
+                sent: 0,
+            });
+            let r = world.add_node(Recorder::default());
+            world.attach(s, lan);
+            world.attach(r, lan);
+            world.run_until(SimTime::from_secs(1));
+            let delivered = world.node::<Recorder>(r).seen.len() as u64;
+            let dropped = world.segment(lan).counters().fault_drops;
+            (delivered, dropped)
+        };
+        let (delivered, dropped) = run(seed);
+        prop_assert_eq!(delivered + dropped, n as u64);
+        prop_assert_eq!(run(seed), (delivered, dropped), "deterministic per seed");
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_ns(a);
+        let d = SimDuration::from_ns(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// Serialization time is monotone in size and inversely monotone in
+    /// bandwidth.
+    #[test]
+    fn serialization_monotone(
+        len_a in 0usize..10_000,
+        len_b in 0usize..10_000,
+        bw in 1_000_000u64..1_000_000_000,
+    ) {
+        let (small, large) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+        prop_assert!(
+            SimDuration::serialization(small, bw) <= SimDuration::serialization(large, bw)
+        );
+        prop_assert!(
+            SimDuration::serialization(large, bw * 2) <= SimDuration::serialization(large, bw)
+        );
+    }
+
+    /// The RNG's range() is unbiased enough to hit all buckets and stays
+    /// in bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut rng = Xoshiro::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.range(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! ICMP echo (RFC 792) — the substrate for the paper's `ping` latency
+//! measurements (Figure 9).
+
+use crate::checksum::{checksum, verify};
+
+/// ICMP header length for echo messages.
+pub const HEADER_LEN: usize = 8;
+
+/// Echo message kinds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EchoKind {
+    /// Type 8: echo request.
+    Request,
+    /// Type 0: echo reply.
+    Reply,
+}
+
+/// A parsed echo message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Echo<'a> {
+    /// Request or reply.
+    pub kind: EchoKind,
+    /// Identifier (ping session).
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Payload (ping stuffs a timestamp + filler here).
+    pub payload: &'a [u8],
+}
+
+/// Errors from [`Echo::parse`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IcmpError {
+    /// Too short.
+    Truncated,
+    /// Checksum failed.
+    BadChecksum,
+    /// Not an echo request/reply (out of scope).
+    NotEcho,
+}
+
+impl core::fmt::Display for IcmpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IcmpError::Truncated => write!(f, "truncated ICMP message"),
+            IcmpError::BadChecksum => write!(f, "ICMP checksum mismatch"),
+            IcmpError::NotEcho => write!(f, "not an ICMP echo message"),
+        }
+    }
+}
+
+impl std::error::Error for IcmpError {}
+
+impl<'a> Echo<'a> {
+    /// Parse an ICMP message, accepting only echo request/reply.
+    pub fn parse(buf: &'a [u8]) -> Result<Echo<'a>, IcmpError> {
+        if buf.len() < HEADER_LEN {
+            return Err(IcmpError::Truncated);
+        }
+        let kind = match (buf[0], buf[1]) {
+            (8, 0) => EchoKind::Request,
+            (0, 0) => EchoKind::Reply,
+            _ => return Err(IcmpError::NotEcho),
+        };
+        if !verify(buf) {
+            return Err(IcmpError::BadChecksum);
+        }
+        Ok(Echo {
+            kind,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            seq: u16::from_be_bytes([buf[6], buf[7]]),
+            payload: &buf[HEADER_LEN..],
+        })
+    }
+
+    /// Assemble an echo message.
+    pub fn emit(kind: EchoKind, ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.push(match kind {
+            EchoKind::Request => 8,
+            EchoKind::Reply => 0,
+        });
+        buf.push(0); // code
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&ident.to_be_bytes());
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(payload);
+        let c = checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+
+    /// The reply to this request (echoes the payload back).
+    pub fn reply(&self) -> Vec<u8> {
+        Echo::emit(EchoKind::Reply, self.ident, self.seq, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let msg = Echo::emit(EchoKind::Request, 0x1234, 7, b"timestamp+fill");
+        let e = Echo::parse(&msg).unwrap();
+        assert_eq!(e.kind, EchoKind::Request);
+        assert_eq!(e.ident, 0x1234);
+        assert_eq!(e.seq, 7);
+        assert_eq!(e.payload, b"timestamp+fill");
+    }
+
+    #[test]
+    fn reply_echoes_payload() {
+        let msg = Echo::emit(EchoKind::Request, 1, 2, b"data");
+        let req = Echo::parse(&msg).unwrap();
+        let reply_bytes = req.reply();
+        let rep = Echo::parse(&reply_bytes).unwrap();
+        assert_eq!(rep.kind, EchoKind::Reply);
+        assert_eq!(rep.ident, 1);
+        assert_eq!(rep.seq, 2);
+        assert_eq!(rep.payload, b"data");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut msg = Echo::emit(EchoKind::Request, 1, 2, b"data");
+        msg[9] ^= 1;
+        assert_eq!(Echo::parse(&msg).unwrap_err(), IcmpError::BadChecksum);
+    }
+
+    #[test]
+    fn non_echo_rejected() {
+        // Type 3 (destination unreachable) is out of scope.
+        let mut msg = Echo::emit(EchoKind::Request, 1, 2, b"");
+        msg[0] = 3;
+        let c = checksum(&{
+            let mut m = msg.clone();
+            m[2] = 0;
+            m[3] = 0;
+            m
+        });
+        msg[2..4].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(Echo::parse(&msg).unwrap_err(), IcmpError::NotEcho);
+    }
+}

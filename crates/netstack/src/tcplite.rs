@@ -1,0 +1,624 @@
+//! TcpLite: a from-scratch sliding-window reliable byte stream.
+//!
+//! The paper measured bridge throughput with `ttcp` over Linux TCP. Full
+//! TCP is out of scope (and irrelevant on an idle two-segment LAN), but the
+//! mechanisms that shape the measured curves are not:
+//!
+//! * **MSS segmentation** — an 8 KB ttcp write becomes "multiple
+//!   back-to-back LAN frames", exactly as the paper notes;
+//! * **sliding window with cumulative ACKs** — keeps the pipeline through
+//!   the bridge full, so throughput is set by the slowest stage;
+//! * **retransmission timeout with exponential backoff** — go-back-N from
+//!   the lowest unacknowledged byte (enough for queue-overflow loss);
+//! * **Nagle's algorithm** — sub-MSS writes stop-and-wait behind the
+//!   outstanding small segment, which (with delayed ACKs) is what pins the
+//!   paper's small-packet ttcp rates to hundreds of frames/second;
+//! * **delayed ACKs** — the receiver acknowledges every second segment or
+//!   after a holdoff.
+//!
+//! Both endpoints are pure state machines over `u64` nanosecond
+//! timestamps; `hostsim` drives them with simulator timers. Stream content
+//! is a deterministic pattern (`byte i = i mod 251`) so retransmissions
+//! can be regenerated without buffering megabytes.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::Checksum;
+use crate::ipv4::Protocol;
+
+/// TcpLite header length.
+pub const HEADER_LEN: usize = 18;
+
+/// Default maximum segment size (Ethernet MTU 1500 − IP 20 − TcpLite 18).
+pub const DEFAULT_MSS: usize = 1462;
+
+/// The deterministic stream pattern.
+pub fn pattern_byte(offset: u64) -> u8 {
+    (offset % 251) as u8
+}
+
+/// Wrapping 32-bit sequence comparison: is `a < b`?
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) as i32 <= 0 && a != b
+}
+
+/// A parsed TcpLite segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Cumulative acknowledgement (next expected byte).
+    pub ack: u32,
+    /// True if the ack field is meaningful.
+    pub is_ack: bool,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Errors from [`Segment::parse`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TcpLiteError {
+    /// Too short or inconsistent length.
+    Truncated,
+    /// Checksum failed.
+    BadChecksum,
+}
+
+impl core::fmt::Display for TcpLiteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TcpLiteError::Truncated => write!(f, "truncated TcpLite segment"),
+            TcpLiteError::BadChecksum => write!(f, "TcpLite checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for TcpLiteError {}
+
+fn pseudo_header(c: &mut Checksum, src: Ipv4Addr, dst: Ipv4Addr, len: u16) {
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u16(Protocol::TCPLITE.0 as u16);
+    c.add_u16(len);
+}
+
+impl<'a> Segment<'a> {
+    /// Parse a segment; `src`/`dst` feed the pseudo-header checksum.
+    pub fn parse(
+        buf: &'a [u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<Segment<'a>, TcpLiteError> {
+        if buf.len() < HEADER_LEN {
+            return Err(TcpLiteError::Truncated);
+        }
+        let len = u16::from_be_bytes([buf[13], buf[14]]) as usize;
+        if buf.len() < HEADER_LEN + len {
+            return Err(TcpLiteError::Truncated);
+        }
+        let buf = &buf[..HEADER_LEN + len];
+        let mut c = Checksum::new();
+        pseudo_header(&mut c, src, dst, buf.len() as u16);
+        c.add(buf);
+        if c.finish() != 0 {
+            return Err(TcpLiteError::BadChecksum);
+        }
+        Ok(Segment {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            is_ack: buf[12] & 0x01 != 0,
+            payload: &buf[HEADER_LEN..],
+        })
+    }
+
+    /// Assemble a segment.
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        assert!(self.payload.len() <= u16::MAX as usize);
+        let total = HEADER_LEN + self.payload.len();
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.ack.to_be_bytes());
+        buf.push(if self.is_ack { 1 } else { 0 });
+        buf.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        buf.push(0); // pad (keeps the checksum field 16-bit aligned)
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder at 16..18
+        buf.extend_from_slice(self.payload);
+        let mut c = Checksum::new();
+        pseudo_header(&mut c, src, dst, total as u16);
+        c.add(&buf);
+        let cksum = c.finish();
+        buf[16..18].copy_from_slice(&cksum.to_be_bytes());
+        buf
+    }
+}
+
+/// Sender configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct SenderConfig {
+    /// Maximum segment size.
+    pub mss: usize,
+    /// Send window in bytes.
+    pub window: u32,
+    /// Nagle: hold *small* segments while data is outstanding.
+    pub nagle: bool,
+    /// Segments below this size are "small" for Nagle purposes. The
+    /// paper's testbed streamed 1024-byte ttcp writes (1790 frames/s on
+    /// the wire) while ~50-byte writes collapsed to stop-and-wait
+    /// (~360 frames/s); a threshold between the two reproduces both
+    /// regimes. Calibration knob, discussed in EXPERIMENTS.md.
+    pub nagle_threshold: usize,
+    /// Initial retransmission timeout (ns).
+    pub init_rto_ns: u64,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            mss: DEFAULT_MSS,
+            window: 32 * 1024,
+            nagle: true,
+            nagle_threshold: 256,
+            init_rto_ns: 200_000_000, // 200 ms
+        }
+    }
+}
+
+/// A segment the sender wants on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// Sequence number.
+    pub seq: u32,
+    /// Payload (pattern bytes).
+    pub payload: Vec<u8>,
+    /// True if this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// The sending endpoint (unidirectional data; receives only ACKs).
+#[derive(Debug)]
+pub struct TcpSender {
+    cfg: SenderConfig,
+    /// Lowest unacknowledged sequence number.
+    snd_una: u32,
+    /// Next sequence number to transmit.
+    snd_nxt: u32,
+    /// Application bytes queued so far (absolute stream length).
+    app_len: u64,
+    /// Write boundaries matter only for Nagle: true while the tail of the
+    /// app stream is a "small write" batch.
+    current_rto_ns: u64,
+    rto_deadline_ns: Option<u64>,
+    /// Stats: segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Stats: retransmissions.
+    pub retransmits: u64,
+}
+
+impl TcpSender {
+    /// New sender with sequence numbers starting at 0.
+    pub fn new(cfg: SenderConfig) -> TcpSender {
+        TcpSender {
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            app_len: 0,
+            current_rto_ns: cfg.init_rto_ns,
+            rto_deadline_ns: None,
+            segments_sent: 0,
+            retransmits: 0,
+        }
+    }
+
+    /// Queue `n` more application bytes.
+    pub fn write(&mut self, n: u64) {
+        self.app_len += n;
+    }
+
+    /// Stream offset of `seq` (sequence numbers are the low 32 bits of the
+    /// stream offset; transfers here stay far below 4 GB).
+    fn offset(seq: u32) -> u64 {
+        seq as u64
+    }
+
+    /// Bytes in flight.
+    pub fn in_flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Queued application bytes not yet transmitted.
+    pub fn unsent(&self) -> u64 {
+        self.app_len - Self::offset(self.snd_nxt)
+    }
+
+    /// True when every queued byte is acknowledged.
+    pub fn all_acked(&self) -> bool {
+        Self::offset(self.snd_una) == self.app_len
+    }
+
+    /// Produce the next segment to transmit at `now_ns`, if the window,
+    /// data availability and Nagle allow one.
+    pub fn poll(&mut self, now_ns: u64) -> Option<SegmentOut> {
+        let nxt_off = Self::offset(self.snd_nxt);
+        if nxt_off >= self.app_len {
+            return None; // nothing unsent
+        }
+        let window_left = self.cfg.window.saturating_sub(self.in_flight()) as u64;
+        if window_left == 0 {
+            return None;
+        }
+        let remaining = self.app_len - nxt_off;
+        let take = remaining.min(self.cfg.mss as u64).min(window_left) as usize;
+        if take < self.cfg.nagle_threshold && self.cfg.nagle && self.in_flight() > 0 {
+            // Nagle: a small segment waits for outstanding data to drain.
+            return None;
+        }
+        let payload: Vec<u8> = (0..take as u64)
+            .map(|i| pattern_byte(nxt_off + i))
+            .collect();
+        let seq = self.snd_nxt;
+        self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+        self.segments_sent += 1;
+        if self.rto_deadline_ns.is_none() {
+            self.rto_deadline_ns = Some(now_ns + self.current_rto_ns);
+        }
+        Some(SegmentOut {
+            seq,
+            payload,
+            retransmit: false,
+        })
+    }
+
+    /// Handle a cumulative acknowledgement.
+    pub fn on_ack(&mut self, ack: u32, now_ns: u64) {
+        if seq_lt(self.snd_una, ack) && !seq_lt(self.snd_nxt, ack) {
+            self.snd_una = ack;
+            self.current_rto_ns = self.cfg.init_rto_ns;
+            self.rto_deadline_ns = if self.in_flight() > 0 {
+                Some(now_ns + self.current_rto_ns)
+            } else {
+                None
+            };
+        }
+    }
+
+    /// When the retransmission timer next fires (absolute ns).
+    pub fn next_timeout(&self) -> Option<u64> {
+        self.rto_deadline_ns
+    }
+
+    /// Fire the retransmission timer: go-back-N to `snd_una`.
+    pub fn on_timeout(&mut self, now_ns: u64) {
+        if self.in_flight() == 0 {
+            self.rto_deadline_ns = None;
+            return;
+        }
+        self.retransmits += 1;
+        self.snd_nxt = self.snd_una;
+        self.current_rto_ns = (self.current_rto_ns * 2).min(60_000_000_000);
+        self.rto_deadline_ns = Some(now_ns + self.current_rto_ns);
+    }
+
+    /// The configured MSS.
+    pub fn mss(&self) -> usize {
+        self.cfg.mss
+    }
+
+    /// The configured Nagle small-segment threshold.
+    pub fn nagle_threshold(&self) -> usize {
+        self.cfg.nagle_threshold
+    }
+}
+
+/// Receiver configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ReceiverConfig {
+    /// Acknowledge immediately after this many unacknowledged segments.
+    pub ack_every: u32,
+    /// Otherwise acknowledge after this holdoff (ns). The 1997 preset
+    /// uses 1.8 ms, calibrated so small-write ttcp lands near the paper's
+    /// ~360 frames/s (the sub-MSS cycle is Nagle + this holdoff).
+    pub delayed_ack_ns: u64,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            ack_every: 2,
+            delayed_ack_ns: 1_800_000,
+        }
+    }
+}
+
+/// What the receiver wants done after a segment arrives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvAction {
+    /// Send this cumulative ACK now.
+    AckNow(u32),
+    /// Arm (or keep) the delayed-ACK timer for this absolute deadline.
+    AckAt(u64),
+    /// Nothing to do.
+    None,
+}
+
+/// The receiving endpoint.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    cfg: ReceiverConfig,
+    rcv_nxt: u32,
+    unacked_segments: u32,
+    ack_deadline_ns: Option<u64>,
+    /// Stats: in-order payload bytes delivered.
+    pub bytes_received: u64,
+    /// Stats: segments accepted in order.
+    pub segments_received: u64,
+    /// Stats: out-of-order segments dropped (go-back-N).
+    pub ooo_dropped: u64,
+}
+
+impl TcpReceiver {
+    /// New receiver expecting sequence 0.
+    pub fn new(cfg: ReceiverConfig) -> TcpReceiver {
+        TcpReceiver {
+            cfg,
+            rcv_nxt: 0,
+            unacked_segments: 0,
+            ack_deadline_ns: None,
+            bytes_received: 0,
+            segments_received: 0,
+            ooo_dropped: 0,
+        }
+    }
+
+    /// The next expected sequence number (the cumulative ACK value).
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// Handle a data segment.
+    pub fn on_segment(&mut self, seq: u32, len: usize, now_ns: u64) -> RecvAction {
+        if seq != self.rcv_nxt {
+            // Out of order (go-back-N): drop, re-ack immediately so the
+            // sender learns where we are.
+            self.ooo_dropped += 1;
+            self.unacked_segments = 0;
+            self.ack_deadline_ns = None;
+            return RecvAction::AckNow(self.rcv_nxt);
+        }
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(len as u32);
+        self.bytes_received += len as u64;
+        self.segments_received += 1;
+        self.unacked_segments += 1;
+        if self.unacked_segments >= self.cfg.ack_every {
+            self.unacked_segments = 0;
+            self.ack_deadline_ns = None;
+            RecvAction::AckNow(self.rcv_nxt)
+        } else {
+            let deadline = now_ns + self.cfg.delayed_ack_ns;
+            if self.ack_deadline_ns.is_none() {
+                self.ack_deadline_ns = Some(deadline);
+            }
+            RecvAction::AckAt(self.ack_deadline_ns.unwrap())
+        }
+    }
+
+    /// Fire the delayed-ACK timer; returns the ACK to send, if still due.
+    pub fn on_timer(&mut self, now_ns: u64) -> Option<u32> {
+        match self.ack_deadline_ns {
+            Some(deadline) if deadline <= now_ns => {
+                self.ack_deadline_ns = None;
+                self.unacked_segments = 0;
+                Some(self.rcv_nxt)
+            }
+            _ => None,
+        }
+    }
+
+    /// The pending delayed-ACK deadline, if any. Callers re-arm their
+    /// timer from this after a timer fires early (the deadline may have
+    /// moved while a timer was in flight).
+    pub fn ack_deadline(&self) -> Option<u64> {
+        self.ack_deadline_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn segment_roundtrip() {
+        let payload: Vec<u8> = (0..100).map(pattern_byte).collect();
+        let seg = Segment {
+            src_port: 5001,
+            dst_port: 5002,
+            seq: 12345,
+            ack: 999,
+            is_ack: true,
+            payload: &payload,
+        };
+        let bytes = seg.emit(A, B);
+        let back = Segment::parse(&bytes, A, B).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn corrupted_segment_detected() {
+        let seg = Segment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            is_ack: false,
+            payload: b"datadata",
+        };
+        let mut bytes = seg.emit(A, B);
+        bytes[20] ^= 0x02;
+        assert_eq!(
+            Segment::parse(&bytes, A, B).unwrap_err(),
+            TcpLiteError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn seq_compare_wraps() {
+        assert!(seq_lt(0xFFFF_FFF0, 0x10));
+        assert!(!seq_lt(0x10, 0xFFFF_FFF0));
+        assert!(!seq_lt(5, 5));
+    }
+
+    /// Lossless in-order exchange: every byte arrives, window respected.
+    #[test]
+    fn lossless_transfer_completes() {
+        let mut tx = TcpSender::new(SenderConfig {
+            mss: 1000,
+            window: 4000,
+            nagle: true,
+            nagle_threshold: 256,
+            init_rto_ns: 1_000_000,
+        });
+        let mut rx = TcpReceiver::new(ReceiverConfig::default());
+        tx.write(10_500);
+        let mut now = 0u64;
+        let mut guard = 0;
+        while !tx.all_acked() {
+            guard += 1;
+            assert!(guard < 1000, "transfer did not converge");
+            now += 1000;
+            let mut sent_any = false;
+            while let Some(seg) = tx.poll(now) {
+                sent_any = true;
+                assert!(tx.in_flight() <= 4000);
+                match rx.on_segment(seg.seq, seg.payload.len(), now) {
+                    RecvAction::AckNow(a) => tx.on_ack(a, now),
+                    RecvAction::AckAt(_) | RecvAction::None => {}
+                }
+            }
+            if !sent_any {
+                // Flush a pending delayed ACK to unblock Nagle/window.
+                if let Some(a) = rx.on_timer(now + 2_000_000) {
+                    tx.on_ack(a, now);
+                }
+            }
+        }
+        assert_eq!(rx.bytes_received, 10_500);
+        assert_eq!(tx.retransmits, 0);
+    }
+
+    /// Nagle: a small write waits while another small segment is
+    /// outstanding.
+    #[test]
+    fn nagle_holds_small_segments() {
+        let mut tx = TcpSender::new(SenderConfig {
+            mss: 1000,
+            window: 100_000,
+            nagle: true,
+            nagle_threshold: 256,
+            init_rto_ns: 1_000_000,
+        });
+        tx.write(50);
+        let s1 = tx.poll(0).unwrap();
+        assert_eq!(s1.payload.len(), 50);
+        tx.write(50);
+        assert!(tx.poll(10).is_none(), "second small write must wait");
+        tx.on_ack(50, 20);
+        let s2 = tx.poll(30).unwrap();
+        assert_eq!(s2.seq, 50);
+    }
+
+    /// Without Nagle, a small segment goes out even with data in flight.
+    /// Queued writes coalesce into one segment (stream semantics, as in
+    /// real TCP — the ttcp driver paces writes to keep frames small).
+    #[test]
+    fn no_nagle_sends_small_segments_immediately() {
+        let mut tx = TcpSender::new(SenderConfig {
+            mss: 1000,
+            window: 100_000,
+            nagle: false,
+            nagle_threshold: 256,
+            init_rto_ns: 1_000_000,
+        });
+        tx.write(50);
+        let s1 = tx.poll(0).unwrap();
+        assert_eq!(s1.payload.len(), 50);
+        // Data now in flight; another small write still goes straight out.
+        tx.write(50);
+        let s2 = tx.poll(0).unwrap();
+        assert_eq!(s2.payload.len(), 50);
+        assert_eq!(s2.seq, 50);
+        // Two queued small writes coalesce into one 100-byte segment.
+        tx.write(50);
+        tx.write(50);
+        let s3 = tx.poll(0).unwrap();
+        assert_eq!(s3.payload.len(), 100);
+        assert!(tx.poll(0).is_none());
+    }
+
+    /// Loss triggers go-back-N from snd_una and exponential backoff.
+    #[test]
+    fn timeout_retransmits_from_una() {
+        let mut tx = TcpSender::new(SenderConfig {
+            mss: 1000,
+            window: 10_000,
+            nagle: true,
+            nagle_threshold: 256,
+            init_rto_ns: 1_000_000,
+        });
+        tx.write(3000);
+        let s1 = tx.poll(0).unwrap();
+        let _s2 = tx.poll(0).unwrap();
+        let _s3 = tx.poll(0).unwrap();
+        assert_eq!(tx.in_flight(), 3000);
+        // Everything is lost; the timer fires.
+        let deadline = tx.next_timeout().unwrap();
+        tx.on_timeout(deadline);
+        assert_eq!(tx.retransmits, 1);
+        let r1 = tx.poll(deadline).unwrap();
+        assert_eq!(r1.seq, s1.seq, "go-back-N restarts at snd_una");
+        // Backoff doubled.
+        assert!(tx.next_timeout().unwrap() >= deadline + 2_000_000);
+    }
+
+    #[test]
+    fn receiver_ack_policy() {
+        let mut rx = TcpReceiver::new(ReceiverConfig {
+            ack_every: 2,
+            delayed_ack_ns: 1_000_000,
+        });
+        // First segment: delayed.
+        match rx.on_segment(0, 100, 0) {
+            RecvAction::AckAt(d) => assert_eq!(d, 1_000_000),
+            other => panic!("expected delayed ack, got {other:?}"),
+        }
+        // Second: immediate.
+        assert_eq!(rx.on_segment(100, 100, 10), RecvAction::AckNow(200));
+        // Out of order: immediate duplicate ack.
+        assert_eq!(rx.on_segment(999, 100, 20), RecvAction::AckNow(200));
+        assert_eq!(rx.ooo_dropped, 1);
+        // Delayed-ack timer pathway.
+        match rx.on_segment(200, 50, 30) {
+            RecvAction::AckAt(_) => {}
+            other => panic!("expected delayed ack, got {other:?}"),
+        }
+        assert_eq!(rx.on_timer(2_000_000), Some(250));
+        assert_eq!(rx.on_timer(2_000_001), None, "timer disarms after firing");
+    }
+
+    #[test]
+    fn pattern_is_deterministic() {
+        assert_eq!(pattern_byte(0), pattern_byte(251));
+        let seg: Vec<u8> = (1000..1010).map(pattern_byte).collect();
+        let again: Vec<u8> = (1000..1010).map(pattern_byte).collect();
+        assert_eq!(seg, again);
+    }
+}

@@ -1,0 +1,571 @@
+//! TFTP (RFC 1350), restricted exactly as the paper restricts it: "this
+//! server only services write requests in binary format. Any such file is
+//! taken to be a Caml byte code file and, upon successful receipt, an
+//! attempt is made to dynamically load and evaluate the file."
+//!
+//! Both ends are pure state machines — the embedding node supplies packet
+//! transport and retransmission timers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// TFTP data block size.
+pub const BLOCK_SIZE: usize = 512;
+
+/// A parsed TFTP packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TftpPacket<'a> {
+    /// Read request (always refused by our server).
+    Rrq {
+        /// Requested file name.
+        filename: &'a str,
+        /// Transfer mode.
+        mode: &'a str,
+    },
+    /// Write request.
+    Wrq {
+        /// Target file name.
+        filename: &'a str,
+        /// Transfer mode; only "octet" (binary) is served.
+        mode: &'a str,
+    },
+    /// A data block.
+    Data {
+        /// Block number (1-based).
+        block: u16,
+        /// Up to 512 octets; fewer ends the transfer.
+        data: &'a [u8],
+    },
+    /// Acknowledgement of a block (0 acknowledges the WRQ).
+    Ack {
+        /// Acknowledged block number.
+        block: u16,
+    },
+    /// Error.
+    Error {
+        /// Error code.
+        code: u16,
+        /// Human-readable message.
+        msg: &'a str,
+    },
+}
+
+fn read_cstr(buf: &[u8]) -> Option<(&str, &[u8])> {
+    let nul = buf.iter().position(|&b| b == 0)?;
+    let s = core::str::from_utf8(&buf[..nul]).ok()?;
+    Some((s, &buf[nul + 1..]))
+}
+
+impl<'a> TftpPacket<'a> {
+    /// Parse a TFTP packet; `None` on malformed input.
+    pub fn parse(buf: &'a [u8]) -> Option<TftpPacket<'a>> {
+        if buf.len() < 2 {
+            return None;
+        }
+        let op = u16::from_be_bytes([buf[0], buf[1]]);
+        let rest = &buf[2..];
+        match op {
+            1 | 2 => {
+                let (filename, rest) = read_cstr(rest)?;
+                let (mode, _) = read_cstr(rest)?;
+                Some(if op == 1 {
+                    TftpPacket::Rrq { filename, mode }
+                } else {
+                    TftpPacket::Wrq { filename, mode }
+                })
+            }
+            3 => {
+                if rest.len() < 2 || rest.len() > 2 + BLOCK_SIZE {
+                    return None;
+                }
+                Some(TftpPacket::Data {
+                    block: u16::from_be_bytes([rest[0], rest[1]]),
+                    data: &rest[2..],
+                })
+            }
+            4 => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                Some(TftpPacket::Ack {
+                    block: u16::from_be_bytes([rest[0], rest[1]]),
+                })
+            }
+            5 => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                let (msg, _) = read_cstr(&rest[2..])?;
+                Some(TftpPacket::Error {
+                    code: u16::from_be_bytes([rest[0], rest[1]]),
+                    msg,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Assemble this packet.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            TftpPacket::Rrq { filename, mode } | TftpPacket::Wrq { filename, mode } => {
+                let op: u16 = if matches!(self, TftpPacket::Rrq { .. }) {
+                    1
+                } else {
+                    2
+                };
+                buf.extend_from_slice(&op.to_be_bytes());
+                buf.extend_from_slice(filename.as_bytes());
+                buf.push(0);
+                buf.extend_from_slice(mode.as_bytes());
+                buf.push(0);
+            }
+            TftpPacket::Data { block, data } => {
+                assert!(data.len() <= BLOCK_SIZE);
+                buf.extend_from_slice(&3u16.to_be_bytes());
+                buf.extend_from_slice(&block.to_be_bytes());
+                buf.extend_from_slice(data);
+            }
+            TftpPacket::Ack { block } => {
+                buf.extend_from_slice(&4u16.to_be_bytes());
+                buf.extend_from_slice(&block.to_be_bytes());
+            }
+            TftpPacket::Error { code, msg } => {
+                buf.extend_from_slice(&5u16.to_be_bytes());
+                buf.extend_from_slice(&code.to_be_bytes());
+                buf.extend_from_slice(msg.as_bytes());
+                buf.push(0);
+            }
+        }
+        buf
+    }
+}
+
+/// A completed upload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReceivedFile {
+    /// The name from the WRQ.
+    pub filename: String,
+    /// Reassembled contents.
+    pub data: Vec<u8>,
+}
+
+struct Transfer {
+    filename: String,
+    next_block: u16,
+    data: Vec<u8>,
+}
+
+/// The write-only, binary-only TFTP server.
+#[derive(Default)]
+pub struct TftpServer {
+    transfers: HashMap<(Ipv4Addr, u16), Transfer>,
+    /// Completed uploads served so far.
+    pub completed: u64,
+    /// Requests refused (RRQ, bad mode, bad sequence).
+    pub refused: u64,
+}
+
+impl TftpServer {
+    /// Fresh server.
+    pub fn new() -> TftpServer {
+        TftpServer::default()
+    }
+
+    /// Handle one packet from `peer`. Returns the reply to send (if any)
+    /// and the completed file (if this packet finished an upload).
+    pub fn on_packet(
+        &mut self,
+        peer: (Ipv4Addr, u16),
+        packet: &[u8],
+    ) -> (Option<Vec<u8>>, Option<ReceivedFile>) {
+        let Some(pkt) = TftpPacket::parse(packet) else {
+            return (None, None); // malformed: silently dropped
+        };
+        match pkt {
+            TftpPacket::Rrq { .. } => {
+                self.refused += 1;
+                (
+                    Some(
+                        TftpPacket::Error {
+                            code: 2,
+                            msg: "write-only server",
+                        }
+                        .emit(),
+                    ),
+                    None,
+                )
+            }
+            TftpPacket::Wrq { filename, mode } => {
+                if !mode.eq_ignore_ascii_case("octet") {
+                    self.refused += 1;
+                    return (
+                        Some(
+                            TftpPacket::Error {
+                                code: 0,
+                                msg: "binary (octet) mode only",
+                            }
+                            .emit(),
+                        ),
+                        None,
+                    );
+                }
+                self.transfers.insert(
+                    peer,
+                    Transfer {
+                        filename: filename.to_owned(),
+                        next_block: 1,
+                        data: Vec::new(),
+                    },
+                );
+                (Some(TftpPacket::Ack { block: 0 }.emit()), None)
+            }
+            TftpPacket::Data { block, data } => {
+                let Some(t) = self.transfers.get_mut(&peer) else {
+                    self.refused += 1;
+                    return (
+                        Some(
+                            TftpPacket::Error {
+                                code: 5,
+                                msg: "no transfer in progress",
+                            }
+                            .emit(),
+                        ),
+                        None,
+                    );
+                };
+                if block + 1 == t.next_block {
+                    // Duplicate of the previous block: re-ack.
+                    return (Some(TftpPacket::Ack { block }.emit()), None);
+                }
+                if block != t.next_block {
+                    self.refused += 1;
+                    self.transfers.remove(&peer);
+                    return (
+                        Some(
+                            TftpPacket::Error {
+                                code: 4,
+                                msg: "block out of sequence",
+                            }
+                            .emit(),
+                        ),
+                        None,
+                    );
+                }
+                t.data.extend_from_slice(data);
+                t.next_block = t.next_block.wrapping_add(1);
+                let ack = TftpPacket::Ack { block }.emit();
+                if data.len() < BLOCK_SIZE {
+                    let t = self.transfers.remove(&peer).unwrap();
+                    self.completed += 1;
+                    (
+                        Some(ack),
+                        Some(ReceivedFile {
+                            filename: t.filename,
+                            data: t.data,
+                        }),
+                    )
+                } else {
+                    (Some(ack), None)
+                }
+            }
+            TftpPacket::Ack { .. } | TftpPacket::Error { .. } => {
+                // A pure write server never expects these; drop.
+                (None, None)
+            }
+        }
+    }
+}
+
+/// What the sender should do next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SenderStep {
+    /// Transmit these bytes.
+    Send(Vec<u8>),
+    /// Transfer complete.
+    Done,
+    /// The server refused the transfer.
+    Failed(String),
+    /// Ignore this packet (duplicate/foreign).
+    Ignore,
+}
+
+/// The uploading client: sends a WRQ then data blocks, advancing on ACKs.
+pub struct TftpSender {
+    filename: String,
+    data: Vec<u8>,
+    /// Next block to send (0 = WRQ outstanding).
+    acked_through: Option<u16>,
+    done: bool,
+}
+
+impl TftpSender {
+    /// Prepare an upload.
+    pub fn new(filename: impl Into<String>, data: Vec<u8>) -> TftpSender {
+        TftpSender {
+            filename: filename.into(),
+            data,
+            acked_through: None,
+            done: false,
+        }
+    }
+
+    /// The first packet (WRQ). Also what to retransmit if no ACK arrives.
+    pub fn start(&self) -> Vec<u8> {
+        TftpPacket::Wrq {
+            filename: &self.filename,
+            mode: "octet",
+        }
+        .emit()
+    }
+
+    fn block_payload(&self, block: u16) -> &[u8] {
+        let start = (block as usize - 1) * BLOCK_SIZE;
+        let end = (start + BLOCK_SIZE).min(self.data.len());
+        &self.data[start.min(self.data.len())..end]
+    }
+
+    fn total_blocks(&self) -> u16 {
+        (self.data.len() / BLOCK_SIZE + 1) as u16
+    }
+
+    /// The packet currently outstanding (for retransmission).
+    pub fn current(&self) -> Option<Vec<u8>> {
+        if self.done {
+            return None;
+        }
+        match self.acked_through {
+            None => Some(self.start()),
+            Some(b) => {
+                let next = b + 1;
+                Some(
+                    TftpPacket::Data {
+                        block: next,
+                        data: self.block_payload(next),
+                    }
+                    .emit(),
+                )
+            }
+        }
+    }
+
+    /// Handle a packet from the server.
+    pub fn on_packet(&mut self, packet: &[u8]) -> SenderStep {
+        if self.done {
+            return SenderStep::Ignore;
+        }
+        match TftpPacket::parse(packet) {
+            Some(TftpPacket::Ack { block }) => {
+                let expected = match self.acked_through {
+                    None => 0,
+                    Some(b) => b + 1,
+                };
+                if block != expected {
+                    return SenderStep::Ignore;
+                }
+                if block >= self.total_blocks() {
+                    self.done = true;
+                    return SenderStep::Done;
+                }
+                self.acked_through = Some(block);
+                let next = block + 1;
+                SenderStep::Send(
+                    TftpPacket::Data {
+                        block: next,
+                        data: self.block_payload(next),
+                    }
+                    .emit(),
+                )
+            }
+            Some(TftpPacket::Error { code, msg }) => {
+                self.done = true;
+                SenderStep::Failed(format!("tftp error {code}: {msg}"))
+            }
+            _ => SenderStep::Ignore,
+        }
+    }
+
+    /// True once the final block has been acknowledged.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 5), 1069);
+
+    /// Run a full lossless transfer through both state machines.
+    fn transfer(data: Vec<u8>) -> ReceivedFile {
+        let mut server = TftpServer::new();
+        let mut sender = TftpSender::new("switchlet.swl", data);
+        let mut wire = sender.start();
+        loop {
+            let (reply, file) = server.on_packet(PEER, &wire);
+            if let Some(f) = file {
+                // Sender still needs the final ack.
+                let step = sender.on_packet(&reply.unwrap());
+                assert_eq!(step, SenderStep::Done);
+                assert!(sender.is_done());
+                return f;
+            }
+            match sender.on_packet(&reply.expect("server always replies here")) {
+                SenderStep::Send(next) => wire = next,
+                SenderStep::Done => unreachable!("file completion seen above"),
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn packet_roundtrips() {
+        let pkts = [
+            TftpPacket::Wrq {
+                filename: "f.swl",
+                mode: "octet",
+            },
+            TftpPacket::Rrq {
+                filename: "x",
+                mode: "netascii",
+            },
+            TftpPacket::Data {
+                block: 7,
+                data: b"abc",
+            },
+            TftpPacket::Ack { block: 9 },
+            TftpPacket::Error {
+                code: 2,
+                msg: "nope",
+            },
+        ];
+        for p in &pkts {
+            let bytes = p.emit();
+            assert_eq!(TftpPacket::parse(&bytes).as_ref(), Some(p));
+        }
+    }
+
+    #[test]
+    fn short_transfer() {
+        let f = transfer(b"tiny module".to_vec());
+        assert_eq!(f.filename, "switchlet.swl");
+        assert_eq!(f.data, b"tiny module");
+    }
+
+    #[test]
+    fn multi_block_transfer() {
+        let data: Vec<u8> = (0..2000u32).map(|i| (i % 256) as u8).collect();
+        assert_eq!(transfer(data.clone()).data, data);
+    }
+
+    #[test]
+    fn exact_multiple_of_block_size() {
+        // 1024 bytes = 2 full blocks + required empty terminator.
+        let data = vec![0xAA; 1024];
+        assert_eq!(transfer(data.clone()).data, data);
+    }
+
+    #[test]
+    fn empty_file() {
+        assert_eq!(transfer(Vec::new()).data, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rrq_refused() {
+        let mut server = TftpServer::new();
+        let rrq = TftpPacket::Rrq {
+            filename: "secrets",
+            mode: "octet",
+        }
+        .emit();
+        let (reply, file) = server.on_packet(PEER, &rrq);
+        assert!(file.is_none());
+        assert!(matches!(
+            TftpPacket::parse(&reply.unwrap()),
+            Some(TftpPacket::Error { code: 2, .. })
+        ));
+        assert_eq!(server.refused, 1);
+    }
+
+    #[test]
+    fn netascii_mode_refused() {
+        let mut server = TftpServer::new();
+        let wrq = TftpPacket::Wrq {
+            filename: "f",
+            mode: "netascii",
+        }
+        .emit();
+        let (reply, _) = server.on_packet(PEER, &wrq);
+        assert!(matches!(
+            TftpPacket::parse(&reply.unwrap()),
+            Some(TftpPacket::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_data_block_reacked() {
+        let mut server = TftpServer::new();
+        let wrq = TftpPacket::Wrq {
+            filename: "f",
+            mode: "octet",
+        }
+        .emit();
+        server.on_packet(PEER, &wrq);
+        let d1 = TftpPacket::Data {
+            block: 1,
+            data: &[1u8; BLOCK_SIZE],
+        }
+        .emit();
+        let (r1, _) = server.on_packet(PEER, &d1);
+        assert!(matches!(
+            TftpPacket::parse(&r1.unwrap()),
+            Some(TftpPacket::Ack { block: 1 })
+        ));
+        // Retransmitted duplicate: re-acked, data not appended twice.
+        let (r2, f) = server.on_packet(PEER, &d1);
+        assert!(f.is_none());
+        assert!(matches!(
+            TftpPacket::parse(&r2.unwrap()),
+            Some(TftpPacket::Ack { block: 1 })
+        ));
+        let d2 = TftpPacket::Data {
+            block: 2,
+            data: b"end",
+        }
+        .emit();
+        let (_, f) = server.on_packet(PEER, &d2);
+        assert_eq!(f.unwrap().data.len(), BLOCK_SIZE + 3);
+    }
+
+    #[test]
+    fn out_of_sequence_aborts() {
+        let mut server = TftpServer::new();
+        server.on_packet(
+            PEER,
+            &TftpPacket::Wrq {
+                filename: "f",
+                mode: "octet",
+            }
+            .emit(),
+        );
+        let d9 = TftpPacket::Data {
+            block: 9,
+            data: b"x",
+        }
+        .emit();
+        let (reply, _) = server.on_packet(PEER, &d9);
+        assert!(matches!(
+            TftpPacket::parse(&reply.unwrap()),
+            Some(TftpPacket::Error { code: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn sender_retransmits_current() {
+        let sender = TftpSender::new("f", vec![1, 2, 3]);
+        // Before any ack, current() is the WRQ.
+        assert_eq!(sender.current().unwrap(), sender.start());
+    }
+}

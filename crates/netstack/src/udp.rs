@@ -1,0 +1,156 @@
+//! Minimal UDP (RFC 768), the third layer of the paper's network loader.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::Checksum;
+use crate::ipv4::Protocol;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Errors from [`Datagram::parse`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UdpError {
+    /// Shorter than the header or its own length field.
+    Truncated,
+    /// The (optional) checksum failed.
+    BadChecksum,
+}
+
+impl core::fmt::Display for UdpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UdpError::Truncated => write!(f, "truncated UDP datagram"),
+            UdpError::BadChecksum => write!(f, "UDP checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for UdpError {}
+
+/// A parsed UDP datagram.
+#[derive(Copy, Clone, Debug)]
+pub struct Datagram<'a> {
+    buf: &'a [u8],
+}
+
+fn pseudo_header(c: &mut Checksum, src: Ipv4Addr, dst: Ipv4Addr, len: u16) {
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u16(Protocol::UDP.0 as u16);
+    c.add_u16(len);
+}
+
+impl<'a> Datagram<'a> {
+    /// Parse; `src`/`dst` are needed for the pseudo-header checksum.
+    pub fn parse(buf: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Datagram<'a>, UdpError> {
+        if buf.len() < HEADER_LEN {
+            return Err(UdpError::Truncated);
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        if len < HEADER_LEN || buf.len() < len {
+            return Err(UdpError::Truncated);
+        }
+        let buf = &buf[..len];
+        let cksum = u16::from_be_bytes([buf[6], buf[7]]);
+        if cksum != 0 {
+            let mut c = Checksum::new();
+            pseudo_header(&mut c, src, dst, len as u16);
+            c.add(buf);
+            if c.finish() != 0 {
+                return Err(UdpError::BadChecksum);
+            }
+        }
+        Ok(Datagram { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// The payload.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..]
+    }
+}
+
+/// Assemble a UDP datagram (checksum always generated).
+pub fn emit(
+    src: Ipv4Addr,
+    src_port: u16,
+    dst: Ipv4Addr,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let len = (HEADER_LEN + payload.len()) as u16;
+    let mut buf = Vec::with_capacity(len as usize);
+    buf.extend_from_slice(&src_port.to_be_bytes());
+    buf.extend_from_slice(&dst_port.to_be_bytes());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&[0, 0]);
+    buf.extend_from_slice(payload);
+    let mut c = Checksum::new();
+    pseudo_header(&mut c, src, dst, len);
+    c.add(&buf);
+    let mut cksum = c.finish();
+    if cksum == 0 {
+        cksum = 0xFFFF; // 0 means "no checksum" on the wire
+    }
+    buf[6..8].copy_from_slice(&cksum.to_be_bytes());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 2);
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let d = emit(A, 1069, B, 69, b"tftp write request");
+        let p = Datagram::parse(&d, A, B).unwrap();
+        assert_eq!(p.src_port(), 1069);
+        assert_eq!(p.dst_port(), 69);
+        assert_eq!(p.payload(), b"tftp write request");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut d = emit(A, 1, B, 2, b"hello");
+        let last = d.len() - 1;
+        d[last] ^= 0xFF;
+        assert_eq!(Datagram::parse(&d, A, B).unwrap_err(), UdpError::BadChecksum);
+    }
+
+    #[test]
+    fn wrong_pseudo_header_detected() {
+        let d = emit(A, 1, B, 2, b"hello");
+        // Same bytes claimed to come from a different source address.
+        let c = Ipv4Addr::new(192, 168, 1, 9);
+        assert_eq!(Datagram::parse(&d, c, B).unwrap_err(), UdpError::BadChecksum);
+    }
+
+    #[test]
+    fn padding_trimmed_by_length_field() {
+        let mut d = emit(A, 1, B, 2, b"x");
+        d.resize(46, 0);
+        let p = Datagram::parse(&d, A, B).unwrap();
+        assert_eq!(p.payload(), b"x");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Datagram::parse(&[0; 4], A, B).unwrap_err(),
+            UdpError::Truncated
+        );
+    }
+}

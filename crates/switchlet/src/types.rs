@@ -1,0 +1,320 @@
+//! The switchlet type language.
+//!
+//! The paper's safety argument rests on Caml's static, strong typing:
+//! "there is no equivalent of a C cast operator, so there is no way to
+//! 'trick' Caml into thinking a function is an object that can be changed".
+//! This module defines the (monomorphic) type language our verifier and
+//! linker enforce. It is deliberately small — large enough to express every
+//! switchlet the paper describes, small enough to verify exhaustively.
+
+use core::fmt;
+
+/// A switchlet-level type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// The unit type (like Caml's `unit`).
+    Unit,
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// Immutable byte strings (Caml's `string`; also the packet
+    /// representation — the paper represents packets as "a string with the
+    /// data").
+    Str,
+    /// A tuple of at least two component types.
+    Tuple(Vec<Ty>),
+    /// A first-class function. Switchlet registration ("Func.register")
+    /// traffics in these.
+    Func(FuncTy),
+    /// A mutable hash table (Caml's `Hashtbl.t`); keys are restricted to
+    /// hashable types by [`Ty::hashable`] checks at verification time.
+    Table(Box<Ty>, Box<Ty>),
+    /// An abstract (nominal) type exported by a host module, like the
+    /// paper's `iport`/`oport` in Figure 4. No instruction produces values
+    /// of a named type, so switchlets can obtain them only from host
+    /// functions — the basis of name-space security for capabilities.
+    Named(String),
+}
+
+/// A function type: parameters and result.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FuncTy {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Result type.
+    pub result: Box<Ty>,
+}
+
+impl FuncTy {
+    /// Build a function type.
+    pub fn new(params: Vec<Ty>, result: Ty) -> FuncTy {
+        FuncTy {
+            params,
+            result: Box::new(result),
+        }
+    }
+}
+
+impl Ty {
+    /// Shorthand for a function type.
+    pub fn func(params: Vec<Ty>, result: Ty) -> Ty {
+        Ty::Func(FuncTy::new(params, result))
+    }
+
+    /// Shorthand for a table type.
+    pub fn table(key: Ty, val: Ty) -> Ty {
+        Ty::Table(Box::new(key), Box::new(val))
+    }
+
+    /// Shorthand for a tuple type.
+    pub fn tuple(items: Vec<Ty>) -> Ty {
+        assert!(items.len() >= 2, "tuples have at least two components");
+        Ty::Tuple(items)
+    }
+
+    /// Shorthand for an abstract named type.
+    pub fn named(tag: impl Into<String>) -> Ty {
+        Ty::Named(tag.into())
+    }
+
+    /// Types usable as hash-table keys and compared by `Eq`-family
+    /// instructions: unit, bool, int, string.
+    pub fn hashable(&self) -> bool {
+        matches!(self, Ty::Unit | Ty::Bool | Ty::Int | Ty::Str)
+    }
+
+    /// Canonical encoding used by interface digests; injective on the type
+    /// language so distinct types can never collide pre-hash.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ty::Unit => out.push(b'u'),
+            Ty::Bool => out.push(b'b'),
+            Ty::Int => out.push(b'i'),
+            Ty::Str => out.push(b's'),
+            Ty::Tuple(items) => {
+                out.push(b'(');
+                out.push(items.len() as u8);
+                for t in items {
+                    t.encode(out);
+                }
+                out.push(b')');
+            }
+            Ty::Func(f) => {
+                out.push(b'<');
+                out.push(f.params.len() as u8);
+                for p in &f.params {
+                    p.encode(out);
+                }
+                f.result.encode(out);
+                out.push(b'>');
+            }
+            Ty::Table(k, v) => {
+                out.push(b'{');
+                k.encode(out);
+                v.encode(out);
+                out.push(b'}');
+            }
+            Ty::Named(tag) => {
+                out.push(b'n');
+                out.push(tag.len() as u8);
+                out.extend_from_slice(tag.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one type from the front of `buf`, advancing it. Inverse of
+    /// [`Ty::encode`]. Returns `None` on malformed input.
+    pub fn decode(buf: &mut &[u8]) -> Option<Ty> {
+        let (&tag, rest) = buf.split_first()?;
+        *buf = rest;
+        Some(match tag {
+            b'u' => Ty::Unit,
+            b'b' => Ty::Bool,
+            b'i' => Ty::Int,
+            b's' => Ty::Str,
+            b'(' => {
+                let (&n, rest) = buf.split_first()?;
+                *buf = rest;
+                if n < 2 {
+                    return None;
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(Ty::decode(buf)?);
+                }
+                let (&close, rest) = buf.split_first()?;
+                *buf = rest;
+                if close != b')' {
+                    return None;
+                }
+                Ty::Tuple(items)
+            }
+            b'<' => {
+                let (&n, rest) = buf.split_first()?;
+                *buf = rest;
+                let mut params = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    params.push(Ty::decode(buf)?);
+                }
+                let result = Ty::decode(buf)?;
+                let (&close, rest) = buf.split_first()?;
+                *buf = rest;
+                if close != b'>' {
+                    return None;
+                }
+                Ty::Func(FuncTy::new(params, result))
+            }
+            b'{' => {
+                let k = Ty::decode(buf)?;
+                let v = Ty::decode(buf)?;
+                let (&close, rest) = buf.split_first()?;
+                *buf = rest;
+                if close != b'}' {
+                    return None;
+                }
+                Ty::table(k, v)
+            }
+            b'n' => {
+                let (&len, rest) = buf.split_first()?;
+                *buf = rest;
+                if buf.len() < len as usize {
+                    return None;
+                }
+                let (name, rest) = buf.split_at(len as usize);
+                *buf = rest;
+                Ty::Named(String::from_utf8(name.to_vec()).ok()?)
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => write!(f, "unit"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int => write!(f, "int"),
+            Ty::Str => write!(f, "str"),
+            Ty::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Func(ft) => {
+                write!(f, "[")?;
+                for (i, p) in ft.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "] -> {}", ft.result)
+            }
+            Ty::Table(k, v) => write!(f, "table<{k}, {v}>"),
+            Ty::Named(tag) => write!(f, "{tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(
+            Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit).to_string(),
+            "[str, int] -> unit"
+        );
+        assert_eq!(
+            Ty::table(Ty::Str, Ty::Int).to_string(),
+            "table<str, int>"
+        );
+        assert_eq!(
+            Ty::tuple(vec![Ty::Int, Ty::Bool]).to_string(),
+            "(int * bool)"
+        );
+    }
+
+    #[test]
+    fn hashable_subset() {
+        assert!(Ty::Int.hashable());
+        assert!(Ty::Str.hashable());
+        assert!(!Ty::table(Ty::Int, Ty::Int).hashable());
+        assert!(!Ty::func(vec![], Ty::Unit).hashable());
+        assert!(!Ty::tuple(vec![Ty::Int, Ty::Int]).hashable());
+    }
+
+    #[test]
+    fn encode_is_injective_on_samples() {
+        let samples = vec![
+            Ty::Unit,
+            Ty::Bool,
+            Ty::Int,
+            Ty::Str,
+            Ty::tuple(vec![Ty::Int, Ty::Int]),
+            Ty::tuple(vec![Ty::Int, Ty::Int, Ty::Int]),
+            Ty::func(vec![], Ty::Int),
+            Ty::func(vec![Ty::Int], Ty::Int),
+            Ty::func(vec![Ty::Int, Ty::Int], Ty::Unit),
+            Ty::table(Ty::Str, Ty::Int),
+            Ty::table(Ty::Int, Ty::Str),
+            Ty::table(Ty::Str, Ty::func(vec![Ty::Int], Ty::Int)),
+            Ty::named("iport"),
+            Ty::named("oport"),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in &samples {
+            let mut buf = Vec::new();
+            t.encode(&mut buf);
+            assert!(seen.insert(buf), "encoding collision for {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_element_tuple_rejected() {
+        let _ = Ty::tuple(vec![Ty::Int]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let samples = vec![
+            Ty::Unit,
+            Ty::Bool,
+            Ty::tuple(vec![Ty::Int, Ty::Str, Ty::Bool]),
+            Ty::func(vec![Ty::Str, Ty::Int], Ty::table(Ty::Str, Ty::Int)),
+            Ty::table(Ty::Str, Ty::func(vec![], Ty::Unit)),
+            Ty::named("iport"),
+        ];
+        for t in samples {
+            let mut buf = Vec::new();
+            t.encode(&mut buf);
+            let mut slice = buf.as_slice();
+            let back = Ty::decode(&mut slice).unwrap();
+            assert_eq!(back, t);
+            assert!(slice.is_empty(), "decoder consumed everything");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        Ty::func(vec![Ty::Int, Ty::Int], Ty::Str).encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                Ty::decode(&mut slice).is_none() || !slice.is_empty(),
+                "truncation at {cut} silently accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! The bytecode interpreter.
+//!
+//! Runs only *verified* code: the linker refuses to instantiate a module
+//! the verifier rejected, so the interpreter performs no per-instruction
+//! type checks (a payload-extraction mismatch is an internal panic, not a
+//! recoverable state — exactly the trust a Caml runtime places in its
+//! compiler). What it does enforce dynamically is the short list the paper
+//! also enforced dynamically, plus containment:
+//!
+//! * string bounds (Caml checked array bounds at run time),
+//! * division by zero,
+//! * a **fuel meter** and a call-depth limit — our analogue of the active
+//!   bridge protecting itself "from some algorithmic failures in
+//!   loadable modules": a switchlet that loops forever is cut off, the
+//!   error is reported, and the node keeps running.
+
+use std::rc::Rc;
+
+use crate::bytecode::Op;
+use crate::env::HostDispatch;
+use crate::linker::{Namespace, ResolvedImport};
+use crate::value::{FuncVal, InstanceId, Key, Value};
+
+/// Runtime failures. None of these can corrupt the host; they abort the
+/// switchlet invocation and surface to the embedder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmError {
+    /// The fuel budget ran out (non-termination containment).
+    FuelExhausted,
+    /// Call nesting exceeded the configured limit.
+    CallDepthExceeded,
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A string access was out of bounds.
+    StrBounds {
+        /// String length.
+        len: usize,
+        /// Offending index/offset.
+        index: i64,
+    },
+    /// A host function reported an error.
+    Host(String),
+    /// A host call was made but no implementation is available.
+    HostUnavailable(String),
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::FuelExhausted => write!(f, "fuel exhausted"),
+            VmError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::StrBounds { len, index } => {
+                write!(f, "string index {index} out of bounds (len {len})")
+            }
+            VmError::Host(msg) => write!(f, "host error: {msg}"),
+            VmError::HostUnavailable(name) => write!(f, "host function {name} unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execution limits.
+#[derive(Copy, Clone, Debug)]
+pub struct ExecConfig {
+    /// Maximum instructions per invocation.
+    pub fuel: u64,
+    /// Maximum call nesting.
+    pub max_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fuel: 1_000_000,
+            max_depth: 128,
+        }
+    }
+}
+
+/// What an invocation cost — fed to the simulator's time model (the
+/// analogue of the paper's per-frame Caml cost instrumentation).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Host calls made.
+    pub host_calls: u64,
+}
+
+/// Call a function value with `args`.
+///
+/// `ns` provides the loaded instances; `host` the host implementations.
+/// The arguments must match the function's type — guaranteed when the call
+/// originates from verified code; embedder-originated calls (switchlet
+/// entry points) are checked in debug builds.
+pub fn call(
+    ns: &Namespace,
+    host: &mut dyn HostDispatch,
+    target: FuncVal,
+    args: Vec<Value>,
+    cfg: &ExecConfig,
+) -> Result<(Value, ExecStats), VmError> {
+    let mut stats = ExecStats::default();
+    let mut fuel = cfg.fuel;
+    let value = dispatch(ns, host, target, args, cfg, &mut fuel, 0, &mut stats)?;
+    Ok((value, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    ns: &Namespace,
+    host: &mut dyn HostDispatch,
+    target: FuncVal,
+    args: Vec<Value>,
+    cfg: &ExecConfig,
+    fuel: &mut u64,
+    depth: usize,
+    stats: &mut ExecStats,
+) -> Result<Value, VmError> {
+    match target {
+        FuncVal::Host { module, item } => {
+            stats.host_calls += 1;
+            let (m, i, _ty) = ns.env().slot_names(crate::env::HostSlot { module, item });
+            let (m, i) = (m.to_owned(), i.to_owned());
+            host.call(&m, &i, args)
+        }
+        FuncVal::Vm { instance, func } => {
+            exec(ns, host, instance, func, args, cfg, fuel, depth, stats)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec(
+    ns: &Namespace,
+    host: &mut dyn HostDispatch,
+    instance: InstanceId,
+    func_idx: u32,
+    args: Vec<Value>,
+    cfg: &ExecConfig,
+    fuel: &mut u64,
+    depth: usize,
+    stats: &mut ExecStats,
+) -> Result<Value, VmError> {
+    if depth >= cfg.max_depth {
+        return Err(VmError::CallDepthExceeded);
+    }
+    let inst = ns.instance(instance);
+    let module = &inst.module;
+    let func = &module.functions[func_idx as usize];
+    debug_assert_eq!(args.len(), func.params.len(), "arity mismatch at entry");
+    debug_assert!(
+        args.iter().zip(&func.params).all(|(v, t)| v.matches(t)),
+        "argument type mismatch at entry of {}",
+        func.name
+    );
+
+    // Locals: parameters then placeholder slots (verified code never reads
+    // a local before writing it, so Unit placeholders are unobservable).
+    let mut locals = args;
+    locals.resize(func.num_slots(), Value::Unit);
+    let mut stack: Vec<Value> = Vec::with_capacity(8);
+    let mut pc: usize = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().expect("verifier invariant broken: stack underflow")
+        };
+    }
+
+    loop {
+        if *fuel == 0 {
+            return Err(VmError::FuelExhausted);
+        }
+        *fuel -= 1;
+        stats.instructions += 1;
+
+        let op = &func.code[pc];
+        pc += 1;
+        match op {
+            Op::ConstUnit => stack.push(Value::Unit),
+            Op::ConstBool(b) => stack.push(Value::Bool(*b)),
+            Op::ConstInt(i) => stack.push(Value::Int(*i)),
+            Op::ConstStr(n) => {
+                stack.push(Value::Str(Rc::new(module.str_pool[*n as usize].clone())))
+            }
+            Op::LocalGet(n) => stack.push(locals[*n as usize].clone()),
+            Op::LocalSet(n) => locals[*n as usize] = pop!(),
+            Op::Pop => {
+                let _ = pop!();
+            }
+            Op::Dup => {
+                let top = stack.last().expect("verifier invariant broken").clone();
+                stack.push(top);
+            }
+            Op::Add => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Int(a.wrapping_add(b)));
+            }
+            Op::Sub => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Int(a.wrapping_sub(b)));
+            }
+            Op::Mul => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Int(a.wrapping_mul(b)));
+            }
+            Op::Div => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                if b == 0 {
+                    return Err(VmError::DivideByZero);
+                }
+                stack.push(Value::Int(a.wrapping_div(b)));
+            }
+            Op::Mod => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                if b == 0 {
+                    return Err(VmError::DivideByZero);
+                }
+                stack.push(Value::Int(a.wrapping_rem(b)));
+            }
+            Op::Neg => {
+                let a = pop!().as_int();
+                stack.push(Value::Int(a.wrapping_neg()));
+            }
+            Op::Eq => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(Value::Bool(
+                    a.hash_eq(&b).expect("verifier invariant broken: eq"),
+                ));
+            }
+            Op::Ne => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(Value::Bool(
+                    !a.hash_eq(&b).expect("verifier invariant broken: ne"),
+                ));
+            }
+            Op::Lt => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Bool(a < b));
+            }
+            Op::Le => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Bool(a <= b));
+            }
+            Op::Gt => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Bool(a > b));
+            }
+            Op::Ge => {
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(Value::Bool(a >= b));
+            }
+            Op::And => {
+                let b = pop!().as_bool();
+                let a = pop!().as_bool();
+                stack.push(Value::Bool(a && b));
+            }
+            Op::Or => {
+                let b = pop!().as_bool();
+                let a = pop!().as_bool();
+                stack.push(Value::Bool(a || b));
+            }
+            Op::Not => {
+                let a = pop!().as_bool();
+                stack.push(Value::Bool(!a));
+            }
+            Op::Jump(t) => pc = *t as usize,
+            Op::BrIf(t) => {
+                if pop!().as_bool() {
+                    pc = *t as usize;
+                }
+            }
+            Op::BrIfNot(t) => {
+                if !pop!().as_bool() {
+                    pc = *t as usize;
+                }
+            }
+            Op::Return => {
+                let result = pop!();
+                debug_assert!(stack.is_empty(), "verifier invariant broken: dirty return");
+                return Ok(result);
+            }
+            Op::Call(n) => {
+                let callee = &module.functions[*n as usize];
+                let argc = callee.params.len();
+                let call_args = stack.split_off(stack.len() - argc);
+                let result = exec(
+                    ns, host, instance, *n, call_args, cfg, fuel, depth + 1, stats,
+                )?;
+                stack.push(result);
+            }
+            Op::CallImport(n) => {
+                let resolved = inst.resolved[*n as usize];
+                let target = match resolved {
+                    ResolvedImport::Host(slot) => FuncVal::Host {
+                        module: slot.module,
+                        item: slot.item,
+                    },
+                    ResolvedImport::Vm { instance, func } => FuncVal::Vm { instance, func },
+                };
+                let argc = match target {
+                    FuncVal::Host { .. } => {
+                        let crate::types::Ty::Func(ft) = &module.imports[*n as usize].ty else {
+                            unreachable!("linker guarantees function imports")
+                        };
+                        ft.params.len()
+                    }
+                    FuncVal::Vm {
+                        instance: i,
+                        func: f,
+                    } => ns.instance(i).module.functions[f as usize].params.len(),
+                };
+                let call_args = stack.split_off(stack.len() - argc);
+                let result =
+                    dispatch(ns, host, target, call_args, cfg, fuel, depth + 1, stats)?;
+                stack.push(result);
+            }
+            Op::ImportGet(n) => {
+                let resolved = inst.resolved[*n as usize];
+                let fv = match resolved {
+                    ResolvedImport::Host(slot) => FuncVal::Host {
+                        module: slot.module,
+                        item: slot.item,
+                    },
+                    ResolvedImport::Vm { instance, func } => FuncVal::Vm { instance, func },
+                };
+                stack.push(Value::Func(fv));
+            }
+            Op::CallRef(arity) => {
+                let argc = *arity as usize;
+                let call_args = stack.split_off(stack.len() - argc);
+                let Value::Func(fv) = pop!() else {
+                    panic!("verifier invariant broken: callref on non-function")
+                };
+                let result = dispatch(ns, host, fv, call_args, cfg, fuel, depth + 1, stats)?;
+                stack.push(result);
+            }
+            Op::FuncConst(n) => stack.push(Value::Func(FuncVal::Vm {
+                instance,
+                func: *n,
+            })),
+            Op::TupleMake(n) => {
+                let items = stack.split_off(stack.len() - *n as usize);
+                stack.push(Value::Tuple(Rc::new(items)));
+            }
+            Op::TupleGet(i) => {
+                let Value::Tuple(items) = pop!() else {
+                    panic!("verifier invariant broken: tupleget")
+                };
+                stack.push(items[*i as usize].clone());
+            }
+            Op::StrLen => {
+                let s = pop!();
+                stack.push(Value::Int(s.as_str().len() as i64));
+            }
+            Op::StrConcat => {
+                let b = pop!();
+                let a = pop!();
+                let mut out = a.as_str().as_ref().clone();
+                out.extend_from_slice(b.as_str());
+                stack.push(Value::Str(Rc::new(out)));
+            }
+            Op::StrByte => {
+                let i = pop!().as_int();
+                let s = pop!();
+                let s = s.as_str();
+                if i < 0 || i as usize >= s.len() {
+                    return Err(VmError::StrBounds {
+                        len: s.len(),
+                        index: i,
+                    });
+                }
+                stack.push(Value::Int(s[i as usize] as i64));
+            }
+            Op::StrSlice => {
+                let len = pop!().as_int();
+                let start = pop!().as_int();
+                let s = pop!();
+                let s = s.as_str();
+                if start < 0 || len < 0 || (start as usize).saturating_add(len as usize) > s.len()
+                {
+                    return Err(VmError::StrBounds {
+                        len: s.len(),
+                        index: start,
+                    });
+                }
+                let out = s[start as usize..start as usize + len as usize].to_vec();
+                stack.push(Value::Str(Rc::new(out)));
+            }
+            Op::StrPackInt(width) => {
+                let v = pop!().as_int() as u64;
+                let bytes = v.to_be_bytes();
+                let out = bytes[8 - *width as usize..].to_vec();
+                stack.push(Value::Str(Rc::new(out)));
+            }
+            Op::StrUnpackInt(width) => {
+                let off = pop!().as_int();
+                let s = pop!();
+                let s = s.as_str();
+                let w = *width as usize;
+                if off < 0 || (off as usize).saturating_add(w) > s.len() {
+                    return Err(VmError::StrBounds {
+                        len: s.len(),
+                        index: off,
+                    });
+                }
+                let mut bytes = [0u8; 8];
+                bytes[8 - w..].copy_from_slice(&s[off as usize..off as usize + w]);
+                stack.push(Value::Int(u64::from_be_bytes(bytes) as i64));
+            }
+            Op::StrFromInt => {
+                let v = pop!().as_int();
+                stack.push(Value::str(v.to_string().into_bytes()));
+            }
+            Op::TableNew(_) => stack.push(Value::new_table()),
+            Op::TableAdd => {
+                let v = pop!();
+                let k = pop!();
+                let Value::Table(t) = pop!() else {
+                    panic!("verifier invariant broken: tableadd")
+                };
+                let key = k.to_key().expect("verifier invariant broken: key");
+                t.borrow_mut().insert(key, v);
+            }
+            Op::TableGet => {
+                let default = pop!();
+                let k = pop!();
+                let Value::Table(t) = pop!() else {
+                    panic!("verifier invariant broken: tableget")
+                };
+                let key = k.to_key().expect("verifier invariant broken: key");
+                let v = t.borrow().get(&key).cloned().unwrap_or(default);
+                stack.push(v);
+            }
+            Op::TableMem => {
+                let k = pop!();
+                let Value::Table(t) = pop!() else {
+                    panic!("verifier invariant broken: tablemem")
+                };
+                let key: Key = k.to_key().expect("verifier invariant broken: key");
+                stack.push(Value::Bool(t.borrow().contains_key(&key)));
+            }
+            Op::TableRemove => {
+                let k = pop!();
+                let Value::Table(t) = pop!() else {
+                    panic!("verifier invariant broken: tableremove")
+                };
+                let key = k.to_key().expect("verifier invariant broken: key");
+                t.borrow_mut().remove(&key);
+            }
+            Op::TableLen => {
+                let Value::Table(t) = pop!() else {
+                    panic!("verifier invariant broken: tablelen")
+                };
+                let len = t.borrow().len() as i64;
+                stack.push(Value::Int(len));
+            }
+            Op::Nop => {}
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The self-learning extended LAN: three LANs on one bridge; watch the
+//! learning table cut flooding to the bystander segment.
+//!
+//! ```sh
+//! cargo run --example learning_elan
+//! ```
+
+use active_bridge::scenario::{self, host_ip, host_mac};
+use active_bridge::{BridgeConfig, BridgeNode};
+use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+use netsim::{PortId, SimDuration, SimTime, World};
+
+fn main() {
+    let mut world = World::new(7);
+    let segs = scenario::lans(&mut world, 3);
+    let bridge = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_dumb", "bridge_learning"],
+    );
+
+    // Host 2 announces itself once, then host 1 streams to it.
+    let h2 = world.add_node(HostNode::new(
+        "host2",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(1),
+            64,
+            1,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(h2, segs[1]);
+    let h1 = world.add_node(HostNode::new(
+        "host1",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            512,
+            200,
+            SimDuration::from_ms(2),
+        )],
+    ));
+    world.attach(h1, segs[0]);
+    let bystander = world.add_node(HostNode::new(
+        "bystander",
+        HostConfig::simple(host_mac(3), host_ip(3), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(bystander, segs[2]);
+
+    world.run_until(SimTime::from_secs(2));
+
+    let plane = world.node::<BridgeNode>(bridge).plane();
+    println!("switching function: {:?}", plane.data_plane);
+    println!("learning table ({} entries):", plane.learn.len());
+    let mut entries: Vec<String> = plane
+        .learn
+        .entries()
+        .map(|(mac, (port, seen))| format!("  {mac} -> {port} (last seen {seen})"))
+        .collect();
+    entries.sort();
+    for e in entries {
+        println!("{e}");
+    }
+    println!(
+        "forwarding: directed={} flooded={} filtered={}",
+        plane.stats.directed, plane.stats.flooded, plane.stats.filtered
+    );
+    println!(
+        "bystander LAN heard {} frames (of {} sent) — learning keeps it quiet",
+        world.segment(segs[2]).counters().deliveries,
+        200
+    );
+    println!(
+        "host2 received {} frames",
+        world.node::<HostNode>(h2).core.exp_frames_rx
+    );
+    let _ = h1;
+}

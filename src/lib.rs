@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Active Bridging workspace.
+pub use active_bridge;
+pub use ether;
+pub use hostsim;
+pub use netsim;
+pub use netstack;
+pub use switchlet;

@@ -1,0 +1,235 @@
+//! Fine-grained paper behaviours: footnote 3's group-address rules on
+//! the live data path, the write-only TFTP server refusing reads over
+//! the network, and the first-bind-wins port arbitration surfacing as
+//! the paper's `Already_bound` failure.
+
+use active_bridge::hostmods::handler_ty;
+use active_bridge::scenario::{self, host_ip, host_mac};
+use active_bridge::{BridgeConfig, BridgeNode};
+use ether::MacAddr;
+use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+use netsim::{PortId, SimDuration, SimTime, World};
+use netstack::ipv4::Protocol;
+use netstack::TftpPacket;
+use switchlet::{ModuleBuilder, Op, Ty};
+
+/// Footnote 3: "if the source address is a multicast or broadcast
+/// address, this step [learning] is bypassed" — checked on the live
+/// bridge, not just the table.
+#[test]
+fn group_source_addresses_never_learned_live() {
+    let mut world = World::new(51);
+    let segs = scenario::lans(&mut world, 2);
+    let bridge = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    // A host whose NIC claims a *broadcast* source address (a buggy or
+    // hostile station).
+    let weird = world.add_node(HostNode::new(
+        "weird",
+        HostConfig::simple(MacAddr::BROADCAST, host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            64,
+            5,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(weird, segs[0]);
+    world.run_until(SimTime::from_ms(100));
+    assert_eq!(
+        world.node::<BridgeNode>(bridge).plane().learn.len(),
+        0,
+        "a group source address must never enter the table"
+    );
+}
+
+/// Footnote 3: group destinations always flood, even when a (bogus)
+/// table entry could exist.
+#[test]
+fn group_destinations_always_flood() {
+    let mut world = World::new(52);
+    let segs = scenario::lans(&mut world, 3);
+    scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let blaster = world.add_node(HostNode::new(
+        "blaster",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            MacAddr::BROADCAST,
+            64,
+            7,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(blaster, segs[0]);
+    world.run_until(SimTime::from_ms(100));
+    // Both other LANs carry all seven frames.
+    assert_eq!(world.segment(segs[1]).counters().tx_frames, 7);
+    assert_eq!(world.segment(segs[2]).counters().tx_frames, 7);
+}
+
+/// "This server only services write requests" — an RRQ over the real
+/// network path draws a TFTP ERROR, and nothing is served.
+#[test]
+fn tftp_read_requests_refused_over_the_network() {
+    let mut world = World::new(53);
+    let segs = scenario::lans(&mut world, 2);
+    let bridge = scenario::bridge(&mut world, 0, &segs, BridgeConfig::default(), &[]);
+    let host = world.add_node(HostNode::new(
+        "reader",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(host, segs[0]);
+    world.run_until(SimTime::from_ms(10));
+    // Send the RRQ directly (bypassing ARP by addressing the bridge MAC).
+    let rrq = TftpPacket::Rrq {
+        filename: "switchlets.bin",
+        mode: "octet",
+    }
+    .emit();
+    let frame = active_bridge::loader::wrap_tftp_packet(
+        host_mac(1),
+        host_ip(1),
+        1069,
+        scenario::bridge_mac(0),
+        scenario::bridge_ip(0),
+        1,
+        &rrq,
+    );
+    world.with_ctx::<HostNode, _>(host, |h, ctx| {
+        h.core.send_raw(ctx, PortId(0), frame);
+    });
+    world.run_until(SimTime::from_ms(100));
+    let node = world.node::<BridgeNode>(bridge);
+    let loader = node
+        .switchlet::<active_bridge::loader::NetLoader>("netloader")
+        .unwrap();
+    assert_eq!(loader.images_received, 0);
+    // Only the boot-loaded netloader carrier itself; nothing was served.
+    assert_eq!(node.plane().stats.images_loaded, 1);
+}
+
+/// "The first switchlet to bind to a given port succeeds and all others
+/// fail": two VM switchlets race for the same output port; the second
+/// gets the `Already_bound` error and its init is rejected.
+#[test]
+fn second_binder_gets_already_bound() {
+    fn binder_image(name: &str) -> Vec<u8> {
+        let mut mb = ModuleBuilder::new(name);
+        let i_bind = mb.import("unixnet", "bind_out", Ty::func(vec![Ty::Int], Ty::named("oport")));
+        let i_reg = mb.import(
+            "func",
+            "register_handler",
+            Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit),
+        );
+        // A trivial handler so the module is a plausible switchlet.
+        let mut h = mb.func("handler", vec![Ty::Str, Ty::Int], Ty::Unit);
+        h.op(Op::ConstUnit).op(Op::Return);
+        let h_idx = mb.finish(h);
+        let key = mb.intern_str(b"handler");
+        let mut init = mb.func("init", vec![], Ty::Unit);
+        init.op(Op::ConstInt(0)).op(Op::CallImport(i_bind)).op(Op::Pop);
+        init.op(Op::ConstStr(key)).op(Op::FuncConst(h_idx)).op(Op::CallImport(i_reg));
+        init.op(Op::Return);
+        let i_idx = mb.finish(init);
+        mb.set_init(i_idx);
+        mb.build().encode()
+    }
+
+    let mut world = World::new(54);
+    let segs = scenario::lans(&mut world, 2);
+    let mut node = BridgeNode::new(
+        "bridge0",
+        scenario::bridge_mac(0),
+        scenario::bridge_ip(0),
+        2,
+        BridgeConfig::default(),
+    );
+    node.boot_load_native(active_bridge::loader::NAME);
+    node.boot_load(binder_image("first"));
+    node.boot_load(binder_image("second"));
+    let b = world.add_node(node);
+    for &s in &segs {
+        world.attach(b, s);
+    }
+    world.run_until(SimTime::from_ms(10));
+    let node = world.node::<BridgeNode>(b);
+    assert!(node.plane().is_loaded("first"), "first binder loads");
+    assert!(
+        !node.plane().is_loaded("second"),
+        "second binder's init trapped on Already_bound"
+    );
+    assert!(
+        world.trace().contains("Already_bound"),
+        "the paper's exception surfaces in the trace"
+    );
+}
+
+/// The loader's minimal IP really rejects fragments (hosts fragment,
+/// the loader stack must not accept fragmented uploads).
+#[test]
+fn loader_ignores_fragmented_datagrams() {
+    let mut world = World::new(55);
+    let segs = scenario::lans(&mut world, 2);
+    let bridge = scenario::bridge(&mut world, 0, &segs, BridgeConfig::default(), &[]);
+    let host = world.add_node(HostNode::new(
+        "fragger",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(host, segs[0]);
+    world.run_until(SimTime::from_ms(10));
+    // A WRQ inside a deliberately fragmented datagram (two fragments).
+    let wrq = TftpPacket::Wrq {
+        filename: "x",
+        mode: "octet",
+    }
+    .emit();
+    let udp = netstack::udp::emit(host_ip(1), 1069, scenario::bridge_ip(0), 69, &wrq);
+    let frags = netstack::ipv4::emit_fragments(
+        host_ip(1),
+        scenario::bridge_ip(0),
+        Protocol::UDP,
+        9,
+        64,
+        &udp,
+        // An absurdly small "MTU" forces fragmentation of even this
+        // small datagram.
+        28,
+    );
+    assert!(frags.len() >= 2, "setup: datagram must fragment");
+    world.with_ctx::<HostNode, _>(host, |h, ctx| {
+        for f in &frags {
+            let frame = ether::FrameBuilder::new(
+                scenario::bridge_mac(0),
+                host_mac(1),
+                ether::EtherType::IPV4,
+            )
+            .payload(f)
+            .build();
+            h.core.send_raw(ctx, PortId(0), frame);
+        }
+    });
+    world.run_until(SimTime::from_ms(100));
+    let node = world.node::<BridgeNode>(bridge);
+    let loader = node
+        .switchlet::<active_bridge::loader::NetLoader>("netloader")
+        .unwrap();
+    assert_eq!(
+        loader.images_received, 0,
+        "minimal IP does not implement fragmentation (paper 5.2)"
+    );
+}

@@ -1,0 +1,164 @@
+//! Cross-crate property tests: end-to-end invariants under randomized
+//! inputs.
+
+use ab_bench::{run_ping, run_ttcp, Forwarder};
+use active_bridge::scenario::{self, host_ip, host_mac};
+use active_bridge::{BridgeConfig, BridgeNode};
+use hostsim::{HostConfig, HostCostModel, HostNode};
+use netsim::{SimTime, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every ping of any size (including fragmented ones) gets a reply
+    /// through the bridge.
+    #[test]
+    fn any_size_ping_survives_the_bridge(size in 0usize..4096, seed in 0u64..1000) {
+        let s = run_ping(Forwarder::Bridge, size, 3, seed);
+        prop_assert_eq!(s.received, 3);
+    }
+
+    /// ttcp transfers of any write size complete and deliver every byte.
+    #[test]
+    fn any_write_size_ttcp_completes(
+        write in prop::sample::select(vec![32usize, 100, 512, 700, 1024, 1462, 2048, 8192]),
+        total in 20_000u64..200_000,
+    ) {
+        let s = run_ttcp(Forwarder::Bridge, write, total, 5);
+        prop_assert!(s.completed, "write={} total={}", write, total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random bridged topologies, the converged spanning tree is
+    /// loop-free and spans every reachable segment: treating segments as
+    /// vertices and each bridge's forwarding port-pairs as edges, the
+    /// active topology has no cycle and connects everything the physical
+    /// topology connects.
+    #[test]
+    fn stp_converges_to_a_spanning_tree(
+        n_segs in 2usize..6,
+        extra_links in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let mut world = World::new(seed);
+        world.trace_mut().set_enabled(false);
+        let segs = scenario::lans(&mut world, n_segs);
+        // A connected backbone: bridge i joins segment i and i+1 ...
+        let mut edges: Vec<(usize, usize)> = (0..n_segs - 1).map(|i| (i, i + 1)).collect();
+        // ... plus random extra links (creating loops).
+        let mut rng = netsim::Xoshiro::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..extra_links {
+            let a = rng.range(n_segs as u64) as usize;
+            let b = rng.range(n_segs as u64) as usize;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let bridges: Vec<_> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                scenario::bridge(
+                    &mut world,
+                    i as u32,
+                    &[segs[a], segs[b]],
+                    BridgeConfig::default(),
+                    &["bridge_learning", "stp_ieee"],
+                )
+            })
+            .collect();
+        // Converge: max_age + 2 x forward_delay + margin.
+        world.run_until(SimTime::from_secs(60));
+
+        // Build the active-forwarding edge list.
+        let mut active: Vec<(usize, usize)> = Vec::new();
+        for (i, &b) in bridges.iter().enumerate() {
+            let plane = world.node::<BridgeNode>(b).plane();
+            let fwd0 = plane.flags[0].forward;
+            let fwd1 = plane.flags[1].forward;
+            if fwd0 && fwd1 {
+                active.push(edges[i]);
+            }
+        }
+        // Union-find over segments.
+        let mut parent: Vec<usize> = (0..n_segs).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        let mut cycle = false;
+        for &(a, b) in &active {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                cycle = true;
+            } else {
+                parent[ra] = rb;
+            }
+        }
+        prop_assert!(!cycle, "active topology has a loop: {:?}", active);
+        // Connectivity: physical graph is connected by construction, so
+        // the active graph must connect all segments too.
+        let root = find(&mut parent, 0);
+        for s in 1..n_segs {
+            prop_assert_eq!(
+                find(&mut parent, s),
+                root,
+                "segment {} disconnected; active: {:?}",
+                s,
+                active
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The bridge never crashes on arbitrary garbage frames delivered to
+    /// its loader address, and never loads anything from them.
+    #[test]
+    fn loader_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 14..200)) {
+        let mut world = World::new(1);
+        let segs = scenario::lans(&mut world, 2);
+        let bridge = scenario::bridge(
+            &mut world,
+            0,
+            &segs,
+            BridgeConfig::default(),
+            &["bridge_learning"],
+        );
+        let host = world.add_node(HostNode::new(
+            "fuzzer",
+            HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+            vec![],
+        ));
+        world.attach(host, segs[0]);
+        world.run_until(SimTime::from_ms(10));
+        // Hand-craft a frame to the bridge's station address with random
+        // contents after the header.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&scenario::bridge_mac(0).octets());
+        frame.extend_from_slice(&host_mac(1).octets());
+        frame.extend_from_slice(&bytes[..2]);
+        frame.extend_from_slice(&bytes[2..]);
+        frame.resize(frame.len().max(60), 0);
+        if frame.len() > 1514 {
+            frame.truncate(1514);
+        }
+        world.with_ctx::<HostNode, _>(host, |h, ctx| {
+            h.core.send_raw(ctx, netsim::PortId(0), bytes::Bytes::from(frame));
+        });
+        world.run_until(SimTime::from_ms(50));
+        let stats = &world.node::<BridgeNode>(bridge).plane().stats;
+        // Only the two boot images (netloader + learning); the garbage
+        // loaded nothing.
+        prop_assert_eq!(stats.images_loaded, 2, "only the boot images");
+    }
+}
