@@ -28,13 +28,25 @@ fn bystander_traffic(learning: bool) -> u64 {
     let h2 = world.add_node(HostNode::new(
         "h2",
         HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
-        vec![BlastApp::new(PortId(0), host_mac(1), 64, 1, SimDuration::from_ms(1))],
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(1),
+            64,
+            1,
+            SimDuration::from_ms(1),
+        )],
     ));
     world.attach(h2, segs[1]);
     let h1 = world.add_node(HostNode::new(
         "h1",
         HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
-        vec![BlastApp::new(PortId(0), host_mac(2), 512, 200, SimDuration::from_ms(2))],
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            512,
+            200,
+            SimDuration::from_ms(2),
+        )],
     ));
     world.attach(h1, segs[0]);
     world.run_until(SimTime::from_secs(2));
@@ -54,8 +66,8 @@ fn loop_frames(stp: bool) -> u64 {
         scenario::bridge(&mut world, i, &segs, BridgeConfig::default(), boot);
     }
     world.run_until(SimTime::from_secs(35));
-    let before = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let before =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
     let h = world.add_node(HostNode::new(
         "h",
         HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),

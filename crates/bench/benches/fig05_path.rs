@@ -10,13 +10,13 @@ fn print_walk() {
     let sizes = [64usize, 1024, 1514];
     let walks: Vec<_> = sizes.iter().map(|&s| fig5_walk(s)).collect();
     let mut rows = Vec::new();
-    for i in 0..7 {
+    for (w0, (w1, w2)) in walks[0].iter().zip(walks[1].iter().zip(&walks[2])).take(7) {
         rows.push(vec![
-            format!("{}", walks[0][i].step),
-            walks[0][i].what.to_string(),
-            format!("{:.1}", walks[0][i].us),
-            format!("{:.1}", walks[1][i].us),
-            format!("{:.1}", walks[2][i].us),
+            format!("{}", w0.step),
+            w0.what.to_string(),
+            format!("{:.1}", w0.us),
+            format!("{:.1}", w1.us),
+            format!("{:.1}", w2.us),
         ]);
     }
     let model = CostModel::active_bridge_1997();

@@ -25,10 +25,7 @@ fn print_figure() {
     }
     println!(
         "{}",
-        table::render(
-            &["size(B)", "direct", "C repeater", "active bridge"],
-            &rows
-        )
+        table::render(&["size(B)", "direct", "C repeater", "active bridge"], &rows)
     );
     println!("paper (Figure 9): direct < repeater < bridge at every size; the");
     println!("bridge's extra latency is the user-space crossing + interpretation.\n");

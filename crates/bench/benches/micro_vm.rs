@@ -11,8 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ether::MacAddr;
 use netsim::{PortId, SimDuration, SimTime};
 use switchlet::{
-    call, md5, verify_module, Env, ExecConfig, HostDispatch, HostModuleSig, Module, Namespace,
-    Ty, Value, VmError,
+    call, md5, verify_module, Env, ExecConfig, HostDispatch, HostModuleSig, Module, Namespace, Ty,
+    Value, VmError,
 };
 
 /// Host stub for running the VM dumb bridge outside a real bridge node.
@@ -67,7 +67,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| md5(&data))
     });
 
-    c.bench_function("module_decode", |b| b.iter(|| Module::decode(&image).unwrap()));
+    c.bench_function("module_decode", |b| {
+        b.iter(|| Module::decode(&image).unwrap())
+    });
 
     c.bench_function("verify_dumb_vm_module", |b| {
         b.iter(|| verify_module(&module).unwrap())

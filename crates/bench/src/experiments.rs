@@ -493,12 +493,7 @@ pub fn fig5_walk(len: usize) -> Vec<PathStep> {
 /// Upload a switchlet image from host A to the bridge over TFTP and wait
 /// for it to load; returns true on success. Used by the loading tests and
 /// the quickstart example.
-pub fn upload_and_load(
-    world: &mut World,
-    host: NodeId,
-    app_idx: usize,
-    horizon: SimTime,
-) -> bool {
+pub fn upload_and_load(world: &mut World, host: NodeId, app_idx: usize, horizon: SimTime) -> bool {
     run_until_done(world, horizon, |w| {
         let App::Upload(u) = w.node::<HostNode>(host).app(app_idx) else {
             unreachable!()

@@ -22,9 +22,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use ether::{EtherType, Frame, MacAddr};
-use netsim::{
-    Ctx, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken,
-};
+use netsim::{Ctx, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken};
 use switchlet::{ExecConfig, FuncVal, Module, Namespace, Value};
 
 use crate::config::BridgeConfig;
@@ -144,7 +142,12 @@ pub trait NativeSwitchlet: Any {
     /// The switchlet was resumed.
     fn on_resume(&mut self, _bc: &mut BridgeCtx<'_, '_>) {}
     /// A frame whose destination address this switchlet registered for.
-    fn on_registered_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &Frame<'_>) {
+    fn on_registered_frame(
+        &mut self,
+        _bc: &mut BridgeCtx<'_, '_>,
+        _port: PortId,
+        _frame: &Frame<'_>,
+    ) {
     }
     /// Invoked when this switchlet is the installed switching function.
     fn switch_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &Frame<'_>) {}
@@ -366,10 +369,7 @@ impl BridgeNode {
     fn dispatch_registered(&mut self, ctx: &mut Ctx<'_>, name: &str, port: PortId, frame: &Bytes) {
         if let Some(key) = name.strip_prefix("vm:") {
             if let Some(&fv) = self.vm_handlers.get(key) {
-                let args = vec![
-                    Value::str(frame.to_vec()),
-                    Value::Int(port.0 as i64),
-                ];
+                let args = vec![Value::str(frame.to_vec()), Value::Int(port.0 as i64)];
                 self.call_vm(ctx, fv, args);
             }
             return;
@@ -552,8 +552,7 @@ impl BridgeNode {
                     }
                     BridgeCommand::Resume(name) => {
                         if let Some(&idx) = self.by_name.get(&name) {
-                            if self.plane.status.get(&name) == Some(&SwitchletStatus::Suspended)
-                            {
+                            if self.plane.status.get(&name) == Some(&SwitchletStatus::Suspended) {
                                 self.plane
                                     .status
                                     .insert(name.clone(), SwitchletStatus::Running);

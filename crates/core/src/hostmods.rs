@@ -78,10 +78,7 @@ pub fn host_env() -> Env {
     );
     env.add_module(
         HostModuleSig::new("bridgectl")
-            .func(
-                "register_addr",
-                Ty::func(vec![Ty::Str, Ty::Str], Ty::Unit),
-            )
+            .func("register_addr", Ty::func(vec![Ty::Str, Ty::Str], Ty::Unit))
             .func(
                 "set_port_forward",
                 Ty::func(vec![Ty::Int, Ty::Bool], Ty::Unit),
@@ -268,9 +265,7 @@ impl HostDispatch for HostEnv<'_, '_> {
             ("switchctl", "is_running") => {
                 Ok(Value::Bool(self.plane.is_running(&str_arg(&args, 0))))
             }
-            ("switchctl", "loaded") => {
-                Ok(Value::Bool(self.plane.is_loaded(&str_arg(&args, 0))))
-            }
+            ("switchctl", "loaded") => Ok(Value::Bool(self.plane.is_loaded(&str_arg(&args, 0)))),
             ("switchctl", "suspend") => {
                 self.cmds.push(BridgeCommand::Suspend(str_arg(&args, 0)));
                 Ok(Value::Unit)
@@ -319,9 +314,6 @@ mod tests {
     fn handler_type_is_frame_port_to_unit() {
         let env = host_env();
         let (_, ty) = env.lookup("func", "register_handler").unwrap();
-        assert_eq!(
-            *ty,
-            Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit)
-        );
+        assert_eq!(*ty, Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit));
     }
 }

@@ -38,7 +38,5 @@ pub use switchlets::control::{ControlSwitchlet, Phase, TransitionEvent};
 pub use switchlets::dumb::DumbBridge;
 pub use switchlets::learning::LearningBridge;
 pub use switchlets::stp::bpdu::{Bpdu, BridgeId, ConfigBpdu, StpVariant};
-pub use switchlets::stp::engine::{
-    Defect, PortRole, PortState, StpAction, StpEngine, StpSnapshot,
-};
+pub use switchlets::stp::engine::{Defect, PortRole, PortState, StpAction, StpEngine, StpSnapshot};
 pub use switchlets::stp::StpSwitchlet;

@@ -53,11 +53,12 @@ impl NetLoader {
         payload: &[u8],
     ) {
         let udp = netstack::udp::emit(bc.ip, TFTP_PORT, dst_ip, dst_port, payload);
-        let ip = match netstack::ipv4::emit(bc.ip, dst_ip, Protocol::UDP, self.ip_ident, 64, &udp, 1500)
-        {
-            Ok(p) => p,
-            Err(_) => return, // reply exceeds MTU: drop (no fragmentation)
-        };
+        let ip =
+            match netstack::ipv4::emit(bc.ip, dst_ip, Protocol::UDP, self.ip_ident, 64, &udp, 1500)
+            {
+                Ok(p) => p,
+                Err(_) => return, // reply exceeds MTU: drop (no fragmentation)
+            };
         self.ip_ident = self.ip_ident.wrapping_add(1);
         let frame = FrameBuilder::new(dst_mac, bc.mac, EtherType::IPV4)
             .payload(&ip)
@@ -80,12 +81,7 @@ impl NativeSwitchlet for NetLoader {
         bc.log(format!("network loader ready at {ip} (tftp/{TFTP_PORT})"));
     }
 
-    fn on_registered_frame(
-        &mut self,
-        bc: &mut BridgeCtx<'_, '_>,
-        port: PortId,
-        frame: &Frame<'_>,
-    ) {
+    fn on_registered_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
         match frame.ethertype() {
             EtherType::ARP => {
                 let Ok(arp) = ArpPacket::parse(frame.payload()) else {

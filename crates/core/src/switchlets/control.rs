@@ -97,10 +97,7 @@ impl ControlSwitchlet {
     fn record(&mut self, bc: &mut BridgeCtx<'_, '_>, what: impl Into<String>) {
         let what = what.into();
         bc.log(format!("control: {what}"));
-        self.events.push(TransitionEvent {
-            at: bc.now(),
-            what,
-        });
+        self.events.push(TransitionEvent { at: bc.now(), what });
     }
 
     fn begin_transition(&mut self, bc: &mut BridgeCtx<'_, '_>) {
@@ -177,7 +174,10 @@ impl NativeSwitchlet for ControlSwitchlet {
             return;
         }
         if !bc.plane.is_loaded(IEEE_NAME) || bc.plane.is_running(IEEE_NAME) {
-            self.record(bc, "precondition failed: IEEE must be loaded, dormant; stopping");
+            self.record(
+                bc,
+                "precondition failed: IEEE must be loaded, dormant; stopping",
+            );
             bc.command(BridgeCommand::Stop(NAME.into()));
             return;
         }

@@ -20,7 +20,11 @@ pub fn build_image() -> Vec<u8> {
     let mut mb = ModuleBuilder::new(NAME);
     let oport = Ty::named("oport");
     let i_num = mb.import("unixnet", "num_ports", Ty::func(vec![], Ty::Int));
-    let i_bind = mb.import("unixnet", "bind_out", Ty::func(vec![Ty::Int], oport.clone()));
+    let i_bind = mb.import(
+        "unixnet",
+        "bind_out",
+        Ty::func(vec![Ty::Int], oport.clone()),
+    );
     let i_send = mb.import(
         "unixnet",
         "send_pkt_out",
@@ -66,7 +70,9 @@ pub fn build_image() -> Vec<u8> {
     let banner = mb.intern_str(b"vm dumb bridge: flooding installed");
     let key = mb.intern_str(b"switching");
     let mut init = mb.func("init", vec![], Ty::Unit);
-    init.op(Op::ConstStr(banner)).op(Op::CallImport(i_log)).op(Op::Pop);
+    init.op(Op::ConstStr(banner))
+        .op(Op::CallImport(i_log))
+        .op(Op::Pop);
     init.op(Op::ConstStr(key));
     init.op(Op::FuncConst(handler_idx));
     init.op(Op::CallImport(i_reg));

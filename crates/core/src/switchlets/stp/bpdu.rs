@@ -177,8 +177,8 @@ pub mod dec {
                 let mut out = Vec::with_capacity(CONFIG_LEN);
                 out.push(MAGIC);
                 out.push(0x01); // type: config
-                // DEC-style: bridge first, then root (opposite of IEEE),
-                // little-endian scalars, raw seconds.
+                                // DEC-style: bridge first, then root (opposite of IEEE),
+                                // little-endian scalars, raw seconds.
                 out.extend_from_slice(&c.bridge.priority.to_le_bytes());
                 out.extend_from_slice(&c.bridge.mac.octets());
                 out.extend_from_slice(&c.root.priority.to_le_bytes());
@@ -320,10 +320,7 @@ mod tests {
 
     #[test]
     fn variant_addresses_differ() {
-        assert_ne!(
-            StpVariant::Ieee.group_addr(),
-            StpVariant::Dec.group_addr()
-        );
+        assert_ne!(StpVariant::Ieee.group_addr(), StpVariant::Dec.group_addr());
     }
 
     #[test]

@@ -256,12 +256,7 @@ impl StpEngine {
     }
 
     /// Handle a received configuration BPDU.
-    pub fn on_config(
-        &mut self,
-        port: usize,
-        config: &ConfigBpdu,
-        now: SimTime,
-    ) -> Vec<StpAction> {
+    pub fn on_config(&mut self, port: usize, config: &ConfigBpdu, now: SimTime) -> Vec<StpAction> {
         self.bpdus_received += 1;
         let vector = PriorityVector {
             root: config.root,
@@ -388,10 +383,7 @@ impl StpEngine {
                 candidate.cost = candidate.cost.saturating_add(p.path_cost);
                 let is_better = match &best {
                     None => true,
-                    Some((b, bi)) => {
-                        self.better(&candidate, b)
-                            || (candidate == *b && i < *bi)
-                    }
+                    Some((b, bi)) => self.better(&candidate, b) || (candidate == *b && i < *bi),
                 };
                 if is_better {
                     best = Some((candidate, i));
@@ -538,9 +530,13 @@ mod tests {
         let (mut e, actions) = StpEngine::new(id(1), 2, 100, timers(), SimTime::ZERO);
         assert!(e.is_root());
         // Starts listening on both designated ports.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, StpAction::SetPortState { state: PortState::Listening, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            StpAction::SetPortState {
+                state: PortState::Listening,
+                ..
+            }
+        )));
         // After 2 x forward_delay of ticks, both ports forward.
         let mut now = SimTime::ZERO;
         for _ in 0..31 {
@@ -622,8 +618,7 @@ mod tests {
     fn inverted_election_picks_wrong_root() {
         let mut engines: Vec<StpEngine> = (0..3)
             .map(|i| {
-                let (mut e, _) =
-                    StpEngine::new(id(i as u32 + 1), 2, 100, timers(), SimTime::ZERO);
+                let (mut e, _) = StpEngine::new(id(i as u32 + 1), 2, 100, timers(), SimTime::ZERO);
                 e.set_defect(Defect::InvertedElection);
                 e
             })

@@ -74,7 +74,8 @@ impl StpSwitchlet {
             StpEngine::new(bridge_id, bc.num_ports(), 100, bc.cfg.stp, bc.now());
         engine.set_defect(self.defect);
         self.engine = Some(engine);
-        bc.plane.register_addr(self.variant.group_addr(), self.unit_name());
+        bc.plane
+            .register_addr(self.variant.group_addr(), self.unit_name());
         self.apply(bc, actions);
         self.tick = Some(bc.schedule(TICK, TICK_TOKEN));
         let name = self.unit_name();
@@ -177,12 +178,7 @@ impl NativeSwitchlet for StpSwitchlet {
         self.start(bc);
     }
 
-    fn on_registered_frame(
-        &mut self,
-        bc: &mut BridgeCtx<'_, '_>,
-        port: PortId,
-        frame: &Frame<'_>,
-    ) {
+    fn on_registered_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
         let Some(bpdu) = self.decode(frame) else {
             return;
         };

@@ -3,6 +3,10 @@
 //! the frame-rate table), a TFTP uploader (the switchlet delivery path),
 //! the Section 7.5 agility probe, and a raw-frame workload generator.
 
+// Every app's `new` deliberately returns the [`App`] dispatch enum, not
+// `Self`: hosts take `Vec<App>`, and the wrapper is the only public handle.
+#![allow(clippy::new_ret_no_self)]
+
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 

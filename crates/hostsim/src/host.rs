@@ -61,6 +61,7 @@ pub struct HostCore {
     /// Configuration.
     pub cfg: HostConfig,
     arp: HashMap<Ipv4Addr, MacAddr>,
+    #[allow(clippy::type_complexity)]
     arp_waiting: HashMap<Ipv4Addr, Vec<(PortId, Protocol, Vec<u8>, bool)>>,
     rx_q: ServiceQueue<(PortId, Bytes)>,
     tx_q: ServiceQueue<(PortId, Bytes)>,
@@ -139,9 +140,10 @@ impl HostCore {
                 .or_default()
                 .push((port, proto, payload, fragment));
             let req = ArpPacket::request(self.cfg.macs[port.0], self.cfg.ips[port.0], dst_ip);
-            let frame = FrameBuilder::new(MacAddr::BROADCAST, self.cfg.macs[port.0], EtherType::ARP)
-                .payload(&req.emit())
-                .build();
+            let frame =
+                FrameBuilder::new(MacAddr::BROADCAST, self.cfg.macs[port.0], EtherType::ARP)
+                    .payload(&req.emit())
+                    .build();
             self.send_raw(ctx, port, frame);
             return;
         };

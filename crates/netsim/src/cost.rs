@@ -137,8 +137,8 @@ mod tests {
         let bridge = CostModel::active_bridge_1997();
         let repeater = CostModel::c_repeater_1997();
         // Paper: the bridge sustains about 44% of the repeater's throughput.
-        let ratio = repeater.service_time(1514).as_ns() as f64
-            / bridge.service_time(1514).as_ns() as f64;
+        let ratio =
+            repeater.service_time(1514).as_ns() as f64 / bridge.service_time(1514).as_ns() as f64;
         assert!((0.38..0.50).contains(&ratio), "ratio {ratio}");
     }
 

@@ -257,10 +257,7 @@ mod tests {
         let d = SimDuration::serialization(1514, 100_000_000);
         assert_eq!(d.as_ns(), 121_120);
         // Zero bytes serialize instantly.
-        assert_eq!(
-            SimDuration::serialization(0, 10_000_000),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::serialization(0, 10_000_000), SimDuration::ZERO);
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use bytes::Bytes;
 use netsim::{
-    Ctx, FaultConfig, Node, PortId, SegmentConfig, SimDuration, SimTime, TimerToken, World,
-    Xoshiro,
+    Ctx, FaultConfig, Node, PortId, SegmentConfig, SimDuration, SimTime, TimerToken, World, Xoshiro,
 };
 use proptest::prelude::*;
 

@@ -131,6 +131,7 @@ impl<'a> Packet<'a> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_raw(
     src: Ipv4Addr,
     dst: Ipv4Addr,
@@ -390,7 +391,7 @@ mod tests {
     fn fragments_rejected() {
         let mut pkt = emit(A, B, Protocol::UDP, 7, 64, b"data", 1500).unwrap();
         pkt[6] = 0x20; // MF
-        // refresh checksum so only the fragment check fires
+                       // refresh checksum so only the fragment check fires
         pkt[10] = 0;
         pkt[11] = 0;
         let c = checksum(&pkt[..HEADER_LEN]);
@@ -409,7 +410,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert!(matches!(Packet::parse(&[0x45; 10]), Err(IpError::Truncated)));
+        assert!(matches!(
+            Packet::parse(&[0x45; 10]),
+            Err(IpError::Truncated)
+        ));
     }
 
     #[test]

@@ -88,11 +88,7 @@ fn pseudo_header(c: &mut Checksum, src: Ipv4Addr, dst: Ipv4Addr, len: u16) {
 
 impl<'a> Segment<'a> {
     /// Parse a segment; `src`/`dst` feed the pseudo-header checksum.
-    pub fn parse(
-        buf: &'a [u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<Segment<'a>, TcpLiteError> {
+    pub fn parse(buf: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Segment<'a>, TcpLiteError> {
         if buf.len() < HEADER_LEN {
             return Err(TcpLiteError::Truncated);
         }

@@ -81,13 +81,7 @@ impl<'a> Datagram<'a> {
 }
 
 /// Assemble a UDP datagram (checksum always generated).
-pub fn emit(
-    src: Ipv4Addr,
-    src_port: u16,
-    dst: Ipv4Addr,
-    dst_port: u16,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn emit(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: &[u8]) -> Vec<u8> {
     let len = (HEADER_LEN + payload.len()) as u16;
     let mut buf = Vec::with_capacity(len as usize);
     buf.extend_from_slice(&src_port.to_be_bytes());
@@ -127,7 +121,10 @@ mod tests {
         let mut d = emit(A, 1, B, 2, b"hello");
         let last = d.len() - 1;
         d[last] ^= 0xFF;
-        assert_eq!(Datagram::parse(&d, A, B).unwrap_err(), UdpError::BadChecksum);
+        assert_eq!(
+            Datagram::parse(&d, A, B).unwrap_err(),
+            UdpError::BadChecksum
+        );
     }
 
     #[test]
@@ -135,7 +132,10 @@ mod tests {
         let d = emit(A, 1, B, 2, b"hello");
         // Same bytes claimed to come from a different source address.
         let c = Ipv4Addr::new(192, 168, 1, 9);
-        assert_eq!(Datagram::parse(&d, c, B).unwrap_err(), UdpError::BadChecksum);
+        assert_eq!(
+            Datagram::parse(&d, c, B).unwrap_err(),
+            UdpError::BadChecksum
+        );
     }
 
     #[test]

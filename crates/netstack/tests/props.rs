@@ -175,7 +175,7 @@ proptest! {
             lfsr ^= lfsr << 13;
             lfsr ^= lfsr >> 7;
             lfsr ^= lfsr << 17;
-            lfsr % 16 == 0
+            lfsr.is_multiple_of(16)
         };
         let mut guard = 0;
         while !tx.all_acked() {

@@ -1,0 +1,206 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! subset of the Criterion API the `ab_bench` benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It measures a simple
+//! mean over a fixed sample count and prints one line per benchmark — no
+//! statistics, plots, or HTML reports.
+//!
+//! Like the real crate under `cargo test`/`--test`, each benchmark runs a
+//! single iteration in test mode so suites stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirror of the real crate's CLI handling: `--test` (passed by
+    /// `cargo test --benches`) switches to one-iteration smoke mode, and
+    /// positional arguments act as substring filters on benchmark ids
+    /// (`cargo bench -- fig09` runs only matching benchmarks). Other
+    /// flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.matches(&id) {
+            run_bench(&id, self.sample_size, self.test_mode, f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let id = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&id) {
+            run_bench(&id, samples, self.criterion.test_mode, f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok (1 iteration, test mode)");
+        return;
+    }
+    // Warm-up: one untimed iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let mean = total / samples as u32;
+    println!("{id:<50} mean {mean:>12.3?}  best {best:>12.3?}  ({samples} samples)");
+}
+
+/// Expands to a function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs() {
+        let mut c = Criterion::default();
+        c.sample_size(2)
+            .bench_function("smoke", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,21 @@
+//! `proptest::sample` subset: [`select`].
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}

@@ -387,6 +387,9 @@ mod tests {
         ns.load_module(module).unwrap();
         let (fv, _) = ns.lookup_export("m", "s").unwrap();
         let err = call(&ns, &mut NoHost, fv, vec![], &ExecConfig::default()).unwrap_err();
-        assert!(matches!(err, crate::vm::VmError::StrBounds { len: 2, index: 5 }));
+        assert!(matches!(
+            err,
+            crate::vm::VmError::StrBounds { len: 2, index: 5 }
+        ));
     }
 }

@@ -115,7 +115,10 @@ impl Env {
     /// existed — indistinguishable by design).
     pub fn lookup(&self, module: &str, item: &str) -> Option<(HostSlot, &Ty)> {
         let slot = *self.index.get(&(module.to_owned(), item.to_owned()))?;
-        Some((slot, &self.modules[slot.module as usize].items[slot.item as usize].ty))
+        Some((
+            slot,
+            &self.modules[slot.module as usize].items[slot.item as usize].ty,
+        ))
     }
 
     /// Resolve a slot back to `(module, item, type)`.

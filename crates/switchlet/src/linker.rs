@@ -289,20 +289,13 @@ mod tests {
 
     fn env() -> Env {
         let mut e = Env::new();
-        e.add_module(
-            HostModuleSig::new("safestd").func("add7", Ty::func(vec![Ty::Int], Ty::Int)),
-        );
+        e.add_module(HostModuleSig::new("safestd").func("add7", Ty::func(vec![Ty::Int], Ty::Int)));
         e
     }
 
     struct Add7;
     impl HostDispatch for Add7 {
-        fn call(
-            &mut self,
-            module: &str,
-            item: &str,
-            args: Vec<Value>,
-        ) -> Result<Value, VmError> {
+        fn call(&mut self, module: &str, item: &str, args: Vec<Value>) -> Result<Value, VmError> {
             assert_eq!((module, item), ("safestd", "add7"));
             Ok(Value::Int(args[0].as_int() + 7))
         }
@@ -481,23 +474,16 @@ mod tests {
     #[test]
     fn init_runs_at_load() {
         let mut e = Env::new();
-        e.add_module(
-            HostModuleSig::new("func").func(
-                "register",
-                Ty::func(vec![Ty::Str, Ty::func(vec![Ty::Int], Ty::Int)], Ty::Unit),
-            ),
-        );
+        e.add_module(HostModuleSig::new("func").func(
+            "register",
+            Ty::func(vec![Ty::Str, Ty::func(vec![Ty::Int], Ty::Int)], Ty::Unit),
+        ));
 
         struct Registry {
             registered: Vec<String>,
         }
         impl HostDispatch for Registry {
-            fn call(
-                &mut self,
-                _m: &str,
-                _i: &str,
-                args: Vec<Value>,
-            ) -> Result<Value, VmError> {
+            fn call(&mut self, _m: &str, _i: &str, args: Vec<Value>) -> Result<Value, VmError> {
                 self.registered
                     .push(String::from_utf8_lossy(args[0].as_str()).into_owned());
                 Ok(Value::Unit)

@@ -88,7 +88,9 @@ impl core::fmt::Display for DecodeError {
             DecodeError::BadOp(op) => write!(f, "unknown opcode 0x{op:02x}"),
             DecodeError::TooLarge(what) => write!(f, "{what} exceeds sanity cap"),
             DecodeError::BadUtf8 => write!(f, "name is not valid UTF-8"),
-            DecodeError::CodeDigestMismatch => write!(f, "byte codes were altered (digest mismatch)"),
+            DecodeError::CodeDigestMismatch => {
+                write!(f, "byte codes were altered (digest mismatch)")
+            }
             DecodeError::InterfaceDigestMismatch => {
                 write!(f, "interface digests do not match signatures")
             }
@@ -528,11 +530,7 @@ impl Module {
                 code,
             });
         }
-        let init = if r.u8()? != 0 {
-            Some(r.u32()?)
-        } else {
-            None
-        };
+        let init = if r.u8()? != 0 { Some(r.u32()?) } else { None };
         let import_digest = Digest(r.take(16)?.try_into().unwrap());
         let export_digest = Digest(r.take(16)?.try_into().unwrap());
         if !r.buf.is_empty() {
@@ -634,10 +632,7 @@ mod tests {
         // Flip a bit in the middle of the body.
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
-        assert_eq!(
-            Module::decode(&bytes),
-            Err(DecodeError::CodeDigestMismatch)
-        );
+        assert_eq!(Module::decode(&bytes), Err(DecodeError::CodeDigestMismatch));
     }
 
     #[test]

@@ -234,10 +234,7 @@ mod tests {
             Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit).to_string(),
             "[str, int] -> unit"
         );
-        assert_eq!(
-            Ty::table(Ty::Str, Ty::Int).to_string(),
-            "table<str, int>"
-        );
+        assert_eq!(Ty::table(Ty::Str, Ty::Int).to_string(), "table<str, int>");
         assert_eq!(
             Ty::tuple(vec![Ty::Int, Ty::Bool]).to_string(),
             "(int * bool)"

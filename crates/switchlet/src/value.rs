@@ -122,8 +122,7 @@ impl Value {
             (Value::Int(_), Ty::Int) => true,
             (Value::Str(_), Ty::Str) => true,
             (Value::Tuple(items), Ty::Tuple(tys)) => {
-                items.len() == tys.len()
-                    && items.iter().zip(tys).all(|(v, t)| v.matches(t))
+                items.len() == tys.len() && items.iter().zip(tys).all(|(v, t)| v.matches(t))
             }
             (Value::Func(_), Ty::Func(_)) => true, // arity checked at link/verify
             (Value::Table(_), Ty::Table(_, _)) => true,

@@ -187,7 +187,9 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
     // None means the previous instruction never falls through.
     let entry = Snap {
         stack: Vec::new(),
-        inited: (0..func.num_slots()).map(|i| i < func.params.len()).collect(),
+        inited: (0..func.num_slots())
+            .map(|i| i < func.params.len())
+            .collect(),
     };
     let mut current: Option<Snap> = Some(entry);
 
@@ -363,9 +365,7 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
                 }
                 for (got, want) in args.iter().zip(ft.params.iter()) {
                     if got != want {
-                        return Err(
-                            c.err(pc, format!("callref arg: expected {want}, found {got}"))
-                        );
+                        return Err(c.err(pc, format!("callref arg: expected {want}, found {got}")));
                     }
                 }
                 stack.push((*ft.result).clone());
@@ -455,10 +455,7 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
                     return Err(c.err(pc, format!("tableadd on non-table {t}")));
                 };
                 if **tk != k || **tv != v {
-                    return Err(c.err(
-                        pc,
-                        format!("tableadd ({k}, {v}) into {t}"),
-                    ));
+                    return Err(c.err(pc, format!("tableadd ({k}, {v}) into {t}")));
                 }
             }
             Op::TableGet => {
@@ -620,11 +617,11 @@ mod tests {
             Ty::Int,
             vec![
                 Op::LocalGet(0),
-                Op::BrIf(4),      // 1: to then-branch
-                Op::ConstInt(2),  // 2: else
-                Op::Jump(5),      // 3: to join
-                Op::ConstInt(1),  // 4: then
-                Op::Return,       // 5: join
+                Op::BrIf(4),     // 1: to then-branch
+                Op::ConstInt(2), // 2: else
+                Op::Jump(5),     // 3: to join
+                Op::ConstInt(1), // 4: then
+                Op::Return,      // 5: join
             ],
         ))
         .unwrap();
@@ -657,17 +654,17 @@ mod tests {
             locals: vec![],
             result: Ty::Unit,
             code: vec![
-                Op::LocalGet(0),  // 0 loop head
-                Op::ConstInt(0),  // 1
-                Op::Le,           // 2
-                Op::BrIf(9),      // 3 exit when local0 <= 0
-                Op::LocalGet(0),  // 4
-                Op::ConstInt(1),  // 5
-                Op::Sub,          // 6
-                Op::LocalSet(0),  // 7
-                Op::Jump(0),      // 8 back edge
-                Op::ConstUnit,    // 9
-                Op::Return,       // 10
+                Op::LocalGet(0), // 0 loop head
+                Op::ConstInt(0), // 1
+                Op::Le,          // 2
+                Op::BrIf(9),     // 3 exit when local0 <= 0
+                Op::LocalGet(0), // 4
+                Op::ConstInt(1), // 5
+                Op::Sub,         // 6
+                Op::LocalSet(0), // 7
+                Op::Jump(0),     // 8 back edge
+                Op::ConstUnit,   // 9
+                Op::Return,      // 10
             ],
         })
         .unwrap();
@@ -678,7 +675,13 @@ mod tests {
         let err = verify_one(f(
             vec![],
             Ty::Unit,
-            vec![Op::ConstUnit, Op::Return, Op::Nop, Op::ConstUnit, Op::Return],
+            vec![
+                Op::ConstUnit,
+                Op::Return,
+                Op::Nop,
+                Op::ConstUnit,
+                Op::Return,
+            ],
         ))
         .unwrap_err();
         assert!(err.reason.contains("unreachable"), "{err}");
@@ -692,8 +695,12 @@ mod tests {
 
     #[test]
     fn rejects_oob_local() {
-        let err = verify_one(f(vec![Ty::Int], Ty::Unit, vec![Op::LocalGet(4), Op::Return]))
-            .unwrap_err();
+        let err = verify_one(f(
+            vec![Ty::Int],
+            Ty::Unit,
+            vec![Op::LocalGet(4), Op::Return],
+        ))
+        .unwrap_err();
         assert!(err.reason.contains("local 4"), "{err}");
     }
 
@@ -866,12 +873,7 @@ mod tests {
         let err = verify_one(f(
             vec![],
             Ty::Bool,
-            vec![
-                Op::TableNew(0),
-                Op::TableNew(0),
-                Op::Eq,
-                Op::Return,
-            ],
+            vec![Op::TableNew(0), Op::TableNew(0), Op::Eq, Op::Return],
         ))
         .unwrap_err();
         assert!(err.reason.contains("non-comparable"), "{err}");

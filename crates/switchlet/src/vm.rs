@@ -166,7 +166,9 @@ fn exec(
 
     macro_rules! pop {
         () => {
-            stack.pop().expect("verifier invariant broken: stack underflow")
+            stack
+                .pop()
+                .expect("verifier invariant broken: stack underflow")
         };
     }
 
@@ -299,7 +301,15 @@ fn exec(
                 let argc = callee.params.len();
                 let call_args = stack.split_off(stack.len() - argc);
                 let result = exec(
-                    ns, host, instance, *n, call_args, cfg, fuel, depth + 1, stats,
+                    ns,
+                    host,
+                    instance,
+                    *n,
+                    call_args,
+                    cfg,
+                    fuel,
+                    depth + 1,
+                    stats,
                 )?;
                 stack.push(result);
             }
@@ -325,8 +335,7 @@ fn exec(
                     } => ns.instance(i).module.functions[f as usize].params.len(),
                 };
                 let call_args = stack.split_off(stack.len() - argc);
-                let result =
-                    dispatch(ns, host, target, call_args, cfg, fuel, depth + 1, stats)?;
+                let result = dispatch(ns, host, target, call_args, cfg, fuel, depth + 1, stats)?;
                 stack.push(result);
             }
             Op::ImportGet(n) => {
@@ -349,10 +358,7 @@ fn exec(
                 let result = dispatch(ns, host, fv, call_args, cfg, fuel, depth + 1, stats)?;
                 stack.push(result);
             }
-            Op::FuncConst(n) => stack.push(Value::Func(FuncVal::Vm {
-                instance,
-                func: *n,
-            })),
+            Op::FuncConst(n) => stack.push(Value::Func(FuncVal::Vm { instance, func: *n })),
             Op::TupleMake(n) => {
                 let items = stack.split_off(stack.len() - *n as usize);
                 stack.push(Value::Tuple(Rc::new(items)));
@@ -391,8 +397,7 @@ fn exec(
                 let start = pop!().as_int();
                 let s = pop!();
                 let s = s.as_str();
-                if start < 0 || len < 0 || (start as usize).saturating_add(len as usize) > s.len()
-                {
+                if start < 0 || len < 0 || (start as usize).saturating_add(len as usize) > s.len() {
                     return Err(VmError::StrBounds {
                         len: s.len(),
                         index: start,

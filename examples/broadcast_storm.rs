@@ -26,8 +26,8 @@ fn run(with_stp: bool) -> (u64, usize) {
         .collect();
     // Give STP time to converge (or not, without it).
     world.run_until(SimTime::from_secs(35));
-    let baseline = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let baseline =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
 
     // One single broadcast frame.
     let h = world.add_node(HostNode::new(
@@ -43,8 +43,8 @@ fn run(with_stp: bool) -> (u64, usize) {
     ));
     world.attach(h, segs[0]);
     world.run_until(SimTime::from_secs(36));
-    let after = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let after =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
 
     let blocked: usize = bridges
         .iter()

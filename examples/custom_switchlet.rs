@@ -11,7 +11,7 @@
 //! cargo run --example custom_switchlet
 //! ```
 
-use ab_bench::{uploader, upload_and_load};
+use ab_bench::{upload_and_load, uploader};
 use active_bridge::hostmods::handler_ty;
 use active_bridge::scenario::{self, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
@@ -25,7 +25,11 @@ fn build_filter(blocked: ether::MacAddr) -> Vec<u8> {
     let mut mb = ModuleBuilder::new("mac_filter");
     let oport = Ty::named("oport");
     let i_num = mb.import("unixnet", "num_ports", Ty::func(vec![], Ty::Int));
-    let i_bind = mb.import("unixnet", "bind_out", Ty::func(vec![Ty::Int], oport.clone()));
+    let i_bind = mb.import(
+        "unixnet",
+        "bind_out",
+        Ty::func(vec![Ty::Int], oport.clone()),
+    );
     let i_send = mb.import(
         "unixnet",
         "send_pkt_out",
@@ -79,7 +83,10 @@ fn build_filter(blocked: ether::MacAddr) -> Vec<u8> {
     f.op(Op::LocalGet(0));
     f.op(Op::CallImport(i_send)).op(Op::Pop);
     f.place(next);
-    f.op(Op::LocalGet(p)).op(Op::ConstInt(1)).op(Op::Add).op(Op::LocalSet(p));
+    f.op(Op::LocalGet(p))
+        .op(Op::ConstInt(1))
+        .op(Op::Add)
+        .op(Op::LocalSet(p));
     f.jump(head);
     f.place(exit);
     f.op(Op::ConstUnit).op(Op::Return);
@@ -89,8 +96,12 @@ fn build_filter(blocked: ether::MacAddr) -> Vec<u8> {
     let banner = mb.intern_str(b"mac filter installed");
     let key = mb.intern_str(b"switching");
     let mut init = mb.func("init", vec![], Ty::Unit);
-    init.op(Op::ConstStr(banner)).op(Op::CallImport(i_log)).op(Op::Pop);
-    init.op(Op::ConstStr(key)).op(Op::FuncConst(h)).op(Op::CallImport(i_reg));
+    init.op(Op::ConstStr(banner))
+        .op(Op::CallImport(i_log))
+        .op(Op::Pop);
+    init.op(Op::ConstStr(key))
+        .op(Op::FuncConst(h))
+        .op(Op::CallImport(i_reg));
     init.op(Op::Return);
     let i = mb.finish(init);
     mb.set_init(i);
@@ -103,7 +114,9 @@ fn build_evil() -> Vec<u8> {
     let i_sys = mb.import("safeunix", "system", Ty::func(vec![Ty::Str], Ty::Int));
     let cmd = mb.intern_str(b"cat /etc/passwd");
     let mut init = mb.func("init", vec![], Ty::Unit);
-    init.op(Op::ConstStr(cmd)).op(Op::CallImport(i_sys)).op(Op::Pop);
+    init.op(Op::ConstStr(cmd))
+        .op(Op::CallImport(i_sys))
+        .op(Op::Pop);
     init.op(Op::ConstUnit).op(Op::Return);
     let i = mb.finish(init);
     mb.set_init(i);
@@ -117,7 +130,10 @@ fn main() {
 
     // 1. Load our filter switchlet over TFTP.
     let image = build_filter(host_mac(66));
-    println!("filter switchlet image: {} bytes (verified bytecode)", image.len());
+    println!(
+        "filter switchlet image: {} bytes (verified bytecode)",
+        image.len()
+    );
     let up = world.add_node(HostNode::new(
         "uploader",
         HostConfig::simple(host_mac(9), host_ip(9), HostCostModel::pc_1997()),
@@ -125,7 +141,10 @@ fn main() {
     ));
     world.attach(up, segs[0]);
     assert!(upload_and_load(&mut world, up, 0, SimTime::from_secs(20)));
-    println!("loaded; data plane: {:?}", world.node::<BridgeNode>(bridge).plane().data_plane);
+    println!(
+        "loaded; data plane: {:?}",
+        world.node::<BridgeNode>(bridge).plane().data_plane
+    );
 
     // 2. Traffic: a good host and a blocked host, plus a sink.
     let sink = world.add_node(HostNode::new(
@@ -137,13 +156,25 @@ fn main() {
     let good = world.add_node(HostNode::new(
         "good",
         HostConfig::simple(host_mac(4), host_ip(4), HostCostModel::FREE),
-        vec![BlastApp::new(PortId(0), host_mac(5), 100, 20, SimDuration::from_ms(3))],
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(5),
+            100,
+            20,
+            SimDuration::from_ms(3),
+        )],
     ));
     world.attach(good, segs[0]);
     let blocked = world.add_node(HostNode::new(
         "blocked",
         HostConfig::simple(host_mac(66), host_ip(66), HostCostModel::FREE),
-        vec![BlastApp::new(PortId(0), host_mac(5), 100, 20, SimDuration::from_ms(3))],
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(5),
+            100,
+            20,
+            SimDuration::from_ms(3),
+        )],
     ));
     world.attach(blocked, segs[0]);
 

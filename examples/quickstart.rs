@@ -42,7 +42,9 @@ fn main() {
     world.run_until(SimTime::from_secs(2));
     {
         let hp = world.node::<HostNode>(pinger);
-        let App::Ping(p) = hp.app(0) else { unreachable!() };
+        let App::Ping(p) = hp.app(0) else {
+            unreachable!()
+        };
         println!(
             "t={:>6}: bare loader — {} of {} pings answered (no switching function)",
             world.now(),
@@ -97,7 +99,9 @@ fn main() {
         p.done_at.is_some()
     });
     let hp = world.node::<HostNode>(pinger2);
-    let App::Ping(p) = hp.app(0) else { unreachable!() };
+    let App::Ping(p) = hp.app(0) else {
+        unreachable!()
+    };
     println!(
         "t={:>6}: after loading — {} of {} pings answered, avg RTT {:.3} ms",
         world.now(),

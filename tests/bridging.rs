@@ -158,8 +158,10 @@ fn learning_bridge_filters_local_traffic() {
 #[test]
 fn learning_table_ages_entries() {
     let mut world = World::new(3);
-    let mut cfg = BridgeConfig::default();
-    cfg.learn_age = SimDuration::from_secs(2);
+    let cfg = BridgeConfig {
+        learn_age: SimDuration::from_secs(2),
+        ..BridgeConfig::default()
+    };
     let segs = scenario::lans(&mut world, 2);
     let b = scenario::bridge(&mut world, 0, &segs, cfg, &["bridge_learning"]);
     let _h1 = host(
@@ -210,8 +212,8 @@ fn loop_without_stp_circulates_forever() {
         )],
     );
     world.run_until(SimTime::from_ms(500));
-    let circulated = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let circulated =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
     assert!(
         circulated > 500,
         "one broadcast must keep circulating in the loop (saw {circulated} frames)"
@@ -237,8 +239,8 @@ fn stp_kills_the_loop() {
         .collect();
     // Let the tree converge (two forward-delays plus margin).
     world.run_until(SimTime::from_secs(40));
-    let tx_before = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let tx_before =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
 
     host(
         &mut world,
@@ -253,8 +255,8 @@ fn stp_kills_the_loop() {
         )],
     );
     world.run_until(SimTime::from_secs(42));
-    let tx_after = world.segment(segs[0]).counters().tx_frames
-        + world.segment(segs[1]).counters().tx_frames;
+    let tx_after =
+        world.segment(segs[0]).counters().tx_frames + world.segment(segs[1]).counters().tx_frames;
     // The broadcast plus its single forwarded copy, plus a few BPDUs
     // (hellos continue every 2 s on both bridges).
     let data_frames = tx_after - tx_before;

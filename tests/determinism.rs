@@ -77,3 +77,85 @@ fn probe_bpdu_codec_matches_bridge_codec() {
         Some(bridge_bpdu::Bpdu::Config(_))
     ));
 }
+
+/// Serialize every retained trace entry of one lossy-bridged run into one
+/// byte string: `(time, node, message)` per line, oldest first.
+fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
+    use active_bridge::scenario::{host_ip, host_mac};
+    use active_bridge::BridgeConfig;
+    use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+    use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
+
+    let mut world = World::new(seed);
+    // Two LANs joined by a learning bridge; the second LAN drops and
+    // duplicates frames, so the event sequence depends on the world RNG.
+    let lan_a = world.add_segment(SegmentConfig::named("lan_a"));
+    let lan_b = world.add_segment(SegmentConfig {
+        fault: FaultConfig {
+            drop_one_in: 4,
+            corrupt_one_in: 7,
+            duplicate_one_in: 5,
+        },
+        ..SegmentConfig::named("lan_b")
+    });
+    let _bridge = active_bridge::scenario::bridge(
+        &mut world,
+        0,
+        &[lan_a, lan_b],
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let sender = world.add_node(HostNode::new(
+        "sender",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            200,
+            120,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(sender, lan_a);
+    let receiver = world.add_node(HostNode::new(
+        "receiver",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(receiver, lan_b);
+
+    world.run_until(SimTime::from_secs(2));
+
+    let mut out = Vec::new();
+    for e in world.trace().entries() {
+        out.extend_from_slice(format!("{:?}\t{:?}\t{}\n", e.at, e.node, e.msg).as_bytes());
+    }
+    // A run that traced nothing would make the comparison below vacuous.
+    assert!(!out.is_empty(), "lossy run produced no trace entries");
+    // Fold in the RNG-dependent observable state: per-segment wire
+    // counters (fault drops/corruptions vary with the seed) and the
+    // run-wide experiment counters.
+    for &seg in &[lan_a, lan_b] {
+        out.extend_from_slice(format!("{seg:?}\t{:?}\n", world.segment(seg).counters()).as_bytes());
+    }
+    for (key, value) in world.counters().iter() {
+        out.extend_from_slice(format!("{key}\t{value}\n").as_bytes());
+    }
+    out
+}
+
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    let a = lossy_run_trace_bytes(0xAB1D);
+    let b = lossy_run_trace_bytes(0xAB1D);
+    assert_eq!(a, b, "same (topology, seed) must replay the exact trace");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    // With faults drawn from the world RNG, distinct seeds should shift
+    // the event sequence — guarding against an RNG that ignores its seed.
+    let a = lossy_run_trace_bytes(0xAB1D);
+    let b = lossy_run_trace_bytes(0xF00D);
+    assert_ne!(a, b, "fault injection must actually consume the seed");
+}

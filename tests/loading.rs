@@ -154,7 +154,13 @@ fn staged_loading_reaches_bridges_one_hop_out() {
         BridgeConfig::default(),
         &["bridge_learning"],
     );
-    let b1 = scenario::bridge(&mut world, 1, &[segs[1], segs[2]], BridgeConfig::default(), &[]);
+    let b1 = scenario::bridge(
+        &mut world,
+        1,
+        &[segs[1], segs[2]],
+        BridgeConfig::default(),
+        &[],
+    );
     let image = ModuleBuilder::new("bridge_learning").build().encode();
     let up = world.add_node(HostNode::new(
         "uploader",
@@ -174,8 +180,10 @@ fn staged_loading_reaches_bridges_one_hop_out() {
         .node::<BridgeNode>(b1)
         .plane()
         .is_running("bridge_learning"));
-    assert!(world.node::<BridgeNode>(b0).plane().stats.directed > 0
-        || world.node::<BridgeNode>(b0).plane().stats.flooded > 0);
+    assert!(
+        world.node::<BridgeNode>(b0).plane().stats.directed > 0
+            || world.node::<BridgeNode>(b0).plane().stats.flooded > 0
+    );
 }
 
 #[test]
@@ -267,7 +275,11 @@ fn vm_and_native_dumb_are_equivalent() {
         for (i, &s) in segs.iter().enumerate().skip(1) {
             let sink = world.add_node(HostNode::new(
                 format!("sink{i}"),
-                HostConfig::simple(host_mac(10 + i as u32), host_ip(10 + i as u32), HostCostModel::FREE),
+                HostConfig::simple(
+                    host_mac(10 + i as u32),
+                    host_ip(10 + i as u32),
+                    HostCostModel::FREE,
+                ),
                 vec![],
             ));
             world.attach(sink, s);
@@ -376,7 +388,11 @@ fn ill_typed_switchlet_rejected_by_verifier() {
         SimTime::from_secs(20)
     ));
     assert_eq!(
-        world.node::<BridgeNode>(bridge).plane().stats.images_rejected,
+        world
+            .node::<BridgeNode>(bridge)
+            .plane()
+            .stats
+            .images_rejected,
         1
     );
 }

@@ -129,7 +129,11 @@ fn tftp_read_requests_refused_over_the_network() {
 fn second_binder_gets_already_bound() {
     fn binder_image(name: &str) -> Vec<u8> {
         let mut mb = ModuleBuilder::new(name);
-        let i_bind = mb.import("unixnet", "bind_out", Ty::func(vec![Ty::Int], Ty::named("oport")));
+        let i_bind = mb.import(
+            "unixnet",
+            "bind_out",
+            Ty::func(vec![Ty::Int], Ty::named("oport")),
+        );
         let i_reg = mb.import(
             "func",
             "register_handler",
@@ -141,8 +145,12 @@ fn second_binder_gets_already_bound() {
         let h_idx = mb.finish(h);
         let key = mb.intern_str(b"handler");
         let mut init = mb.func("init", vec![], Ty::Unit);
-        init.op(Op::ConstInt(0)).op(Op::CallImport(i_bind)).op(Op::Pop);
-        init.op(Op::ConstStr(key)).op(Op::FuncConst(h_idx)).op(Op::CallImport(i_reg));
+        init.op(Op::ConstInt(0))
+            .op(Op::CallImport(i_bind))
+            .op(Op::Pop);
+        init.op(Op::ConstStr(key))
+            .op(Op::FuncConst(h_idx))
+            .op(Op::CallImport(i_reg));
         init.op(Op::Return);
         let i_idx = mb.finish(init);
         mb.set_init(i_idx);
