@@ -7,7 +7,7 @@
 //! * verifier cost vs module size.
 
 use ab_bench::{run_ttcp, table, Forwarder};
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use ether::MacAddr;

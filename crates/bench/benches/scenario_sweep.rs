@@ -1,0 +1,57 @@
+//! Scenario-runner throughput: how fast the harness itself can sweep
+//! `(topology, workload, seed)` triples — the number every future
+//! scaling/perf PR sweeps against — plus a verdict table for the default
+//! sweep.
+
+use ab_scenario::runner::{self, Scenario};
+use ab_scenario::sweep::{run_sweep, SweepSpec};
+use ab_scenario::topo::TopologyShape;
+use ab_scenario::workload::BatteryKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("\n=== scenario sweep: default battery ===");
+    println!(
+        "{:<26} {:>7} {:>8} {:>8} {:>9} {:>6}",
+        "scenario", "cyclic", "frames", "quiet", "verdicts", "pass"
+    );
+    let report = run_sweep(&SweepSpec::default_sweep(1));
+    for r in &report.runs {
+        let (p, f, w) = r.verdict_counts();
+        println!(
+            "{:<26} {:>7} {:>8} {:>8} {:>9} {:>6}",
+            r.scenario.name,
+            r.cyclic,
+            r.world.total_tx_frames(),
+            r.quiet_tx,
+            format!("{p}P/{f}F/{w}W"),
+            r.passed()
+        );
+    }
+    let (p, f, w) = report.verdict_counts();
+    println!(
+        "sweep: {} scenarios, invariants {p} pass / {f} fail / {w} waived, overall pass={}\n",
+        report.runs.len(),
+        report.passed()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    // One loop-free and one STP scenario: the harness cost with and
+    // without the 40-second convergence epoch.
+    let star = Scenario::new(TopologyShape::Star { arms: 3 }, BatteryKind::Streams, 5);
+    g.bench_function("star_streams_run", |b| b.iter(|| runner::run(&star)));
+    let mesh = Scenario::new(
+        TopologyShape::FullMesh { segments: 3 },
+        BatteryKind::Pings,
+        5,
+    );
+    g.bench_function("mesh_pings_run", |b| b.iter(|| runner::run(&mesh)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Experiment runners: one per paper artefact.
 
-use active_bridge::scenario::{self, bridge_ip, host_ip, host_mac};
+use ab_scenario::{self as scenario, bridge_ip, host_ip, host_mac};
 use active_bridge::switchlets::stp::{DEC_NAME, IEEE_NAME};
 use active_bridge::{
     BridgeConfig, BridgeNode, ControlSwitchlet, Defect, NativeSwitchlet, Phase, StpSwitchlet,

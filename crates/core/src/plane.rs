@@ -156,6 +156,30 @@ pub struct BridgeStats {
     pub images_rejected: u64,
 }
 
+impl BridgeStats {
+    /// Every counter as a stable `(name, value)` list, in declaration
+    /// order — the shape structured reports (JSON emitters, tables) want,
+    /// so they never fall out of sync with the struct.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 14] {
+        [
+            ("frames_in", self.frames_in),
+            ("queue_drops", self.queue_drops),
+            ("flooded", self.flooded),
+            ("directed", self.directed),
+            ("filtered", self.filtered),
+            ("blocked", self.blocked),
+            ("registered", self.registered),
+            ("to_loader", self.to_loader),
+            ("no_plane", self.no_plane),
+            ("bytes_forwarded", self.bytes_forwarded),
+            ("vm_instructions", self.vm_instructions),
+            ("images_loaded", self.images_loaded),
+            ("images_rejected", self.images_rejected),
+            ("forwarded", self.directed + self.flooded),
+        ]
+    }
+}
+
 /// The shared plane.
 pub struct Plane {
     /// Per-port flags, indexed by port.

@@ -1,8 +1,17 @@
-//! Topology-building helpers for bridges and LANs.
+//! Topology-building primitives for bridges and LANs.
 //!
-//! Host-side helpers (ping, ttcp, uploading switchlets over TFTP) live in
-//! the `hostsim` crate and the workspace root; this module covers the
-//! bridge/LAN side that every experiment shares.
+//! This module is the implementation behind **two** public paths:
+//!
+//! * `ab_scenario::*` — the canonical one. The `ab_scenario` crate
+//!   re-exports these primitives and layers the parametric topology
+//!   generators, workload batteries and the scenario runner on top.
+//! * `active_bridge::scenario::*` — the original location, kept as a
+//!   deprecated compatibility shim so no caller breaks.
+//!
+//! The helpers themselves must live in this crate (not `ab_scenario`)
+//! because they construct [`BridgeNode`]s: `ab_scenario` depends on
+//! `active_bridge`, so hoisting them out would create a dependency cycle.
+//! New code should import them through `ab_scenario`.
 
 use std::net::Ipv4Addr;
 
@@ -68,6 +77,10 @@ pub fn bridge(
 
 /// A ring of `n` bridges over `n` segments: bridge `i` connects segment
 /// `i` and segment `(i+1) % n` — the Section 7.5 agility topology.
+///
+/// Superseded by `ab_scenario::topo` (shape `Ring`), which generates the
+/// same wiring parametrically; kept for callers that want the two-line
+/// version.
 pub fn ring(
     world: &mut World,
     n: usize,
@@ -91,6 +104,8 @@ pub fn ring(
 
 /// A line of `n` bridges over `n + 1` segments: bridge `i` connects
 /// segment `i` and segment `i + 1` — the extended-LAN topology.
+///
+/// Superseded by `ab_scenario::topo` (shape `Line`); see [`ring`].
 pub fn line(
     world: &mut World,
     n: usize,
@@ -102,49 +117,4 @@ pub fn line(
         .map(|i| bridge(world, i as u32, &[segs[i], segs[i + 1]], cfg.clone(), boot))
         .collect();
     (segs, bridges)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn addresses_are_distinct() {
-        assert_ne!(bridge_mac(1), bridge_mac(2));
-        assert_ne!(bridge_mac(1), host_mac(1));
-        assert_ne!(bridge_ip(1), host_ip(1));
-        assert_ne!(host_ip(1), host_ip(258));
-    }
-
-    #[test]
-    fn ring_topology_shape() {
-        let mut world = World::new(1);
-        let (segs, bridges) = ring(
-            &mut world,
-            3,
-            &BridgeConfig::default(),
-            &["bridge_learning"],
-        );
-        assert_eq!(segs.len(), 3);
-        assert_eq!(bridges.len(), 3);
-        // Each segment carries exactly two bridge ports.
-        for &seg in &segs {
-            assert_eq!(world.segment(seg).attachments().len(), 2);
-        }
-    }
-
-    #[test]
-    fn line_topology_shape() {
-        let mut world = World::new(1);
-        let (segs, bridges) = line(
-            &mut world,
-            2,
-            &BridgeConfig::default(),
-            &["bridge_learning"],
-        );
-        assert_eq!(segs.len(), 3);
-        assert_eq!(bridges.len(), 2);
-        assert_eq!(world.segment(segs[0]).attachments().len(), 1);
-        assert_eq!(world.segment(segs[1]).attachments().len(), 2);
-    }
 }

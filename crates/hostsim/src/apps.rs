@@ -34,9 +34,35 @@ pub enum App {
     Probe(ProbeApp),
     /// Raw frame generator (workload for learning/flooding experiments).
     Blast(BlastApp),
+    /// Any app, started only after a configured delay (scenario
+    /// schedules build workload batteries out of these).
+    Delayed(DelayedApp),
 }
 
 impl App {
+    /// Wrap `app` so its `on_start` runs `after` the host comes up.
+    ///
+    /// The wrapper is transparent for traffic: receive-side callbacks
+    /// (`on_ip`, raw taps, echo replies) are forwarded immediately, so a
+    /// delayed receiver still answers from time zero; only the active
+    /// start (first send, first timer train) waits. Wrappers nest.
+    pub fn delayed(after: SimDuration, app: App) -> App {
+        App::Delayed(DelayedApp {
+            after,
+            inner: Box::new(app),
+            started: false,
+        })
+    }
+
+    /// The app behind any [`App::delayed`] wrappers (for results
+    /// inspection after a run).
+    pub fn unwrapped(&self) -> &App {
+        match self {
+            App::Delayed(d) => d.inner.unwrapped(),
+            other => other,
+        }
+    }
+
     pub(crate) fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
         match self {
             App::Ping(a) => a.on_start(core, ctx, idx),
@@ -45,6 +71,7 @@ impl App {
             App::Probe(a) => a.on_start(core, ctx, idx),
             App::Blast(a) => a.on_start(core, ctx, idx),
             App::TtcpRecv(_) => {}
+            App::Delayed(a) => a.on_start(core, ctx, idx),
         }
     }
 
@@ -62,6 +89,7 @@ impl App {
             App::Upload(a) => a.on_timer(core, ctx, idx, user),
             App::Probe(a) => a.on_timer(core, ctx, idx, user),
             App::Blast(a) => a.on_timer(core, ctx, idx, user),
+            App::Delayed(a) => a.on_timer(core, ctx, idx, user),
         }
     }
 
@@ -81,6 +109,9 @@ impl App {
             App::TtcpSend(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
             App::TtcpRecv(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
             App::Upload(a) => a.on_ip(core, ctx, idx, port, src, dst, proto, payload),
+            App::Delayed(a) => a
+                .inner
+                .on_ip(core, ctx, idx, port, src, dst, proto, payload),
             _ => {}
         }
     }
@@ -93,8 +124,10 @@ impl App {
         ident: u16,
         seq: u16,
     ) {
-        if let App::Ping(a) = self {
-            a.on_echo_reply(core, ctx, idx, ident, seq);
+        match self {
+            App::Ping(a) => a.on_echo_reply(core, ctx, idx, ident, seq),
+            App::Delayed(a) => a.inner.on_echo_reply(core, ctx, idx, ident, seq),
+            _ => {}
         }
     }
 
@@ -106,14 +139,18 @@ impl App {
         port: PortId,
         frame: &Frame<'_>,
     ) {
-        if let App::Probe(a) = self {
-            a.on_raw(core, ctx, idx, port, frame);
+        match self {
+            App::Probe(a) => a.on_raw(core, ctx, idx, port, frame),
+            App::Delayed(a) => a.inner.on_raw(core, ctx, idx, port, frame),
+            _ => {}
         }
     }
 
     pub(crate) fn on_tx_done(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
-        if let App::TtcpSend(a) = self {
-            a.pump_and_write(core, ctx, idx);
+        match self {
+            App::TtcpSend(a) => a.pump_and_write(core, ctx, idx),
+            App::Delayed(a) => a.on_tx_done(core, ctx, idx),
+            _ => {}
         }
     }
 }
@@ -988,5 +1025,158 @@ impl BlastApp {
                 ctx.schedule(self.interval, app_token(idx, BLAST_TICK));
             }
         }
+    }
+}
+
+// --------------------------------------------------------------- delayed
+
+/// The wrapper's own start-fire token. Inner apps use small user values
+/// (1..=3), so the top of the range is reserved for the wrapper.
+const DELAY_FIRE: u32 = u32::MAX;
+
+/// An app whose active start is postponed — built with [`App::delayed`].
+pub struct DelayedApp {
+    /// How long after host start the inner app starts.
+    pub after: SimDuration,
+    inner: Box<App>,
+    started: bool,
+}
+
+impl DelayedApp {
+    /// The wrapped app.
+    pub fn inner(&self) -> &App {
+        &self.inner
+    }
+
+    /// Has the inner app been started yet?
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.after.is_zero() {
+            self.started = true;
+            self.inner.on_start(core, ctx, idx);
+        } else {
+            ctx.schedule(self.after, app_token(idx, DELAY_FIRE));
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == DELAY_FIRE && !self.started {
+            self.started = true;
+            self.inner.on_start(core, ctx, idx);
+        } else {
+            // Everything else belongs to the inner app — including a
+            // DELAY_FIRE after we already started, which is a nested
+            // wrapper's own fire (both levels share the token value).
+            self.inner.on_timer(core, ctx, idx, user);
+        }
+    }
+
+    fn on_tx_done(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        // Send-side pacing must not leak to an app that has not started:
+        // the host broadcasts tx-done to every app, and an unstarted ttcp
+        // sender would begin its write loop ahead of schedule.
+        if self.started {
+            self.inner.on_tx_done(core, ctx, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::HostCostModel;
+    use crate::host::{HostConfig, HostNode};
+    use netsim::{SegmentConfig, SimTime, World};
+
+    #[test]
+    fn delayed_app_starts_late_and_unwraps() {
+        let mut world = World::new(1);
+        let lan = world.add_segment(SegmentConfig::default());
+        let blast = BlastApp::new(PortId(0), MacAddr::local(9), 64, 5, SimDuration::from_ms(1));
+        let app = App::delayed(SimDuration::from_ms(100), blast);
+        assert!(matches!(app.unwrapped(), App::Blast(_)));
+        let h = world.add_node(HostNode::new(
+            "h",
+            HostConfig::simple(
+                MacAddr::local(1),
+                Ipv4Addr::new(10, 1, 0, 1),
+                HostCostModel::FREE,
+            ),
+            vec![app],
+        ));
+        world.attach(h, lan);
+        world.run_until(SimTime::from_ms(50));
+        let App::Blast(b) = world.node::<HostNode>(h).app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert_eq!(b.sent, 0, "nothing sent before the delay fires");
+        world.run_until(SimTime::from_ms(300));
+        let App::Blast(b) = world.node::<HostNode>(h).app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert_eq!(b.sent, 5, "the train runs to completion after the delay");
+    }
+
+    #[test]
+    fn nested_delays_compose() {
+        let mut world = World::new(1);
+        let lan = world.add_segment(SegmentConfig::default());
+        // 100 ms + 100 ms: the inner wrapper's fire reuses the same timer
+        // token, so the outer must forward it once started.
+        let app = App::delayed(
+            SimDuration::from_ms(100),
+            App::delayed(
+                SimDuration::from_ms(100),
+                BlastApp::new(PortId(0), MacAddr::local(9), 64, 3, SimDuration::from_ms(1)),
+            ),
+        );
+        let h = world.add_node(HostNode::new(
+            "h",
+            HostConfig::simple(
+                MacAddr::local(1),
+                Ipv4Addr::new(10, 1, 0, 1),
+                HostCostModel::FREE,
+            ),
+            vec![app],
+        ));
+        world.attach(h, lan);
+        world.run_until(SimTime::from_ms(150));
+        let App::Blast(b) = world.node::<HostNode>(h).app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert_eq!(b.sent, 0, "inner delay has not elapsed yet");
+        world.run_until(SimTime::from_ms(400));
+        let App::Blast(b) = world.node::<HostNode>(h).app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert_eq!(b.sent, 3, "nested wrappers must both fire");
+    }
+
+    #[test]
+    fn zero_delay_starts_immediately() {
+        let mut world = World::new(1);
+        let lan = world.add_segment(SegmentConfig::default());
+        let app = App::delayed(
+            SimDuration::ZERO,
+            BlastApp::new(PortId(0), MacAddr::local(9), 64, 1, SimDuration::from_ms(1)),
+        );
+        let h = world.add_node(HostNode::new(
+            "h",
+            HostConfig::simple(
+                MacAddr::local(1),
+                Ipv4Addr::new(10, 1, 0, 1),
+                HostCostModel::FREE,
+            ),
+            vec![app],
+        ));
+        world.attach(h, lan);
+        world.run_until(SimTime::from_ms(1));
+        let App::Blast(b) = world.node::<HostNode>(h).app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert_eq!(b.sent, 1);
     }
 }

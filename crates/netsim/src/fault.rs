@@ -37,15 +37,19 @@ impl FaultConfig {
         self.drop_one_in == 0 && self.corrupt_one_in == 0 && self.duplicate_one_in == 0
     }
 
-    /// Apply the configured faults to one frame.
-    pub fn apply(&self, frame: Bytes, rng: &mut Xoshiro) -> FaultOutcome {
+    /// Apply the configured faults to one frame. The second element of the
+    /// pair reports whether the frame was corrupted (delivered outcomes
+    /// only), so the caller can keep per-segment accounting.
+    pub fn apply(&self, frame: Bytes, rng: &mut Xoshiro) -> (FaultOutcome, bool) {
         if self.is_transparent() {
-            return FaultOutcome::Deliver(frame);
+            return (FaultOutcome::Deliver(frame), false);
         }
         if rng.one_in(self.drop_one_in) {
-            return FaultOutcome::Drop;
+            return (FaultOutcome::Drop, false);
         }
+        let mut corrupted = false;
         let frame = if !frame.is_empty() && rng.one_in(self.corrupt_one_in) {
+            corrupted = true;
             let mut buf = BytesMut::from(&frame[..]);
             let idx = rng.range(buf.len() as u64) as usize;
             // Flip a random bit so corruption is always a real change.
@@ -56,9 +60,9 @@ impl FaultConfig {
             frame
         };
         if rng.one_in(self.duplicate_one_in) {
-            FaultOutcome::Duplicate(frame)
+            (FaultOutcome::Duplicate(frame), corrupted)
         } else {
-            FaultOutcome::Deliver(frame)
+            (FaultOutcome::Deliver(frame), corrupted)
         }
     }
 }
@@ -75,7 +79,7 @@ mod tests {
         let frame = Bytes::from_static(b"hello");
         assert_eq!(
             cfg.apply(frame.clone(), &mut rng),
-            FaultOutcome::Deliver(frame)
+            (FaultOutcome::Deliver(frame), false)
         );
     }
 
@@ -88,7 +92,7 @@ mod tests {
         let mut rng = Xoshiro::seed_from_u64(1);
         assert_eq!(
             cfg.apply(Bytes::from_static(b"x"), &mut rng),
-            FaultOutcome::Drop
+            (FaultOutcome::Drop, false)
         );
     }
 
@@ -101,7 +105,8 @@ mod tests {
         let mut rng = Xoshiro::seed_from_u64(3);
         let original = Bytes::from_static(b"abcdefgh");
         match cfg.apply(original.clone(), &mut rng) {
-            FaultOutcome::Deliver(out) => {
+            (FaultOutcome::Deliver(out), corrupted) => {
+                assert!(corrupted, "corruption must be reported");
                 let diff_bits: u32 = original
                     .iter()
                     .zip(out.iter())
@@ -125,7 +130,7 @@ mod tests {
             .filter(|_| {
                 matches!(
                     cfg.apply(Bytes::from_static(b"y"), &mut rng),
-                    FaultOutcome::Drop
+                    (FaultOutcome::Drop, _)
                 )
             })
             .count();
@@ -141,7 +146,7 @@ mod tests {
         };
         let mut rng = Xoshiro::seed_from_u64(6);
         match cfg.apply(Bytes::new(), &mut rng) {
-            FaultOutcome::Deliver(out) => assert!(out.is_empty()),
+            (FaultOutcome::Deliver(out), false) => assert!(out.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
     }

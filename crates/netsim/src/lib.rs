@@ -71,8 +71,8 @@ pub use cost::CostModel;
 pub use fault::FaultConfig;
 pub use node::{Node, NodeId, PortId, TimerHandle, TimerToken};
 pub use rng::Xoshiro;
-pub use segment::{SegId, Segment, SegmentConfig};
+pub use segment::{SegCounters, SegId, Segment, SegmentConfig};
 pub use service::{Offer, ServiceQueue};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counters, Trace, TraceEntry};
-pub use world::{Ctx, World, WorldCore};
+pub use world::{Ctx, SegmentStats, World, WorldCore, WorldStats};

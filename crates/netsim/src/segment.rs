@@ -86,12 +86,18 @@ pub struct SegCounters {
     pub tx_bytes: u64,
     /// Frame deliveries to ports (one frame to N listeners counts N).
     pub deliveries: u64,
+    /// Frames that found the medium busy and had to queue behind another
+    /// transmission — the idealized-collision count of this model (real
+    /// CSMA/CD would have collided and backed off here).
+    pub contended: u64,
     /// Frames dropped because the transmit queue was full.
     pub queue_drops: u64,
     /// Frames dropped by fault injection.
     pub fault_drops: u64,
     /// Frames corrupted by fault injection.
     pub corrupted: u64,
+    /// Frames delivered twice by fault injection.
+    pub fault_duplicates: u64,
 }
 
 /// A frame captured on the wire (when [`SegmentConfig::capture`] is set).
@@ -151,6 +157,7 @@ impl Segment {
             self.current = Some(tx);
             (true, true)
         } else if self.queue.len() < self.cfg.queue_cap {
+            self.counters.contended += 1;
             self.queue.push_back(tx);
             (true, false)
         } else {

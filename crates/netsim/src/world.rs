@@ -155,6 +155,54 @@ impl<'w> Ctx<'w> {
     }
 }
 
+/// One segment's identity and wire counters inside a [`WorldStats`]
+/// snapshot, in segment-id order.
+#[derive(Clone, Debug)]
+pub struct SegmentStats {
+    /// The segment's configured name.
+    pub name: String,
+    /// Its wire counters at snapshot time.
+    pub counters: crate::segment::SegCounters,
+}
+
+/// A point-in-time copy of the world's frame accounting, taken with
+/// [`World::stats`]. Snapshots are plain data: experiment harnesses diff
+/// two of them to measure a window without touching simulator internals.
+#[derive(Clone, Debug)]
+pub struct WorldStats {
+    /// Frames handed to `Ctx::send` across the whole run.
+    pub frames_sent: u64,
+    /// Frame deliveries to node ports across the whole run.
+    pub frames_delivered: u64,
+    /// Per-segment counters, indexed by `SegId`.
+    pub segments: Vec<SegmentStats>,
+}
+
+impl WorldStats {
+    /// Frames fully serialized onto any wire.
+    pub fn total_tx_frames(&self) -> u64 {
+        self.segments.iter().map(|s| s.counters.tx_frames).sum()
+    }
+
+    /// Frames dropped by fault injection on any segment.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.segments.iter().map(|s| s.counters.fault_drops).sum()
+    }
+
+    /// Frames duplicated by fault injection on any segment.
+    pub fn total_fault_duplicates(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.counters.fault_duplicates)
+            .sum()
+    }
+
+    /// Frames dropped on any segment because its transmit queue was full.
+    pub fn total_queue_drops(&self) -> u64 {
+        self.segments.iter().map(|s| s.counters.queue_drops).sum()
+    }
+}
+
 /// The simulation world.
 pub struct World {
     core: WorldCore,
@@ -280,10 +328,16 @@ impl World {
         }
         // Fault injection on the completed frame.
         let fault = self.core.segments[seg_id.0].cfg.fault.clone();
-        let outcome = fault.apply(done.frame, &mut self.core.rng);
+        let (outcome, corrupted) = fault.apply(done.frame, &mut self.core.rng);
+        if corrupted {
+            self.core.segments[seg_id.0].counters.corrupted += 1;
+        }
         let (frame, copies) = match outcome {
             FaultOutcome::Deliver(f) => (f, 1),
-            FaultOutcome::Duplicate(f) => (f, 2),
+            FaultOutcome::Duplicate(f) => {
+                self.core.segments[seg_id.0].counters.fault_duplicates += 1;
+                (f, 2)
+            }
             FaultOutcome::Drop => {
                 self.core.segments[seg_id.0].counters.fault_drops += 1;
                 return;
@@ -435,6 +489,33 @@ impl World {
     /// Segment access.
     pub fn segment(&self, id: SegId) -> &Segment {
         &self.core.segments[id.0]
+    }
+
+    /// Replace a segment's fault configuration mid-run. This is the hook
+    /// fault/churn scripts use: the new configuration applies to every
+    /// frame that completes serialization from now on, drawn from the
+    /// world RNG as usual, so scripted runs stay deterministic.
+    pub fn set_segment_fault(&mut self, id: SegId, fault: crate::fault::FaultConfig) {
+        self.core.segments[id.0].cfg.fault = fault;
+    }
+
+    /// Point-in-time snapshot of the world's frame accounting: run-wide
+    /// send/delivery totals plus every segment's wire counters. Scenario
+    /// runners read this instead of parsing traces.
+    pub fn stats(&self) -> WorldStats {
+        WorldStats {
+            frames_sent: self.core.frames_sent,
+            frames_delivered: self.core.frames_delivered,
+            segments: self
+                .core
+                .segments
+                .iter()
+                .map(|s| SegmentStats {
+                    name: s.cfg.name.clone(),
+                    counters: s.counters.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// Run-wide trace.

@@ -1,0 +1,56 @@
+//! # ab-scenario — turn "run the bridge in a situation" into data
+//!
+//! The experiment substrate above the Active Bridging reproduction:
+//!
+//! * [`topo`] — parametric topology generation: line, ring, star,
+//!   balanced tree, full mesh and seeded random graphs, all pure
+//!   functions of `(shape, seed)`, with per-edge segment parameters;
+//! * [`workload`] — workload batteries: composable, seeded schedules of
+//!   the `hostsim` measurement apps (ping, ttcp, blast, TFTP switchlet
+//!   upload) plus fault scripts driving `netsim::fault` mid-run;
+//! * [`runner`] — the scenario runner: execute one
+//!   `(topology, workload, seed)` triple, collect per-segment and
+//!   per-bridge counters, and emit a structured JSON [`runner::Report`]
+//!   with pass/fail verdicts per invariant (no storm, no loss after
+//!   convergence, no duplicate delivery, single spanning-tree root);
+//! * [`sweep`] — batteries of scenarios across many shapes and seeds
+//!   with one aggregated score, in the spirit of `netmeasure2`;
+//! * [`json`] — the deterministic JSON document model reports render to.
+//!
+//! Everything is a pure function of its seeds: the same `Scenario` value
+//! produces a byte-identical JSON report on every run.
+//!
+//! The low-level world-building primitives (deterministic addresses,
+//! `lans`, `bridge`) are re-exported at the crate root; they moved here
+//! from `active_bridge::scenario`, which remains as a deprecated shim.
+//!
+//! ## Example
+//!
+//! ```
+//! use ab_scenario::runner::{self, Scenario};
+//! use ab_scenario::topo::TopologyShape;
+//! use ab_scenario::workload::BatteryKind;
+//!
+//! let scenario = Scenario::new(TopologyShape::Star { arms: 2 }, BatteryKind::Pings, 7);
+//! let report = runner::run(&scenario);
+//! assert!(report.passed(), "{}", report.to_json().render_pretty());
+//! ```
+
+pub mod json;
+pub mod runner;
+pub mod sweep;
+pub mod topo;
+pub mod workload;
+
+// The world-building primitives live in `active_bridge` (they construct
+// `BridgeNode`s, and this crate depends on that one); this is their
+// canonical public path.
+pub use active_bridge::scenario_impl::{
+    bridge, bridge_ip, bridge_mac, host_ip, host_mac, lans, line, ring,
+};
+
+pub use json::Json;
+pub use runner::{run, InvariantResult, Report, Scenario, Verdict};
+pub use sweep::{run_sweep, SweepReport, SweepSpec};
+pub use topo::{instantiate, BuiltTopology, Topology, TopologyShape};
+pub use workload::{BatteryKind, Workload};

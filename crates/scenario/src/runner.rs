@@ -1,0 +1,879 @@
+//! The scenario runner: execute one `(topology, workload, seed)` triple
+//! and emit a structured, machine-readable report with invariant
+//! verdicts.
+//!
+//! The runner owns the whole lifecycle: generate the topology and the
+//! battery, materialize both into a [`World`], drive the world in fixed
+//! slices (applying the fault script and sampling convergence on the
+//! way), then measure a quiet tail window and judge the invariants:
+//!
+//! * **no storm** — once the workload is done, the wires fall silent
+//!   apart from a bounded spanning-tree hello budget;
+//! * **no loss after convergence** — every expected delivery arrived
+//!   (waived for raw blasts while a drop fault is scripted);
+//! * **no duplicate delivery** — no receiver saw more than was sent
+//!   (waived while a duplicate fault is scripted);
+//! * **single root** — on loopy topologies every bridge agrees who the
+//!   spanning-tree root is.
+//!
+//! Reports render to JSON ([`Report::to_json`]) and are byte-identical
+//! across runs with the same seed.
+
+use active_bridge::{BridgeConfig, BridgeNode};
+use hostsim::{
+    App, BlastApp, HostConfig, HostCostModel, HostNode, PingApp, TtcpRecvApp, TtcpSendApp,
+    UploadApp,
+};
+use netsim::{NodeId, PortId, SimDuration, SimTime, World, WorldStats};
+use netstack::tcplite::{ReceiverConfig, SenderConfig};
+
+use crate::json::Json;
+use crate::topo::{self, Topology, TopologyShape};
+use crate::workload::{self, AppAction, BatteryKind, FaultAction, Workload};
+
+/// The IEEE spanning-tree switchlet name (what [`Topology::default_boot`]
+/// boots on loopy topologies).
+const STP_NAME: &str = "stp_ieee";
+
+/// Everything that defines one run. A scenario is a value: running it
+/// twice produces byte-identical reports.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Report name (defaults to `<shape>-<battery>-s<seed>`).
+    pub name: String,
+    /// Topology shape to generate.
+    pub shape: TopologyShape,
+    /// Workload battery to generate.
+    pub battery: BatteryKind,
+    /// The seed for topology, workload and world RNG alike.
+    pub seed: u64,
+    /// Total simulated length; `None` sizes it from the workload span.
+    pub duration: Option<SimDuration>,
+}
+
+impl Scenario {
+    /// A scenario with the default auto-sized duration.
+    pub fn new(shape: TopologyShape, battery: BatteryKind, seed: u64) -> Scenario {
+        Scenario {
+            name: format!("{}-{}-s{}", shape.label(), battery.label(), seed),
+            shape,
+            battery,
+            seed,
+            duration: None,
+        }
+    }
+}
+
+/// The verdict on one invariant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Held.
+    Pass,
+    /// Violated.
+    Fail,
+    /// Not evaluated because the scenario scripts faults that legitimately
+    /// break it.
+    Waived,
+}
+
+impl Verdict {
+    /// Lower-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+            Verdict::Waived => "waived",
+        }
+    }
+}
+
+/// One judged invariant.
+#[derive(Clone, Debug)]
+pub struct InvariantResult {
+    /// Invariant name.
+    pub name: &'static str,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Per-application outcome, in workload order.
+#[derive(Clone, Debug)]
+pub struct AppReport {
+    /// Action label (`ping`, `ttcp`, `blast`, `upload`).
+    pub label: &'static str,
+    /// Sender's segment index.
+    pub from_seg: usize,
+    /// Receiver's segment index (the bridge's first segment for uploads).
+    pub to_seg: usize,
+    /// Did it do what the battery expected?
+    pub ok: bool,
+    /// `(key, value)` detail counters, stable order.
+    pub detail: Vec<(&'static str, u64)>,
+}
+
+/// Per-bridge outcome.
+#[derive(Clone, Debug)]
+pub struct BridgeReport {
+    /// Node name.
+    pub name: String,
+    /// The spanning-tree root this bridge believes in, if it runs STP.
+    pub root: Option<String>,
+    /// Ports currently not forwarding.
+    pub blocked_ports: u64,
+    /// Forwarding-plane counters.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The full structured result of one scenario run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The scenario that produced this.
+    pub scenario: Scenario,
+    /// Was the topology loopy (and therefore STP-booted)?
+    pub cyclic: bool,
+    /// Segment count.
+    pub n_segments: usize,
+    /// Bridge count.
+    pub n_bridges: usize,
+    /// When the workload epoch was placed.
+    pub epoch: SimTime,
+    /// When the run ended (before the quiet window).
+    pub end: SimTime,
+    /// Last observed change to any bridge's port flags / root choice.
+    pub converged_at: Option<SimTime>,
+    /// World frame accounting at the end of the run.
+    pub world: WorldStats,
+    /// Frames serialized during the quiet tail window.
+    pub quiet_tx: u64,
+    /// The hello budget the quiet window was allowed.
+    pub quiet_allowed: u64,
+    /// Per-bridge outcomes.
+    pub bridges: Vec<BridgeReport>,
+    /// Per-application outcomes.
+    pub apps: Vec<AppReport>,
+    /// VM instructions retired across all bridges.
+    pub vm_fuel: u64,
+    /// The judged invariants.
+    pub invariants: Vec<InvariantResult>,
+}
+
+impl Report {
+    /// Did every invariant hold (waived ones excluded)?
+    pub fn passed(&self) -> bool {
+        self.invariants.iter().all(|i| i.verdict != Verdict::Fail)
+    }
+
+    /// Counts of `(passed, failed, waived)` invariants.
+    pub fn verdict_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for i in &self.invariants {
+            match i.verdict {
+                Verdict::Pass => counts.0 += 1,
+                Verdict::Fail => counts.1 += 1,
+                Verdict::Waived => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Render the report as a JSON document. Deterministic: objects are
+    /// insertion-ordered and every number is an integer.
+    pub fn to_json(&self) -> Json {
+        let scenario = Json::obj(vec![
+            ("name", Json::str(&self.scenario.name)),
+            ("shape", Json::str(self.scenario.shape.label())),
+            ("battery", Json::str(self.scenario.battery.label())),
+            ("seed", Json::U64(self.scenario.seed)),
+            ("cyclic", Json::Bool(self.cyclic)),
+            ("segments", Json::U64(self.n_segments as u64)),
+            ("bridges", Json::U64(self.n_bridges as u64)),
+            ("epoch_ns", Json::U64(self.epoch.as_ns())),
+            ("end_ns", Json::U64(self.end.as_ns())),
+        ]);
+        let convergence = Json::obj(vec![
+            (
+                "converged_at_ns",
+                match self.converged_at {
+                    Some(t) => Json::U64(t.as_ns()),
+                    None => Json::Null,
+                },
+            ),
+            ("stp", Json::Bool(self.cyclic)),
+        ]);
+        let segments = Json::Arr(
+            self.world
+                .segments
+                .iter()
+                .map(|s| {
+                    let c = &s.counters;
+                    Json::obj(vec![
+                        ("name", Json::str(&s.name)),
+                        ("tx_frames", Json::U64(c.tx_frames)),
+                        ("tx_bytes", Json::U64(c.tx_bytes)),
+                        ("deliveries", Json::U64(c.deliveries)),
+                        ("contended", Json::U64(c.contended)),
+                        ("queue_drops", Json::U64(c.queue_drops)),
+                        ("fault_drops", Json::U64(c.fault_drops)),
+                        ("corrupted", Json::U64(c.corrupted)),
+                        ("fault_duplicates", Json::U64(c.fault_duplicates)),
+                    ])
+                })
+                .collect(),
+        );
+        let world = Json::obj(vec![
+            ("frames_sent", Json::U64(self.world.frames_sent)),
+            ("frames_delivered", Json::U64(self.world.frames_delivered)),
+            ("segments", segments),
+        ]);
+        let bridges = Json::Arr(
+            self.bridges
+                .iter()
+                .map(|b| {
+                    Json::obj(vec![
+                        ("name", Json::str(&b.name)),
+                        ("root", b.root.as_ref().map_or(Json::Null, Json::str)),
+                        ("blocked_ports", Json::U64(b.blocked_ports)),
+                        (
+                            "counters",
+                            Json::Obj(
+                                b.counters
+                                    .iter()
+                                    .map(|&(k, v)| (k.to_owned(), Json::U64(v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let apps = Json::Arr(
+            self.apps
+                .iter()
+                .map(|a| {
+                    let mut members = vec![
+                        ("label", Json::str(a.label)),
+                        ("from_seg", Json::U64(a.from_seg as u64)),
+                        ("to_seg", Json::U64(a.to_seg as u64)),
+                        ("ok", Json::Bool(a.ok)),
+                    ];
+                    for &(k, v) in &a.detail {
+                        members.push((k, Json::U64(v)));
+                    }
+                    Json::obj(members)
+                })
+                .collect(),
+        );
+        let invariants = Json::Arr(
+            self.invariants
+                .iter()
+                .map(|i| {
+                    Json::obj(vec![
+                        ("name", Json::str(i.name)),
+                        ("verdict", Json::str(i.verdict.label())),
+                        ("detail", Json::str(&i.detail)),
+                    ])
+                })
+                .collect(),
+        );
+        let (passed, failed, waived) = self.verdict_counts();
+        let total = passed + failed;
+        let summary = Json::obj(vec![
+            ("pass", Json::Bool(self.passed())),
+            ("passed", Json::U64(passed)),
+            ("failed", Json::U64(failed)),
+            ("waived", Json::U64(waived)),
+            (
+                "score_percent",
+                Json::U64((passed * 100).checked_div(total).unwrap_or(100)),
+            ),
+        ]);
+        Json::obj(vec![
+            ("scenario", scenario),
+            ("convergence", convergence),
+            ("world", world),
+            ("bridges", bridges),
+            ("apps", apps),
+            (
+                "quiet_window",
+                Json::obj(vec![
+                    ("tx_frames", Json::U64(self.quiet_tx)),
+                    ("allowed", Json::U64(self.quiet_allowed)),
+                ]),
+            ),
+            ("vm_fuel", Json::U64(self.vm_fuel)),
+            ("invariants", invariants),
+            ("summary", summary),
+        ])
+    }
+}
+
+/// One materialized workload item: where its hosts went.
+struct Placed {
+    action: AppAction,
+    sender: NodeId,
+    receiver: Option<NodeId>,
+}
+
+/// How the runner slices the run (fault script application and
+/// convergence sampling happen on this grid).
+const SLICE: SimDuration = SimDuration::from_ms(100);
+/// The quiet tail window measured for the storm invariant.
+const QUIET_WINDOW: SimDuration = SimDuration::from_secs(4);
+
+/// Execute `scenario` and produce its [`Report`].
+pub fn run(scenario: &Scenario) -> Report {
+    let topo = topo::generate(scenario.shape, scenario.seed);
+    assert!(topo.is_connected(), "generated topologies are connected");
+    let wl = workload::generate(scenario.battery, &topo, scenario.seed);
+
+    let mut world = World::new(scenario.seed);
+    world.trace_mut().set_enabled(false);
+    let built = topo::instantiate(
+        &mut world,
+        &topo,
+        &BridgeConfig::default(),
+        topo.default_boot(),
+    );
+
+    // Loopy topologies need the spanning tree fully forwarding (two
+    // forward-delay intervals plus margin) before traffic starts.
+    let epoch = if topo.cyclic() {
+        SimTime::from_secs(40)
+    } else {
+        SimTime::from_ms(200)
+    };
+    let epoch_d = SimDuration::from_ns(epoch.as_ns());
+
+    let placed = materialize(&mut world, &built, &topo, &wl, epoch_d);
+
+    let end = SimTime::ZERO
+        + scenario
+            .duration
+            .unwrap_or(epoch_d + wl.span() + SimDuration::from_secs(2));
+
+    // Drive in slices: apply due fault-script steps, watch convergence.
+    let mut faults: Vec<(SimTime, &FaultAction)> =
+        wl.faults.iter().map(|(at, f)| (epoch + *at, f)).collect();
+    faults.sort_by_key(|(at, _)| *at);
+    let mut next_fault = 0;
+    let mut signature = convergence_signature(&world, &built);
+    let mut converged_at: Option<SimTime> = None;
+    let mut now = SimTime::ZERO;
+    while now < end {
+        now = (now + SLICE).min(end);
+        while next_fault < faults.len() && faults[next_fault].0 <= now {
+            let (_, action) = faults[next_fault];
+            match action {
+                FaultAction::Set { seg, fault } => {
+                    world.set_segment_fault(built.segs[*seg], fault.clone())
+                }
+                FaultAction::Clear { seg } => {
+                    world.set_segment_fault(built.segs[*seg], netsim::FaultConfig::default())
+                }
+            }
+            next_fault += 1;
+        }
+        world.run_until(now);
+        let sig = convergence_signature(&world, &built);
+        if sig != signature {
+            signature = sig;
+            converged_at = Some(now);
+        }
+    }
+
+    // Quiet tail: nothing should be talking except spanning-tree hellos.
+    let before = world.stats();
+    world.run_until(end + QUIET_WINDOW);
+    let after = world.stats();
+    let quiet_tx = after.total_tx_frames() - before.total_tx_frames();
+    let total_ports: u64 = topo.bridges.iter().map(|b| b.segments.len() as u64).sum();
+    let quiet_allowed = if topo.cyclic() {
+        // Per designated port: one hello every 2 s, so ≤ 3 in 4 s, plus
+        // slack for ages/boundary effects.
+        3 * total_ports + 8
+    } else {
+        8
+    };
+
+    let (apps, upload_count) = judge_apps(&world, &placed, &topo);
+    let bridges = bridge_reports(&world, &built);
+    let vm_fuel = built
+        .bridges
+        .iter()
+        .map(|&b| world.node::<BridgeNode>(b).plane().stats.vm_instructions)
+        .sum();
+    let invariants = judge_invariants(
+        &world,
+        &topo,
+        &wl,
+        &apps,
+        upload_count,
+        converged_at,
+        epoch,
+        quiet_tx,
+        quiet_allowed,
+        &bridges,
+    );
+
+    Report {
+        scenario: scenario.clone(),
+        cyclic: topo.cyclic(),
+        n_segments: topo.segments.len(),
+        n_bridges: topo.bridges.len(),
+        epoch,
+        end,
+        converged_at,
+        world: after,
+        quiet_tx,
+        quiet_allowed,
+        bridges,
+        apps,
+        vm_fuel,
+        invariants,
+    }
+}
+
+/// Add the workload's hosts to the world, apps wrapped in start delays so
+/// the whole schedule is declared before the world runs.
+fn materialize(
+    world: &mut World,
+    built: &topo::BuiltTopology,
+    topo: &Topology,
+    wl: &Workload,
+    epoch: SimDuration,
+) -> Vec<Placed> {
+    use active_bridge::scenario_impl::{bridge_ip, host_ip, host_mac};
+    let mut next_host: u32 = 1;
+    let mut host = |world: &mut World, seg: usize, apps: Vec<App>| -> (NodeId, u32) {
+        let n = next_host;
+        next_host += 1;
+        let id = world.add_node(HostNode::new(
+            format!("host{n}"),
+            HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+            apps,
+        ));
+        world.attach(id, built.segs[seg]);
+        (id, n)
+    };
+    wl.items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let start = epoch + item.offset;
+            let (sender, receiver) = match &item.action {
+                AppAction::Ping {
+                    from_seg,
+                    to_seg,
+                    count,
+                    payload,
+                    interval,
+                } => {
+                    let (rx, rx_n) = host(world, *to_seg, vec![]);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            PingApp::new(
+                                PortId(0),
+                                host_ip(rx_n),
+                                *count,
+                                *payload,
+                                *interval,
+                                0x5000 + i as u16,
+                            ),
+                        )],
+                    );
+                    (tx, Some(rx))
+                }
+                AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes,
+                    write_size,
+                } => {
+                    let port = 5001 + i as u16;
+                    let (rx, rx_n) = host(
+                        world,
+                        *to_seg,
+                        vec![TtcpRecvApp::new(port, ReceiverConfig::default())],
+                    );
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            TtcpSendApp::new(
+                                PortId(0),
+                                host_ip(rx_n),
+                                port,
+                                port,
+                                *total_bytes,
+                                *write_size,
+                                SenderConfig::default(),
+                            ),
+                        )],
+                    );
+                    (tx, Some(rx))
+                }
+                AppAction::Blast {
+                    from_seg,
+                    to_seg,
+                    size,
+                    count,
+                    interval,
+                } => {
+                    let (rx, rx_n) = host(world, *to_seg, vec![]);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            BlastApp::new(PortId(0), host_mac(rx_n), *size, *count, *interval),
+                        )],
+                    );
+                    (tx, Some(rx))
+                }
+                AppAction::Upload { from_seg, bridge } => {
+                    let image = workload::inert_upload_image(i as u32);
+                    let dst = bridge_ip(topo.bridges[*bridge].index);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            UploadApp::new(
+                                PortId(0),
+                                dst,
+                                3000 + i as u16,
+                                format!("scn_upload{i}.img"),
+                                image,
+                            ),
+                        )],
+                    );
+                    (tx, None)
+                }
+            };
+            Placed {
+                action: item.action.clone(),
+                sender,
+                receiver,
+            }
+        })
+        .collect()
+}
+
+/// Port flags plus elected root per bridge: when this stops changing, the
+/// control plane has converged.
+fn convergence_signature(
+    world: &World,
+    built: &topo::BuiltTopology,
+) -> Vec<(Vec<bool>, Option<ether::MacAddr>)> {
+    built
+        .bridges
+        .iter()
+        .map(|&b| {
+            let plane = world.node::<BridgeNode>(b).plane();
+            (
+                plane.flags.iter().map(|f| f.forward).collect(),
+                plane.published.get(STP_NAME).map(|s| s.root_mac),
+            )
+        })
+        .collect()
+}
+
+/// Inspect every placed app and compute its outcome. Returns the reports
+/// plus how many uploads the battery scheduled.
+fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppReport>, u64) {
+    let mut uploads = 0;
+    let reports = placed
+        .iter()
+        .map(|p| {
+            let app = world.node::<HostNode>(p.sender).app(0).unwrapped();
+            match (&p.action, app) {
+                (
+                    AppAction::Ping {
+                        from_seg,
+                        to_seg,
+                        count,
+                        ..
+                    },
+                    App::Ping(a),
+                ) => AppReport {
+                    label: "ping",
+                    from_seg: *from_seg,
+                    to_seg: *to_seg,
+                    ok: a.received == *count,
+                    detail: vec![
+                        ("sent", a.sent as u64),
+                        ("received", a.received as u64),
+                        ("avg_rtt_ns", a.avg_rtt().map(|d| d.as_ns()).unwrap_or(0)),
+                    ],
+                },
+                (
+                    AppAction::Ttcp {
+                        from_seg,
+                        to_seg,
+                        total_bytes,
+                        ..
+                    },
+                    App::TtcpSend(a),
+                ) => {
+                    let received = p
+                        .receiver
+                        .map(|r| match world.node::<HostNode>(r).app(0).unwrapped() {
+                            App::TtcpRecv(rx) => rx.bytes_received(),
+                            _ => 0,
+                        })
+                        .unwrap_or(0);
+                    let elapsed = match (a.started_at, a.done_at) {
+                        (Some(s), Some(e)) => e.saturating_since(s),
+                        _ => SimDuration::ZERO,
+                    };
+                    let throughput_bps = if elapsed.is_zero() {
+                        0
+                    } else {
+                        total_bytes * 8 * 1_000_000_000 / elapsed.as_ns()
+                    };
+                    AppReport {
+                        label: "ttcp",
+                        from_seg: *from_seg,
+                        to_seg: *to_seg,
+                        ok: a.is_done() && received == *total_bytes,
+                        detail: vec![
+                            ("bytes", received),
+                            ("frames", a.frames_sent),
+                            ("elapsed_ns", elapsed.as_ns()),
+                            ("throughput_bps", throughput_bps),
+                        ],
+                    }
+                }
+                (
+                    AppAction::Blast {
+                        from_seg,
+                        to_seg,
+                        count,
+                        ..
+                    },
+                    App::Blast(a),
+                ) => {
+                    let received = p
+                        .receiver
+                        .map(|r| world.node::<HostNode>(r).core.exp_frames_rx)
+                        .unwrap_or(0);
+                    AppReport {
+                        label: "blast",
+                        from_seg: *from_seg,
+                        to_seg: *to_seg,
+                        ok: a.sent == *count && received == *count,
+                        detail: vec![("sent", a.sent), ("received", received)],
+                    }
+                }
+                (AppAction::Upload { from_seg, bridge }, App::Upload(a)) => {
+                    uploads += 1;
+                    AppReport {
+                        label: "upload",
+                        from_seg: *from_seg,
+                        // Like every other label, to_seg is a segment
+                        // index; the target bridge goes in the detail.
+                        to_seg: topo.bridges[*bridge].segments[0],
+                        ok: a.is_done() && a.failed.is_none(),
+                        detail: vec![
+                            ("bridge", *bridge as u64),
+                            ("done", u64::from(a.is_done())),
+                            ("retries", a.retries as u64),
+                        ],
+                    }
+                }
+                (action, _) => unreachable!(
+                    "placed app for {} does not match its action",
+                    action.label()
+                ),
+            }
+        })
+        .collect();
+    (reports, uploads)
+}
+
+fn bridge_reports(world: &World, built: &topo::BuiltTopology) -> Vec<BridgeReport> {
+    built
+        .bridges
+        .iter()
+        .map(|&b| {
+            let node = world.node::<BridgeNode>(b);
+            let plane = node.plane();
+            BridgeReport {
+                name: world.node_name(b).to_owned(),
+                root: plane
+                    .published
+                    .get(STP_NAME)
+                    .map(|s| s.root_mac.to_string()),
+                blocked_ports: plane.flags.iter().filter(|f| !f.forward).count() as u64,
+                counters: plane.stats.as_pairs().to_vec(),
+            }
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn judge_invariants(
+    world: &World,
+    topo: &Topology,
+    wl: &Workload,
+    apps: &[AppReport],
+    uploads: u64,
+    converged_at: Option<SimTime>,
+    epoch: SimTime,
+    quiet_tx: u64,
+    quiet_allowed: u64,
+    bridges: &[BridgeReport],
+) -> Vec<InvariantResult> {
+    let mut out = Vec::new();
+
+    out.push(InvariantResult {
+        name: "connected",
+        verdict: if topo.is_connected() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        },
+        detail: format!(
+            "{} segments reachable through {} bridges",
+            topo.segments.len(),
+            topo.bridges.len()
+        ),
+    });
+
+    // Convergence: the control plane must settle before the workload
+    // epoch and stay settled to the end.
+    let settled = converged_at.is_none_or(|t| t <= epoch);
+    out.push(InvariantResult {
+        name: "converged_before_workload",
+        verdict: if settled {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        },
+        detail: match converged_at {
+            Some(t) => format!(
+                "last control-plane change at {} ns (epoch {} ns)",
+                t.as_ns(),
+                epoch.as_ns()
+            ),
+            None => "control plane never changed".to_owned(),
+        },
+    });
+
+    out.push(InvariantResult {
+        name: "no_storm",
+        verdict: if quiet_tx <= quiet_allowed {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        },
+        detail: format!("{quiet_tx} frames in the quiet window (allowed {quiet_allowed})"),
+    });
+
+    // Loss: blasts are raw and unacknowledged, so a scripted drop fault
+    // waives them; ping/ttcp/upload carry their own recovery and stay
+    // strict.
+    let drops_scripted = wl.injects_drops();
+    let mut lost = Vec::new();
+    let mut waived_loss = 0u64;
+    for a in apps {
+        if !a.ok {
+            if a.label == "blast" && drops_scripted {
+                waived_loss += 1;
+            } else {
+                lost.push(format!("{} {}→{}", a.label, a.from_seg, a.to_seg));
+            }
+        }
+    }
+    out.push(InvariantResult {
+        name: "no_loss_after_convergence",
+        verdict: if !lost.is_empty() {
+            Verdict::Fail
+        } else if waived_loss > 0 {
+            Verdict::Waived
+        } else {
+            Verdict::Pass
+        },
+        detail: if lost.is_empty() {
+            format!(
+                "{} workload items delivered ({} waived under scripted drops)",
+                apps.len() as u64 - waived_loss,
+                waived_loss
+            )
+        } else {
+            format!("undelivered: {}", lost.join(", "))
+        },
+    });
+
+    // Duplicates: a receiver seeing more than was sent means a forwarding
+    // loop (or a scripted duplicate fault, which waives it).
+    let mut duplicated = Vec::new();
+    for a in apps {
+        let sent = a.detail.iter().find(|(k, _)| *k == "sent").map(|&(_, v)| v);
+        let received = a
+            .detail
+            .iter()
+            .find(|(k, _)| *k == "received")
+            .map(|&(_, v)| v);
+        if let (Some(sent), Some(received)) = (sent, received) {
+            if received > sent {
+                duplicated.push(format!(
+                    "{} {}→{} ({received} > {sent})",
+                    a.label, a.from_seg, a.to_seg
+                ));
+            }
+        }
+    }
+    out.push(InvariantResult {
+        name: "no_duplicate_delivery",
+        verdict: if !duplicated.is_empty() {
+            if wl.injects_duplicates() {
+                Verdict::Waived
+            } else {
+                Verdict::Fail
+            }
+        } else {
+            Verdict::Pass
+        },
+        detail: if duplicated.is_empty() {
+            "no receiver saw more frames than were sent".to_owned()
+        } else {
+            format!("duplicated: {}", duplicated.join(", "))
+        },
+    });
+
+    if topo.cyclic() {
+        let roots: std::collections::BTreeSet<&str> =
+            bridges.iter().filter_map(|b| b.root.as_deref()).collect();
+        out.push(InvariantResult {
+            name: "single_root",
+            verdict: if roots.len() == 1 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!("elected roots: {roots:?}"),
+        });
+    }
+
+    if uploads > 0 {
+        let alive = world.counters().get(workload::UPLOAD_ALIVE_COUNTER);
+        out.push(InvariantResult {
+            name: "uploads_alive",
+            verdict: if alive == uploads {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!("{alive} of {uploads} uploaded switchlets ran init"),
+        });
+    }
+
+    out
+}

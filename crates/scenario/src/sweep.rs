@@ -1,0 +1,131 @@
+//! Sweeps: run a battery of scenarios across many shapes and seeds and
+//! aggregate the verdicts into one report with a summary score — the
+//! `netmeasure2`-style "battery of experiments, machine-readable results,
+//! one number at the end".
+
+use netsim::SimDuration;
+
+use crate::json::Json;
+use crate::runner::{self, Report, Scenario};
+use crate::topo::TopologyShape;
+use crate::workload::BatteryKind;
+
+/// A sweep: the cartesian product of shapes × batteries, seeded.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Shapes to cover.
+    pub shapes: Vec<TopologyShape>,
+    /// Batteries to run on each shape.
+    pub batteries: Vec<BatteryKind>,
+    /// Base seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-scenario duration override (None = auto).
+    pub duration: Option<SimDuration>,
+}
+
+impl SweepSpec {
+    /// The default sweep: six shapes (line, ring, star, tree, full mesh,
+    /// random redundant graph) × three batteries, small enough to run in
+    /// tests and CI.
+    pub fn default_sweep(seed: u64) -> SweepSpec {
+        SweepSpec {
+            shapes: vec![
+                TopologyShape::Line { bridges: 2 },
+                TopologyShape::Ring { bridges: 3 },
+                TopologyShape::Star { arms: 3 },
+                TopologyShape::Tree {
+                    depth: 2,
+                    fanout: 2,
+                },
+                TopologyShape::FullMesh { segments: 3 },
+                TopologyShape::Random {
+                    segments: 4,
+                    extra_links: 1,
+                },
+            ],
+            batteries: vec![
+                BatteryKind::Pings,
+                BatteryKind::Streams,
+                BatteryKind::Uploads,
+            ],
+            seed,
+            duration: None,
+        }
+    }
+
+    /// The scenarios this sweep runs, in order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for (i, &shape) in self.shapes.iter().enumerate() {
+            for (j, &battery) in self.batteries.iter().enumerate() {
+                let mut sc = Scenario::new(
+                    shape,
+                    battery,
+                    self.seed + (i * self.batteries.len() + j) as u64,
+                );
+                sc.duration = self.duration;
+                out.push(sc);
+            }
+        }
+        out
+    }
+}
+
+/// Every scenario's report plus the aggregate verdict.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-scenario reports, in sweep order.
+    pub runs: Vec<Report>,
+}
+
+impl SweepReport {
+    /// Did every run pass every invariant?
+    pub fn passed(&self) -> bool {
+        self.runs.iter().all(Report::passed)
+    }
+
+    /// `(passed, failed, waived)` invariant counts across all runs.
+    pub fn verdict_counts(&self) -> (u64, u64, u64) {
+        self.runs.iter().fold((0, 0, 0), |acc, r| {
+            let (p, f, w) = r.verdict_counts();
+            (acc.0 + p, acc.1 + f, acc.2 + w)
+        })
+    }
+
+    /// The whole sweep as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let (passed, failed, waived) = self.verdict_counts();
+        let total = passed + failed;
+        Json::obj(vec![
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(Report::to_json).collect()),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("scenarios", Json::U64(self.runs.len() as u64)),
+                    (
+                        "scenarios_passed",
+                        Json::U64(self.runs.iter().filter(|r| r.passed()).count() as u64),
+                    ),
+                    ("invariants_passed", Json::U64(passed)),
+                    ("invariants_failed", Json::U64(failed)),
+                    ("invariants_waived", Json::U64(waived)),
+                    (
+                        "score_percent",
+                        Json::U64((passed * 100).checked_div(total).unwrap_or(100)),
+                    ),
+                    ("pass", Json::Bool(self.passed())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Run every scenario in the sweep.
+pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
+    SweepReport {
+        runs: spec.scenarios().iter().map(runner::run).collect(),
+    }
+}

@@ -1,0 +1,425 @@
+//! Parametric topology generation.
+//!
+//! A topology is **data first**: [`generate`] turns `(shape, seed)` into a
+//! pure [`Topology`] description (segment specs plus bridge wiring) with no
+//! simulator objects in sight, so shapes can be property-tested — and two
+//! calls with the same inputs are structurally identical. [`instantiate`]
+//! then materializes a description into a [`World`].
+//!
+//! All shapes are connected by construction. Shapes whose wiring contains
+//! physical loops ([`Topology::cyclic`]) must run a spanning tree to be
+//! usable; [`Topology::default_boot`] picks the right switchlet set.
+
+use active_bridge::scenario_impl as prims;
+use active_bridge::BridgeConfig;
+use netsim::{NodeId, SegId, SegmentConfig, SimDuration, World, Xoshiro};
+
+/// The supported parametric shapes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TopologyShape {
+    /// `bridges` bridges in a row over `bridges + 1` segments.
+    Line {
+        /// Bridge count (≥ 1).
+        bridges: usize,
+    },
+    /// `bridges` bridges around `bridges` segments (contains a loop).
+    Ring {
+        /// Bridge count (≥ 2).
+        bridges: usize,
+    },
+    /// A hub segment with `arms` leaf segments, one bridge per arm.
+    Star {
+        /// Leaf count (≥ 1).
+        arms: usize,
+    },
+    /// A balanced tree of segments: every non-leaf segment has `fanout`
+    /// children, each reached through its own bridge.
+    Tree {
+        /// Levels below the root (≥ 1).
+        depth: usize,
+        /// Children per segment (≥ 1).
+        fanout: usize,
+    },
+    /// Every pair of `segments` segments joined by a bridge (loops for
+    /// `segments ≥ 3`).
+    FullMesh {
+        /// Segment count (≥ 2).
+        segments: usize,
+    },
+    /// A random spanning tree over `segments` segments plus `extra_links`
+    /// additional random bridges (loops whenever `extra_links > 0`).
+    Random {
+        /// Segment count (≥ 2).
+        segments: usize,
+        /// Redundant links beyond the spanning tree.
+        extra_links: usize,
+    },
+}
+
+impl TopologyShape {
+    /// Short label for names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyShape::Line { .. } => "line",
+            TopologyShape::Ring { .. } => "ring",
+            TopologyShape::Star { .. } => "star",
+            TopologyShape::Tree { .. } => "tree",
+            TopologyShape::FullMesh { .. } => "full_mesh",
+            TopologyShape::Random { .. } => "random",
+        }
+    }
+}
+
+/// One segment to be created, with its per-edge medium parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// Segment name (`lan0..`).
+    pub name: String,
+    /// Link bandwidth in bits/second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+}
+
+/// One bridge to be created and the segments (by index) it attaches to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BridgeSpec {
+    /// Bridge index (drives its MAC/IP via the address helpers).
+    pub index: u32,
+    /// Indices into [`Topology::segments`], in port order.
+    pub segments: Vec<usize>,
+}
+
+/// A generated topology: pure data, ready to instantiate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// The shape it was generated from.
+    pub shape: TopologyShape,
+    /// The generation seed.
+    pub seed: u64,
+    /// Segments to create, in id order.
+    pub segments: Vec<SegmentSpec>,
+    /// Bridges to create, in id order.
+    pub bridges: Vec<BridgeSpec>,
+}
+
+/// Hard cap on generated sizes — scenario sweeps want many small worlds,
+/// not one enormous one.
+pub const MAX_SEGMENTS: usize = 96;
+
+/// Generate the topology for `(shape, seed)`.
+///
+/// Pure and deterministic: the same inputs produce a structurally
+/// identical [`Topology`]. The seed only shapes parametric choices the
+/// shape leaves open (per-segment bandwidth mix, random wiring).
+pub fn generate(shape: TopologyShape, seed: u64) -> Topology {
+    // A private stream per concern: wiring draws must not shift when the
+    // bandwidth mix changes and vice versa.
+    let mut wiring_rng = Xoshiro::seed_from_u64(seed ^ 0x7090_5CE7_A810_0001);
+    let mut media_rng = Xoshiro::seed_from_u64(seed ^ 0x7090_5CE7_A810_0002);
+
+    let mut bridges: Vec<BridgeSpec> = Vec::new();
+    let mut n_segments;
+    let link = |bridges: &mut Vec<BridgeSpec>, a: usize, b: usize| {
+        let index = bridges.len() as u32;
+        bridges.push(BridgeSpec {
+            index,
+            segments: vec![a, b],
+        });
+    };
+    match shape {
+        TopologyShape::Line { bridges: n } => {
+            assert!(n >= 1, "a line needs at least one bridge");
+            n_segments = n + 1;
+            for i in 0..n {
+                link(&mut bridges, i, i + 1);
+            }
+        }
+        TopologyShape::Ring { bridges: n } => {
+            assert!(n >= 2, "a ring needs at least two bridges");
+            n_segments = n;
+            for i in 0..n {
+                link(&mut bridges, i, (i + 1) % n);
+            }
+        }
+        TopologyShape::Star { arms } => {
+            assert!(arms >= 1, "a star needs at least one arm");
+            n_segments = arms + 1;
+            for i in 0..arms {
+                link(&mut bridges, 0, i + 1);
+            }
+        }
+        TopologyShape::Tree { depth, fanout } => {
+            assert!(depth >= 1 && fanout >= 1, "tree needs depth and fanout ≥ 1");
+            n_segments = 1;
+            let mut frontier = vec![0usize];
+            for _ in 0..depth {
+                let mut next = Vec::new();
+                for &parent in &frontier {
+                    for _ in 0..fanout {
+                        let child = n_segments;
+                        n_segments += 1;
+                        link(&mut bridges, parent, child);
+                        next.push(child);
+                    }
+                }
+                frontier = next;
+            }
+        }
+        TopologyShape::FullMesh { segments } => {
+            assert!(segments >= 2, "a mesh needs at least two segments");
+            n_segments = segments;
+            for i in 0..segments {
+                for j in (i + 1)..segments {
+                    link(&mut bridges, i, j);
+                }
+            }
+        }
+        TopologyShape::Random {
+            segments,
+            extra_links,
+        } => {
+            assert!(segments >= 2, "a random graph needs at least two segments");
+            n_segments = segments;
+            // Random spanning tree: each new segment hangs off an earlier
+            // one, so connectivity holds by construction.
+            for i in 1..segments {
+                let parent = wiring_rng.range(i as u64) as usize;
+                link(&mut bridges, parent, i);
+            }
+            for _ in 0..extra_links {
+                let a = wiring_rng.range(segments as u64) as usize;
+                let mut b = wiring_rng.range(segments as u64) as usize;
+                if a == b {
+                    b = (b + 1) % segments;
+                }
+                link(&mut bridges, a.min(b), a.max(b));
+            }
+        }
+    }
+    assert!(
+        n_segments <= MAX_SEGMENTS,
+        "shape {shape:?} generates {n_segments} segments (cap {MAX_SEGMENTS})"
+    );
+
+    // Per-edge media mix: mostly 100 Mb/s with an occasional legacy
+    // 10 Mb/s segment, and propagation jitter in the hundreds of metres.
+    let segments = (0..n_segments)
+        .map(|i| {
+            let bandwidth_bps = if media_rng.one_in(5) {
+                10_000_000
+            } else {
+                100_000_000
+            };
+            let propagation = SimDuration::from_ns(500 + media_rng.range(1_500));
+            SegmentSpec {
+                name: format!("lan{i}"),
+                bandwidth_bps,
+                propagation,
+            }
+        })
+        .collect();
+
+    Topology {
+        shape,
+        seed,
+        segments,
+        bridges,
+    }
+}
+
+impl Topology {
+    /// Does the wiring contain a physical loop? Every bridge here is an
+    /// edge between two segments, so a connected graph has a cycle
+    /// exactly when it has at least as many edges as vertices.
+    pub fn cyclic(&self) -> bool {
+        self.bridges.len() >= self.segments.len()
+    }
+
+    /// The switchlets a bridge of this topology should boot: learning
+    /// everywhere, plus the 802.1D spanning tree when loops exist.
+    pub fn default_boot(&self) -> &'static [&'static str] {
+        if self.cyclic() {
+            &["bridge_learning", "stp_ieee"]
+        } else {
+            &["bridge_learning"]
+        }
+    }
+
+    /// Segment-to-segment adjacency (each bridge joins all its segment
+    /// pairs).
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.segments.len()];
+        for b in &self.bridges {
+            for (i, &a) in b.segments.iter().enumerate() {
+                for &c in &b.segments[i + 1..] {
+                    adj[a].push(c);
+                    adj[c].push(a);
+                }
+            }
+        }
+        adj
+    }
+
+    /// BFS hop distances from `from` (usize::MAX = unreachable).
+    fn distances(&self, from: usize) -> Vec<usize> {
+        let adj = self.adjacency();
+        let mut dist = vec![usize::MAX; self.segments.len()];
+        let mut queue = std::collections::VecDeque::from([from]);
+        dist[from] = 0;
+        while let Some(s) = queue.pop_front() {
+            for &n in &adj[s] {
+                if dist[n] == usize::MAX {
+                    dist[n] = dist[s] + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Is every segment reachable from every other?
+    pub fn is_connected(&self) -> bool {
+        self.distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// A pair of far-apart segments (two BFS passes): where end-to-end
+    /// workloads place their endpoints to cross as many bridges as
+    /// possible.
+    pub fn far_pair(&self) -> (usize, usize) {
+        let argmax = |d: &[usize]| {
+            d.iter()
+                .enumerate()
+                .filter(|(_, &x)| x != usize::MAX)
+                .max_by_key(|(_, &x)| x)
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let u = argmax(&self.distances(0));
+        let v = argmax(&self.distances(u));
+        if u == v {
+            (0, self.segments.len() - 1)
+        } else {
+            (u, v)
+        }
+    }
+}
+
+/// A topology materialized into a world.
+#[derive(Clone, Debug)]
+pub struct BuiltTopology {
+    /// Segment ids, in spec order.
+    pub segs: Vec<SegId>,
+    /// Bridge node ids, in spec order.
+    pub bridges: Vec<NodeId>,
+}
+
+/// Materialize `topo` into `world`, booting every bridge with `boot`
+/// (on top of the network loader).
+pub fn instantiate(
+    world: &mut World,
+    topo: &Topology,
+    cfg: &BridgeConfig,
+    boot: &[&str],
+) -> BuiltTopology {
+    let segs: Vec<SegId> = topo
+        .segments
+        .iter()
+        .map(|spec| {
+            world.add_segment(SegmentConfig {
+                name: spec.name.clone(),
+                bandwidth_bps: spec.bandwidth_bps,
+                propagation: spec.propagation,
+                ..SegmentConfig::default()
+            })
+        })
+        .collect();
+    let bridges = topo
+        .bridges
+        .iter()
+        .map(|spec| {
+            let ports: Vec<SegId> = spec.segments.iter().map(|&i| segs[i]).collect();
+            prims::bridge(world, spec.index, &ports, cfg.clone(), boot)
+        })
+        .collect();
+    BuiltTopology { segs, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_counts() {
+        let t = generate(TopologyShape::Line { bridges: 3 }, 1);
+        assert_eq!((t.segments.len(), t.bridges.len()), (4, 3));
+        assert!(!t.cyclic());
+
+        let t = generate(TopologyShape::Ring { bridges: 4 }, 1);
+        assert_eq!((t.segments.len(), t.bridges.len()), (4, 4));
+        assert!(t.cyclic());
+
+        let t = generate(TopologyShape::Star { arms: 5 }, 1);
+        assert_eq!((t.segments.len(), t.bridges.len()), (6, 5));
+        assert!(!t.cyclic());
+
+        let t = generate(
+            TopologyShape::Tree {
+                depth: 2,
+                fanout: 2,
+            },
+            1,
+        );
+        assert_eq!((t.segments.len(), t.bridges.len()), (7, 6));
+        assert!(!t.cyclic());
+
+        let t = generate(TopologyShape::FullMesh { segments: 4 }, 1);
+        assert_eq!((t.segments.len(), t.bridges.len()), (4, 6));
+        assert!(t.cyclic());
+    }
+
+    #[test]
+    fn random_is_connected_and_loops_iff_extra_links() {
+        for seed in 0..20 {
+            let tree = generate(
+                TopologyShape::Random {
+                    segments: 6,
+                    extra_links: 0,
+                },
+                seed,
+            );
+            assert!(tree.is_connected());
+            assert!(!tree.cyclic());
+            let loopy = generate(
+                TopologyShape::Random {
+                    segments: 6,
+                    extra_links: 2,
+                },
+                seed,
+            );
+            assert!(loopy.is_connected());
+            assert!(loopy.cyclic());
+        }
+    }
+
+    #[test]
+    fn far_pair_spans_the_line() {
+        let t = generate(TopologyShape::Line { bridges: 4 }, 9);
+        let (a, b) = t.far_pair();
+        assert_eq!((a.min(b), a.max(b)), (0, 4));
+    }
+
+    #[test]
+    fn same_seed_same_structure() {
+        let shape = TopologyShape::Random {
+            segments: 8,
+            extra_links: 3,
+        };
+        assert_eq!(generate(shape, 42), generate(shape, 42));
+        assert_ne!(
+            generate(shape, 42).bridges,
+            generate(shape, 43).bridges,
+            "wiring must actually consume the seed"
+        );
+    }
+}

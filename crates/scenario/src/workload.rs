@@ -1,0 +1,414 @@
+//! Workload batteries: composable, seeded schedules of host applications
+//! and fault scripts.
+//!
+//! A [`Workload`] is pure data, like a topology: [`generate`] maps
+//! `(battery kind, topology, seed)` to a list of scheduled
+//! [`AppAction`]s (which hosts to create, where, running what, starting
+//! when) plus a list of scheduled [`FaultAction`]s driving
+//! `netsim::fault` mid-run. The runner materializes both.
+
+use netsim::{FaultConfig, SimDuration, Xoshiro};
+use switchlet::{ModuleBuilder, Op, Ty};
+
+use crate::topo::Topology;
+
+/// The built-in experiment batteries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatteryKind {
+    /// ICMP echo trains between far-apart and random segment pairs
+    /// (exercises ARP, flooding, learning, the echo responder).
+    Pings,
+    /// A ttcp transfer across the diameter plus background blast pairs
+    /// (exercises TcpLite, pacing, queueing).
+    Streams,
+    /// TFTP switchlet uploads to bridges with background traffic
+    /// (exercises the loader path end to end).
+    Uploads,
+    /// Blasts and a ttcp transfer through a mid-run drop-fault window
+    /// (exercises retransmission; loss invariants are waived while the
+    /// fault is scripted).
+    Churn,
+}
+
+impl BatteryKind {
+    /// Every battery, in a stable order.
+    pub const ALL: [BatteryKind; 4] = [
+        BatteryKind::Pings,
+        BatteryKind::Streams,
+        BatteryKind::Uploads,
+        BatteryKind::Churn,
+    ];
+
+    /// Short label for names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatteryKind::Pings => "pings",
+            BatteryKind::Streams => "streams",
+            BatteryKind::Uploads => "uploads",
+            BatteryKind::Churn => "churn",
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            BatteryKind::Pings => 1,
+            BatteryKind::Streams => 2,
+            BatteryKind::Uploads => 3,
+            BatteryKind::Churn => 4,
+        }
+    }
+}
+
+/// One application to run, with its endpoints as segment indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppAction {
+    /// An ICMP echo train from a host on `from_seg` to one on `to_seg`.
+    Ping {
+        /// Pinger's segment.
+        from_seg: usize,
+        /// Echo responder's segment.
+        to_seg: usize,
+        /// Requests to send.
+        count: u32,
+        /// ICMP payload bytes.
+        payload: usize,
+        /// Inter-request interval.
+        interval: SimDuration,
+    },
+    /// A ttcp transfer from `from_seg` to `to_seg`.
+    Ttcp {
+        /// Sender's segment.
+        from_seg: usize,
+        /// Receiver's segment.
+        to_seg: usize,
+        /// Bytes to move.
+        total_bytes: u64,
+        /// Application write size.
+        write_size: usize,
+    },
+    /// A raw-frame blast from `from_seg` to a sink host on `to_seg`.
+    Blast {
+        /// Blaster's segment.
+        from_seg: usize,
+        /// Sink's segment.
+        to_seg: usize,
+        /// Frame payload size.
+        size: usize,
+        /// Frames to send.
+        count: u64,
+        /// Inter-frame interval.
+        interval: SimDuration,
+    },
+    /// A TFTP switchlet upload from a host on `from_seg` to bridge
+    /// `bridge` (the inert telemetry module from
+    /// [`inert_upload_image`]).
+    Upload {
+        /// Uploader's segment.
+        from_seg: usize,
+        /// Target bridge index.
+        bridge: usize,
+    },
+}
+
+impl AppAction {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppAction::Ping { .. } => "ping",
+            AppAction::Ttcp { .. } => "ttcp",
+            AppAction::Blast { .. } => "blast",
+            AppAction::Upload { .. } => "upload",
+        }
+    }
+
+    /// A conservative bound on how long the action takes once started.
+    pub fn span(&self) -> SimDuration {
+        match self {
+            AppAction::Ping {
+                count, interval, ..
+            } => *interval * (*count as u64) + SimDuration::from_secs(2),
+            AppAction::Ttcp { total_bytes, .. } => {
+                // Worst case: a 10 Mb/s hop plus retransmission stalls.
+                SimDuration::from_secs(15) + SimDuration::from_ms(total_bytes / 500)
+            }
+            AppAction::Blast {
+                count, interval, ..
+            } => *interval * *count + SimDuration::from_secs(2),
+            AppAction::Upload { .. } => SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// One scheduled application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Start offset from the workload epoch (which the runner places
+    /// after topology convergence).
+    pub offset: SimDuration,
+    /// What to run.
+    pub action: AppAction,
+}
+
+/// One scheduled fault-script step.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Install a fault configuration on a segment.
+    Set {
+        /// Target segment index.
+        seg: usize,
+        /// The configuration to install.
+        fault: FaultConfig,
+    },
+    /// Restore a segment to fault-free operation.
+    Clear {
+        /// Target segment index.
+        seg: usize,
+    },
+}
+
+/// A generated battery: scheduled apps plus a fault script.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which battery generated this.
+    pub kind: BatteryKind,
+    /// Scheduled applications, in generation order.
+    pub items: Vec<WorkItem>,
+    /// Scheduled fault-script steps (offsets from the workload epoch).
+    pub faults: Vec<(SimDuration, FaultAction)>,
+}
+
+impl Workload {
+    /// Offset (from the workload epoch) by which everything scheduled —
+    /// apps and fault script — should be finished.
+    pub fn span(&self) -> SimDuration {
+        let apps = self
+            .items
+            .iter()
+            .map(|i| i.offset + i.action.span())
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let faults = self
+            .faults
+            .iter()
+            .map(|(at, _)| *at + SimDuration::from_secs(1))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        apps.max(faults)
+    }
+
+    /// Does the script inject frame drops at any point?
+    pub fn injects_drops(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.drop_one_in > 0))
+    }
+
+    /// Does the script inject frame duplication at any point?
+    pub fn injects_duplicates(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.duplicate_one_in > 0))
+    }
+}
+
+/// A distinct `(from, to)` segment pair: the far pair first, then seeded
+/// random distinct pairs.
+fn pick_pair(topo: &Topology, rng: &mut Xoshiro, nth: usize) -> (usize, usize) {
+    if nth == 0 {
+        return topo.far_pair();
+    }
+    let n = topo.segments.len() as u64;
+    let a = rng.range(n) as usize;
+    let mut b = rng.range(n) as usize;
+    if a == b {
+        b = (b + 1) % n as usize;
+    }
+    (a, b)
+}
+
+/// Generate the battery `kind` for `topo` from `seed`. Pure and
+/// deterministic, like topology generation.
+pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
+    let mut rng = Xoshiro::seed_from_u64(seed ^ (0x3A77_E21B_00C0_FFEE ^ kind.tag()));
+    let mut items = Vec::new();
+    let mut faults = Vec::new();
+    match kind {
+        BatteryKind::Pings => {
+            for nth in 0..3 {
+                let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
+                let payload = [64usize, 256, 512, 1024][rng.range(4) as usize];
+                items.push(WorkItem {
+                    offset: SimDuration::from_ms(50 * nth as u64),
+                    action: AppAction::Ping {
+                        from_seg,
+                        to_seg,
+                        count: 8,
+                        payload,
+                        interval: SimDuration::from_ms(50),
+                    },
+                });
+            }
+        }
+        BatteryKind::Streams => {
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 0);
+            items.push(WorkItem {
+                offset: SimDuration::ZERO,
+                action: AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes: 200_000,
+                    write_size: 4096,
+                },
+            });
+            for nth in 1..3 {
+                let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
+                items.push(WorkItem {
+                    offset: SimDuration::from_ms(100 * nth as u64),
+                    action: AppAction::Blast {
+                        from_seg,
+                        to_seg,
+                        size: 256 + rng.range(768) as usize,
+                        count: 40 + rng.range(60),
+                        interval: SimDuration::from_ms(1 + rng.range(2)),
+                    },
+                });
+            }
+        }
+        BatteryKind::Uploads => {
+            let n_uploads = 1 + rng.range(2) as usize;
+            for nth in 0..n_uploads {
+                let bridge = rng.range(topo.bridges.len() as u64) as usize;
+                let from_seg = topo.bridges[bridge].segments[0];
+                items.push(WorkItem {
+                    offset: SimDuration::from_ms(200 * nth as u64),
+                    action: AppAction::Upload { from_seg, bridge },
+                });
+            }
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 1);
+            items.push(WorkItem {
+                offset: SimDuration::from_ms(50),
+                action: AppAction::Blast {
+                    from_seg,
+                    to_seg,
+                    size: 128,
+                    count: 50,
+                    interval: SimDuration::from_ms(2),
+                },
+            });
+        }
+        BatteryKind::Churn => {
+            // Long raw blasts span the whole fault window (their sinks
+            // never speak, so the frames flood every segment — the lossy
+            // patch always bites them; their loss is waived).
+            for nth in 0..2 {
+                let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
+                items.push(WorkItem {
+                    offset: SimDuration::from_ms(100 + 200 * nth as u64),
+                    action: AppAction::Blast {
+                        from_seg,
+                        to_seg,
+                        size: 512,
+                        count: 1600 + rng.range(200),
+                        interval: SimDuration::from_ms(2),
+                    },
+                });
+            }
+            // The scripted fault window: a lossy patch in the middle of
+            // the run, healed before evaluation.
+            let victim = rng.range(topo.segments.len() as u64) as usize;
+            faults.push((
+                SimDuration::from_ms(500),
+                FaultAction::Set {
+                    seg: victim,
+                    fault: FaultConfig {
+                        drop_one_in: 12,
+                        ..FaultConfig::default()
+                    },
+                },
+            ));
+            faults.push((
+                SimDuration::from_secs(4),
+                FaultAction::Clear { seg: victim },
+            ));
+            // After the heal, a reliable transfer must complete strictly:
+            // churn is survivable, not just observable.
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 2);
+            items.push(WorkItem {
+                offset: SimDuration::from_ms(4_500),
+                action: AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes: 100_000,
+                    write_size: 4096,
+                },
+            });
+        }
+    }
+    Workload {
+        kind,
+        items,
+        faults,
+    }
+}
+
+/// The world counter bumped by the inert upload module's `init`.
+pub const UPLOAD_ALIVE_COUNTER: &str = "scenario.upload.alive";
+
+/// A tiny valid VM switchlet image whose `init` bumps
+/// [`UPLOAD_ALIVE_COUNTER`] and exits. It registers no switching
+/// function, so uploading it exercises the whole TFTP → verify → link →
+/// init path without perturbing the data plane.
+pub fn inert_upload_image(tag: u32) -> Vec<u8> {
+    let mut mb = ModuleBuilder::new(format!("scn_upload{tag}"));
+    let i_bump = mb.import(
+        "bridgectl",
+        "counter_bump",
+        Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit),
+    );
+    let key = mb.intern_str(UPLOAD_ALIVE_COUNTER.as_bytes());
+    let mut init = mb.func("init", vec![], Ty::Unit);
+    init.op(Op::ConstStr(key))
+        .op(Op::ConstInt(1))
+        .op(Op::CallImport(i_bump))
+        .op(Op::Return);
+    let init_fn = mb.finish(init);
+    mb.set_init(init_fn);
+    mb.build().encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{generate as gen_topo, TopologyShape};
+
+    #[test]
+    fn batteries_are_deterministic() {
+        let topo = gen_topo(TopologyShape::Ring { bridges: 4 }, 7);
+        for kind in BatteryKind::ALL {
+            let a = generate(kind, &topo, 7);
+            let b = generate(kind, &topo, 7);
+            assert_eq!(a.items, b.items, "{kind:?} items must replay");
+            assert!(!a.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn churn_scripts_a_heal_before_span_end() {
+        let topo = gen_topo(TopologyShape::Line { bridges: 3 }, 3);
+        let wl = generate(BatteryKind::Churn, &topo, 3);
+        assert!(wl.injects_drops());
+        assert!(!wl.injects_duplicates());
+        let clear_at = wl
+            .faults
+            .iter()
+            .find_map(|(at, f)| matches!(f, FaultAction::Clear { .. }).then_some(*at))
+            .expect("churn clears its fault");
+        assert!(clear_at < wl.span());
+    }
+
+    #[test]
+    fn upload_image_is_loadable() {
+        let image = inert_upload_image(0);
+        assert!(switchlet::Module::decode(&image).is_ok());
+    }
+}

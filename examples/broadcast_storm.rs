@@ -6,7 +6,7 @@
 //! cargo run --example broadcast_storm
 //! ```
 
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use ether::MacAddr;
 use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};

@@ -12,8 +12,8 @@
 //! ```
 
 use ab_bench::{upload_and_load, uploader};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::hostmods::handler_ty;
-use active_bridge::scenario::{self, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
 use netsim::{PortId, SimDuration, SimTime, World};

@@ -5,7 +5,7 @@
 //! cargo run --example learning_elan
 //! ```
 
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
 use netsim::{PortId, SimDuration, SimTime, World};

@@ -6,7 +6,7 @@
 //! ```
 
 use ab_bench::{run_until_done, uploader};
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{App, HostConfig, HostCostModel, HostNode, PingApp};
 use netsim::{PortId, SimDuration, SimTime, World};

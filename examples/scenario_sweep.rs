@@ -1,0 +1,38 @@
+//! Run the default scenario sweep — six parametric topology shapes ×
+//! three workload batteries — and print the machine-readable JSON
+//! report (per-segment wire counters, per-bridge forwarding counters,
+//! app results, invariant verdicts, summary score).
+//!
+//! ```sh
+//! cargo run --example scenario_sweep              # full JSON on stdout
+//! cargo run --example scenario_sweep -- --summary # verdict lines only
+//! ```
+//!
+//! CI runs this and uploads the JSON as a workflow artifact.
+
+use ab_scenario::sweep::{run_sweep, SweepSpec};
+
+fn main() {
+    let summary_only = std::env::args().any(|a| a == "--summary");
+    let report = run_sweep(&SweepSpec::default_sweep(42));
+    if summary_only {
+        for r in &report.runs {
+            let (p, f, w) = r.verdict_counts();
+            eprintln!(
+                "{:<26} pass={} ({p} pass / {f} fail / {w} waived)",
+                r.scenario.name,
+                r.passed()
+            );
+        }
+        println!(
+            "{}",
+            report.to_json().get("summary").unwrap().render_pretty()
+        );
+    } else {
+        print!("{}", report.to_json().render_pretty());
+    }
+    assert!(
+        report.passed(),
+        "the default sweep must pass every invariant"
+    );
+}

@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the Active Bridging workspace.
+pub use ab_scenario;
 pub use active_bridge;
 pub use ether;
 pub use hostsim;

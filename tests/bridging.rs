@@ -1,7 +1,7 @@
 //! Integration tests for the data plane: flooding, learning, filtering,
 //! and the loop pathology the paper motivates spanning trees with.
 
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use ether::MacAddr;
 use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
@@ -183,22 +183,22 @@ fn learning_table_ages_entries() {
     assert_eq!(world.node::<BridgeNode>(b).plane().learn.len(), 0);
 }
 
+/// The parallel-bridges loop, generated parametrically: `Ring` with two
+/// bridges is exactly two bridges joining the same two LANs.
+fn parallel_bridge_loop(world: &mut World, boot: &[&str]) -> ab_scenario::BuiltTopology {
+    let topo = ab_scenario::topo::generate(ab_scenario::TopologyShape::Ring { bridges: 2 }, 3);
+    assert!(topo.cyclic());
+    ab_scenario::instantiate(world, &topo, &BridgeConfig::default(), boot)
+}
+
 #[test]
 fn loop_without_stp_circulates_forever() {
     // Two bridges in parallel between two LANs: a loop. A single
     // broadcast circulates indefinitely — "the packet ... fail[s] to make
     // progress and wast[es] network resources".
     let mut world = World::new(3);
-    let segs = scenario::lans(&mut world, 2);
-    for i in 0..2 {
-        scenario::bridge(
-            &mut world,
-            i,
-            &segs,
-            BridgeConfig::default(),
-            &["bridge_learning"],
-        );
-    }
+    let built = parallel_bridge_loop(&mut world, &["bridge_learning"]);
+    let segs = &built.segs;
     host(
         &mut world,
         1,
@@ -225,18 +225,8 @@ fn stp_kills_the_loop() {
     // Same topology with the spanning-tree switchlet: one bridge blocks a
     // port and a broadcast crosses exactly once.
     let mut world = World::new(3);
-    let segs = scenario::lans(&mut world, 2);
-    let bridges: Vec<_> = (0..2)
-        .map(|i| {
-            scenario::bridge(
-                &mut world,
-                i,
-                &segs,
-                BridgeConfig::default(),
-                &["bridge_learning", "stp_ieee"],
-            )
-        })
-        .collect();
+    let built = parallel_bridge_loop(&mut world, &["bridge_learning", "stp_ieee"]);
+    let (segs, bridges) = (built.segs.clone(), built.bridges.clone());
     // Let the tree converge (two forward-delays plus margin).
     world.run_until(SimTime::from_secs(40));
     let tx_before =

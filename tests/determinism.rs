@@ -81,7 +81,7 @@ fn probe_bpdu_codec_matches_bridge_codec() {
 /// Serialize every retained trace entry of one lossy-bridged run into one
 /// byte string: `(time, node, message)` per line, oldest first.
 fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
-    use active_bridge::scenario::{host_ip, host_mac};
+    use ab_scenario::{host_ip, host_mac};
     use active_bridge::BridgeConfig;
     use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
     use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
@@ -98,7 +98,7 @@ fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
         },
         ..SegmentConfig::named("lan_b")
     });
-    let _bridge = active_bridge::scenario::bridge(
+    let _bridge = ab_scenario::bridge(
         &mut world,
         0,
         &[lan_a, lan_b],

@@ -26,8 +26,12 @@ fn all_examples_run_cleanly() {
         .collect();
     examples.sort();
     assert!(
-        examples.len() >= 6,
-        "expected at least the six seed examples, found {examples:?}"
+        examples.len() >= 7,
+        "expected the six seed examples plus scenario_sweep, found {examples:?}"
+    );
+    assert!(
+        examples.iter().any(|e| e == "scenario_sweep"),
+        "the scenario_sweep example must be covered"
     );
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());

@@ -4,8 +4,8 @@
 //! a switchlet (thinning, tampering, type forgery, runaway code).
 
 use ab_bench::uploader;
+use ab_scenario::{self as scenario, bridge_ip, host_ip, host_mac};
 use active_bridge::hostmods::handler_ty;
-use active_bridge::scenario::{self, bridge_ip, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode, DataPlaneSel};
 use hostsim::{App, BlastApp, HostConfig, HostCostModel, HostNode, PingApp, UploadApp};
 use netsim::{PortId, SegmentConfig, SimDuration, SimTime, World};

@@ -3,8 +3,8 @@
 //! the network, and the first-bind-wins port arbitration surfacing as
 //! the paper's `Already_bound` failure.
 
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::hostmods::handler_ty;
-use active_bridge::scenario::{self, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use ether::MacAddr;
 use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};

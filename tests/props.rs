@@ -2,7 +2,7 @@
 //! inputs.
 
 use ab_bench::{run_ping, run_ttcp, Forwarder};
-use active_bridge::scenario::{self, host_ip, host_mac};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{HostConfig, HostCostModel, HostNode};
 use netsim::{SimTime, World};

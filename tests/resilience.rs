@@ -3,8 +3,8 @@
 //! callbacks, and the out-of-band administrative interface.
 
 use ab_bench::{build_path, run_until_done, Forwarder};
+use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::hostmods::timer_cb_ty;
-use active_bridge::scenario::{self, host_ip, host_mac};
 use active_bridge::{BridgeCommand, BridgeConfig, BridgeNode, PortRole, StpSwitchlet};
 use hostsim::{App, BlastApp, HostConfig, HostCostModel, HostNode, TtcpRecvApp, TtcpSendApp};
 use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
@@ -17,18 +17,15 @@ use switchlet::{ModuleBuilder, Op, Ty};
 #[test]
 fn stp_reconverges_after_root_protocol_failure() {
     let mut world = World::new(31);
-    let segs = scenario::lans(&mut world, 3);
-    let bridges: Vec<_> = (0..3)
-        .map(|i| {
-            scenario::bridge(
-                &mut world,
-                i,
-                &[segs[i as usize], segs[(i as usize + 1) % 3]],
-                BridgeConfig::default(),
-                &["bridge_learning", "stp_ieee"],
-            )
-        })
-        .collect();
+    let topo = scenario::topo::generate(scenario::TopologyShape::Ring { bridges: 3 }, 31);
+    let built = scenario::instantiate(
+        &mut world,
+        &topo,
+        &BridgeConfig::default(),
+        topo.default_boot(),
+    );
+    assert_eq!(topo.default_boot(), &["bridge_learning", "stp_ieee"]);
+    let (segs, bridges) = (built.segs, built.bridges);
     world.run_until(SimTime::from_secs(40));
 
     // Bridge 0 has the lowest id: it is the root, and exactly one port

@@ -1,0 +1,85 @@
+//! The scenario-sweep acceptance suite: many generated
+//! `(topology, workload, seed)` triples run end to end, every invariant
+//! verdict passes, and reports replay byte-identically from their seeds.
+
+use ab_scenario::runner::{self, Scenario, Verdict};
+use ab_scenario::sweep::{run_sweep, SweepSpec};
+use ab_scenario::topo::TopologyShape;
+use ab_scenario::workload::BatteryKind;
+
+/// Six distinct shapes × three batteries (the default sweep), generated
+/// from seeds, run twice: every invariant passes and the two JSON
+/// reports are byte-identical.
+#[test]
+fn default_sweep_passes_and_replays_byte_identically() {
+    let spec = SweepSpec::default_sweep(2000);
+    assert!(spec.shapes.len() >= 5, "≥ 5 distinct topology shapes");
+    assert!(spec.batteries.len() >= 3, "≥ 3 workload batteries");
+
+    let first = run_sweep(&spec);
+    assert_eq!(first.runs.len(), spec.shapes.len() * spec.batteries.len());
+    for report in &first.runs {
+        for inv in &report.invariants {
+            assert_ne!(
+                inv.verdict,
+                Verdict::Fail,
+                "{}: invariant {} failed: {}\n{}",
+                report.scenario.name,
+                inv.name,
+                inv.detail,
+                report.to_json().render_pretty()
+            );
+        }
+    }
+    assert!(first.passed());
+
+    let second = run_sweep(&spec);
+    assert_eq!(
+        first.to_json().render(),
+        second.to_json().render(),
+        "same seeds must replay the exact report bytes"
+    );
+}
+
+/// The churn battery drives the fault script: the scripted drop window
+/// must actually drop frames on the wire, and the reliable workloads
+/// must still complete.
+#[test]
+fn churn_battery_injects_and_recovers() {
+    // A line is deterministic about placement: every segment carries
+    // traffic, so the scripted fault window always bites.
+    let mut hit = false;
+    for seed in 0..4u64 {
+        let sc = Scenario::new(TopologyShape::Line { bridges: 3 }, BatteryKind::Churn, seed);
+        let report = runner::run(&sc);
+        assert!(report.passed(), "{}", report.to_json().render_pretty());
+        hit |= report.world.total_fault_drops() > 0;
+    }
+    assert!(hit, "at least one churn run must see scripted drops");
+}
+
+/// Reports stay structurally sane: the summary agrees with the verdict
+/// list, and the world section carries every segment.
+#[test]
+fn report_json_is_consistent() {
+    let sc = Scenario::new(
+        TopologyShape::Tree {
+            depth: 2,
+            fanout: 2,
+        },
+        BatteryKind::Uploads,
+        77,
+    );
+    let report = runner::run(&sc);
+    let json = report.to_json();
+    let summary = json.get("summary").expect("summary present");
+    let (p, f, w) = report.verdict_counts();
+    assert_eq!(summary.get("passed"), Some(&ab_scenario::Json::U64(p)));
+    assert_eq!(summary.get("failed"), Some(&ab_scenario::Json::U64(f)));
+    assert_eq!(summary.get("waived"), Some(&ab_scenario::Json::U64(w)));
+    let world = json.get("world").expect("world present");
+    match world.get("segments") {
+        Some(ab_scenario::Json::Arr(segs)) => assert_eq!(segs.len(), report.n_segments),
+        other => panic!("segments must be an array, got {other:?}"),
+    }
+}
