@@ -1,0 +1,84 @@
+//! Heap-allocation accounting for the baseline harness.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! `alloc`/`realloc` call (and the bytes requested). The counters are
+//! process-global atomics, so the wrapper only observes anything when a
+//! binary installs it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ab_bench::allocs::CountingAlloc = ab_bench::allocs::CountingAlloc;
+//! ```
+//!
+//! The `bench_baseline` binary does exactly that; library users (criterion
+//! benches, tests) that don't install it simply read zeros, and
+//! [`counting_enabled`] tells the two cases apart.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] wrapper that counts allocation calls and requested bytes.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counters are plain
+// atomics and never touch the allocator's own state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocation calls observed so far (0 unless [`CountingAlloc`] is the
+/// installed global allocator).
+pub fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Relaxed)
+}
+
+/// Bytes requested so far across all counted calls.
+pub fn alloc_bytes() -> u64 {
+    ALLOC_BYTES.load(Relaxed)
+}
+
+/// Whether the counting allocator is actually installed in this process
+/// (detected by making a heap allocation and watching the counter move).
+pub fn counting_enabled() -> bool {
+    let before = alloc_calls();
+    let probe = std::hint::black_box(Vec::<u64>::with_capacity(16));
+    drop(std::hint::black_box(probe));
+    alloc_calls() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_read_without_installation() {
+        // In the test binary the counting allocator is not installed, so
+        // the counters must simply read as stable zeros.
+        assert!(!counting_enabled());
+        assert_eq!(alloc_calls(), 0);
+        assert_eq!(alloc_bytes(), 0);
+    }
+}

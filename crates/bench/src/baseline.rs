@@ -1,0 +1,605 @@
+//! The frame-plane throughput baseline: three representative workloads ×
+//! two topology sizes, measured in wall-clock terms (frames/sec,
+//! ns/frame) and in allocator terms (allocations per delivered frame).
+//!
+//! This is the harness behind the `bench_baseline` binary, which emits
+//! `BENCH_PR3.json` so every PR from now on has a perf trajectory to
+//! compare against (the way measurement repos treat throughput as a
+//! first-class, regression-tracked artifact). The workloads:
+//!
+//! * **broadcast** — a broadcast storm through one bridge fanning out to
+//!   many LANs with many promiscuous listeners: the worst case for a
+//!   copying data plane (one wire frame becomes `ports × hosts`
+//!   deliveries);
+//! * **ttcp** — the Figure 10 bulk-transfer shape, point-to-point through
+//!   a line of learning bridges (per-frame copies on the directed path);
+//! * **pings** — many concurrent ping pairs through a star (small frames,
+//!   protocol churn: ARP, ICMP echo, learning).
+//!
+//! Wall-clock numbers are machine-dependent; the JSON records them next
+//! to the pre-refactor measurements taken with this same harness on the
+//! same machine, so the *ratio* is the tracked quantity.
+
+use std::time::Instant;
+
+use ab_scenario::{bridge, host_ip, host_mac, lans, Json};
+use active_bridge::BridgeConfig;
+use ether::MacAddr;
+use hostsim::{
+    App, BlastApp, HostConfig, HostCostModel, HostNode, PingApp, TtcpRecvApp, TtcpSendApp,
+};
+use netsim::{CostModel, PortId, SimDuration, SimTime, World};
+use netstack::tcplite::{ReceiverConfig, SenderConfig};
+
+use crate::allocs;
+use crate::experiments::run_until_done;
+
+/// Which workload a case runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Broadcast storm fan-out through one bridge.
+    Broadcast,
+    /// Figure 10-style bulk transfer through a line of bridges.
+    Ttcp,
+    /// Concurrent ping pairs through a star.
+    Pings,
+}
+
+impl ScenarioKind {
+    /// Stable label used in case names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Broadcast => "broadcast",
+            ScenarioKind::Ttcp => "ttcp",
+            ScenarioKind::Pings => "pings",
+        }
+    }
+}
+
+/// Topology size class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SizeClass {
+    /// The small instance of a scenario.
+    Small,
+    /// The large instance (more listeners / more hops / more pairs).
+    Large,
+}
+
+impl SizeClass {
+    /// Stable label used in case names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Large => "large",
+        }
+    }
+}
+
+/// Every `(scenario, size)` pair the harness runs, in run order.
+pub const CASES: [(ScenarioKind, SizeClass); 6] = [
+    (ScenarioKind::Broadcast, SizeClass::Small),
+    (ScenarioKind::Broadcast, SizeClass::Large),
+    (ScenarioKind::Ttcp, SizeClass::Small),
+    (ScenarioKind::Ttcp, SizeClass::Large),
+    (ScenarioKind::Pings, SizeClass::Small),
+    (ScenarioKind::Pings, SizeClass::Large),
+];
+
+/// One measured case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// `scenario/size`, e.g. `broadcast/large`.
+    pub name: String,
+    /// Workload label.
+    pub scenario: &'static str,
+    /// Size label.
+    pub size: &'static str,
+    /// Host count in the topology.
+    pub hosts: usize,
+    /// Segment count.
+    pub segments: usize,
+    /// Bridge count.
+    pub bridges: usize,
+    /// Simulated time covered by the measured run.
+    pub sim_ns: u64,
+    /// Frames handed to `Ctx::send` during the run.
+    pub frames_sent: u64,
+    /// Frames delivered to node ports during the run (the throughput
+    /// denominator: one wire frame delivered to N listeners counts N).
+    pub frames_delivered: u64,
+    /// Frames fully serialized on any wire.
+    pub wire_frames: u64,
+    /// Wall-clock duration of the run.
+    pub wall_ns: u64,
+    /// Delivered frames per wall-clock second.
+    pub frames_per_sec: f64,
+    /// Wall nanoseconds per delivered frame.
+    pub ns_per_frame: f64,
+    /// Heap allocations during the run (0 when the counting allocator is
+    /// not installed).
+    pub allocs: u64,
+    /// Allocations per delivered frame.
+    pub allocs_per_frame: f64,
+    /// Bytes requested from the allocator during the run.
+    pub alloc_bytes: u64,
+    /// Workload-level sanity check (transfer finished, pings answered,
+    /// blasters drained).
+    pub completed: bool,
+}
+
+/// Frame totals at one instant; cases diff two of these so every metric
+/// covers exactly the measured window (warm-up traffic excluded).
+#[derive(Copy, Clone)]
+struct Totals {
+    delivered: u64,
+    sent: u64,
+    wire: u64,
+}
+
+fn totals(world: &World) -> Totals {
+    Totals {
+        delivered: world.frames_delivered(),
+        sent: world.frames_sent(),
+        wire: world.stats().total_tx_frames(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // measurement plumbing, one call site per case
+fn finish_case(
+    name: String,
+    scenario: &'static str,
+    size: &'static str,
+    hosts: usize,
+    segments: usize,
+    bridges: usize,
+    window: (Totals, Totals),
+    sim_ns: u64,
+    wall_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    completed: bool,
+) -> CaseResult {
+    let (t0, t1) = window;
+    let delivered = t1.delivered - t0.delivered;
+    let wall_secs = wall_ns as f64 / 1e9;
+    CaseResult {
+        name,
+        scenario,
+        size,
+        hosts,
+        segments,
+        bridges,
+        sim_ns,
+        frames_sent: t1.sent - t0.sent,
+        frames_delivered: delivered,
+        wire_frames: t1.wire - t0.wire,
+        wall_ns,
+        frames_per_sec: if wall_secs > 0.0 {
+            delivered as f64 / wall_secs
+        } else {
+            0.0
+        },
+        ns_per_frame: if delivered > 0 {
+            wall_ns as f64 / delivered as f64
+        } else {
+            0.0
+        },
+        allocs,
+        allocs_per_frame: if delivered > 0 {
+            allocs as f64 / delivered as f64
+        } else {
+            0.0
+        },
+        alloc_bytes,
+        completed,
+    }
+}
+
+/// Run `f` and report `(wall_ns, alloc_calls, alloc_bytes)` around it.
+fn measured(f: impl FnOnce()) -> (u64, u64, u64) {
+    let allocs_before = allocs::alloc_calls();
+    let bytes_before = allocs::alloc_bytes();
+    let start = Instant::now();
+    f();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    (
+        wall_ns,
+        allocs::alloc_calls() - allocs_before,
+        allocs::alloc_bytes() - bytes_before,
+    )
+}
+
+/// A bridge with the software path cost zeroed out: broadcast and ping
+/// cases measure the simulator's frame plane itself, not the paper's
+/// 1997 calibration (whose ~0.4 ms/frame service time would cap the
+/// bridge near 2.5 kframes/s and turn the benchmark into a queue-drop
+/// exercise). The ttcp case keeps the calibrated model for Figure 10
+/// fidelity.
+fn fast_bridge_cfg() -> BridgeConfig {
+    BridgeConfig {
+        cost: CostModel::FREE,
+        ..Default::default()
+    }
+}
+
+// ------------------------------------------------------------ broadcast
+
+/// Blast interval: generous enough that `lans × serialization(1424 B)`
+/// fits inside one interval on every LAN, so queues do not build up and
+/// every offered frame is actually delivered.
+const BLAST_INTERVAL: SimDuration = SimDuration::from_us(1200);
+const BLAST_SIZE: usize = 1400;
+
+fn run_broadcast(size: SizeClass, smoke: bool) -> CaseResult {
+    let (n_lans, hosts_per_lan) = match size {
+        SizeClass::Small => (4, 4),
+        SizeClass::Large => (8, 8),
+    };
+    let count: u64 = if smoke { 80 } else { 800 };
+
+    let mut world = World::new(11);
+    world.trace_mut().set_enabled(false);
+    let segs = lans(&mut world, n_lans);
+    bridge(
+        &mut world,
+        0,
+        &segs,
+        fast_bridge_cfg(),
+        &["bridge_learning"],
+    );
+    let mut n = 1u32;
+    let mut blasters = Vec::new();
+    for (li, &seg) in segs.iter().enumerate() {
+        for hi in 0..hosts_per_lan {
+            // The first host of every LAN blasts broadcast frames; every
+            // other host is a listener.
+            let apps = if hi == 0 {
+                vec![BlastApp::new(
+                    PortId(0),
+                    MacAddr::BROADCAST,
+                    BLAST_SIZE,
+                    count,
+                    BLAST_INTERVAL,
+                )]
+            } else {
+                Vec::new()
+            };
+            let host = HostNode::new(
+                format!("h{li}_{hi}"),
+                HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+                apps,
+            );
+            let id = world.add_node(host);
+            world.attach(id, seg);
+            if hi == 0 {
+                blasters.push(id);
+            }
+            n += 1;
+        }
+    }
+
+    // Let the world come up, then measure the storm in steady state.
+    world.run_until(SimTime::from_ms(1));
+    let t0 = totals(&world);
+    let span = BLAST_INTERVAL * count + SimDuration::from_ms(100);
+    let horizon = world.now() + span;
+    let (wall_ns, allocs, alloc_bytes) = measured(|| world.run_until(horizon));
+    let t1 = totals(&world);
+
+    // Every blaster must have drained its full frame budget.
+    let completed = blasters.iter().all(|&b| {
+        let App::Blast(blast) = world.node::<HostNode>(b).app(0) else {
+            unreachable!()
+        };
+        blast.sent == count
+    });
+    finish_case(
+        format!("broadcast/{}", size.label()),
+        ScenarioKind::Broadcast.label(),
+        size.label(),
+        n_lans * hosts_per_lan,
+        n_lans,
+        1,
+        (t0, t1),
+        span.as_ns(),
+        wall_ns,
+        allocs,
+        alloc_bytes,
+        completed,
+    )
+}
+
+// ----------------------------------------------------------------- ttcp
+
+fn run_ttcp_case(size: SizeClass, smoke: bool) -> CaseResult {
+    let n_bridges = match size {
+        SizeClass::Small => 1,
+        SizeClass::Large => 4,
+    };
+    let total_bytes: u64 = if smoke { 512 * 1024 } else { 4 * 1024 * 1024 };
+    let write_size = 8192;
+
+    let mut world = World::new(12);
+    world.trace_mut().set_enabled(false);
+    let segs = lans(&mut world, n_bridges + 1);
+    for i in 0..n_bridges {
+        bridge(
+            &mut world,
+            i as u32,
+            &segs[i..=i + 1],
+            BridgeConfig::default(),
+            &["bridge_learning"],
+        );
+    }
+    let cost = HostCostModel::pc_1997();
+    let sender = world.add_node(HostNode::new(
+        "sender",
+        HostConfig::simple(host_mac(1), host_ip(1), cost),
+        vec![TtcpSendApp::new(
+            PortId(0),
+            host_ip(2),
+            5001,
+            5001,
+            total_bytes,
+            write_size,
+            SenderConfig::default(),
+        )],
+    ));
+    world.attach(sender, segs[0]);
+    let receiver = world.add_node(HostNode::new(
+        "receiver",
+        HostConfig::simple(host_mac(2), host_ip(2), cost),
+        vec![TtcpRecvApp::new(5001, ReceiverConfig::default())],
+    ));
+    world.attach(receiver, segs[n_bridges]);
+
+    let sim_start = {
+        world.start();
+        world.now()
+    };
+    let t0 = totals(&world);
+    let (wall_ns, allocs, alloc_bytes) = measured(|| {
+        run_until_done(&mut world, SimTime::from_secs(600), |w| {
+            let App::TtcpSend(t) = w.node::<HostNode>(sender).app(0) else {
+                unreachable!()
+            };
+            t.is_done()
+        });
+    });
+    let t1 = totals(&world);
+    let completed = {
+        let App::TtcpSend(t) = world.node::<HostNode>(sender).app(0) else {
+            unreachable!()
+        };
+        t.is_done()
+    };
+    let sim_ns = world.now().saturating_since(sim_start).as_ns();
+    finish_case(
+        format!("ttcp/{}", size.label()),
+        ScenarioKind::Ttcp.label(),
+        size.label(),
+        2,
+        n_bridges + 1,
+        n_bridges,
+        (t0, t1),
+        sim_ns,
+        wall_ns,
+        allocs,
+        alloc_bytes,
+        completed,
+    )
+}
+
+// ---------------------------------------------------------------- pings
+
+fn run_pings(size: SizeClass, smoke: bool) -> CaseResult {
+    let n_lans = match size {
+        SizeClass::Small => 4,
+        SizeClass::Large => 8,
+    };
+    let count: u32 = if smoke { 60 } else { 500 };
+    let interval = SimDuration::from_ms(2);
+
+    let mut world = World::new(13);
+    world.trace_mut().set_enabled(false);
+    let segs = lans(&mut world, n_lans);
+    bridge(
+        &mut world,
+        0,
+        &segs,
+        fast_bridge_cfg(),
+        &["bridge_learning"],
+    );
+    let cost = HostCostModel::pc_1997();
+    // Host `i` lives on LAN `i` and pings host `(i+1) % n` — every LAN
+    // both sources and sinks traffic through the star's hub.
+    let hosts: Vec<_> = (0..n_lans)
+        .map(|i| {
+            let target = ((i + 1) % n_lans) as u32 + 1;
+            let app = PingApp::new(
+                PortId(0),
+                host_ip(target),
+                count,
+                512,
+                interval,
+                0x50 + i as u16,
+            );
+            let id = world.add_node(HostNode::new(
+                format!("pinger{i}"),
+                HostConfig::simple(host_mac(i as u32 + 1), host_ip(i as u32 + 1), cost),
+                vec![app],
+            ));
+            world.attach(id, segs[i]);
+            id
+        })
+        .collect();
+
+    world.run_until(SimTime::from_ms(1));
+    let t0 = totals(&world);
+    let span = interval * count as u64 + SimDuration::from_secs(2);
+    let horizon = world.now() + span;
+    let (wall_ns, allocs, alloc_bytes) = measured(|| world.run_until(horizon));
+    let t1 = totals(&world);
+
+    let received: u64 = hosts
+        .iter()
+        .map(|&h| {
+            let App::Ping(p) = world.node::<HostNode>(h).app(0) else {
+                unreachable!()
+            };
+            p.received as u64
+        })
+        .sum();
+    let completed = received >= n_lans as u64 * count as u64;
+    finish_case(
+        format!("pings/{}", size.label()),
+        ScenarioKind::Pings.label(),
+        size.label(),
+        n_lans,
+        n_lans,
+        1,
+        (t0, t1),
+        span.as_ns(),
+        wall_ns,
+        allocs,
+        alloc_bytes,
+        completed,
+    )
+}
+
+/// Run one case.
+pub fn run_case(kind: ScenarioKind, size: SizeClass, smoke: bool) -> CaseResult {
+    match kind {
+        ScenarioKind::Broadcast => run_broadcast(size, smoke),
+        ScenarioKind::Ttcp => run_ttcp_case(size, smoke),
+        ScenarioKind::Pings => run_pings(size, smoke),
+    }
+}
+
+// ----------------------------------------------------------------- JSON
+
+fn f2(v: f64) -> Json {
+    Json::str(format!("{v:.2}"))
+}
+
+/// Render one case as JSON.
+pub fn case_json(c: &CaseResult) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&c.name)),
+        ("scenario", Json::str(c.scenario)),
+        ("size", Json::str(c.size)),
+        ("hosts", Json::U64(c.hosts as u64)),
+        ("segments", Json::U64(c.segments as u64)),
+        ("bridges", Json::U64(c.bridges as u64)),
+        ("sim_ns", Json::U64(c.sim_ns)),
+        ("frames_sent", Json::U64(c.frames_sent)),
+        ("frames_delivered", Json::U64(c.frames_delivered)),
+        ("wire_frames", Json::U64(c.wire_frames)),
+        ("wall_ns", Json::U64(c.wall_ns)),
+        ("frames_per_sec", f2(c.frames_per_sec)),
+        ("ns_per_frame", f2(c.ns_per_frame)),
+        ("allocs", Json::U64(c.allocs)),
+        ("allocs_per_frame", f2(c.allocs_per_frame)),
+        ("alloc_bytes", Json::U64(c.alloc_bytes)),
+        ("completed", Json::Bool(c.completed)),
+    ])
+}
+
+/// A recorded measurement from before the zero-copy frame-plane refactor
+/// (same harness, same machine class), kept so the emitted JSON carries
+/// its own comparison point.
+#[derive(Copy, Clone, Debug)]
+pub struct PreCase {
+    /// `scenario/size` (matches [`CaseResult::name`]).
+    pub name: &'static str,
+    /// Delivered frames in the measured window.
+    pub frames_delivered: u64,
+    /// Delivered frames per wall second.
+    pub frames_per_sec: f64,
+    /// Wall nanoseconds per delivered frame.
+    pub ns_per_frame: f64,
+    /// Heap allocations per delivered frame.
+    pub allocs_per_frame: f64,
+}
+
+/// Where [`PRE_REFACTOR`] came from.
+pub const PRE_PROVENANCE: &str = "this harness at commit 867f385 (Vec-copying frame plane, \
+     before the FrameBuf refactor), full mode, release build, same container class as CI";
+
+/// Pre-refactor numbers (recorded from a run of this exact harness on
+/// the commit preceding the FrameBuf refactor; see [`PRE_PROVENANCE`]).
+pub const PRE_REFACTOR: &[PreCase] = &[
+    PreCase {
+        name: "broadcast/small",
+        frames_delivered: 51_200,
+        frames_per_sec: 4_682_686.0,
+        ns_per_frame: 213.55,
+        allocs_per_frame: 0.624,
+    },
+    PreCase {
+        name: "broadcast/large",
+        frames_delivered: 409_600,
+        frames_per_sec: 4_948_258.0,
+        ns_per_frame: 202.09,
+        allocs_per_frame: 0.343,
+    },
+    PreCase {
+        name: "ttcp/small",
+        frames_delivered: 9_312,
+        frames_per_sec: 605_059.0,
+        ns_per_frame: 1_652.73,
+        allocs_per_frame: 5.823,
+    },
+    PreCase {
+        name: "ttcp/large",
+        frames_delivered: 23_280,
+        frames_per_sec: 939_353.0,
+        ns_per_frame: 1_064.56,
+        allocs_per_frame: 4.137,
+    },
+    PreCase {
+        name: "pings/small",
+        frames_delivered: 8_024,
+        frames_per_sec: 1_459_363.0,
+        ns_per_frame: 685.23,
+        allocs_per_frame: 5.726,
+    },
+    PreCase {
+        name: "pings/large",
+        frames_delivered: 16_080,
+        frames_per_sec: 1_340_719.0,
+        ns_per_frame: 745.87,
+        allocs_per_frame: 5.721,
+    },
+];
+
+/// Pre-refactor numbers for `name`, if recorded.
+pub fn pre_case(name: &str) -> Option<&'static PreCase> {
+    PRE_REFACTOR.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cases_run_and_deliver() {
+        let b = run_case(ScenarioKind::Broadcast, SizeClass::Small, true);
+        assert!(b.completed, "broadcast blasters must drain: {b:?}");
+        assert!(b.frames_delivered > 1000, "storm must fan out: {b:?}");
+        let p = run_case(ScenarioKind::Pings, SizeClass::Small, true);
+        assert!(p.completed, "all pings must be answered: {p:?}");
+    }
+
+    #[test]
+    fn broadcast_large_has_more_listeners_per_wire_frame() {
+        let small = run_case(ScenarioKind::Broadcast, SizeClass::Small, true);
+        let large = run_case(ScenarioKind::Broadcast, SizeClass::Large, true);
+        let per_wire_small = small.frames_delivered as f64 / small.wire_frames as f64;
+        let per_wire_large = large.frames_delivered as f64 / large.wire_frames as f64;
+        assert!(
+            per_wire_large > per_wire_small,
+            "large topology must raise the listener fan-out ({per_wire_small:.2} vs {per_wire_large:.2})"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! `bench_baseline` — measure the frame plane and emit `BENCH_PR3.json`.
+//!
+//! Runs the three baseline workloads at two topology sizes (see
+//! `ab_bench::baseline`), prints a human-readable table, and writes a
+//! machine-readable JSON artifact containing the fresh measurements, the
+//! recorded pre-refactor measurements, and the improvement ratios.
+//!
+//! ```sh
+//! cargo run --release -p ab_bench --bin bench_baseline -- [--smoke] \
+//!     [--out BENCH_PR3.json] [--assert-alloc-o1]
+//! ```
+//!
+//! * `--smoke` — CI-sized runs (a few seconds total);
+//! * `--out`   — output path (default `BENCH_PR3.json`);
+//! * `--assert-alloc-o1` — exit nonzero unless allocations per delivered
+//!   frame stay O(1) in listener count (large broadcast must not allocate
+//!   more per frame than small broadcast, within tolerance).
+
+use ab_bench::allocs::{self, CountingAlloc};
+use ab_bench::baseline::{self, case_json, run_case, CaseResult, CASES};
+use ab_scenario::Json;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations-per-frame headroom allowed between the small and large
+/// broadcast topologies before the O(1) assertion fails, plus a small
+/// absolute floor so a handful of constant allocations never trips the
+/// ratio test. The floor sits far below one allocation per delivered
+/// frame, so a regression to per-listener copying (≥ 1.0 allocs/frame,
+/// as the pre-refactor plane measured) fails the gate outright.
+const ALLOC_O1_RATIO: f64 = 1.5;
+const ALLOC_O1_FLOOR: f64 = 0.1;
+
+fn main() {
+    let mut smoke = false;
+    let mut assert_o1 = false;
+    let mut out = String::from("BENCH_PR3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--assert-alloc-o1" => assert_o1 = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let counting = allocs::counting_enabled();
+    assert!(
+        counting,
+        "counting allocator must be installed in this binary"
+    );
+
+    println!(
+        "# bench_baseline mode={} alloc_counting={}",
+        if smoke { "smoke" } else { "full" },
+        counting,
+    );
+    println!(
+        "# {:<18} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "case", "delivered", "wall_ms", "kframes/s", "ns/frame", "allocs/frame"
+    );
+
+    let mut results: Vec<CaseResult> = Vec::new();
+    for (kind, size) in CASES {
+        let c = run_case(kind, size, smoke);
+        println!(
+            "  {:<18} {:>12} {:>12.1} {:>12.1} {:>14.1} {:>12.3}",
+            c.name,
+            c.frames_delivered,
+            c.wall_ns as f64 / 1e6,
+            c.frames_per_sec / 1e3,
+            c.ns_per_frame,
+            c.allocs_per_frame,
+        );
+        assert!(c.completed, "workload did not complete: {}", c.name);
+        results.push(c);
+    }
+
+    // Improvement ratios against the recorded pre-refactor measurements.
+    let mut improvements: Vec<(String, Json)> = Vec::new();
+    for c in &results {
+        if let Some(pre) = baseline::pre_case(&c.name) {
+            if pre.frames_per_sec > 0.0 {
+                let speedup = c.frames_per_sec / pre.frames_per_sec;
+                println!(
+                    "  {:<18} speedup {:.2}x (pre {:.1} kframes/s, allocs/frame {:.3} -> {:.3})",
+                    c.name,
+                    speedup,
+                    pre.frames_per_sec / 1e3,
+                    pre.allocs_per_frame,
+                    c.allocs_per_frame,
+                );
+                improvements.push((
+                    c.name.clone(),
+                    Json::obj(vec![
+                        ("frames_per_sec_ratio", Json::str(format!("{speedup:.2}"))),
+                        (
+                            "allocs_per_frame_before",
+                            Json::str(format!("{:.3}", pre.allocs_per_frame)),
+                        ),
+                        (
+                            "allocs_per_frame_after",
+                            Json::str(format!("{:.3}", c.allocs_per_frame)),
+                        ),
+                    ]),
+                ));
+            }
+        }
+    }
+
+    // O(1)-allocations-in-listener-count check on the broadcast pair.
+    let small = results.iter().find(|c| c.name == "broadcast/small");
+    let large = results.iter().find(|c| c.name == "broadcast/large");
+    let alloc_o1 = match (small, large) {
+        (Some(s), Some(l)) => {
+            let ok =
+                l.allocs_per_frame <= (s.allocs_per_frame * ALLOC_O1_RATIO).max(ALLOC_O1_FLOOR);
+            println!(
+                "# alloc O(1) in listeners: small {:.3}/frame, large {:.3}/frame -> {}",
+                s.allocs_per_frame,
+                l.allocs_per_frame,
+                if ok { "OK" } else { "VIOLATED" }
+            );
+            Some((ok, s.allocs_per_frame, l.allocs_per_frame))
+        }
+        _ => None,
+    };
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ab-bench-baseline/v1")),
+        ("pr", Json::U64(3)),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("alloc_counting", Json::Bool(counting)),
+        ("cases", Json::Arr(results.iter().map(case_json).collect())),
+        (
+            "pre_refactor",
+            Json::obj(vec![
+                ("provenance", Json::str(baseline::PRE_PROVENANCE)),
+                (
+                    "cases",
+                    Json::Arr(
+                        baseline::PRE_REFACTOR
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("name", Json::str(p.name)),
+                                    ("frames_delivered", Json::U64(p.frames_delivered)),
+                                    (
+                                        "frames_per_sec",
+                                        Json::str(format!("{:.2}", p.frames_per_sec)),
+                                    ),
+                                    ("ns_per_frame", Json::str(format!("{:.2}", p.ns_per_frame))),
+                                    (
+                                        "allocs_per_frame",
+                                        Json::str(format!("{:.3}", p.allocs_per_frame)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("improvement", Json::Obj(improvements)),
+        (
+            "alloc_o1_in_listeners",
+            match alloc_o1 {
+                Some((ok, s, l)) => Json::obj(vec![
+                    ("ok", Json::Bool(ok)),
+                    (
+                        "broadcast_small_allocs_per_frame",
+                        Json::str(format!("{s:.3}")),
+                    ),
+                    (
+                        "broadcast_large_allocs_per_frame",
+                        Json::str(format!("{l:.3}")),
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ]);
+
+    std::fs::write(&out, doc.render_pretty() + "\n").expect("write baseline JSON");
+    println!("# wrote {out}");
+
+    if assert_o1 {
+        match alloc_o1 {
+            Some((true, _, _)) => {}
+            Some((false, s, l)) => {
+                eprintln!(
+                    "allocations per delivered frame grew with listener count: \
+                     {s:.3} -> {l:.3} (limit {ALLOC_O1_RATIO}x over a floor of {ALLOC_O1_FLOOR})"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("broadcast cases missing; cannot assert alloc O(1)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

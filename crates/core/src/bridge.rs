@@ -20,9 +20,10 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
 use ether::{EtherType, Frame, MacAddr};
-use netsim::{Ctx, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken};
+use netsim::{
+    Ctx, FrameBuf, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken,
+};
 use switchlet::{ExecConfig, FuncVal, Module, Namespace, Value};
 
 use crate::config::BridgeConfig;
@@ -44,6 +45,48 @@ fn switchlet_token(slot: usize, user: u32) -> TimerToken {
 
 fn vm_timer_token(idx: usize) -> TimerToken {
     TimerToken(KIND_VM_TIMER << 56 | idx as u64)
+}
+
+/// A frame on the bridge's data path: the parsed Ethernet view together
+/// with the refcounted buffer it was parsed from. Accessors come from
+/// [`Frame`] via `Deref`; [`DataFrame::buf`] exposes the shared buffer so
+/// forwarding a frame is a refcount bump, never a copy (the paper's
+/// bridges must not modify frames, so sharing is always safe).
+pub struct DataFrame<'a> {
+    buf: &'a FrameBuf,
+    view: Frame<'a>,
+}
+
+impl<'a> DataFrame<'a> {
+    /// Validate and wrap a received buffer.
+    pub fn parse(buf: &'a FrameBuf) -> Result<DataFrame<'a>, ether::FrameError> {
+        Ok(DataFrame {
+            buf,
+            view: Frame::parse(buf)?,
+        })
+    }
+
+    /// The refcounted frame buffer (clone it to forward zero-copy).
+    pub fn buf(&self) -> &'a FrameBuf {
+        self.buf
+    }
+
+    /// A shared handle to the frame contents (refcount bump).
+    pub fn share(&self) -> FrameBuf {
+        self.buf.clone()
+    }
+
+    /// The parsed Ethernet view.
+    pub fn view(&self) -> &Frame<'a> {
+        &self.view
+    }
+}
+
+impl<'a> std::ops::Deref for DataFrame<'a> {
+    type Target = Frame<'a>;
+    fn deref(&self) -> &Frame<'a> {
+        &self.view
+    }
 }
 
 /// Commands a switchlet may queue against the bridge (applied after the
@@ -100,8 +143,10 @@ impl<'a, 'w> BridgeCtx<'a, 'w> {
         self.plane.flags.len()
     }
 
-    /// Transmit a frame out of `port`.
-    pub fn send_frame(&mut self, port: PortId, frame: Bytes) {
+    /// Transmit a frame out of `port`. Accepts a [`FrameBuf`] (or
+    /// anything convertible); forwarding a received frame via
+    /// [`DataFrame::share`] is zero-copy.
+    pub fn send_frame(&mut self, port: PortId, frame: impl Into<FrameBuf>) {
         self.sim.send(port, frame);
     }
 
@@ -146,11 +191,12 @@ pub trait NativeSwitchlet: Any {
         &mut self,
         _bc: &mut BridgeCtx<'_, '_>,
         _port: PortId,
-        _frame: &Frame<'_>,
+        _frame: &DataFrame<'_>,
     ) {
     }
     /// Invoked when this switchlet is the installed switching function.
-    fn switch_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &Frame<'_>) {}
+    fn switch_frame(&mut self, _bc: &mut BridgeCtx<'_, '_>, _port: PortId, _frame: &DataFrame<'_>) {
+    }
     /// A timer scheduled via [`BridgeCtx::schedule`] fired.
     fn on_timer(&mut self, _bc: &mut BridgeCtx<'_, '_>, _user: u32) {}
     /// Downcast support.
@@ -178,6 +224,28 @@ enum SwitchletImpl {
     Vm,
 }
 
+/// Which `NativeSwitchlet` entry point a dispatch invokes.
+#[derive(Copy, Clone)]
+enum DispatchEntry {
+    /// `on_registered_frame` (address-registered handlers).
+    Registered,
+    /// `switch_frame` (the installed switching function).
+    Switch,
+}
+
+/// A resolved frame-dispatch target (plain indices/values, no borrowed or
+/// cloned names, so resolution can happen under an immutable borrow and
+/// dispatch under the mutable one).
+#[derive(Copy, Clone)]
+enum HandlerTarget {
+    /// Loaded native switchlet, by slot index.
+    Native(usize),
+    /// VM handler function.
+    Vm(FuncVal),
+    /// No runnable handler.
+    None,
+}
+
 struct Slot {
     name: String,
     imp: Option<SwitchletImpl>,
@@ -189,7 +257,7 @@ pub struct BridgeNode {
     mac: MacAddr,
     ip: Ipv4Addr,
     cfg: BridgeConfig,
-    service: ServiceQueue<(PortId, Bytes)>,
+    service: ServiceQueue<(PortId, FrameBuf)>,
     plane: Plane,
     slots: Vec<Slot>,
     by_name: HashMap<String, usize>,
@@ -366,73 +434,106 @@ impl BridgeNode {
         }
     }
 
-    fn dispatch_registered(&mut self, ctx: &mut Ctx<'_>, name: &str, port: PortId, frame: &Bytes) {
+    /// Resolve a handler name to an invocable target without holding (or
+    /// cloning) any borrowed strings — the hot path must not allocate.
+    fn resolve_handler(&self, name: &str) -> HandlerTarget {
         if let Some(key) = name.strip_prefix("vm:") {
-            if let Some(&fv) = self.vm_handlers.get(key) {
+            return match self.vm_handlers.get(key) {
+                Some(&fv) => HandlerTarget::Vm(fv),
+                None => HandlerTarget::None,
+            };
+        }
+        match self.by_name.get(name) {
+            Some(&idx) if self.plane.is_running(name) => HandlerTarget::Native(idx),
+            _ => HandlerTarget::None,
+        }
+    }
+
+    /// Invoke a resolved target with one frame: VM handlers get the frame
+    /// copied into a `Value::Str` (the VM boundary is the data plane's
+    /// one deliberate copy), native switchlets get a [`DataFrame`] view.
+    /// `entry` selects which trait method the native path calls.
+    fn dispatch_target(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        target: HandlerTarget,
+        port: PortId,
+        frame: &FrameBuf,
+        entry: DispatchEntry,
+    ) {
+        match target {
+            HandlerTarget::Vm(fv) => {
                 let args = vec![Value::str(frame.to_vec()), Value::Int(port.0 as i64)];
                 self.call_vm(ctx, fv, args);
             }
-            return;
-        }
-        let Some(&idx) = self.by_name.get(name) else {
-            return;
-        };
-        if !self.plane.is_running(name) {
-            return;
-        }
-        let parsed = match Frame::parse(frame) {
-            Ok(p) => p,
-            Err(_) => return,
-        };
-        self.with_slot(ctx, idx, |s, bc| s.on_registered_frame(bc, port, &parsed));
-    }
-
-    fn dispatch_data_plane(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &Bytes) {
-        match self.plane.data_plane.clone() {
-            DataPlaneSel::None => {
-                self.plane.stats.no_plane += 1;
-            }
-            DataPlaneSel::Native(name) => {
-                let Some(&idx) = self.by_name.get(&name) else {
-                    self.plane.stats.no_plane += 1;
+            HandlerTarget::Native(idx) => {
+                let Ok(parsed) = DataFrame::parse(frame) else {
                     return;
                 };
-                if !self.plane.is_running(&name) {
+                self.with_slot(ctx, idx, |s, bc| match entry {
+                    DispatchEntry::Registered => s.on_registered_frame(bc, port, &parsed),
+                    DispatchEntry::Switch => s.switch_frame(bc, port, &parsed),
+                });
+            }
+            HandlerTarget::None => {}
+        }
+    }
+
+    fn dispatch_registered(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        target: HandlerTarget,
+        port: PortId,
+        frame: &FrameBuf,
+    ) {
+        self.dispatch_target(ctx, target, port, frame, DispatchEntry::Registered);
+    }
+
+    fn dispatch_data_plane(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
+        let target = match &self.plane.data_plane {
+            DataPlaneSel::None => {
+                self.plane.stats.no_plane += 1;
+                return;
+            }
+            DataPlaneSel::Native(name) => match self.by_name.get(name) {
+                Some(&idx) if self.plane.is_running(name) => HandlerTarget::Native(idx),
+                _ => {
                     self.plane.stats.no_plane += 1;
                     return;
                 }
-                let parsed = match Frame::parse(frame) {
-                    Ok(p) => p,
-                    Err(_) => return,
-                };
-                self.with_slot(ctx, idx, |s, bc| s.switch_frame(bc, port, &parsed));
-            }
-            DataPlaneSel::Vm(fv) => {
-                let args = vec![Value::str(frame.to_vec()), Value::Int(port.0 as i64)];
-                self.call_vm(ctx, fv, args);
-            }
-        }
+            },
+            DataPlaneSel::Vm(fv) => HandlerTarget::Vm(*fv),
+        };
+        self.dispatch_target(ctx, target, port, frame, DispatchEntry::Switch);
     }
 
     /// The demultiplexer (Figure 5 step 4 entry): address-registered
     /// handlers first, then the switching function.
-    fn process_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn process_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
         let (dst, ethertype) = match Frame::parse(&frame) {
             Ok(p) => (p.dst(), p.ethertype()),
             Err(_) => return,
         };
-        if let Some(name) = self.plane.addr_handler(dst).map(str::to_owned) {
+        if let Some(target) = self
+            .plane
+            .addr_handler(dst)
+            .map(|name| self.resolve_handler(name))
+        {
             self.plane.stats.registered += 1;
-            self.dispatch_registered(ctx, &name, port, &frame);
+            self.dispatch_registered(ctx, target, port, &frame);
             self.apply_cmds(ctx);
             return;
         }
         // The loader endpoint also hears broadcast ARP (hosts resolving
         // the bridge's loader address); the frame is still bridged.
         if dst.is_broadcast() && ethertype == EtherType::ARP {
-            if let Some(name) = self.plane.addr_handler(self.mac).map(str::to_owned) {
+            if let Some(target) = self
+                .plane
+                .addr_handler(self.mac)
+                .map(|name| self.resolve_handler(name))
+            {
                 self.plane.stats.to_loader += 1;
-                self.dispatch_registered(ctx, &name, port, &frame);
+                self.dispatch_registered(ctx, target, port, &frame);
             }
         }
         self.dispatch_data_plane(ctx, port, &frame);
@@ -612,9 +713,18 @@ impl Node for BridgeNode {
         }
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
         self.plane.stats.frames_in += 1;
         let service_time = self.cfg.cost.service_time(frame.len());
+        // Null-event elision, as on the host receive path: a zero-cost
+        // software path with an idle input queue forwards synchronously
+        // instead of bouncing through a zero-delay service timer.
+        // Calibrated cost models (the paper's bridges) still serialize
+        // through the single-server queue.
+        if service_time.is_zero() && self.service.head().is_none() {
+            self.process_frame(ctx, port, frame);
+            return;
+        }
         match self.service.offer((port, frame)) {
             Offer::Started => {
                 ctx.schedule(service_time, service_token());

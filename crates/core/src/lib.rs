@@ -45,7 +45,7 @@ pub mod scenario {
     pub use crate::scenario_impl::*;
 }
 
-pub use bridge::{BridgeCommand, BridgeCtx, BridgeNode, NativeInit, NativeSwitchlet};
+pub use bridge::{BridgeCommand, BridgeCtx, BridgeNode, DataFrame, NativeInit, NativeSwitchlet};
 pub use config::{BridgeConfig, StpTimers, TransitionTimers};
 pub use plane::{BridgeStats, DataPlaneSel, LearningTable, Plane, PortFlags, SwitchletStatus};
 pub use switchlets::control::{ControlSwitchlet, Phase, TransitionEvent};

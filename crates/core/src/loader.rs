@@ -11,12 +11,12 @@
 //! made to dynamically load and evaluate the file."
 
 use bytes::Bytes;
-use ether::{EtherType, Frame, FrameBuilder, MacAddr};
+use ether::{EtherType, FrameBuilder, MacAddr};
 use netsim::PortId;
 use netstack::ipv4::Protocol;
 use netstack::{ArpOp, ArpPacket, TftpServer, UdpDatagram};
 
-use crate::bridge::{BridgeCommand, BridgeCtx, NativeSwitchlet};
+use crate::bridge::{BridgeCommand, BridgeCtx, DataFrame, NativeSwitchlet};
 
 /// The switchlet's unit name.
 pub const NAME: &str = "netloader";
@@ -81,7 +81,12 @@ impl NativeSwitchlet for NetLoader {
         bc.log(format!("network loader ready at {ip} (tftp/{TFTP_PORT})"));
     }
 
-    fn on_registered_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+    fn on_registered_frame(
+        &mut self,
+        bc: &mut BridgeCtx<'_, '_>,
+        port: PortId,
+        frame: &DataFrame<'_>,
+    ) {
         match frame.ethertype() {
             EtherType::ARP => {
                 let Ok(arp) = ArpPacket::parse(frame.payload()) else {

@@ -20,10 +20,10 @@
 //! engine's snapshot at suspension and compares the IEEE engine's
 //! snapshot against it at the 60-second mark.
 
-use ether::{Frame, MacAddr};
+use ether::MacAddr;
 use netsim::{PortId, SimTime};
 
-use crate::bridge::{BridgeCommand, BridgeCtx, NativeSwitchlet};
+use crate::bridge::{BridgeCommand, BridgeCtx, DataFrame, NativeSwitchlet};
 use crate::switchlets::stp::engine::StpSnapshot;
 use crate::switchlets::stp::{DEC_NAME, IEEE_NAME};
 
@@ -191,7 +191,7 @@ impl NativeSwitchlet for ControlSwitchlet {
         &mut self,
         bc: &mut BridgeCtx<'_, '_>,
         _port: PortId,
-        frame: &Frame<'_>,
+        frame: &DataFrame<'_>,
     ) {
         let dst = frame.dst();
         match (&self.phase, dst) {

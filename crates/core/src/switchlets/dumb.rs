@@ -10,11 +10,9 @@
 //! demultiplexer; this switchlet is part two. "It cannot tolerate a
 //! network topology with any loops."
 
-use bytes::Bytes;
-use ether::Frame;
 use netsim::PortId;
 
-use crate::bridge::{BridgeCtx, NativeSwitchlet};
+use crate::bridge::{BridgeCtx, DataFrame, NativeSwitchlet};
 use crate::plane::DataPlaneSel;
 
 /// The switchlet's unit name.
@@ -43,18 +41,19 @@ impl NativeSwitchlet for DumbBridge {
         bc.log("dumb bridge installed: flooding all ports");
     }
 
-    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &DataFrame<'_>) {
         // Even the dumb bridge honors the spanning tree's access points
         // if one happens to be running above it.
         if !bc.plane.flags[port.0].forward {
             bc.plane.stats.blocked += 1;
             return;
         }
-        let bytes = Bytes::copy_from_slice(frame.as_bytes());
+        // Flooding shares one refcounted buffer across every output port
+        // (bridges must not modify frames, so sharing is always safe).
         let mut sent = false;
         for p in 0..bc.num_ports() {
             if p != port.0 && bc.plane.flags[p].forward {
-                bc.send_frame(PortId(p), bytes.clone());
+                bc.send_frame(PortId(p), frame.share());
                 sent = true;
             }
         }

@@ -12,11 +12,9 @@
 //! Footnote 3 gives the group-address rules, implemented here and in
 //! [`crate::plane::LearningTable::learn`].
 
-use bytes::Bytes;
-use ether::Frame;
 use netsim::{PortId, SimDuration};
 
-use crate::bridge::{BridgeCtx, NativeSwitchlet};
+use crate::bridge::{BridgeCtx, DataFrame, NativeSwitchlet};
 use crate::plane::DataPlaneSel;
 
 /// The switchlet's unit name.
@@ -35,12 +33,13 @@ pub struct LearningBridge {
 }
 
 impl LearningBridge {
-    fn flood(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
-        let bytes = Bytes::copy_from_slice(frame.as_bytes());
+    fn flood(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &DataFrame<'_>) {
+        // One refcounted buffer shared across every output port — the
+        // flood path copies nothing.
         let mut sent = false;
         for p in 0..bc.num_ports() {
             if p != port.0 && bc.plane.flags[p].forward {
-                bc.send_frame(PortId(p), bytes.clone());
+                bc.send_frame(PortId(p), frame.share());
                 sent = true;
             }
         }
@@ -66,7 +65,7 @@ impl NativeSwitchlet for LearningBridge {
         bc.log("learning bridge installed: replaced switching function");
     }
 
-    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
+    fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &DataFrame<'_>) {
         if !bc.plane.flags[port.0].forward {
             bc.plane.stats.blocked += 1;
             return;
@@ -90,7 +89,7 @@ impl NativeSwitchlet for LearningBridge {
                 bc.plane.stats.filtered += 1;
             }
             Some(out) if bc.plane.flags[out.0].forward => {
-                bc.send_frame(out, Bytes::copy_from_slice(frame.as_bytes()));
+                bc.send_frame(out, frame.share());
                 self.directed += 1;
                 bc.plane.stats.directed += 1;
                 bc.plane.stats.bytes_forwarded += frame.len() as u64;

@@ -7,7 +7,7 @@ pub mod engine;
 use ether::{EtherType, Frame, FrameBuilder, Llc, MacAddr};
 use netsim::{PortId, SimDuration};
 
-use crate::bridge::{BridgeCommand, BridgeCtx, NativeSwitchlet};
+use crate::bridge::{BridgeCommand, BridgeCtx, DataFrame, NativeSwitchlet};
 use crate::plane::PortFlags;
 use crate::switchlets::stp::bpdu::{Bpdu, BridgeId, StpVariant};
 use crate::switchlets::stp::engine::{Defect, StpAction, StpEngine};
@@ -178,8 +178,13 @@ impl NativeSwitchlet for StpSwitchlet {
         self.start(bc);
     }
 
-    fn on_registered_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &Frame<'_>) {
-        let Some(bpdu) = self.decode(frame) else {
+    fn on_registered_frame(
+        &mut self,
+        bc: &mut BridgeCtx<'_, '_>,
+        port: PortId,
+        frame: &DataFrame<'_>,
+    ) {
+        let Some(bpdu) = self.decode(frame.view()) else {
             return;
         };
         let Some(engine) = &mut self.engine else {

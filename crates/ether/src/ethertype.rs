@@ -26,6 +26,7 @@ impl EtherType {
     pub const EXPERIMENTAL: EtherType = EtherType(0x88B5);
 
     /// True if this value is really an 802.3 length field.
+    #[inline]
     pub const fn is_length(self) -> bool {
         self.0 < Self::LLC_THRESHOLD
     }

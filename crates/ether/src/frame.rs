@@ -50,6 +50,7 @@ pub struct Frame<'a> {
 
 impl<'a> Frame<'a> {
     /// Validate the length and wrap the buffer.
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Frame<'a>, FrameError> {
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
@@ -61,22 +62,26 @@ impl<'a> Frame<'a> {
     }
 
     /// Destination address.
+    #[inline]
     pub fn dst(&self) -> MacAddr {
         MacAddr::from_slice(&self.buf[0..6]).unwrap()
     }
 
     /// Source address.
+    #[inline]
     pub fn src(&self) -> MacAddr {
         MacAddr::from_slice(&self.buf[6..12]).unwrap()
     }
 
     /// The type/length field.
+    #[inline]
     pub fn ethertype(&self) -> EtherType {
         EtherType(u16::from_be_bytes([self.buf[12], self.buf[13]]))
     }
 
     /// The payload after the header. For 802.3 (length-typed) frames this
     /// trims trailing pad octets using the length field.
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         let ty = self.ethertype();
         let body = &self.buf[HEADER_LEN..];
@@ -89,43 +94,56 @@ impl<'a> Frame<'a> {
     }
 
     /// The whole frame.
+    #[inline]
     pub fn as_bytes(&self) -> &'a [u8] {
         self.buf
     }
 
     /// Total frame length.
+    #[inline]
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
     /// Frames are never empty once parsed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         false
     }
 }
 
 /// Assemble an Ethernet frame.
+///
+/// The builder writes the header into its single output buffer up front
+/// and [`FrameBuilder::payload`] appends directly behind it, so building
+/// a frame performs exactly one copy of the payload bytes and one
+/// allocation — the build-once point of the zero-copy frame plane
+/// (everything downstream shares the resulting buffer by refcount).
 #[derive(Debug)]
 pub struct FrameBuilder {
-    dst: MacAddr,
-    src: MacAddr,
-    ethertype: EtherType,
+    /// Header followed by payload; the type field is patched at build
+    /// time for LLC frames.
+    buf: Vec<u8>,
     llc: bool,
-    payload: Vec<u8>,
     pad: bool,
 }
 
 impl FrameBuilder {
-    /// Start a frame with the given addressing and type.
-    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
+    fn with_header(dst: MacAddr, src: MacAddr, ethertype: EtherType, llc: bool) -> Self {
+        let mut buf = Vec::with_capacity(MIN_FRAME);
+        buf.extend_from_slice(&dst.octets());
+        buf.extend_from_slice(&src.octets());
+        buf.extend_from_slice(&ethertype.0.to_be_bytes());
         FrameBuilder {
-            dst,
-            src,
-            ethertype,
-            llc: false,
-            payload: Vec::new(),
+            buf,
+            llc,
             pad: true,
         }
+    }
+
+    /// Start a frame with the given addressing and type.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
+        FrameBuilder::with_header(dst, src, ethertype, false)
     }
 
     /// An 802.3 frame whose type field is the payload length (LLC framing,
@@ -133,19 +151,17 @@ impl FrameBuilder {
     ///
     /// [`build`]: FrameBuilder::build
     pub fn new_llc(dst: MacAddr, src: MacAddr) -> Self {
-        FrameBuilder {
-            dst,
-            src,
-            ethertype: EtherType(0), // patched in build()
-            llc: true,
-            payload: Vec::new(),
-            pad: true,
-        }
+        FrameBuilder::with_header(dst, src, EtherType(0), true)
     }
 
-    /// Set the payload.
+    /// Set the payload (replacing any payload set earlier).
     pub fn payload(mut self, payload: &[u8]) -> Self {
-        self.payload = payload.to_vec();
+        self.buf.truncate(HEADER_LEN);
+        // Reserve the final frame size (including any pad to the Ethernet
+        // minimum) so building stays a single allocation.
+        let total = (HEADER_LEN + payload.len()).max(MIN_FRAME);
+        self.buf.reserve(total - self.buf.len());
+        self.buf.extend_from_slice(payload);
         self
     }
 
@@ -162,22 +178,15 @@ impl FrameBuilder {
     /// expected to have segmented above this layer (the paper's bridge
     /// cannot fragment either — bridges must not modify frames).
     pub fn build(self) -> Bytes {
+        let mut buf = self.buf;
+        let payload_len = buf.len() - HEADER_LEN;
         assert!(
-            self.payload.len() <= MAX_PAYLOAD,
-            "payload {} exceeds Ethernet maximum {}",
-            self.payload.len(),
-            MAX_PAYLOAD
+            payload_len <= MAX_PAYLOAD,
+            "payload {payload_len} exceeds Ethernet maximum {MAX_PAYLOAD}"
         );
-        let ty = if self.llc {
-            EtherType(self.payload.len() as u16)
-        } else {
-            self.ethertype
-        };
-        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len().max(MIN_PAYLOAD));
-        buf.extend_from_slice(&self.dst.octets());
-        buf.extend_from_slice(&self.src.octets());
-        buf.extend_from_slice(&ty.0.to_be_bytes());
-        buf.extend_from_slice(&self.payload);
+        if self.llc {
+            buf[12..HEADER_LEN].copy_from_slice(&(payload_len as u16).to_be_bytes());
+        }
         if self.pad && buf.len() < MIN_FRAME {
             buf.resize(MIN_FRAME, 0);
         }

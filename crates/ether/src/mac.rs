@@ -40,16 +40,19 @@ impl MacAddr {
     }
 
     /// The raw octets.
+    #[inline]
     pub const fn octets(self) -> [u8; 6] {
         self.0
     }
 
     /// True for group (multicast or broadcast) addresses: I/G bit set.
+    #[inline]
     pub const fn is_multicast(self) -> bool {
         self.0[0] & 0x01 != 0
     }
 
     /// True only for `ff:ff:ff:ff:ff:ff`.
+    #[inline]
     pub fn is_broadcast(self) -> bool {
         self == Self::BROADCAST
     }
@@ -60,6 +63,7 @@ impl MacAddr {
     }
 
     /// Parse from a byte slice. Returns `None` unless exactly 6 bytes.
+    #[inline]
     pub fn from_slice(bytes: &[u8]) -> Option<MacAddr> {
         let arr: [u8; 6] = bytes.try_into().ok()?;
         Some(MacAddr(arr))

@@ -975,6 +975,11 @@ pub struct BlastApp {
     pub interval: SimDuration,
     /// Frames sent so far.
     pub sent: u64,
+    /// The frame, built once and then shared (every send is a refcount
+    /// bump), keyed by the `(dst_mac, src_mac, size)` it was built from
+    /// so edits to the public configuration fields (including `port`,
+    /// which selects the source MAC) rebuild it.
+    frame: Option<(MacAddr, MacAddr, usize, netsim::FrameBuf)>,
 }
 
 impl BlastApp {
@@ -993,18 +998,29 @@ impl BlastApp {
             count,
             interval,
             sent: 0,
+            frame: None,
         })
     }
 
     fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
-        let payload = vec![0x42u8; self.size];
-        let frame = FrameBuilder::new(
-            self.dst_mac,
-            core.cfg.macs[self.port.0],
-            EtherType::EXPERIMENTAL,
-        )
-        .payload(&payload)
-        .build();
+        let src_mac = core.cfg.macs[self.port.0];
+        let frame = match &self.frame {
+            Some((dst, src, size, f))
+                if *dst == self.dst_mac && *src == src_mac && *size == self.size =>
+            {
+                f.clone()
+            }
+            _ => {
+                let payload = vec![0x42u8; self.size];
+                let built: netsim::FrameBuf =
+                    FrameBuilder::new(self.dst_mac, src_mac, EtherType::EXPERIMENTAL)
+                        .payload(&payload)
+                        .build()
+                        .into();
+                self.frame = Some((self.dst_mac, src_mac, self.size, built.clone()));
+                built
+            }
+        };
         core.send_raw(ctx, self.port, frame);
         self.sent += 1;
     }

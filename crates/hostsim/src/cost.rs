@@ -48,11 +48,13 @@ impl HostCostModel {
     }
 
     /// Receive service time for a frame of `len` octets.
+    #[inline]
     pub fn rx_time(&self, len: usize) -> SimDuration {
         SimDuration::from_ns(self.rx_frame_ns + self.rx_byte_ns * len as u64)
     }
 
     /// Transmit service time for a frame of `len` octets.
+    #[inline]
     pub fn tx_time(&self, len: usize) -> SimDuration {
         SimDuration::from_ns(self.tx_frame_ns + self.tx_byte_ns * len as u64)
     }

@@ -9,14 +9,13 @@
 //! [`netsim::CostModel::c_repeater_1997`] cost model (kernel path, near-
 //! zero processing) and no bridge logic at all.
 
-use bytes::Bytes;
-use netsim::{CostModel, Ctx, Node, Offer, PortId, ServiceQueue, TimerToken};
+use netsim::{CostModel, Ctx, FrameBuf, Node, Offer, PortId, ServiceQueue, TimerToken};
 
 /// The C buffered repeater.
 pub struct RepeaterNode {
     name: String,
     cost: CostModel,
-    q: ServiceQueue<(PortId, Bytes)>,
+    q: ServiceQueue<(PortId, FrameBuf)>,
     /// Frames forwarded.
     pub forwarded: u64,
 }
@@ -42,7 +41,7 @@ impl Node for RepeaterNode {
         assert_eq!(ctx.num_ports(), 2, "a repeater joins exactly two LANs");
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
         let t = self.cost.service_time(frame.len());
         match self.q.offer((port, frame)) {
             Offer::Started => {

@@ -2,31 +2,52 @@
 //!
 //! Events are totally ordered by `(time, sequence)`: two events scheduled
 //! for the same instant fire in the order they were scheduled. This is what
-//! makes runs reproducible — the heap never breaks ties arbitrarily.
+//! makes runs reproducible — the queue never breaks ties arbitrarily.
+//!
+//! # Structure
+//!
+//! Two stores back the queue, with identical observable ordering:
+//!
+//! * a binary min-heap for events in the future, pre-reservable via
+//!   [`EventQueue::reserve`] (the world sizes it from the topology so
+//!   the steady state never reallocates);
+//! * a FIFO *now lane* for events scheduled at exactly the current
+//!   instant — the dominant pattern on the frame plane (zero-service-time
+//!   queues, same-tick timer chains). Those events would otherwise churn
+//!   through the heap only to come straight back out; the lane makes them
+//!   O(1) pushes and pops.
+//!
+//! The lane is correct because (a) only events at the *current* time enter
+//! it, so its entries are mutually ordered by sequence alone (FIFO), and
+//! (b) `pop` always takes the global `(time, seq)` minimum of the two
+//! heads, so lane entries interleave correctly with same-time events that
+//! were scheduled earlier and still sit in the heap. The lane drains
+//! before the clock can advance (its entries are never later than any
+//! heap entry's time while non-empty).
 
-use alloc_collections::{BinaryHeap, Reverse};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
-use bytes::Bytes;
-
+use crate::framebuf::FrameBuf;
 use crate::node::{NodeId, PortId, TimerToken};
 use crate::segment::SegId;
 use crate::time::SimTime;
-
-mod alloc_collections {
-    pub use std::cmp::Reverse;
-    pub use std::collections::BinaryHeap;
-}
 
 /// What happens when an event fires.
 #[derive(Debug)]
 pub(crate) enum EventKind {
     /// Deliver the node's start callback.
     Start(NodeId),
-    /// Deliver a frame to a node port.
-    Deliver {
-        node: NodeId,
-        port: PortId,
-        frame: Bytes,
+    /// Deliver one completed wire frame to every listener of a segment:
+    /// the first `n_att` attachments except the sender, in attachment
+    /// order, all sharing one [`FrameBuf`]. (`n_att` is captured when the
+    /// frame finishes serializing so listeners attached afterwards do not
+    /// hear a frame from before their time.)
+    DeliverAll {
+        seg: SegId,
+        src: (NodeId, PortId),
+        n_att: u32,
+        frame: FrameBuf,
     },
     /// Fire a node timer (unless cancelled).
     Timer {
@@ -62,45 +83,82 @@ impl Ord for Event {
     }
 }
 
-/// Min-heap of events ordered by `(time, seq)`.
+/// Min-queue of events ordered by `(time, seq)`.
 #[derive(Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
+    /// FIFO of events scheduled at exactly [`EventQueue::now`].
+    now_lane: VecDeque<Event>,
+    /// The time of the last popped event (the simulation's current time
+    /// from the queue's perspective). Starts at zero, matching the world
+    /// clock, so start-of-world pushes take the lane too.
+    now: SimTime,
     next_seq: u64,
 }
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue::default()
+    }
+
+    /// Pre-reserve capacity for at least `events` pending events (a
+    /// topology-derived hint; keeps the steady state reallocation-free).
+    pub fn reserve(&mut self, events: usize) {
+        let want = events.saturating_sub(self.heap.len());
+        self.heap.reserve(want);
+        let lane_want = events.min(1024).saturating_sub(self.now_lane.len());
+        self.now_lane.reserve(lane_want);
     }
 
     /// Schedule `kind` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind }));
+        let event = Event { at, seq, kind };
+        if at == self.now {
+            self.now_lane.push_back(event);
+        } else {
+            self.heap.push(Reverse(event));
+        }
     }
 
     /// Time of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        match (self.now_lane.front(), self.heap.peek()) {
+            (Some(l), Some(Reverse(h))) => Some(l.at.min(h.at)),
+            (Some(l), None) => Some(l.at),
+            (None, Some(Reverse(h))) => Some(h.at),
+            (None, None) => None,
+        }
     }
 
-    /// Remove and return the next event.
+    /// Remove and return the next event (the `(time, seq)` minimum).
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop().map(|Reverse(e)| e)
+        let take_lane = match (self.now_lane.front(), self.heap.peek()) {
+            (Some(l), Some(Reverse(h))) => (l.at, l.seq) < (h.at, h.seq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let event = if take_lane {
+            self.now_lane.pop_front()
+        } else {
+            self.heap.pop().map(|Reverse(e)| e)
+        }?;
+        debug_assert!(
+            self.now_lane.is_empty() || event.at == self.now,
+            "now lane must drain before the clock advances"
+        );
+        self.now = event.at;
+        Some(event)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.now_lane.len()
     }
 
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.now_lane.is_empty()
     }
 }
 
@@ -148,5 +206,66 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(2)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
+    }
+
+    /// The now-lane fast path must interleave correctly with same-time
+    /// events that were scheduled earlier (lower seq) and live in the
+    /// heap: heap-resident t=2 events fire before lane entries pushed
+    /// after the clock reached t=2.
+    #[test]
+    fn now_lane_interleaves_with_heap_by_sequence() {
+        let mut q = EventQueue::new();
+        let t2 = SimTime::from_ms(2);
+        q.push(SimTime::from_ms(1), EventKind::Start(NodeId(10))); // seq 0
+        q.push(t2, EventKind::Start(NodeId(20))); // seq 1 (heap)
+        q.push(t2, EventKind::Start(NodeId(21))); // seq 2 (heap)
+                                                  // Pop t=1; the queue's notion of "now" becomes 1 ms.
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Start(NodeId(10))
+        ));
+        // Pop the first t=2 event; "now" becomes 2 ms.
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Start(NodeId(20))
+        ));
+        // Schedule two more events at the current instant (they take the
+        // lane) — they must fire *after* the remaining heap entry at t=2.
+        q.push(t2, EventKind::Start(NodeId(22))); // seq 3 (lane)
+        q.push(t2, EventKind::Start(NodeId(23))); // seq 4 (lane)
+        assert_eq!(q.len(), 3);
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().kind {
+                EventKind::Start(n) => n.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![21, 22, 23]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn start_of_world_pushes_take_the_lane_in_order() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(SimTime::ZERO, EventKind::Start(NodeId(i)));
+        }
+        let order: Vec<usize> = (0..4)
+            .map(|_| match q.pop().unwrap().kind {
+                EventKind::Start(n) => n.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reserve_is_idempotent_and_harmless() {
+        let mut q = EventQueue::new();
+        q.reserve(1000);
+        q.reserve(10);
+        q.push(SimTime::from_ms(1), EventKind::Start(NodeId(0)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
     }
 }

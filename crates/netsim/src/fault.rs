@@ -5,8 +5,7 @@
 //! frame finishes serializing, before delivery, and are drawn from the
 //! world's deterministic RNG — so a faulty run replays exactly.
 
-use bytes::{Bytes, BytesMut};
-
+use crate::framebuf::FrameBuf;
 use crate::rng::Xoshiro;
 
 /// Per-segment fault configuration. The default injects no faults.
@@ -24,9 +23,9 @@ pub struct FaultConfig {
 #[derive(Debug, PartialEq, Eq)]
 pub enum FaultOutcome {
     /// Deliver as-is.
-    Deliver(Bytes),
+    Deliver(FrameBuf),
     /// Deliver twice.
-    Duplicate(Bytes),
+    Duplicate(FrameBuf),
     /// Silently dropped.
     Drop,
 }
@@ -40,7 +39,14 @@ impl FaultConfig {
     /// Apply the configured faults to one frame. The second element of the
     /// pair reports whether the frame was corrupted (delivered outcomes
     /// only), so the caller can keep per-segment accounting.
-    pub fn apply(&self, frame: Bytes, rng: &mut Xoshiro) -> (FaultOutcome, bool) {
+    ///
+    /// Corruption goes through [`FrameBuf::mutate`] — the data plane's
+    /// single copy-on-write point — so the corrupted copy is private to
+    /// this delivery and the buffer other holders share stays pristine.
+    /// The RNG draw sequence is part of the replay contract: transparent
+    /// configs draw nothing; otherwise the draws are drop, (corrupt,
+    /// index, bit), duplicate, in that order.
+    pub fn apply(&self, frame: FrameBuf, rng: &mut Xoshiro) -> (FaultOutcome, bool) {
         if self.is_transparent() {
             return (FaultOutcome::Deliver(frame), false);
         }
@@ -48,17 +54,14 @@ impl FaultConfig {
             return (FaultOutcome::Drop, false);
         }
         let mut corrupted = false;
-        let frame = if !frame.is_empty() && rng.one_in(self.corrupt_one_in) {
+        let mut frame = frame;
+        if !frame.is_empty() && rng.one_in(self.corrupt_one_in) {
             corrupted = true;
-            let mut buf = BytesMut::from(&frame[..]);
-            let idx = rng.range(buf.len() as u64) as usize;
+            let idx = rng.range(frame.len() as u64) as usize;
             // Flip a random bit so corruption is always a real change.
             let bit = 1u8 << rng.range(8);
-            buf[idx] ^= bit;
-            buf.freeze()
-        } else {
-            frame
-        };
+            frame.mutate(|buf| buf[idx] ^= bit);
+        }
         if rng.one_in(self.duplicate_one_in) {
             (FaultOutcome::Duplicate(frame), corrupted)
         } else {
@@ -76,7 +79,7 @@ mod tests {
         let cfg = FaultConfig::default();
         assert!(cfg.is_transparent());
         let mut rng = Xoshiro::seed_from_u64(1);
-        let frame = Bytes::from_static(b"hello");
+        let frame = FrameBuf::from_static(b"hello");
         assert_eq!(
             cfg.apply(frame.clone(), &mut rng),
             (FaultOutcome::Deliver(frame), false)
@@ -91,7 +94,7 @@ mod tests {
         };
         let mut rng = Xoshiro::seed_from_u64(1);
         assert_eq!(
-            cfg.apply(Bytes::from_static(b"x"), &mut rng),
+            cfg.apply(FrameBuf::from_static(b"x"), &mut rng),
             (FaultOutcome::Drop, false)
         );
     }
@@ -103,7 +106,7 @@ mod tests {
             ..Default::default()
         };
         let mut rng = Xoshiro::seed_from_u64(3);
-        let original = Bytes::from_static(b"abcdefgh");
+        let original = FrameBuf::from_static(b"abcdefgh");
         match cfg.apply(original.clone(), &mut rng) {
             (FaultOutcome::Deliver(out), corrupted) => {
                 assert!(corrupted, "corruption must be reported");
@@ -129,7 +132,7 @@ mod tests {
         let dropped = (0..n)
             .filter(|_| {
                 matches!(
-                    cfg.apply(Bytes::from_static(b"y"), &mut rng),
+                    cfg.apply(FrameBuf::from_static(b"y"), &mut rng),
                     (FaultOutcome::Drop, _)
                 )
             })
@@ -145,7 +148,7 @@ mod tests {
             ..Default::default()
         };
         let mut rng = Xoshiro::seed_from_u64(6);
-        match cfg.apply(Bytes::new(), &mut rng) {
+        match cfg.apply(FrameBuf::new(), &mut rng) {
             (FaultOutcome::Deliver(out), false) => assert!(out.is_empty()),
             other => panic!("unexpected {other:?}"),
         }

@@ -24,16 +24,15 @@
 //! ## Example
 //!
 //! ```
-//! use bytes::Bytes;
-//! use netsim::{Ctx, Node, NodeId, PortId, SegmentConfig, SimTime, World};
+//! use netsim::{Ctx, FrameBuf, Node, NodeId, PortId, SegmentConfig, SimTime, World};
 //!
 //! struct Hello;
 //! impl Node for Hello {
 //!     fn name(&self) -> &str { "hello" }
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-//!         ctx.send(PortId(0), Bytes::from_static(b"hi"));
+//!         ctx.send(PortId(0), FrameBuf::from_static(b"hi"));
 //!     }
-//!     fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+//!     fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
 //!     fn as_any(&self) -> &dyn core::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn core::any::Any { self }
 //! }
@@ -41,7 +40,7 @@
 //! struct Sink(u64);
 //! impl Node for Sink {
 //!     fn name(&self) -> &str { "sink" }
-//!     fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) { self.0 += 1; }
+//!     fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) { self.0 += 1; }
 //!     fn as_any(&self) -> &dyn core::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn core::any::Any { self }
 //! }
@@ -59,6 +58,7 @@
 pub mod cost;
 mod event;
 pub mod fault;
+pub mod framebuf;
 pub mod node;
 pub mod rng;
 pub mod segment;
@@ -69,6 +69,7 @@ mod world;
 
 pub use cost::CostModel;
 pub use fault::FaultConfig;
+pub use framebuf::FrameBuf;
 pub use node::{Node, NodeId, PortId, TimerHandle, TimerToken};
 pub use rng::Xoshiro;
 pub use segment::{SegCounters, SegId, Segment, SegmentConfig};

@@ -9,8 +9,7 @@
 use core::any::Any;
 use core::fmt;
 
-use bytes::Bytes;
-
+use crate::framebuf::FrameBuf;
 use crate::Ctx;
 
 /// Identifies a node within a [`crate::World`].
@@ -56,8 +55,10 @@ pub trait Node: Any {
     /// Called once when the world starts, before any frame flows.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
-    /// A frame arrived on `port`.
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes);
+    /// A frame arrived on `port`. The buffer is shared with every other
+    /// listener of the segment (and the capture log): cloning it is a
+    /// refcount bump, and mutation is copy-on-write.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf);
 
     /// A timer scheduled via [`Ctx::schedule`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}

@@ -14,9 +14,8 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
-
 use crate::fault::FaultConfig;
+use crate::framebuf::FrameBuf;
 use crate::node::{NodeId, PortId};
 use crate::time::{SimDuration, SimTime};
 
@@ -107,14 +106,14 @@ pub struct CapturedFrame {
     pub at: SimTime,
     /// Sending node and port.
     pub src: (NodeId, PortId),
-    /// Frame contents.
-    pub data: Bytes,
+    /// Frame contents (shared with the delivered copies; refcounted).
+    pub data: FrameBuf,
 }
 
 #[derive(Debug)]
 pub(crate) struct PendingTx {
     pub src: (NodeId, PortId),
-    pub frame: Bytes,
+    pub frame: FrameBuf,
 }
 
 /// One LAN segment: attachments plus the in-flight transmit state.
@@ -211,7 +210,7 @@ mod tests {
     fn tx(n: usize) -> PendingTx {
         PendingTx {
             src: (NodeId(n), PortId(0)),
-            frame: Bytes::from(vec![0u8; 10]),
+            frame: FrameBuf::from(vec![0u8; 10]),
         }
     }
 

@@ -59,6 +59,7 @@ impl<T> ServiceQueue<T> {
     }
 
     /// Offer an item; see [`Offer`].
+    #[inline]
     pub fn offer(&mut self, item: T) -> Offer {
         if self.in_service.is_none() {
             self.in_service = Some(item);
@@ -73,6 +74,7 @@ impl<T> ServiceQueue<T> {
     }
 
     /// The item currently in service, if any.
+    #[inline]
     pub fn head(&self) -> Option<&T> {
         self.in_service.as_ref()
     }
@@ -80,6 +82,7 @@ impl<T> ServiceQueue<T> {
     /// Complete service of the head item. Returns it together with a
     /// reference to the next item now entering service (for which the
     /// caller must schedule a completion). Panics if idle.
+    #[inline]
     pub fn complete(&mut self) -> (T, Option<&T>) {
         let done = self
             .in_service

@@ -24,26 +24,31 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Construct from a raw nanosecond count.
+    #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns)
     }
 
     /// Construct from whole microseconds.
+    #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimTime(us * 1_000)
     }
 
     /// Construct from whole milliseconds.
+    #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         SimTime(ms * 1_000_000)
     }
 
     /// Construct from whole seconds.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000)
     }
 
     /// Raw nanosecond count.
+    #[inline]
     pub const fn as_ns(self) -> u64 {
         self.0
     }
@@ -60,6 +65,7 @@ impl SimTime {
 
     /// The span from `earlier` to `self`; saturates to zero if `earlier`
     /// is in the future.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
@@ -123,6 +129,7 @@ impl SimDuration {
     }
 
     /// True if the span is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -136,6 +143,7 @@ impl SimDuration {
     ///
     /// Integer arithmetic: `bytes * 8 * 1e9 / bits_per_sec`, computed in
     /// 128-bit to avoid overflow for any realistic bandwidth.
+    #[inline]
     pub fn serialization(bytes: usize, bits_per_sec: u64) -> SimDuration {
         assert!(bits_per_sec > 0, "link bandwidth must be positive");
         let bits = bytes as u128 * 8;

@@ -8,10 +8,9 @@
 //! world core, invokes the callback, and puts the node back. This gives the
 //! node full mutable access to simulator services without aliasing itself.
 
-use bytes::Bytes;
-
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultOutcome;
+use crate::framebuf::FrameBuf;
 use crate::node::{Node, NodeId, PortId, TimerHandle, TimerToken};
 use crate::rng::Xoshiro;
 use crate::segment::{CapturedFrame, PendingTx, SegId, Segment, SegmentConfig};
@@ -37,6 +36,9 @@ pub struct WorldCore {
     pub frames_sent: u64,
     /// Frame deliveries to node ports.
     pub frames_delivered: u64,
+    /// Reusable listener scratch for `deliver_all` (kept across events so
+    /// the delivery path never allocates).
+    deliver_scratch: Vec<(NodeId, PortId)>,
 }
 
 impl WorldCore {
@@ -60,7 +62,7 @@ impl WorldCore {
         &mut self.counters
     }
 
-    fn send_on_segment(&mut self, seg_id: SegId, src: (NodeId, PortId), frame: Bytes) {
+    fn send_on_segment(&mut self, seg_id: SegId, src: (NodeId, PortId), frame: FrameBuf) {
         self.frames_sent += 1;
         let seg = &mut self.segments[seg_id.0];
         let ser = seg.serialization_time(frame.len());
@@ -101,13 +103,17 @@ impl<'w> Ctx<'w> {
 
     /// Transmit a frame out of `port`. The frame contends for the segment's
     /// medium; delivery to every other attached port happens after
-    /// serialization and propagation. Panics if the port does not exist.
-    pub fn send(&mut self, port: PortId, frame: Bytes) {
+    /// serialization and propagation. Accepts anything convertible into a
+    /// [`FrameBuf`] (a `FrameBuf` clone is a refcount bump, so re-sending
+    /// a received or prebuilt frame never copies). Panics if the port
+    /// does not exist.
+    pub fn send(&mut self, port: PortId, frame: impl Into<FrameBuf>) {
         let seg = self.core.node_ports[self.node.0]
             .get(port.0)
             .copied()
             .unwrap_or_else(|| panic!("node {} has no port {}", self.node, port));
-        self.core.send_on_segment(seg, (self.node, port), frame);
+        self.core
+            .send_on_segment(seg, (self.node, port), frame.into());
     }
 
     /// Schedule a timer `after` from now carrying `token`.
@@ -229,6 +235,7 @@ impl World {
                 counters: Counters::default(),
                 frames_sent: 0,
                 frames_delivered: 0,
+                deliver_scratch: Vec::new(),
             },
             nodes: Vec::new(),
             started: 0,
@@ -264,8 +271,11 @@ impl World {
     /// Schedule `on_start` for every node that has not started yet (in
     /// node order, at the current time). Called implicitly by the run
     /// methods, so nodes added mid-simulation start when the world next
-    /// runs.
+    /// runs. Also sizes the event queue from the topology (a few pending
+    /// events per node and segment) so the steady state never grows it.
     pub fn start(&mut self) {
+        let hint = self.nodes.len() * 4 + self.core.segments.len() * 2;
+        self.core.queue.reserve(hint);
         let now = self.core.time;
         for i in self.started..self.nodes.len() {
             self.core.queue.push(now, EventKind::Start(NodeId(i)));
@@ -289,13 +299,18 @@ impl World {
             EventKind::Start(node) => {
                 self.with_node(node, |n, ctx| n.on_start(ctx));
             }
-            EventKind::Deliver { node, port, frame } => {
-                self.core.frames_delivered += 1;
-                self.with_node(node, |n, ctx| n.on_frame(ctx, port, frame));
-            }
+            EventKind::DeliverAll {
+                seg,
+                src,
+                n_att,
+                frame,
+            } => self.deliver_all(seg, src, n_att as usize, frame),
             EventKind::Timer { node, token, id } => {
                 self.core.live_timers -= 1;
-                if self.core.cancelled_timers.remove(&id) {
+                // Cancellations are rare; skip the hash lookup entirely
+                // when no timer is pending cancellation.
+                if !self.core.cancelled_timers.is_empty() && self.core.cancelled_timers.remove(&id)
+                {
                     // Cancelled; skip.
                 } else {
                     self.with_node(node, |n, ctx| n.on_timer(ctx, token));
@@ -306,44 +321,51 @@ impl World {
         true
     }
 
+    /// A segment finished serializing a frame: start the next queued
+    /// transmission, run fault injection, and fan the frame out to every
+    /// listener with a single batched event per delivered copy.
+    ///
+    /// The whole path is allocation-free: the fault configuration is read
+    /// in place (`segments` and `rng` are disjoint fields, so the borrows
+    /// split), corruption is the one copy-on-write point, and listeners
+    /// are enumerated at delivery time from the segment's attachment list
+    /// instead of being collected into a scratch vector here.
     fn seg_tx_done(&mut self, seg_id: SegId) {
         let now = self.core.time;
-        // Pull what we need out of the segment first.
-        let (done, started_next, next_ser) = {
-            let seg = &mut self.core.segments[seg_id.0];
-            let (done, started_next) = seg.complete();
-            let next_ser = seg
+        let core = &mut self.core;
+        let seg = &mut core.segments[seg_id.0];
+        let (done, started_next) = seg.complete();
+        seg.counters.tx_frames += 1;
+        seg.counters.tx_bytes += done.frame.len() as u64;
+        if started_next {
+            let next_len = seg
                 .current
                 .as_ref()
-                .map(|p| seg.serialization_time(p.frame.len()));
-            seg.counters.tx_frames += 1;
-            seg.counters.tx_bytes += done.frame.len() as u64;
-            (done, started_next, next_ser)
-        };
-        if started_next {
-            let ser = next_ser.expect("started_next implies a current frame");
-            self.core
-                .queue
+                .expect("started_next implies a current frame")
+                .frame
+                .len();
+            let ser = seg.serialization_time(next_len);
+            core.queue
                 .push(now + ser, EventKind::SegTxDone { seg: seg_id });
         }
-        // Fault injection on the completed frame.
-        let fault = self.core.segments[seg_id.0].cfg.fault.clone();
-        let (outcome, corrupted) = fault.apply(done.frame, &mut self.core.rng);
+        // Fault injection on the completed frame, drawn from the world
+        // RNG; applied by reference, no per-frame clone of the config.
+        let seg = &mut core.segments[seg_id.0];
+        let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
         if corrupted {
-            self.core.segments[seg_id.0].counters.corrupted += 1;
+            seg.counters.corrupted += 1;
         }
         let (frame, copies) = match outcome {
             FaultOutcome::Deliver(f) => (f, 1),
             FaultOutcome::Duplicate(f) => {
-                self.core.segments[seg_id.0].counters.fault_duplicates += 1;
+                seg.counters.fault_duplicates += 1;
                 (f, 2)
             }
             FaultOutcome::Drop => {
-                self.core.segments[seg_id.0].counters.fault_drops += 1;
+                seg.counters.fault_drops += 1;
                 return;
             }
         };
-        let seg = &mut self.core.segments[seg_id.0];
         if seg.cfg.capture {
             seg.captured.push(CapturedFrame {
                 at: now,
@@ -352,39 +374,60 @@ impl World {
             });
         }
         let prop = seg.cfg.propagation;
-        let listeners: Vec<(NodeId, PortId)> = seg
-            .attachments
-            .iter()
-            .copied()
-            .filter(|&a| a != done.src)
-            .collect();
+        // The sender is always among the attachments, so each copy goes
+        // to `n_att - 1` listeners. Count deliveries when the copies are
+        // committed (as the unbatched representation did).
+        let n_att = seg.attachments.len();
+        seg.counters.deliveries += copies * (n_att as u64 - 1);
         for _ in 0..copies {
-            for &(node, port) in &listeners {
-                self.core.segments[seg_id.0].counters.deliveries += 1;
-                self.core.queue.push(
-                    now + prop,
-                    EventKind::Deliver {
-                        node,
-                        port,
-                        frame: frame.clone(),
-                    },
-                );
-            }
+            core.queue.push(
+                now + prop,
+                EventKind::DeliverAll {
+                    seg: seg_id,
+                    src: done.src,
+                    n_att: n_att as u32,
+                    frame: frame.clone(),
+                },
+            );
         }
     }
 
-    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        let mut node = self.nodes[id.0]
-            .take()
-            .unwrap_or_else(|| panic!("node {id} re-entered"));
-        {
-            let mut ctx = Ctx {
-                core: &mut self.core,
-                node: id,
-            };
-            f(node.as_mut(), &mut ctx);
+    /// Deliver one wire frame to every listener of `seg` (the first
+    /// `n_att` attachments except `src`, in attachment order), all
+    /// sharing the same refcounted buffer. The listener list is staged in
+    /// a scratch buffer reused across events, so fan-out allocates
+    /// nothing and the per-listener loop does not re-index the segment
+    /// table while nodes are borrowed.
+    fn deliver_all(&mut self, seg: SegId, src: (NodeId, PortId), n_att: usize, frame: FrameBuf) {
+        let mut listeners = std::mem::take(&mut self.core.deliver_scratch);
+        listeners.clear();
+        listeners.extend_from_slice(&self.core.segments[seg.0].attachments[..n_att]);
+        let src_idx = listeners.iter().position(|&a| a == src);
+        for (i, &(node, port)) in listeners.iter().enumerate() {
+            if Some(i) == src_idx {
+                continue;
+            }
+            self.core.frames_delivered += 1;
+            let f = frame.clone();
+            self.with_node(node, |n, ctx| n.on_frame(ctx, port, f));
         }
-        self.nodes[id.0] = Some(node);
+        self.core.deliver_scratch = listeners;
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        // `nodes` and `core` are disjoint fields, so the node can stay in
+        // its slot while the callback borrows the core through `Ctx` (a
+        // node callback can only reach the core — never other nodes), and
+        // the dispatch path pays no take/put shuffle. `with_ctx` keeps
+        // the checkout dance because it hands out typed access.
+        let node = self.nodes[id.0]
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("node {id} re-entered"));
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node: id,
+        };
+        f(node, &mut ctx);
     }
 
     /// Run until the clock reaches `t` (events at exactly `t` are
@@ -551,7 +594,7 @@ mod tests {
     /// Echoes every received frame back out the port it came in on, once.
     struct Echo {
         name: String,
-        received: Vec<(SimTime, PortId, Bytes)>,
+        received: Vec<(SimTime, PortId, FrameBuf)>,
         echo: bool,
     }
 
@@ -559,7 +602,7 @@ mod tests {
         fn name(&self) -> &str {
             &self.name
         }
-        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
             self.received.push((ctx.now(), port, frame.clone()));
             if self.echo {
                 self.echo = false;
@@ -584,10 +627,10 @@ mod tests {
             "talker"
         }
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(PortId(0), Bytes::from_static(b"hello"));
+            ctx.send(PortId(0), FrameBuf::from_static(b"hello"));
             ctx.schedule(SimDuration::from_ms(5), TimerToken(7));
         }
-        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {}
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: FrameBuf) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
             assert_eq!(token, TimerToken(7));
             assert_eq!(ctx.now(), SimTime::from_ms(5));
@@ -673,7 +716,7 @@ mod tests {
                 ctx.cancel(h);
                 ctx.schedule(SimDuration::from_ms(2), TimerToken(2));
             }
-            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
                 assert_eq!(token, TimerToken(2));
                 ctx.bump("fired", 1);

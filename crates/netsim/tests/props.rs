@@ -1,7 +1,7 @@
 //! Property tests for the simulator substrate: time arithmetic, RNG
 //! determinism, delivery ordering and conservation on segments.
 
-use bytes::Bytes;
+use netsim::FrameBuf;
 use netsim::{
     Ctx, FaultConfig, Node, PortId, SegmentConfig, SimDuration, SimTime, TimerToken, World, Xoshiro,
 };
@@ -22,13 +22,13 @@ impl Node for Sender {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.schedule(SimDuration::from_ns(1), TimerToken(0));
     }
-    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: TimerToken) {
         if self.sent < self.n {
             // Tag each frame with its sequence number.
             let mut payload = vec![0u8; self.size.max(4)];
             payload[..4].copy_from_slice(&self.sent.to_be_bytes());
-            ctx.send(PortId(0), Bytes::from(payload));
+            ctx.send(PortId(0), FrameBuf::from(payload));
             self.sent += 1;
             ctx.schedule(self.interval, TimerToken(0));
         }
@@ -51,7 +51,7 @@ impl Node for Recorder {
     fn name(&self) -> &str {
         "recorder"
     }
-    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, frame: Bytes) {
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, frame: FrameBuf) {
         self.seen
             .push(u32::from_be_bytes(frame[..4].try_into().unwrap()));
     }

@@ -3,14 +3,18 @@
 //! The build container has no crates.io access, so this crate implements the
 //! subset of the `bytes` API the workspace uses: [`Bytes`] (a cheaply
 //! clonable, immutable byte buffer) and [`BytesMut`] (a growable buffer that
-//! freezes into `Bytes`). Semantics match the real crate for this subset;
-//! the zero-copy split/advance machinery is intentionally absent.
+//! freezes into `Bytes`). Semantics match the real crate for this subset,
+//! including zero-copy [`Bytes::slice`] (a subrange shares the parent's
+//! allocation); the split/advance machinery is intentionally absent.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
-use std::sync::Arc;
+// The workspace simulator is single-threaded, so the shared buffer uses a
+// non-atomic refcount. The real `bytes` crate (atomic, `Send + Sync`) is a
+// drop-in superset; swapping it back in only widens the contract.
+use std::rc::Rc;
 
 /// A cheaply clonable, immutable contiguous slice of memory.
 #[derive(Clone)]
@@ -19,7 +23,15 @@ pub struct Bytes(Repr);
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// A view (`off..off + len`) into a refcounted allocation. Clones and
+    /// subslices bump the refcount; nothing is ever copied. Backing store
+    /// is the `Vec` the caller built, wrapped as-is — freezing a built
+    /// buffer into `Bytes` is zero-copy.
+    Shared {
+        buf: Rc<Vec<u8>>,
+        off: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -35,7 +47,12 @@ impl Bytes {
 
     /// Copy a slice into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Repr::Shared(Arc::from(data)))
+        Bytes::from_shared(Rc::new(data.to_vec()))
+    }
+
+    fn from_shared(buf: Rc<Vec<u8>>) -> Self {
+        let len = buf.len();
+        Bytes(Repr::Shared { buf, off: 0, len })
     }
 
     pub fn len(&self) -> usize {
@@ -46,10 +63,8 @@ impl Bytes {
         self.as_slice().is_empty()
     }
 
-    /// Returns a `Bytes` for the given subrange, copying it.
-    ///
-    /// (The real crate shares the allocation; a copy is semantically
-    /// equivalent for immutable buffers.)
+    /// Returns a `Bytes` for the given subrange, sharing the allocation
+    /// with `self` (zero-copy, like the real crate).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -62,7 +77,19 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        Bytes::copy_from_slice(&self.as_slice()[start..end])
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared { buf, off, .. } => Bytes(Repr::Shared {
+                buf: Rc::clone(buf),
+                off: off + start,
+                len: end - start,
+            }),
+        }
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
@@ -72,7 +99,7 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(a) => a,
+            Repr::Shared { buf, off, len } => &buf[*off..off + len],
         }
     }
 }
@@ -104,7 +131,8 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Repr::Shared(Arc::from(v)))
+        // Zero-copy: the vector becomes the shared backing store.
+        Bytes::from_shared(Rc::new(v))
     }
 }
 
@@ -122,7 +150,7 @@ impl From<&'static str> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Bytes(Repr::Shared(Arc::from(b)))
+        Bytes::from_shared(Rc::new(b.into_vec()))
     }
 }
 
@@ -316,6 +344,29 @@ mod tests {
         let c = b.clone();
         assert_eq!(b, c);
         assert_eq!(b.slice(1..), Bytes::from(vec![2, 3]));
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        // Zero-copy: the subrange points into the parent's storage.
+        assert!(std::ptr::eq(&b[1], &s[0]));
+        let ss = s.slice(1..);
+        assert_eq!(&ss[..], &[3, 4]);
+        assert!(std::ptr::eq(&b[2], &ss[0]));
+        // Static slices subslice without copying too.
+        let st = Bytes::from_static(b"hello");
+        let sub = st.slice(1..3);
+        assert!(std::ptr::eq(&st[1], &sub[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..9);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub struct Instance {
     pub module: Module,
     /// Per-import resolution, parallel to `module.imports`.
     pub resolved: Vec<ResolvedImport>,
+    /// String-pool constants interned once at link time, parallel to
+    /// `module.str_pool`: `ConstStr` pushes a clone of the prebuilt
+    /// `Rc` value (a pointer bump) instead of copying the pool bytes on
+    /// every execution.
+    pub str_consts: Vec<std::rc::Rc<Vec<u8>>>,
 }
 
 /// Loading failures — every way the node rejects a switchlet *before* it
@@ -237,7 +242,16 @@ impl Namespace {
         verify_module(&module).map_err(LoadError::Verify)?;
         let id = InstanceId(self.instances.len());
         self.by_name.insert(module.name.clone(), id);
-        self.instances.push(Instance { module, resolved });
+        let str_consts = module
+            .str_pool
+            .iter()
+            .map(|s| std::rc::Rc::new(s.clone()))
+            .collect();
+        self.instances.push(Instance {
+            module,
+            resolved,
+            str_consts,
+        });
         Ok(id)
     }
 

@@ -186,7 +186,9 @@ fn exec(
             Op::ConstBool(b) => stack.push(Value::Bool(*b)),
             Op::ConstInt(i) => stack.push(Value::Int(*i)),
             Op::ConstStr(n) => {
-                stack.push(Value::Str(Rc::new(module.str_pool[*n as usize].clone())))
+                // Interned at link time: pushing a pool constant is an
+                // `Rc` clone (pointer bump), never a byte copy.
+                stack.push(Value::Str(inst.str_consts[*n as usize].clone()))
             }
             Op::LocalGet(n) => stack.push(locals[*n as usize].clone()),
             Op::LocalSet(n) => locals[*n as usize] = pop!(),

@@ -144,6 +144,107 @@ fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
     out
 }
 
+/// Like [`lossy_run_trace_bytes`], with wire capture enabled on the
+/// faulty segment and the captured frames folded into the byte string —
+/// the richest observable record of the frame plane (timestamps, sender
+/// ports, post-fault wire bytes).
+fn lossy_captured_run_bytes(seed: u64) -> Vec<u8> {
+    use ab_scenario::{host_ip, host_mac};
+    use active_bridge::BridgeConfig;
+    use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+    use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
+
+    let mut world = World::new(seed);
+    let lan_a = world.add_segment(SegmentConfig::named("lan_a"));
+    let lan_b = world.add_segment(SegmentConfig {
+        fault: FaultConfig {
+            drop_one_in: 4,
+            corrupt_one_in: 7,
+            duplicate_one_in: 5,
+        },
+        capture: true,
+        ..SegmentConfig::named("lan_b")
+    });
+    let _bridge = ab_scenario::bridge(
+        &mut world,
+        0,
+        &[lan_a, lan_b],
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let sender = world.add_node(HostNode::new(
+        "sender",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            200,
+            120,
+            SimDuration::from_ms(1),
+        )],
+    ));
+    world.attach(sender, lan_a);
+    let receiver = world.add_node(HostNode::new(
+        "receiver",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(receiver, lan_b);
+    world.run_until(SimTime::from_secs(2));
+
+    let mut out = Vec::new();
+    for e in world.trace().entries() {
+        out.extend_from_slice(format!("{:?}\t{:?}\t{}\n", e.at, e.node, e.msg).as_bytes());
+    }
+    assert!(!out.is_empty(), "lossy run produced no trace entries");
+    for &seg in &[lan_a, lan_b] {
+        out.extend_from_slice(format!("{seg:?}\t{:?}\n", world.segment(seg).counters()).as_bytes());
+    }
+    for (key, value) in world.counters().iter() {
+        out.extend_from_slice(format!("{key}\t{value}\n").as_bytes());
+    }
+    for cap in world.segment(lan_b).captured() {
+        out.extend_from_slice(
+            format!("{:?}\t{:?}\t{:?}\n", cap.at, cap.src, &cap.data[..]).as_bytes(),
+        );
+    }
+    out
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden digests recorded from the *pre-refactor* frame plane (commit
+/// 867f385, `Vec`-copying representation, unbatched per-listener
+/// `Deliver` events). The zero-copy `FrameBuf` representation must
+/// produce byte-identical traces, counters and captured wire frames —
+/// this is the proof that the representation change (shared buffers,
+/// batched delivery, copy-on-write corruption, null-event elision) is
+/// unobservable to the simulation.
+#[test]
+fn traces_are_byte_identical_to_the_pre_refactor_representation() {
+    const GOLDEN: [(u64, usize, u64); 4] = [
+        (0xAB1D, 77166, 0x09c24dbacd1f12cc),
+        (0xF00D, 82508, 0xd8eac9df4145b982),
+        (7, 81620, 0x1954233dd7c9cc86),
+        (99, 82508, 0x7f358d68a661b39e),
+    ];
+    for (seed, len, digest) in GOLDEN {
+        let bytes = lossy_captured_run_bytes(seed);
+        assert_eq!(
+            (bytes.len(), fnv1a(&bytes)),
+            (len, digest),
+            "seed {seed:#x}: trace bytes diverged from the pre-refactor recording"
+        );
+    }
+}
+
 #[test]
 fn same_seed_produces_byte_identical_traces() {
     let a = lossy_run_trace_bytes(0xAB1D);

@@ -5,8 +5,124 @@ use ab_bench::{run_ping, run_ttcp, Forwarder};
 use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{HostConfig, HostCostModel, HostNode};
-use netsim::{SimTime, World};
+use netsim::{Ctx, FaultConfig, FrameBuf, Node, PortId, SegmentConfig, SimTime, TimerToken, World};
 use proptest::prelude::*;
+
+/// Sends one prebuilt frame per timer tick, retaining its own handle.
+struct SharingSender {
+    frame: FrameBuf,
+    count: u32,
+    sent: u32,
+}
+
+impl Node for SharingSender {
+    fn name(&self) -> &str {
+        "sharing-sender"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.schedule(netsim::SimDuration::from_us(10), TimerToken(0));
+    }
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: TimerToken) {
+        if self.sent < self.count {
+            ctx.send(PortId(0), self.frame.clone());
+            self.sent += 1;
+            ctx.schedule(netsim::SimDuration::from_us(500), t);
+        }
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+/// Retains every delivered frame buffer.
+#[derive(Default)]
+struct SharingKeeper {
+    got: Vec<FrameBuf>,
+}
+
+impl Node for SharingKeeper {
+    fn name(&self) -> &str {
+        "sharing-keeper"
+    }
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, frame: FrameBuf) {
+        self.got.push(frame);
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zero-copy sharing semantics under arbitrary payloads and fault
+    /// mixes: the sender-held buffer is never mutated by the simulator;
+    /// every listener of one wire frame observes identical bytes (and
+    /// shares storage with the capture log entry); a corrupted delivery
+    /// differs from the original by exactly one bit and never aliases the
+    /// sender's allocation.
+    #[test]
+    fn frame_sharing_respects_cow_isolation(
+        len in 1usize..600,
+        fill in any::<u8>(),
+        corrupt_one_in in prop::sample::select(vec![0u64, 1, 3]),
+        duplicate_one_in in prop::sample::select(vec![0u64, 1, 4]),
+        seed in 0u64..500,
+        count in 1u32..6,
+    ) {
+        let original = FrameBuf::from(vec![fill; len]);
+        let mut world = World::new(seed);
+        world.trace_mut().set_enabled(false);
+        let lan = world.add_segment(SegmentConfig {
+            fault: FaultConfig { drop_one_in: 0, corrupt_one_in, duplicate_one_in },
+            capture: true,
+            ..Default::default()
+        });
+        let s = world.add_node(SharingSender { frame: original.clone(), count, sent: 0 });
+        world.attach(s, lan);
+        let listeners: Vec<_> = (0..2).map(|_| {
+            let id = world.add_node(SharingKeeper::default());
+            world.attach(id, lan);
+            id
+        }).collect();
+        world.run_until(SimTime::from_ms(50));
+
+        // The sender-held buffer is pristine no matter what the wire did.
+        prop_assert!(world.node::<SharingSender>(s).frame == original);
+        prop_assert!(original.iter().all(|&b| b == fill));
+
+        let a = &world.node::<SharingKeeper>(listeners[0]).got;
+        let b = &world.node::<SharingKeeper>(listeners[1]).got;
+        prop_assert_eq!(a.len(), b.len(), "both listeners hear every copy");
+        let cap = world.segment(lan).captured();
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            prop_assert!(fa.shares_storage(fb), "listeners share one buffer");
+            let diff: u32 = original.iter().zip(fa.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+            if corrupt_one_in == 1 {
+                prop_assert_eq!(diff, 1, "always-corrupt flips exactly one bit");
+                prop_assert!(!fa.shares_storage(&original), "corruption detaches via CoW");
+            } else if corrupt_one_in == 0 {
+                prop_assert_eq!(diff, 0, "clean wire delivers identical bytes");
+                prop_assert!(fa.shares_storage(&original), "clean delivery never copies");
+            } else {
+                prop_assert!(diff <= 1, "at most one corrupted bit per frame");
+            }
+            // Every delivered copy aliases some capture entry (capture
+            // records the post-fault wire frame).
+            prop_assert!(
+                cap.iter().any(|c| fa.shares_storage(&c.data)),
+                "delivered frames share storage with the capture log"
+            );
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
