@@ -6,13 +6,13 @@
 use active_bridge::switchlets::dumb_vm;
 use active_bridge::switchlets::stp::bpdu::{BridgeId, ConfigBpdu};
 use active_bridge::switchlets::stp::engine::StpEngine;
-use active_bridge::{LearningTable, StpTimers};
+use active_bridge::{DecisionCache, LearningTable, StpTimers, Verdict};
 use criterion::{criterion_group, criterion_main, Criterion};
 use ether::MacAddr;
 use netsim::{PortId, SimDuration, SimTime};
 use switchlet::{
-    call, md5, verify_module, Env, ExecConfig, HostDispatch, HostModuleSig, Module, Namespace, Ty,
-    Value, VmError,
+    call, call_scratch, md5, verify_module, Env, ExecConfig, HostDispatch, HostModuleSig, Module,
+    ModuleBuilder, Namespace, Op, Ty, Value, VmError, VmScratch,
 };
 
 /// Host stub for running the VM dumb bridge outside a real bridge node.
@@ -141,6 +141,128 @@ fn bench(c: &mut Criterion) {
             table.lookup(mac, SimTime::from_ms(i as u64))
         })
     });
+
+    // ------------------------------------------------ PR 4 execution plane
+
+    // The pre-decoded VM's dispatch loop: a pure arithmetic countdown
+    // (sum of 1..=100) dominated by the fused LocalGet/LocalGet/Add,
+    // LocalGet/ConstInt/Add and compare+branch superinstructions —
+    // ~600 retired source ops per invocation, zero host calls, zero
+    // steady-state allocation (arena reuse).
+    {
+        let mut mb = ModuleBuilder::new("loops");
+        let mut f = mb.func("sum", vec![Ty::Int], Ty::Int);
+        let acc = f.local(Ty::Int);
+        let i = f.local(Ty::Int);
+        f.op(Op::ConstInt(0)).op(Op::LocalSet(acc));
+        f.op(Op::ConstInt(0)).op(Op::LocalSet(i));
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.place(head);
+        f.op(Op::LocalGet(i)).op(Op::LocalGet(0)).op(Op::Ge);
+        f.br_if(exit);
+        f.op(Op::LocalGet(acc)).op(Op::LocalGet(i)).op(Op::Add);
+        f.op(Op::LocalSet(acc));
+        f.op(Op::LocalGet(i)).op(Op::ConstInt(1)).op(Op::Add);
+        f.op(Op::LocalSet(i));
+        f.jump(head);
+        f.place(exit);
+        f.op(Op::LocalGet(acc)).op(Op::Return);
+        let idx = mb.finish(f);
+        mb.export("sum", idx);
+        let image = mb.build().encode();
+        let mut ns = Namespace::new(Env::new());
+        ns.load(&image).unwrap();
+        let (fv, _) = ns.lookup_export("loops", "sum").unwrap();
+        let mut scratch = VmScratch::new();
+        c.bench_function("vm_dispatch_loop_100_iters", |b| {
+            b.iter(|| {
+                call_scratch(
+                    &ns,
+                    &mut switchlet::NoHost,
+                    fv,
+                    vec![Value::Int(100)],
+                    &ExecConfig::default(),
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Slot-indexed host dispatch: a loop making one host call per
+    // iteration (50 calls per invocation) — measures the per-call cost of
+    // the integer-slot boundary (no name lookup, no argument Vec).
+    {
+        let mut mb = ModuleBuilder::new("hostcalls");
+        let imp = mb.import("unixnet", "num_ports", Ty::func(vec![], Ty::Int));
+        let mut f = mb.func("go", vec![Ty::Int], Ty::Int);
+        let acc = f.local(Ty::Int);
+        let i = f.local(Ty::Int);
+        f.op(Op::ConstInt(0)).op(Op::LocalSet(acc));
+        f.op(Op::ConstInt(0)).op(Op::LocalSet(i));
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.place(head);
+        f.op(Op::LocalGet(i)).op(Op::LocalGet(0)).op(Op::Ge);
+        f.br_if(exit);
+        f.op(Op::LocalGet(acc)).op(Op::CallImport(imp)).op(Op::Add);
+        f.op(Op::LocalSet(acc));
+        f.op(Op::LocalGet(i)).op(Op::ConstInt(1)).op(Op::Add);
+        f.op(Op::LocalSet(i));
+        f.jump(head);
+        f.place(exit);
+        f.op(Op::LocalGet(acc)).op(Op::Return);
+        let idx = mb.finish(f);
+        mb.export("go", idx);
+        let image = mb.build().encode();
+        let mut ns = Namespace::new(stub_env());
+        ns.load(&image).unwrap();
+        let (fv, _) = ns.lookup_export("hostcalls", "go").unwrap();
+        let mut host = StubNet { sent: 0 };
+        let mut scratch = VmScratch::new();
+        c.bench_function("vm_host_call_50_calls", |b| {
+            b.iter(|| {
+                call_scratch(
+                    &ns,
+                    &mut host,
+                    fv,
+                    vec![Value::Int(50)],
+                    &ExecConfig::default(),
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Forwarding decision cache: the per-frame probe on a hit (steady
+    // unicast flow) and on a miss (generation just bumped).
+    {
+        let mut cache = DecisionCache::default();
+        let (src, dst) = (MacAddr::local(1), MacAddr::local(2));
+        let now = SimTime::from_ms(1);
+        cache.store(
+            PortId(0),
+            src,
+            dst,
+            7,
+            SimTime::MAX,
+            Verdict::Direct(PortId(1)),
+        );
+        c.bench_function("fwd_cache_hit", |b| {
+            b.iter(|| cache.probe(PortId(0), src, dst, 7, now))
+        });
+        c.bench_function("fwd_cache_miss_store", |b| {
+            let mut gen = 8u64;
+            b.iter(|| {
+                gen += 1; // stale generation: probe misses, verdict re-stored
+                let miss = cache.probe(PortId(0), src, dst, gen, now);
+                cache.store(PortId(0), src, dst, gen, SimTime::MAX, Verdict::Flood);
+                miss
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench);

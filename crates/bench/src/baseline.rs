@@ -3,7 +3,7 @@
 //! ns/frame) and in allocator terms (allocations per delivered frame).
 //!
 //! This is the harness behind the `bench_baseline` binary, which emits
-//! `BENCH_PR3.json` so every PR from now on has a perf trajectory to
+//! `BENCH_PR4.json` so every PR from now on has a perf trajectory to
 //! compare against (the way measurement repos treat throughput as a
 //! first-class, regression-tracked artifact). The workloads:
 //!
@@ -440,7 +440,6 @@ fn run_pings(size: SizeClass, smoke: bool) -> CaseResult {
     let horizon = world.now() + span;
     let (wall_ns, allocs, alloc_bytes) = measured(|| world.run_until(horizon));
     let t1 = totals(&world);
-
     let received: u64 = hosts
         .iter()
         .map(|&h| {
@@ -505,9 +504,9 @@ pub fn case_json(c: &CaseResult) -> Json {
     ])
 }
 
-/// A recorded measurement from before the zero-copy frame-plane refactor
-/// (same harness, same machine class), kept so the emitted JSON carries
-/// its own comparison point.
+/// A recorded measurement from an earlier PR's committed baseline (same
+/// harness, same machine class), kept so the emitted JSON carries its own
+/// comparison points.
 #[derive(Copy, Clone, Debug)]
 pub struct PreCase {
     /// `scenario/size` (matches [`CaseResult::name`]).
@@ -576,6 +575,62 @@ pub const PRE_REFACTOR: &[PreCase] = &[
 /// Pre-refactor numbers for `name`, if recorded.
 pub fn pre_case(name: &str) -> Option<&'static PreCase> {
     PRE_REFACTOR.iter().find(|p| p.name == name)
+}
+
+/// Where [`PR3_BASELINE`] came from.
+pub const PR3_PROVENANCE: &str = "BENCH_PR3.json as committed at e65ed23 (zero-copy frame plane, \
+     before the PR 4 execution-plane work), full mode, release build, same container class as CI";
+
+/// The PR 3 committed baseline (the `cases` section of BENCH_PR3.json) —
+/// what this PR's measurements diff against.
+pub const PR3_BASELINE: &[PreCase] = &[
+    PreCase {
+        name: "broadcast/small",
+        frames_delivered: 51_136,
+        frames_per_sec: 10_876_662.95,
+        ns_per_frame: 91.94,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "broadcast/large",
+        frames_delivered: 409_088,
+        frames_per_sec: 18_215_612.84,
+        ns_per_frame: 54.90,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "ttcp/small",
+        frames_delivered: 9_312,
+        frames_per_sec: 693_227.12,
+        ns_per_frame: 1_442.53,
+        allocs_per_frame: 3.156,
+    },
+    PreCase {
+        name: "ttcp/large",
+        frames_delivered: 23_280,
+        frames_per_sec: 1_131_760.61,
+        ns_per_frame: 883.58,
+        allocs_per_frame: 1.267,
+    },
+    PreCase {
+        name: "pings/small",
+        frames_delivered: 7_984,
+        frames_per_sec: 1_678_691.97,
+        ns_per_frame: 595.70,
+        allocs_per_frame: 3.254,
+    },
+    PreCase {
+        name: "pings/large",
+        frames_delivered: 15_994,
+        frames_per_sec: 1_645_230.19,
+        ns_per_frame: 607.82,
+        allocs_per_frame: 3.252,
+    },
+];
+
+/// PR 3 baseline numbers for `name`, if recorded.
+pub fn pr3_case(name: &str) -> Option<&'static PreCase> {
+    PR3_BASELINE.iter().find(|p| p.name == name)
 }
 
 #[cfg(test)]

@@ -1,20 +1,31 @@
-//! `bench_baseline` — measure the frame plane and emit `BENCH_PR3.json`.
+//! `bench_baseline` — measure the frame plane and emit `BENCH_PR4.json`.
 //!
 //! Runs the three baseline workloads at two topology sizes (see
 //! `ab_bench::baseline`), prints a human-readable table, and writes a
 //! machine-readable JSON artifact containing the fresh measurements, the
-//! recorded pre-refactor measurements, and the improvement ratios.
+//! PR 3 committed baseline it diffs against, the pre-refactor history,
+//! and the improvement ratios.
 //!
 //! ```sh
 //! cargo run --release -p ab_bench --bin bench_baseline -- [--smoke] \
-//!     [--out BENCH_PR3.json] [--assert-alloc-o1]
+//!     [--out BENCH_PR4.json] [--assert-alloc-o1] \
+//!     [--assert-ttcp-allocs 0.5] [--assert-vs-pr3 0.10]
 //! ```
 //!
 //! * `--smoke` — CI-sized runs (a few seconds total);
-//! * `--out`   — output path (default `BENCH_PR3.json`);
+//! * `--out`   — output path (default `BENCH_PR4.json`);
 //! * `--assert-alloc-o1` — exit nonzero unless allocations per delivered
 //!   frame stay O(1) in listener count (large broadcast must not allocate
-//!   more per frame than small broadcast, within tolerance).
+//!   more per frame than small broadcast, within tolerance);
+//! * `--assert-ttcp-allocs N` — exit nonzero if the ttcp/large
+//!   steady-state allocations per delivered frame exceed `N`
+//!   (machine-independent; the PR 4 execution-plane target is 0.5);
+//! * `--assert-vs-pr3 TOL` — exit nonzero if any case's throughput,
+//!   *normalized to the broadcast/large case of the same run*, regressed
+//!   more than `TOL` versus the recorded PR 3 baseline. Normalizing by
+//!   the pure frame-plane case cancels machine speed, so the gate is
+//!   meaningful on CI runners that are faster or slower than the machine
+//!   that recorded the baseline.
 
 use ab_bench::allocs::{self, CountingAlloc};
 use ab_bench::baseline::{self, case_json, run_case, CaseResult, CASES};
@@ -32,15 +43,37 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const ALLOC_O1_RATIO: f64 = 1.5;
 const ALLOC_O1_FLOOR: f64 = 0.1;
 
+/// The case whose throughput serves as the machine-speed anchor for the
+/// normalized PR 3 comparison.
+const ANCHOR: &str = "broadcast/large";
+
 fn main() {
     let mut smoke = false;
     let mut assert_o1 = false;
-    let mut out = String::from("BENCH_PR3.json");
+    let mut assert_ttcp_allocs: Option<f64> = None;
+    let mut assert_vs_pr3: Option<f64> = None;
+    let mut out = String::from("BENCH_PR4.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--assert-alloc-o1" => assert_o1 = true,
+            "--assert-ttcp-allocs" => {
+                assert_ttcp_allocs = Some(
+                    args.next()
+                        .expect("--assert-ttcp-allocs needs a number")
+                        .parse()
+                        .expect("--assert-ttcp-allocs needs a number"),
+                )
+            }
+            "--assert-vs-pr3" => {
+                assert_vs_pr3 = Some(
+                    args.next()
+                        .expect("--assert-vs-pr3 needs a tolerance")
+                        .parse()
+                        .expect("--assert-vs-pr3 needs a tolerance"),
+                )
+            }
             "--out" => out = args.next().expect("--out needs a path"),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -81,18 +114,18 @@ fn main() {
         results.push(c);
     }
 
-    // Improvement ratios against the recorded pre-refactor measurements.
+    // Improvement ratios against the PR 3 committed baseline.
     let mut improvements: Vec<(String, Json)> = Vec::new();
     for c in &results {
-        if let Some(pre) = baseline::pre_case(&c.name) {
-            if pre.frames_per_sec > 0.0 {
-                let speedup = c.frames_per_sec / pre.frames_per_sec;
+        if let Some(pr3) = baseline::pr3_case(&c.name) {
+            if pr3.frames_per_sec > 0.0 {
+                let speedup = c.frames_per_sec / pr3.frames_per_sec;
                 println!(
-                    "  {:<18} speedup {:.2}x (pre {:.1} kframes/s, allocs/frame {:.3} -> {:.3})",
+                    "  {:<18} vs PR3 {:.2}x (pr3 {:.1} kframes/s, allocs/frame {:.3} -> {:.3})",
                     c.name,
                     speedup,
-                    pre.frames_per_sec / 1e3,
-                    pre.allocs_per_frame,
+                    pr3.frames_per_sec / 1e3,
+                    pr3.allocs_per_frame,
                     c.allocs_per_frame,
                 );
                 improvements.push((
@@ -100,8 +133,16 @@ fn main() {
                     Json::obj(vec![
                         ("frames_per_sec_ratio", Json::str(format!("{speedup:.2}"))),
                         (
+                            "ns_per_frame_before",
+                            Json::str(format!("{:.2}", pr3.ns_per_frame)),
+                        ),
+                        (
+                            "ns_per_frame_after",
+                            Json::str(format!("{:.2}", c.ns_per_frame)),
+                        ),
+                        (
                             "allocs_per_frame_before",
-                            Json::str(format!("{:.3}", pre.allocs_per_frame)),
+                            Json::str(format!("{:.3}", pr3.allocs_per_frame)),
                         ),
                         (
                             "allocs_per_frame_after",
@@ -131,42 +172,56 @@ fn main() {
         _ => None,
     };
 
+    // Normalized PR 3 regression check (machine-independent): each case's
+    // throughput relative to this run's anchor versus its PR 3 value
+    // relative to the PR 3 anchor.
+    let mut vs_pr3_failures: Vec<String> = Vec::new();
+    if let (Some(tol), Some(anchor_now), Some(anchor_pr3)) = (
+        assert_vs_pr3,
+        results.iter().find(|c| c.name == ANCHOR),
+        baseline::pr3_case(ANCHOR),
+    ) {
+        for c in &results {
+            let Some(pr3) = baseline::pr3_case(&c.name) else {
+                continue;
+            };
+            let now_rel = c.frames_per_sec / anchor_now.frames_per_sec;
+            let pr3_rel = pr3.frames_per_sec / anchor_pr3.frames_per_sec;
+            let ratio = now_rel / pr3_rel;
+            let ok = ratio >= 1.0 - tol;
+            println!(
+                "# vs PR3 (normalized to {ANCHOR}): {:<18} {:.2}x -> {}",
+                c.name,
+                ratio,
+                if ok { "OK" } else { "REGRESSED" }
+            );
+            if !ok {
+                vs_pr3_failures.push(format!("{} normalized ratio {:.2}", c.name, ratio));
+            }
+        }
+    }
+
     let doc = Json::obj(vec![
         ("schema", Json::str("ab-bench-baseline/v1")),
-        ("pr", Json::U64(3)),
+        ("pr", Json::U64(4)),
         ("mode", Json::str(if smoke { "smoke" } else { "full" })),
         ("alloc_counting", Json::Bool(counting)),
         ("cases", Json::Arr(results.iter().map(case_json).collect())),
         (
+            "pr3_baseline",
+            Json::obj(vec![
+                ("provenance", Json::str(baseline::PR3_PROVENANCE)),
+                ("cases", Json::Arr(pre_cases_json(baseline::PR3_BASELINE))),
+            ]),
+        ),
+        (
             "pre_refactor",
             Json::obj(vec![
                 ("provenance", Json::str(baseline::PRE_PROVENANCE)),
-                (
-                    "cases",
-                    Json::Arr(
-                        baseline::PRE_REFACTOR
-                            .iter()
-                            .map(|p| {
-                                Json::obj(vec![
-                                    ("name", Json::str(p.name)),
-                                    ("frames_delivered", Json::U64(p.frames_delivered)),
-                                    (
-                                        "frames_per_sec",
-                                        Json::str(format!("{:.2}", p.frames_per_sec)),
-                                    ),
-                                    ("ns_per_frame", Json::str(format!("{:.2}", p.ns_per_frame))),
-                                    (
-                                        "allocs_per_frame",
-                                        Json::str(format!("{:.3}", p.allocs_per_frame)),
-                                    ),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("cases", Json::Arr(pre_cases_json(baseline::PRE_REFACTOR))),
             ]),
         ),
-        ("improvement", Json::Obj(improvements)),
+        ("improvement_vs_pr3", Json::Obj(improvements)),
         (
             "alloc_o1_in_listeners",
             match alloc_o1 {
@@ -189,6 +244,7 @@ fn main() {
     std::fs::write(&out, doc.render_pretty() + "\n").expect("write baseline JSON");
     println!("# wrote {out}");
 
+    let mut failed = false;
     if assert_o1 {
         match alloc_o1 {
             Some((true, _, _)) => {}
@@ -197,12 +253,60 @@ fn main() {
                     "allocations per delivered frame grew with listener count: \
                      {s:.3} -> {l:.3} (limit {ALLOC_O1_RATIO}x over a floor of {ALLOC_O1_FLOOR})"
                 );
-                std::process::exit(1);
+                failed = true;
             }
             None => {
                 eprintln!("broadcast cases missing; cannot assert alloc O(1)");
-                std::process::exit(1);
+                failed = true;
             }
         }
     }
+    if let Some(max) = assert_ttcp_allocs {
+        match results.iter().find(|c| c.name == "ttcp/large") {
+            Some(c) if c.allocs_per_frame <= max => {}
+            Some(c) => {
+                eprintln!(
+                    "ttcp/large steady-state allocations per frame {:.3} exceed the limit {max}",
+                    c.allocs_per_frame
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("ttcp/large case missing; cannot assert its alloc budget");
+                failed = true;
+            }
+        }
+    }
+    if !vs_pr3_failures.is_empty() {
+        eprintln!(
+            "throughput regressed >{:.0}% vs the PR3 baseline (normalized): {}",
+            assert_vs_pr3.unwrap_or(0.0) * 100.0,
+            vs_pr3_failures.join(", ")
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn pre_cases_json(cases: &[baseline::PreCase]) -> Vec<Json> {
+    cases
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("name", Json::str(p.name)),
+                ("frames_delivered", Json::U64(p.frames_delivered)),
+                (
+                    "frames_per_sec",
+                    Json::str(format!("{:.2}", p.frames_per_sec)),
+                ),
+                ("ns_per_frame", Json::str(format!("{:.2}", p.ns_per_frame))),
+                (
+                    "allocs_per_frame",
+                    Json::str(format!("{:.3}", p.allocs_per_frame)),
+                ),
+            ])
+        })
+        .collect()
 }

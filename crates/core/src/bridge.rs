@@ -24,7 +24,7 @@ use ether::{EtherType, Frame, MacAddr};
 use netsim::{
     Ctx, FrameBuf, Node, Offer, PortId, ServiceQueue, SimDuration, TimerHandle, TimerToken,
 };
-use switchlet::{ExecConfig, FuncVal, Module, Namespace, Value};
+use switchlet::{ExecConfig, FuncVal, Module, Namespace, Value, VmScratch};
 
 use crate::config::BridgeConfig;
 use crate::hostmods;
@@ -140,7 +140,7 @@ impl<'a, 'w> BridgeCtx<'a, 'w> {
 
     /// Number of bridge ports.
     pub fn num_ports(&self) -> usize {
-        self.plane.flags.len()
+        self.plane.num_ports()
     }
 
     /// Transmit a frame out of `port`. Accepts a [`FrameBuf`] (or
@@ -271,6 +271,13 @@ pub struct BridgeNode {
     /// Cumulative VM stats on this node.
     pub vm_instructions: u64,
     ports_known: bool,
+    /// Reusable VM stack/locals arena: steady-state switchlet execution
+    /// allocates nothing.
+    vm_scratch: VmScratch,
+    /// Memoized data-plane dispatch target, keyed by the plane's decision
+    /// generation — the per-frame name lookups (`by_name` + status) run
+    /// only when something that could change the answer happened.
+    plane_target: Option<(u64, HandlerTarget)>,
 }
 
 impl BridgeNode {
@@ -303,6 +310,8 @@ impl BridgeNode {
             cmds: Vec::new(),
             vm_instructions: 0,
             ports_known: false,
+            vm_scratch: VmScratch::new(),
+            plane_target: None,
         }
     }
 
@@ -365,7 +374,7 @@ impl BridgeNode {
 
     /// Status of a switchlet.
     pub fn switchlet_status(&self, name: &str) -> Option<SwitchletStatus> {
-        self.plane.status.get(name).copied()
+        self.plane.status_of(name)
     }
 
     // ---------------------------------------------------------- dispatch
@@ -418,7 +427,14 @@ impl BridgeNode {
             bridge_name: &self.name,
             module_name: owner,
         };
-        match switchlet::call(&self.ns, &mut env, target, args, &exec) {
+        match switchlet::call_scratch(
+            &self.ns,
+            &mut env,
+            target,
+            args,
+            &exec,
+            &mut self.vm_scratch,
+        ) {
             Ok((_, stats)) => {
                 self.vm_instructions += stats.instructions;
                 self.plane.stats.vm_instructions += stats.instructions;
@@ -451,28 +467,27 @@ impl BridgeNode {
 
     /// Invoke a resolved target with one frame: VM handlers get the frame
     /// copied into a `Value::Str` (the VM boundary is the data plane's
-    /// one deliberate copy), native switchlets get a [`DataFrame`] view.
-    /// `entry` selects which trait method the native path calls.
+    /// one deliberate copy), native switchlets get the already-parsed
+    /// [`DataFrame`] view (frames are parsed once per arrival, in
+    /// [`BridgeNode::process_frame`]). `entry` selects which trait method
+    /// the native path calls.
     fn dispatch_target(
         &mut self,
         ctx: &mut Ctx<'_>,
         target: HandlerTarget,
         port: PortId,
-        frame: &FrameBuf,
+        frame: &DataFrame<'_>,
         entry: DispatchEntry,
     ) {
         match target {
             HandlerTarget::Vm(fv) => {
-                let args = vec![Value::str(frame.to_vec()), Value::Int(port.0 as i64)];
+                let args = vec![Value::str(frame.buf().to_vec()), Value::Int(port.0 as i64)];
                 self.call_vm(ctx, fv, args);
             }
             HandlerTarget::Native(idx) => {
-                let Ok(parsed) = DataFrame::parse(frame) else {
-                    return;
-                };
                 self.with_slot(ctx, idx, |s, bc| match entry {
-                    DispatchEntry::Registered => s.on_registered_frame(bc, port, &parsed),
-                    DispatchEntry::Switch => s.switch_frame(bc, port, &parsed),
+                    DispatchEntry::Registered => s.on_registered_frame(bc, port, frame),
+                    DispatchEntry::Switch => s.switch_frame(bc, port, frame),
                 });
             }
             HandlerTarget::None => {}
@@ -484,43 +499,53 @@ impl BridgeNode {
         ctx: &mut Ctx<'_>,
         target: HandlerTarget,
         port: PortId,
-        frame: &FrameBuf,
+        frame: &DataFrame<'_>,
     ) {
         self.dispatch_target(ctx, target, port, frame, DispatchEntry::Registered);
     }
 
-    fn dispatch_data_plane(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
-        let target = match &self.plane.data_plane {
-            DataPlaneSel::None => {
-                self.plane.stats.no_plane += 1;
-                return;
+    fn dispatch_data_plane(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &DataFrame<'_>) {
+        // Resolve the switching function once per decision generation: in
+        // steady state this is a compare, not two string-keyed hash
+        // lookups per frame.
+        let gen = self.plane.generation();
+        let target = match self.plane_target {
+            Some((g, t)) if g == gen => t,
+            _ => {
+                let t = match self.plane.data_plane() {
+                    DataPlaneSel::None => HandlerTarget::None,
+                    DataPlaneSel::Native(name) => match self.by_name.get(name) {
+                        Some(&idx) if self.plane.is_running(name) => HandlerTarget::Native(idx),
+                        _ => HandlerTarget::None,
+                    },
+                    DataPlaneSel::Vm(fv) => HandlerTarget::Vm(*fv),
+                };
+                self.plane_target = Some((gen, t));
+                t
             }
-            DataPlaneSel::Native(name) => match self.by_name.get(name) {
-                Some(&idx) if self.plane.is_running(name) => HandlerTarget::Native(idx),
-                _ => {
-                    self.plane.stats.no_plane += 1;
-                    return;
-                }
-            },
-            DataPlaneSel::Vm(fv) => HandlerTarget::Vm(*fv),
         };
+        if matches!(target, HandlerTarget::None) {
+            self.plane.stats.no_plane += 1;
+            return;
+        }
         self.dispatch_target(ctx, target, port, frame, DispatchEntry::Switch);
     }
 
     /// The demultiplexer (Figure 5 step 4 entry): address-registered
     /// handlers first, then the switching function.
     fn process_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
-        let (dst, ethertype) = match Frame::parse(&frame) {
-            Ok(p) => (p.dst(), p.ethertype()),
-            Err(_) => return,
+        // One parse per arrival; every consumer below shares the view.
+        let Ok(parsed) = DataFrame::parse(&frame) else {
+            return;
         };
+        let (dst, ethertype) = (parsed.dst(), parsed.ethertype());
         if let Some(target) = self
             .plane
             .addr_handler(dst)
             .map(|name| self.resolve_handler(name))
         {
             self.plane.stats.registered += 1;
-            self.dispatch_registered(ctx, target, port, &frame);
+            self.dispatch_registered(ctx, target, port, &parsed);
             self.apply_cmds(ctx);
             return;
         }
@@ -533,10 +558,10 @@ impl BridgeNode {
                 .map(|name| self.resolve_handler(name))
             {
                 self.plane.stats.to_loader += 1;
-                self.dispatch_registered(ctx, target, port, &frame);
+                self.dispatch_registered(ctx, target, port, &parsed);
             }
         }
-        self.dispatch_data_plane(ctx, port, &frame);
+        self.dispatch_data_plane(ctx, port, &parsed);
         self.apply_cmds(ctx);
     }
 
@@ -557,7 +582,7 @@ impl BridgeNode {
         let init = NativeInit {
             cfg: self.cfg.clone(),
             mac: self.mac,
-            n_ports: self.plane.flags.len(),
+            n_ports: self.plane.num_ports(),
         };
         let imp = factory(&init);
         let idx = self.slots.len();
@@ -566,9 +591,7 @@ impl BridgeNode {
             imp: Some(SwitchletImpl::Native(imp)),
         });
         self.by_name.insert(name.to_owned(), idx);
-        self.plane
-            .status
-            .insert(name.to_owned(), SwitchletStatus::Running);
+        self.plane.set_status(name, SwitchletStatus::Running);
         let n = self.name.clone();
         ctx.trace(format!("{n}: installed switchlet {name}"));
         self.with_slot(ctx, idx, |s, bc| s.on_install(bc));
@@ -619,8 +642,7 @@ impl BridgeNode {
                 });
                 self.by_name.insert(name.clone(), idx);
                 self.plane
-                    .status
-                    .insert(name.clone(), SwitchletStatus::Running);
+                    .set_status(name.clone(), SwitchletStatus::Running);
                 let n = self.name.clone();
                 ctx.trace(format!("{n}: loaded vm switchlet {name}"));
             }
@@ -643,8 +665,7 @@ impl BridgeNode {
                         if let Some(&idx) = self.by_name.get(&name) {
                             if self.plane.is_running(&name) {
                                 self.plane
-                                    .status
-                                    .insert(name.clone(), SwitchletStatus::Suspended);
+                                    .set_status(name.clone(), SwitchletStatus::Suspended);
                                 self.with_slot(ctx, idx, |s, bc| s.on_suspend(bc));
                                 let n = self.name.clone();
                                 ctx.trace(format!("{n}: suspended {name}"));
@@ -653,10 +674,9 @@ impl BridgeNode {
                     }
                     BridgeCommand::Resume(name) => {
                         if let Some(&idx) = self.by_name.get(&name) {
-                            if self.plane.status.get(&name) == Some(&SwitchletStatus::Suspended) {
+                            if self.plane.status_of(&name) == Some(SwitchletStatus::Suspended) {
                                 self.plane
-                                    .status
-                                    .insert(name.clone(), SwitchletStatus::Running);
+                                    .set_status(name.clone(), SwitchletStatus::Running);
                                 self.with_slot(ctx, idx, |s, bc| s.on_resume(bc));
                                 let n = self.name.clone();
                                 ctx.trace(format!("{n}: resumed {name}"));
@@ -666,8 +686,7 @@ impl BridgeNode {
                     BridgeCommand::Stop(name) => {
                         if self.by_name.contains_key(&name) {
                             self.plane
-                                .status
-                                .insert(name.clone(), SwitchletStatus::Stopped);
+                                .set_status(name.clone(), SwitchletStatus::Stopped);
                             let n = self.name.clone();
                             ctx.trace(format!("{n}: stopped {name}"));
                         }
@@ -698,10 +717,10 @@ impl Node for BridgeNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         assert_eq!(
             ctx.num_ports(),
-            self.plane.flags.len(),
+            self.plane.num_ports(),
             "bridge {} configured for {} ports but attached to {}",
             self.name,
-            self.plane.flags.len(),
+            self.plane.num_ports(),
             ctx.num_ports()
         );
         self.ports_known = true;
@@ -753,6 +772,10 @@ impl Node for BridgeNode {
                 if slot < self.slots.len() {
                     let name = self.slots[slot].name.clone();
                     if self.plane.is_running(&name) {
+                        // A timer handler may mutate decision inputs the
+                        // plane cannot see (switchlet-private state), so
+                        // every delivery invalidates cached verdicts.
+                        self.plane.bump_generation();
                         self.with_slot(ctx, slot, |s, bc| s.on_timer(bc, user));
                     }
                 }
@@ -761,6 +784,7 @@ impl Node for BridgeNode {
             KIND_VM_TIMER => {
                 let idx = (token.0 & 0xFFFF_FFFF) as usize;
                 if let Some((fv, user)) = self.vm_timers.get(idx).copied() {
+                    self.plane.bump_generation();
                     self.call_vm(ctx, fv, vec![Value::Int(user)]);
                 }
                 self.apply_cmds(ctx);

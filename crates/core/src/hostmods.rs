@@ -21,10 +21,12 @@
 //! | `bridgectl` | "access points" | port suppression, learning flush, counters |
 //! | `switchctl` | (control's levers) | switchlet lifecycle inspection/control |
 
+use std::rc::Rc;
+
 use bytes::Bytes;
 use ether::MacAddr;
 use netsim::{Ctx, PortId, SimDuration};
-use switchlet::{Env, FuncVal, HostDispatch, HostModuleSig, Ty, Value, VmError};
+use switchlet::{Env, FuncVal, HostDispatch, HostModuleSig, HostSlot, Ty, Value, VmError};
 
 use crate::bridge::BridgeCommand;
 use crate::plane::{DataPlaneSel, Plane};
@@ -125,10 +127,139 @@ fn str_arg(args: &[Value], i: usize) -> String {
     String::from_utf8_lossy(args[i].as_str()).into_owned()
 }
 
+/// Take ownership of a string argument without copying when the VM holds
+/// the only reference (the common case for freshly built frames).
+fn take_bytes(args: &mut [Value], i: usize) -> Vec<u8> {
+    match std::mem::replace(&mut args[i], Value::Unit) {
+        Value::Str(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        other => panic!("verifier invariant broken: expected str, got {other:?}"),
+    }
+}
+
+/// The host functions of [`host_env`], identified by slot. The paper's
+/// per-frame path pays one array-shaped integer match here — no string
+/// comparison, no allocation (this is the PR 4 slot-indexed dispatch).
+///
+/// Variant order mirrors [`host_env`]'s registration order; the
+/// `slot_table_matches_env_names` test pins the mapping to the names.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum HostFn {
+    HashString,
+    GetTimeOfDay,
+    LogMsg,
+    RegisterHandler,
+    SetTimeout,
+    NumPorts,
+    BindIn,
+    BindOut,
+    IportToOport,
+    SendPktOut,
+    UnbindIn,
+    UnbindOut,
+    RegisterAddr,
+    SetPortForward,
+    SetPortLearn,
+    FlushLearning,
+    CounterBump,
+    IsRunning,
+    Loaded,
+    Suspend,
+    Resume,
+    Stop,
+}
+
+/// Map a resolved [`HostSlot`] to its implementation. Total over the
+/// slots [`host_env`] can mint; anything else is a wiring bug.
+fn host_fn(slot: HostSlot) -> Option<HostFn> {
+    use HostFn::*;
+    Some(match (slot.module, slot.item) {
+        (0, 0) => HashString,
+        (1, 0) => GetTimeOfDay,
+        (2, 0) => LogMsg,
+        (3, 0) => RegisterHandler,
+        (4, 0) => SetTimeout,
+        (5, 0) => NumPorts,
+        (5, 1) => BindIn,
+        (5, 2) => BindOut,
+        (5, 3) => IportToOport,
+        (5, 4) => SendPktOut,
+        (5, 5) => UnbindIn,
+        (5, 6) => UnbindOut,
+        (6, 0) => RegisterAddr,
+        (6, 1) => SetPortForward,
+        (6, 2) => SetPortLearn,
+        (6, 3) => FlushLearning,
+        (6, 4) => CounterBump,
+        (7, 0) => IsRunning,
+        (7, 1) => Loaded,
+        (7, 2) => Suspend,
+        (7, 3) => Resume,
+        (7, 4) => Stop,
+        _ => return None,
+    })
+}
+
 impl HostDispatch for HostEnv<'_, '_> {
-    fn call(&mut self, module: &str, item: &str, args: Vec<Value>) -> Result<Value, VmError> {
-        match (module, item) {
-            ("safestd", "hash_string") => {
+    /// Slot-indexed dispatch: the per-frame path through the host
+    /// boundary. `args` is the VM's scratch slice; string arguments are
+    /// moved out, not copied, when uniquely owned.
+    fn call_slot(
+        &mut self,
+        env: &Env,
+        slot: HostSlot,
+        args: &mut [Value],
+    ) -> Result<Value, VmError> {
+        let Some(f) = host_fn(slot) else {
+            let (m, i, _) = env.slot_names(slot);
+            return Err(VmError::HostUnavailable(format!("{m}.{i}")));
+        };
+        self.invoke(f, args)
+    }
+
+    /// Name-based path, kept for embedders and tests that address host
+    /// functions by name (the slow path the slot table replaces).
+    fn call(&mut self, module: &str, item: &str, mut args: Vec<Value>) -> Result<Value, VmError> {
+        use HostFn::*;
+        let f = match (module, item) {
+            ("safestd", "hash_string") => HashString,
+            ("safeunix", "gettimeofday") => GetTimeOfDay,
+            ("log", "msg") => LogMsg,
+            ("func", "register_handler") => RegisterHandler,
+            ("timer", "set_timeout") => SetTimeout,
+            ("unixnet", "num_ports") => NumPorts,
+            ("unixnet", "bind_in") => BindIn,
+            ("unixnet", "bind_out") => BindOut,
+            ("unixnet", "iport_to_oport") => IportToOport,
+            ("unixnet", "send_pkt_out") => SendPktOut,
+            ("unixnet", "unbind_in") => UnbindIn,
+            ("unixnet", "unbind_out") => UnbindOut,
+            ("bridgectl", "register_addr") => RegisterAddr,
+            ("bridgectl", "set_port_forward") => SetPortForward,
+            ("bridgectl", "set_port_learn") => SetPortLearn,
+            ("bridgectl", "flush_learning") => FlushLearning,
+            ("bridgectl", "counter_bump") => CounterBump,
+            ("switchctl", "is_running") => IsRunning,
+            ("switchctl", "loaded") => Loaded,
+            ("switchctl", "suspend") => Suspend,
+            ("switchctl", "resume") => Resume,
+            ("switchctl", "stop") => Stop,
+            // `safeunix.system` and `safeunix.open_file` exist here — and
+            // are unreachable: the Env never lists them, so no verified
+            // module can hold a resolved import for them. Reaching this
+            // arm would mean the thinning invariant broke.
+            ("safeunix", "system") | ("safeunix", "open_file") => {
+                unreachable!("thinned host function reached — name-space security broken")
+            }
+            _ => return Err(VmError::HostUnavailable(format!("{module}.{item}"))),
+        };
+        self.invoke(f, &mut args)
+    }
+}
+
+impl HostEnv<'_, '_> {
+    fn invoke(&mut self, f: HostFn, args: &mut [Value]) -> Result<Value, VmError> {
+        match f {
+            HostFn::HashString => {
                 // FNV-1a, stable across runs.
                 let mut h: u64 = 0xcbf2_9ce4_8422_2325;
                 for &b in args[0].as_str().iter() {
@@ -137,10 +268,8 @@ impl HostDispatch for HostEnv<'_, '_> {
                 }
                 Ok(Value::Int((h & 0x7FFF_FFFF_FFFF_FFFF) as i64))
             }
-            ("safeunix", "gettimeofday") => {
-                Ok(Value::Int((self.sim.now().as_ns() / 1_000_000) as i64))
-            }
-            ("log", "msg") => {
+            HostFn::GetTimeOfDay => Ok(Value::Int((self.sim.now().as_ns() / 1_000_000) as i64)),
+            HostFn::LogMsg => {
                 let line = format!(
                     "{}: [{}] {}",
                     self.bridge_name,
@@ -149,13 +278,13 @@ impl HostDispatch for HostEnv<'_, '_> {
                     } else {
                         &self.module_name
                     },
-                    str_arg(&args, 0)
+                    str_arg(args, 0)
                 );
                 self.sim.trace(line);
                 Ok(Value::Unit)
             }
-            ("func", "register_handler") => {
-                let key = str_arg(&args, 0);
+            HostFn::RegisterHandler => {
+                let key = str_arg(args, 0);
                 let Value::Func(fv) = args[1] else {
                     return Err(VmError::Host("register_handler expects a function".into()));
                 };
@@ -166,11 +295,11 @@ impl HostDispatch for HostEnv<'_, '_> {
                     // Convention: registering "switching" installs this
                     // handler as the bridge's switching function —
                     // "this switchlet replaces the switching function".
-                    self.plane.data_plane = DataPlaneSel::Vm(fv);
+                    self.plane.set_data_plane(DataPlaneSel::Vm(fv));
                 }
                 Ok(Value::Unit)
             }
-            ("timer", "set_timeout") => {
+            HostFn::SetTimeout => {
                 let ms = args[0].as_int().max(0) as u64;
                 let token = args[1].as_int();
                 let Value::Func(fv) = args[2] else {
@@ -184,10 +313,10 @@ impl HostDispatch for HostEnv<'_, '_> {
                 });
                 Ok(Value::Unit)
             }
-            ("unixnet", "num_ports") => Ok(Value::Int(self.plane.flags.len() as i64)),
-            ("unixnet", "bind_in") => {
+            HostFn::NumPorts => Ok(Value::Int(self.plane.num_ports() as i64)),
+            HostFn::BindIn => {
                 let port = args[0].as_int();
-                if port < 0 || port as usize >= self.plane.flags.len() {
+                if port < 0 || port as usize >= self.plane.num_ports() {
                     return Err(VmError::Host("No_interface".into()));
                 }
                 if !self.plane.bind_in(port as usize, &self.module_name) {
@@ -196,9 +325,9 @@ impl HostDispatch for HostEnv<'_, '_> {
                 }
                 Ok(Value::handle("iport", port as u64))
             }
-            ("unixnet", "bind_out") => {
+            HostFn::BindOut => {
                 let port = args[0].as_int();
-                if port < 0 || port as usize >= self.plane.flags.len() {
+                if port < 0 || port as usize >= self.plane.num_ports() {
                     return Err(VmError::Host("No_interface".into()));
                 }
                 if !self.plane.bind_out(port as usize, &self.module_name) {
@@ -206,86 +335,78 @@ impl HostDispatch for HostEnv<'_, '_> {
                 }
                 Ok(Value::handle("oport", port as u64))
             }
-            ("unixnet", "iport_to_oport") => {
+            HostFn::IportToOport => {
                 let id = args[0].as_handle("iport");
                 Ok(Value::handle("oport", id))
             }
-            ("unixnet", "send_pkt_out") => {
+            HostFn::SendPktOut => {
                 let id = args[0].as_handle("oport") as usize;
-                let bytes = args[1].as_str().as_ref().clone();
-                if id >= self.plane.flags.len() {
+                if id >= self.plane.num_ports() {
                     return Err(VmError::Host("No_interface".into()));
                 }
+                // Moves the frame bytes out of the VM (no copy when the
+                // VM holds the only reference) — the data-plane boundary.
+                let bytes = take_bytes(args, 1);
                 let len = bytes.len();
                 self.sim.send(PortId(id), Bytes::from(bytes));
                 Ok(Value::Int(len as i64))
             }
-            ("unixnet", "unbind_in") | ("unixnet", "unbind_out") => {
+            HostFn::UnbindIn | HostFn::UnbindOut => {
                 // Per-port unbind: release everything this module bound on
                 // that port index (ownership is per name).
                 self.plane.unbind_all(&self.module_name);
                 Ok(Value::Unit)
             }
-            ("bridgectl", "register_addr") => {
+            HostFn::RegisterAddr => {
                 let mac_bytes = args[0].as_str();
                 let Some(addr) = MacAddr::from_slice(&mac_bytes[..]) else {
                     return Err(VmError::Host("register_addr: need 6 octets".into()));
                 };
-                let key = str_arg(&args, 1);
+                let key = str_arg(args, 1);
                 let full = format!("vm:{}.{}", self.module_name, key);
                 self.plane.register_addr(addr, full);
                 Ok(Value::Unit)
             }
-            ("bridgectl", "set_port_forward") => {
+            HostFn::SetPortForward => {
                 let port = args[0].as_int() as usize;
-                if port >= self.plane.flags.len() {
+                if port >= self.plane.num_ports() {
                     return Err(VmError::Host("No_interface".into()));
                 }
-                self.plane.flags[port].forward = args[1].as_bool();
+                self.plane.set_port_forward(port, args[1].as_bool());
                 Ok(Value::Unit)
             }
-            ("bridgectl", "set_port_learn") => {
+            HostFn::SetPortLearn => {
                 let port = args[0].as_int() as usize;
-                if port >= self.plane.flags.len() {
+                if port >= self.plane.num_ports() {
                     return Err(VmError::Host("No_interface".into()));
                 }
-                self.plane.flags[port].learn = args[1].as_bool();
+                self.plane.set_port_learn(port, args[1].as_bool());
                 Ok(Value::Unit)
             }
-            ("bridgectl", "flush_learning") => {
+            HostFn::FlushLearning => {
                 self.plane.learn.flush();
                 Ok(Value::Unit)
             }
-            ("bridgectl", "counter_bump") => {
-                let key = str_arg(&args, 0);
+            HostFn::CounterBump => {
+                let key = str_arg(args, 0);
                 let n = args[1].as_int().max(0) as u64;
                 self.sim.bump(&key, n);
                 Ok(Value::Unit)
             }
-            ("switchctl", "is_running") => {
-                Ok(Value::Bool(self.plane.is_running(&str_arg(&args, 0))))
-            }
-            ("switchctl", "loaded") => Ok(Value::Bool(self.plane.is_loaded(&str_arg(&args, 0)))),
-            ("switchctl", "suspend") => {
-                self.cmds.push(BridgeCommand::Suspend(str_arg(&args, 0)));
+            HostFn::IsRunning => Ok(Value::Bool(self.plane.is_running(&str_arg(args, 0)))),
+            HostFn::Loaded => Ok(Value::Bool(self.plane.is_loaded(&str_arg(args, 0)))),
+            HostFn::Suspend => {
+                self.cmds.push(BridgeCommand::Suspend(str_arg(args, 0)));
                 Ok(Value::Unit)
             }
-            ("switchctl", "resume") => {
-                self.cmds.push(BridgeCommand::Resume(str_arg(&args, 0)));
+            HostFn::Resume => {
+                self.cmds.push(BridgeCommand::Resume(str_arg(args, 0)));
                 Ok(Value::Unit)
             }
-            ("switchctl", "stop") => {
-                self.cmds.push(BridgeCommand::Stop(str_arg(&args, 0)));
+            HostFn::Stop => {
+                self.cmds.push(BridgeCommand::Stop(str_arg(args, 0)));
                 Ok(Value::Unit)
             }
-            // `safeunix.system` and `safeunix.open_file` exist here — and
-            // are unreachable: the Env never lists them, so no verified
-            // module can hold a resolved import for them. Reaching this
-            // arm would mean the thinning invariant broke.
-            ("safeunix", "system") | ("safeunix", "open_file") => {
-                unreachable!("thinned host function reached — name-space security broken")
-            }
-            _ => Err(VmError::HostUnavailable(format!("{module}.{item}"))),
         }
     }
 }
@@ -315,5 +436,61 @@ mod tests {
         let env = host_env();
         let (_, ty) = env.lookup("func", "register_handler").unwrap();
         assert_eq!(*ty, Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit));
+    }
+
+    /// The integer slot table is order-coupled to [`host_env`]; this test
+    /// pins every `(module, item)` pair to its `HostFn`, so reordering a
+    /// registration without updating [`host_fn`] fails loudly.
+    #[test]
+    fn slot_table_matches_env_names() {
+        use HostFn::*;
+        let expected: &[(&str, &str, HostFn)] = &[
+            ("safestd", "hash_string", HashString),
+            ("safeunix", "gettimeofday", GetTimeOfDay),
+            ("log", "msg", LogMsg),
+            ("func", "register_handler", RegisterHandler),
+            ("timer", "set_timeout", SetTimeout),
+            ("unixnet", "num_ports", NumPorts),
+            ("unixnet", "bind_in", BindIn),
+            ("unixnet", "bind_out", BindOut),
+            ("unixnet", "iport_to_oport", IportToOport),
+            ("unixnet", "send_pkt_out", SendPktOut),
+            ("unixnet", "unbind_in", UnbindIn),
+            ("unixnet", "unbind_out", UnbindOut),
+            ("bridgectl", "register_addr", RegisterAddr),
+            ("bridgectl", "set_port_forward", SetPortForward),
+            ("bridgectl", "set_port_learn", SetPortLearn),
+            ("bridgectl", "flush_learning", FlushLearning),
+            ("bridgectl", "counter_bump", CounterBump),
+            ("switchctl", "is_running", IsRunning),
+            ("switchctl", "loaded", Loaded),
+            ("switchctl", "suspend", Suspend),
+            ("switchctl", "resume", Resume),
+            ("switchctl", "stop", Stop),
+        ];
+        let env = host_env();
+        // Every registered item maps to the HostFn its name promises.
+        let mut count = 0;
+        for (mi, m) in env.modules().iter().enumerate() {
+            for (ii, item) in m.items.iter().enumerate() {
+                let slot = HostSlot {
+                    module: mi as u16,
+                    item: ii as u16,
+                };
+                let f = host_fn(slot)
+                    .unwrap_or_else(|| panic!("no HostFn for {}.{}", m.name, item.name));
+                let (em, ei, ef) = expected
+                    .iter()
+                    .find(|(em, ei, _)| *em == m.name && *ei == item.name)
+                    .copied()
+                    .unwrap_or_else(|| panic!("unexpected env item {}.{}", m.name, item.name));
+                assert_eq!(f, ef, "{em}.{ei} mapped to the wrong HostFn");
+                // And the borrowed-key lookup resolves to the same slot.
+                let (looked, _) = env.lookup(&m.name, &item.name).unwrap();
+                assert_eq!(looked, slot);
+                count += 1;
+            }
+        }
+        assert_eq!(count, expected.len(), "slot table drifted from host_env");
     }
 }

@@ -47,7 +47,10 @@ pub mod scenario {
 
 pub use bridge::{BridgeCommand, BridgeCtx, BridgeNode, DataFrame, NativeInit, NativeSwitchlet};
 pub use config::{BridgeConfig, StpTimers, TransitionTimers};
-pub use plane::{BridgeStats, DataPlaneSel, LearningTable, Plane, PortFlags, SwitchletStatus};
+pub use plane::{
+    BridgeStats, DataPlaneSel, DecisionCache, LearningTable, Plane, PortFlags, SwitchletStatus,
+    Verdict,
+};
 pub use switchlets::control::{ControlSwitchlet, Phase, TransitionEvent};
 pub use switchlets::dumb::DumbBridge;
 pub use switchlets::learning::LearningBridge;

@@ -4,11 +4,23 @@
 //! by the switching function), the learning table, the demultiplexer's
 //! address registrations, and the published spanning-tree snapshots the
 //! control switchlet monitors.
+//!
+//! Since PR 4 the plane also carries the **forwarding decision cache** and
+//! the **generation counter** that keeps it honest. Every piece of state a
+//! switching function's verdict can depend on is mutated through methods
+//! that bump a generation: learn-table mapping changes (insertions,
+//! moves, evictions, flushes — timestamp refreshes excluded, they cannot
+//! flip a verdict), port-flag writes, switchlet lifecycle transitions,
+//! data-plane (re)selection and timer deliveries. A cached verdict is
+//! replayed only when its recorded generation still matches and its
+//! freshness deadline has not passed, so a cache hit can never diverge
+//! from re-executing the switching function — the invariant the golden
+//! byte-identical-trace tests enforce end to end.
 
 use std::collections::HashMap;
 
 use ether::MacAddr;
-use netsim::{PortId, SimDuration, SimTime};
+use netsim::{FastMap, PortId, SimDuration, SimTime};
 
 use crate::switchlets::stp::engine::StpSnapshot;
 
@@ -37,18 +49,28 @@ impl Default for PortFlags {
 /// Paper Section 5.3: "the triple (source address, current time, input
 /// port) is placed into a hash table keyed by the source address,
 /// replacing any previous entry".
+///
+/// The table tracks its own mutation generation: any change to the
+/// address→port *mapping* (new entry, port move, eviction, flush) bumps
+/// it; refreshing the timestamp of an unchanged mapping does not, because
+/// no forwarding verdict can change when only a last-seen time advances
+/// (staleness is handled by the cache's own freshness deadline).
 #[derive(Debug)]
 pub struct LearningTable {
-    map: HashMap<MacAddr, (PortId, SimTime)>,
+    /// Keyed by the fast deterministic hasher: this map is probed and
+    /// refreshed once per data frame.
+    map: FastMap<MacAddr, (PortId, SimTime)>,
     age: SimDuration,
+    gen: u64,
 }
 
 impl LearningTable {
     /// Table with the given entry lifetime.
     pub fn new(age: SimDuration) -> LearningTable {
         LearningTable {
-            map: HashMap::new(),
+            map: FastMap::default(),
             age,
+            gen: 0,
         }
     }
 
@@ -58,16 +80,26 @@ impl LearningTable {
         if src.is_multicast() {
             return;
         }
-        self.map.insert(src, (port, now));
+        match self.map.insert(src, (port, now)) {
+            Some((old_port, _)) if old_port == port => {} // timestamp refresh
+            _ => self.gen += 1,                           // new entry or port move
+        }
     }
 
     /// Look up a destination; a stale entry counts as absent (and is
     /// dropped).
     pub fn lookup(&mut self, dst: MacAddr, now: SimTime) -> Option<PortId> {
+        self.lookup_entry(dst, now).map(|(port, _)| port)
+    }
+
+    /// Like [`LearningTable::lookup`], also returning when the entry was
+    /// last refreshed (callers derive freshness deadlines from it).
+    pub fn lookup_entry(&mut self, dst: MacAddr, now: SimTime) -> Option<(PortId, SimTime)> {
         match self.map.get(&dst) {
-            Some((port, seen)) if now.saturating_since(*seen) <= self.age => Some(*port),
+            Some(&(port, seen)) if now.saturating_since(seen) <= self.age => Some((port, seen)),
             Some(_) => {
                 self.map.remove(&dst);
+                self.gen += 1;
                 None
             }
             None => None,
@@ -77,13 +109,30 @@ impl LearningTable {
     /// Drop every entry older than the age limit.
     pub fn sweep(&mut self, now: SimTime) {
         let age = self.age;
+        let before = self.map.len();
         self.map
             .retain(|_, (_, seen)| now.saturating_since(*seen) <= age);
+        if self.map.len() != before {
+            self.gen += 1;
+        }
     }
 
     /// Forget everything (used on topology change).
     pub fn flush(&mut self) {
+        if !self.map.is_empty() {
+            self.gen += 1;
+        }
         self.map.clear();
+    }
+
+    /// The configured entry lifetime.
+    pub fn age(&self) -> SimDuration {
+        self.age
+    }
+
+    /// Mapping-mutation counter (monotonic).
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Live entry count.
@@ -154,13 +203,17 @@ pub struct BridgeStats {
     pub images_loaded: u64,
     /// Switchlet images rejected (decode/link/verify failures).
     pub images_rejected: u64,
+    /// Forwarding verdicts replayed from the decision cache.
+    pub cache_hits: u64,
+    /// Unicast verdicts computed by full execution (and then cached).
+    pub cache_misses: u64,
 }
 
 impl BridgeStats {
     /// Every counter as a stable `(name, value)` list, in declaration
     /// order — the shape structured reports (JSON emitters, tables) want,
     /// so they never fall out of sync with the struct.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 14] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 16] {
         [
             ("frames_in", self.frames_in),
             ("queue_drops", self.queue_drops),
@@ -175,25 +228,131 @@ impl BridgeStats {
             ("vm_instructions", self.vm_instructions),
             ("images_loaded", self.images_loaded),
             ("images_rejected", self.images_rejected),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
             ("forwarded", self.directed + self.flooded),
         ]
     }
 }
 
+/// A memoized forwarding verdict for one `(in-port, src, dst)` unicast
+/// flow — the pure decision the learning switchlet would recompute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Ingress port was not forwarding: count and drop.
+    Blocked,
+    /// Destination learned on the arrival port: suppress.
+    Filter,
+    /// Forward to one learned, forwarding port.
+    Direct(PortId),
+    /// Flood to every other forwarding port (destination unknown).
+    Flood,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct CacheEntry {
+    src: MacAddr,
+    dst: MacAddr,
+    in_port: u16,
+    gen: u64,
+    /// Entry is replayable only strictly before this instant (derived
+    /// from the learning-table entry's freshness window for `Direct` and
+    /// `Filter`; unbounded for generation-guarded verdicts).
+    valid_until: SimTime,
+    verdict: Verdict,
+}
+
+/// Direct-mapped forwarding decision cache: fixed storage, no per-frame
+/// allocation, O(1) probe and insert.
+#[derive(Debug)]
+pub struct DecisionCache {
+    slots: Vec<Option<CacheEntry>>,
+}
+
+/// Slot count (power of two).
+const CACHE_SLOTS: usize = 1024;
+
+impl Default for DecisionCache {
+    fn default() -> Self {
+        DecisionCache {
+            slots: vec![None; CACHE_SLOTS],
+        }
+    }
+}
+
+impl DecisionCache {
+    fn index(in_port: PortId, src: MacAddr, dst: MacAddr) -> usize {
+        // The simulator's shared fast deterministic hasher over the
+        // 13-byte flow key.
+        use std::hash::Hasher;
+        let mut h = netsim::fasthash::FxHasher::default();
+        h.write_u8(in_port.0 as u8);
+        h.write(&src.octets());
+        h.write(&dst.octets());
+        (h.finish() as usize) & (CACHE_SLOTS - 1)
+    }
+
+    /// Replayable verdict for this flow at `now` under `gen`, if cached.
+    #[inline]
+    pub fn probe(
+        &self,
+        in_port: PortId,
+        src: MacAddr,
+        dst: MacAddr,
+        gen: u64,
+        now: SimTime,
+    ) -> Option<Verdict> {
+        let e = self.slots[Self::index(in_port, src, dst)].as_ref()?;
+        if e.gen == gen
+            && e.in_port == in_port.0 as u16
+            && e.src == src
+            && e.dst == dst
+            && now <= e.valid_until
+        {
+            Some(e.verdict)
+        } else {
+            None
+        }
+    }
+
+    /// Record a verdict computed by full execution.
+    #[inline]
+    pub fn store(
+        &mut self,
+        in_port: PortId,
+        src: MacAddr,
+        dst: MacAddr,
+        gen: u64,
+        valid_until: SimTime,
+        verdict: Verdict,
+    ) {
+        self.slots[Self::index(in_port, src, dst)] = Some(CacheEntry {
+            src,
+            dst,
+            in_port: in_port.0 as u16,
+            gen,
+            valid_until,
+            verdict,
+        });
+    }
+}
+
 /// The shared plane.
 pub struct Plane {
-    /// Per-port flags, indexed by port.
-    pub flags: Vec<PortFlags>,
-    /// The learning table (shared so the spanning tree can flush it).
+    /// Per-port flags, indexed by port. Written only through the
+    /// generation-bumping setters.
+    flags: Vec<PortFlags>,
+    /// The learning table (shared so the spanning tree can flush it);
+    /// tracks its own mapping generation.
     pub learn: LearningTable,
     /// Demultiplexer registrations: destination address → switchlet name.
     addr_handlers: Vec<(MacAddr, String)>,
     /// The installed switching function.
-    pub data_plane: DataPlaneSel,
+    data_plane: DataPlaneSel,
     /// Switchlet lifecycle status mirror (readable by other switchlets —
     /// the control switchlet "checks that the DEC switchlet is operating
     /// and that the 802.1D switchlet is not").
-    pub status: HashMap<String, SwitchletStatus>,
+    status: HashMap<String, SwitchletStatus>,
     /// Spanning-tree snapshots published by protocol switchlets.
     pub published: HashMap<String, StpSnapshot>,
     /// Input-port ownership (paper: "the first switchlet to bind to a
@@ -203,6 +362,10 @@ pub struct Plane {
     pub owners_out: Vec<Option<String>>,
     /// Counters.
     pub stats: BridgeStats,
+    /// The forwarding decision cache (consulted by switching functions).
+    pub fwd_cache: DecisionCache,
+    /// Decision-relevant mutations outside the learning table.
+    gen: u64,
 }
 
 impl Plane {
@@ -218,8 +381,103 @@ impl Plane {
             owners_in: vec![None; n_ports],
             owners_out: vec![None; n_ports],
             stats: BridgeStats::default(),
+            fwd_cache: DecisionCache::default(),
+            gen: 0,
         }
     }
+
+    // ------------------------------------------------- generation window
+
+    /// The decision generation: cached verdicts recorded under an older
+    /// value are dead. Monotonic (sum of two monotonic counters).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen + self.learn.generation()
+    }
+
+    /// Invalidate every cached forwarding decision (cheap: the cache is
+    /// generation-guarded, nothing is scanned). Called on every event
+    /// that could change a switching function's verdict, and available to
+    /// embedders that mutate decision inputs out of band.
+    #[inline]
+    pub fn bump_generation(&mut self) {
+        self.gen += 1;
+    }
+
+    // ---------------------------------------------------------- flags
+
+    /// All per-port flags.
+    pub fn flags(&self) -> &[PortFlags] {
+        &self.flags
+    }
+
+    /// Flags of one port.
+    #[inline]
+    pub fn port_flags(&self, port: usize) -> PortFlags {
+        self.flags[port]
+    }
+
+    /// Number of bridge ports.
+    #[inline]
+    pub fn num_ports(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Set a port's forwarding permission (bumps the generation on real
+    /// changes — the spanning tree re-asserting a state is free).
+    pub fn set_port_forward(&mut self, port: usize, forward: bool) {
+        if self.flags[port].forward != forward {
+            self.flags[port].forward = forward;
+            self.gen += 1;
+        }
+    }
+
+    /// Set a port's learning permission.
+    pub fn set_port_learn(&mut self, port: usize, learn: bool) {
+        if self.flags[port].learn != learn {
+            self.flags[port].learn = learn;
+            self.gen += 1;
+        }
+    }
+
+    /// Set both flags of a port.
+    pub fn set_port_flags(&mut self, port: usize, flags: PortFlags) {
+        if self.flags[port] != flags {
+            self.flags[port] = flags;
+            self.gen += 1;
+        }
+    }
+
+    // ------------------------------------------------------ data plane
+
+    /// The installed switching function.
+    pub fn data_plane(&self) -> &DataPlaneSel {
+        &self.data_plane
+    }
+
+    /// Install (or clear) the switching function.
+    pub fn set_data_plane(&mut self, sel: DataPlaneSel) {
+        if self.data_plane != sel {
+            self.data_plane = sel;
+            self.gen += 1;
+        }
+    }
+
+    // ------------------------------------------------------- lifecycle
+
+    /// A switchlet's lifecycle status.
+    pub fn status_of(&self, name: &str) -> Option<SwitchletStatus> {
+        self.status.get(name).copied()
+    }
+
+    /// Record a lifecycle transition (load/suspend/resume/halt) — each
+    /// one invalidates cached decisions.
+    pub fn set_status(&mut self, name: impl Into<String>, status: SwitchletStatus) {
+        self.status.insert(name.into(), status);
+        self.gen += 1;
+    }
+
+    // -------------------------------------------------------- bindings
 
     /// Claim an input port for `owner`; `false` if already bound to
     /// someone else (re-binding by the same owner succeeds).
@@ -253,6 +511,8 @@ impl Plane {
         }
     }
 
+    // ------------------------------------------------- demultiplexer
+
     /// Register (or rebind) the handler for a destination address.
     /// Rebinding is how the control switchlet takes over the All Bridges
     /// address and later hands it to the 802.1D switchlet.
@@ -263,11 +523,13 @@ impl Plane {
         } else {
             self.addr_handlers.push((addr, name));
         }
+        self.gen += 1;
     }
 
     /// Remove a registration.
     pub fn unregister_addr(&mut self, addr: MacAddr) {
         self.addr_handlers.retain(|(a, _)| *a != addr);
+        self.gen += 1;
     }
 
     /// Who handles frames to `addr`?
@@ -333,6 +595,33 @@ mod tests {
     }
 
     #[test]
+    fn learn_generation_tracks_mapping_not_timestamps() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(300));
+        let g0 = lt.generation();
+        lt.learn(MacAddr::local(1), PortId(0), t(0));
+        let g1 = lt.generation();
+        assert!(g1 > g0, "new entry bumps");
+        // Same mapping, fresher timestamp: no bump.
+        lt.learn(MacAddr::local(1), PortId(0), t(5));
+        assert_eq!(lt.generation(), g1, "timestamp refresh must not bump");
+        // Port move bumps.
+        lt.learn(MacAddr::local(1), PortId(1), t(6));
+        assert!(lt.generation() > g1);
+        // Stale eviction through lookup bumps.
+        let g2 = lt.generation();
+        assert_eq!(lt.lookup(MacAddr::local(1), t(1000)), None);
+        assert!(lt.generation() > g2);
+        // Flush of an empty table is free; of a non-empty one bumps.
+        let g3 = lt.generation();
+        lt.flush();
+        assert_eq!(lt.generation(), g3);
+        lt.learn(MacAddr::local(2), PortId(0), t(1000));
+        let g4 = lt.generation();
+        lt.flush();
+        assert!(lt.generation() > g4);
+    }
+
+    #[test]
     fn addr_registration_rebinds() {
         let mut plane = Plane::new(2, SimDuration::from_secs(300));
         plane.register_addr(MacAddr::ALL_BRIDGES, "stp_ieee");
@@ -360,19 +649,50 @@ mod tests {
     fn status_queries() {
         let mut plane = Plane::new(1, SimDuration::from_secs(300));
         assert!(!plane.is_running("stp_dec"));
-        plane
-            .status
-            .insert("stp_dec".into(), SwitchletStatus::Running);
+        plane.set_status("stp_dec", SwitchletStatus::Running);
         assert!(plane.is_running("stp_dec"));
         assert!(plane.is_loaded("stp_dec"));
-        plane
-            .status
-            .insert("stp_dec".into(), SwitchletStatus::Suspended);
+        plane.set_status("stp_dec", SwitchletStatus::Suspended);
         assert!(!plane.is_running("stp_dec"));
         assert!(plane.is_loaded("stp_dec"));
-        plane
-            .status
-            .insert("stp_dec".into(), SwitchletStatus::Stopped);
+        plane.set_status("stp_dec", SwitchletStatus::Stopped);
         assert!(!plane.is_loaded("stp_dec"));
+    }
+
+    #[test]
+    fn cache_probe_respects_generation_and_freshness() {
+        let mut cache = DecisionCache::default();
+        let (src, dst) = (MacAddr::local(1), MacAddr::local(2));
+        cache.store(PortId(0), src, dst, 7, t(100), Verdict::Direct(PortId(1)));
+        assert_eq!(
+            cache.probe(PortId(0), src, dst, 7, t(50)),
+            Some(Verdict::Direct(PortId(1)))
+        );
+        // Stale generation: dead.
+        assert_eq!(cache.probe(PortId(0), src, dst, 8, t(50)), None);
+        // Past the freshness deadline: dead.
+        assert_eq!(cache.probe(PortId(0), src, dst, 7, t(101)), None);
+        // Different flow key: miss.
+        assert_eq!(cache.probe(PortId(1), src, dst, 7, t(50)), None);
+        assert_eq!(cache.probe(PortId(0), dst, src, 7, t(50)), None);
+    }
+
+    #[test]
+    fn plane_mutations_bump_generation() {
+        let mut plane = Plane::new(2, SimDuration::from_secs(300));
+        let g = plane.generation();
+        plane.set_port_forward(0, false);
+        assert!(plane.generation() > g, "flag change bumps");
+        let g = plane.generation();
+        plane.set_port_forward(0, false);
+        assert_eq!(plane.generation(), g, "no-op flag write is free");
+        plane.set_data_plane(DataPlaneSel::Native("x".into()));
+        assert!(plane.generation() > g, "plane selection bumps");
+        let g = plane.generation();
+        plane.set_status("x", SwitchletStatus::Suspended);
+        assert!(plane.generation() > g, "lifecycle bumps");
+        let g = plane.generation();
+        plane.learn.learn(MacAddr::local(9), PortId(1), t(1));
+        assert!(plane.generation() > g, "learn mapping change bumps");
     }
 }

@@ -37,14 +37,14 @@ impl NativeSwitchlet for DumbBridge {
             bc.plane.bind_in(p, NAME);
             bc.plane.bind_out(p, NAME);
         }
-        bc.plane.data_plane = DataPlaneSel::Native(NAME.into());
+        bc.plane.set_data_plane(DataPlaneSel::Native(NAME.into()));
         bc.log("dumb bridge installed: flooding all ports");
     }
 
     fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &DataFrame<'_>) {
         // Even the dumb bridge honors the spanning tree's access points
         // if one happens to be running above it.
-        if !bc.plane.flags[port.0].forward {
+        if !bc.plane.port_flags(port.0).forward {
             bc.plane.stats.blocked += 1;
             return;
         }
@@ -52,7 +52,7 @@ impl NativeSwitchlet for DumbBridge {
         // (bridges must not modify frames, so sharing is always safe).
         let mut sent = false;
         for p in 0..bc.num_ports() {
-            if p != port.0 && bc.plane.flags[p].forward {
+            if p != port.0 && bc.plane.port_flags(p).forward {
                 bc.send_frame(PortId(p), frame.share());
                 sent = true;
             }

@@ -12,10 +12,10 @@
 //! Footnote 3 gives the group-address rules, implemented here and in
 //! [`crate::plane::LearningTable::learn`].
 
-use netsim::{PortId, SimDuration};
+use netsim::{PortId, SimDuration, SimTime};
 
 use crate::bridge::{BridgeCtx, DataFrame, NativeSwitchlet};
-use crate::plane::DataPlaneSel;
+use crate::plane::{DataPlaneSel, Verdict};
 
 /// The switchlet's unit name.
 pub const NAME: &str = "bridge_learning";
@@ -24,6 +24,14 @@ const SWEEP_TOKEN: u32 = 1;
 const SWEEP_EVERY: SimDuration = SimDuration::from_secs(60);
 
 /// The learning switching function.
+///
+/// Since PR 4 the per-flow verdict is memoized in the plane's
+/// [`crate::plane::DecisionCache`]: a repeat unicast `(in-port, src,
+/// dst)` under an unchanged decision generation replays the recorded
+/// verdict — identical sends, identical counters, identical learn-table
+/// refresh — without re-running the lookup pipeline. Any learn-table
+/// mapping change, port-flag write, lifecycle transition or timer fire
+/// bumps the generation and kills every cached verdict (see `plane.rs`).
 #[derive(Default)]
 pub struct LearningBridge {
     /// Frames sent to a single learned port.
@@ -38,7 +46,7 @@ impl LearningBridge {
         // flood path copies nothing.
         let mut sent = false;
         for p in 0..bc.num_ports() {
-            if p != port.0 && bc.plane.flags[p].forward {
+            if p != port.0 && bc.plane.port_flags(p).forward {
                 bc.send_frame(PortId(p), frame.share());
                 sent = true;
             }
@@ -51,6 +59,40 @@ impl LearningBridge {
             bc.plane.stats.blocked += 1;
         }
     }
+
+    /// Replay a cached verdict. Reproduces the slow path bit for bit:
+    /// same learn-table refresh, same sends, same counters — the golden
+    /// trace digests cannot tell a hit from a re-execution.
+    fn replay(
+        &mut self,
+        bc: &mut BridgeCtx<'_, '_>,
+        port: PortId,
+        frame: &DataFrame<'_>,
+        verdict: Verdict,
+        now: SimTime,
+    ) {
+        if verdict == Verdict::Blocked {
+            // The slow path counts and drops before learning.
+            bc.plane.stats.blocked += 1;
+            return;
+        }
+        if bc.plane.port_flags(port.0).learn {
+            // Timestamp refresh (the mapping is unchanged while the
+            // generation holds, so this cannot bump it).
+            bc.plane.learn.learn(frame.src(), port, now);
+        }
+        match verdict {
+            Verdict::Blocked => unreachable!("handled above"),
+            Verdict::Filter => bc.plane.stats.filtered += 1,
+            Verdict::Direct(out) => {
+                bc.send_frame(out, frame.share());
+                self.directed += 1;
+                bc.plane.stats.directed += 1;
+                bc.plane.stats.bytes_forwarded += frame.len() as u64;
+            }
+            Verdict::Flood => self.flood(bc, port, frame),
+        }
+    }
 }
 
 impl NativeSwitchlet for LearningBridge {
@@ -60,22 +102,43 @@ impl NativeSwitchlet for LearningBridge {
 
     fn on_install(&mut self, bc: &mut BridgeCtx<'_, '_>) {
         // Replace the switching function (the dumb bridge's part two).
-        bc.plane.data_plane = DataPlaneSel::Native(NAME.into());
+        bc.plane.set_data_plane(DataPlaneSel::Native(NAME.into()));
         bc.schedule(SWEEP_EVERY, SWEEP_TOKEN);
         bc.log("learning bridge installed: replaced switching function");
     }
 
     fn switch_frame(&mut self, bc: &mut BridgeCtx<'_, '_>, port: PortId, frame: &DataFrame<'_>) {
-        if !bc.plane.flags[port.0].forward {
-            bc.plane.stats.blocked += 1;
-            return;
-        }
         let now = bc.now();
         let src = frame.src();
         let dst = frame.dst();
+
+        // Fast path: repeat unicast flow under an unchanged generation.
+        // (Group destinations always flood and skip the cache — the flood
+        // loop *is* the work, there is nothing to memoize.)
+        let unicast = !dst.is_multicast();
+        if unicast {
+            let gen = bc.plane.generation();
+            if let Some(verdict) = bc.plane.fwd_cache.probe(port, src, dst, gen, now) {
+                bc.plane.stats.cache_hits += 1;
+                self.replay(bc, port, frame, verdict, now);
+                return;
+            }
+        }
+
+        if !bc.plane.port_flags(port.0).forward {
+            bc.plane.stats.blocked += 1;
+            if unicast {
+                let gen = bc.plane.generation();
+                bc.plane.stats.cache_misses += 1;
+                bc.plane
+                    .fwd_cache
+                    .store(port, src, dst, gen, SimTime::MAX, Verdict::Blocked);
+            }
+            return;
+        }
         // Learn (footnote 3: skipped for group sources — enforced by the
         // table — and only on learning-enabled ports).
-        if bc.plane.flags[port.0].learn {
+        if bc.plane.port_flags(port.0).learn {
             bc.plane.learn.learn(src, port, now);
         }
         // Group destinations always flood (footnote 3).
@@ -83,20 +146,45 @@ impl NativeSwitchlet for LearningBridge {
             self.flood(bc, port, frame);
             return;
         }
-        match bc.plane.learn.lookup(dst, now) {
-            Some(out) if out == port => {
-                // Destination is on the arrival segment: filter.
-                bc.plane.stats.filtered += 1;
+        // `Direct`/`Filter` verdicts rest on a live table entry: they are
+        // replayable until the entry's freshness window closes (mapping
+        // changes are caught by the generation instead). `Flood` holds
+        // until some learn-table insertion bumps the generation.
+        let (verdict, valid_until) = match bc.plane.learn.lookup_entry(dst, now) {
+            Some((out, seen)) => {
+                let deadline = seen
+                    .checked_add(bc.plane.learn.age())
+                    .unwrap_or(SimTime::MAX);
+                if out == port {
+                    // Destination is on the arrival segment: filter.
+                    (Verdict::Filter, deadline)
+                } else if bc.plane.port_flags(out.0).forward {
+                    (Verdict::Direct(out), deadline)
+                } else {
+                    // Entry points at a non-forwarding port (stale across
+                    // a topology change): fall back to flooding.
+                    (Verdict::Flood, deadline)
+                }
             }
-            Some(out) if bc.plane.flags[out.0].forward => {
+            None => (Verdict::Flood, SimTime::MAX),
+        };
+        // Record under the post-mutation generation (the learn above may
+        // have inserted a mapping), then apply.
+        let gen = bc.plane.generation();
+        bc.plane.stats.cache_misses += 1;
+        bc.plane
+            .fwd_cache
+            .store(port, src, dst, gen, valid_until, verdict);
+        match verdict {
+            Verdict::Blocked => unreachable!("blocked handled before learning"),
+            Verdict::Filter => bc.plane.stats.filtered += 1,
+            Verdict::Direct(out) => {
                 bc.send_frame(out, frame.share());
                 self.directed += 1;
                 bc.plane.stats.directed += 1;
                 bc.plane.stats.bytes_forwarded += frame.len() as u64;
             }
-            // Entry points at a non-forwarding port (stale across a
-            // topology change): fall back to flooding.
-            Some(_) | None => self.flood(bc, port, frame),
+            Verdict::Flood => self.flood(bc, port, frame),
         }
     }
 

@@ -102,10 +102,13 @@ impl StpSwitchlet {
                     self.emit_config(bc, port, &Bpdu::Config(config));
                 }
                 StpAction::SetPortState { port, state } => {
-                    bc.plane.flags[port] = PortFlags {
-                        forward: state.forwards(),
-                        learn: state.learns(),
-                    };
+                    bc.plane.set_port_flags(
+                        port,
+                        PortFlags {
+                            forward: state.forwards(),
+                            learn: state.learns(),
+                        },
+                    );
                 }
             }
         }

@@ -7,7 +7,6 @@
 // `Self`: hosts take `Vec<App>`, and the wrapper is the only public handle.
 #![allow(clippy::new_ret_no_self)]
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ether::{EtherType, Frame, FrameBuilder, Llc, MacAddr};
@@ -131,6 +130,17 @@ impl App {
         }
     }
 
+    /// Does this app (or its wrapped inner app) observe raw frames?
+    /// Hosts skip the per-frame raw-tap fan-out entirely when no app
+    /// does.
+    pub(crate) fn wants_raw(&self) -> bool {
+        match self {
+            App::Probe(_) => true,
+            App::Delayed(a) => a.inner.wants_raw(),
+            _ => false,
+        }
+    }
+
     pub(crate) fn on_raw(
         &mut self,
         core: &mut HostCore,
@@ -143,6 +153,17 @@ impl App {
             App::Probe(a) => a.on_raw(core, ctx, idx, port, frame),
             App::Delayed(a) => a.inner.on_raw(core, ctx, idx, port, frame),
             _ => {}
+        }
+    }
+
+    /// Does this app (or its wrapped inner app) react to transmit
+    /// completions? Hosts skip the per-frame tx-done fan-out when none
+    /// does.
+    pub(crate) fn wants_tx_done(&self) -> bool {
+        match self {
+            App::TtcpSend(_) => true,
+            App::Delayed(a) => a.inner.wants_tx_done(),
+            _ => false,
         }
     }
 
@@ -174,7 +195,7 @@ pub struct PingApp {
     /// Session identifier.
     pub ident: u16,
     next_seq: u16,
-    sent_at: HashMap<u16, SimTime>,
+    sent_at: netsim::FastMap<u16, SimTime>,
     /// Measured round-trip times.
     pub rtts: Vec<SimDuration>,
     /// Requests sent.
@@ -183,6 +204,12 @@ pub struct PingApp {
     pub received: u32,
     /// When the last reply arrived.
     pub done_at: Option<SimTime>,
+    /// The filler payload, built once.
+    filler: Vec<u8>,
+    /// The filler's checksum contribution, computed once alongside it.
+    filler_sum: netstack::checksum::Checksum,
+    /// Reusable ICMP build buffer.
+    icmp_scratch: Vec<u8>,
 }
 
 impl PingApp {
@@ -203,11 +230,14 @@ impl PingApp {
             interval,
             ident,
             next_seq: 0,
-            sent_at: HashMap::new(),
+            sent_at: netsim::FastMap::default(),
             rtts: Vec::new(),
             sent: 0,
             received: 0,
             done_at: None,
+            filler: Vec::new(),
+            filler_sum: netstack::checksum::Checksum::new(),
+            icmp_scratch: Vec::new(),
         })
     }
 
@@ -225,9 +255,34 @@ impl PingApp {
         self.next_seq += 1;
         self.sent += 1;
         self.sent_at.insert(seq, ctx.now());
-        let payload = vec![0xA5u8; self.payload_len];
-        let icmp = Echo::emit(EchoKind::Request, self.ident, seq, &payload);
-        core.send_ip_fragmenting(ctx, self.port, self.dst, Protocol::ICMP, icmp);
+        // Filler (and its checksum contribution) built once; the ICMP
+        // message is assembled straight into the wire frame buffer when
+        // it fits one MTU (the common case) — no per-request scratch
+        // copies and no per-request payload checksum pass. Oversize pings
+        // take the fragmenting path.
+        if self.filler.len() != self.payload_len {
+            self.filler = vec![0xA5u8; self.payload_len];
+            let mut sum = netstack::checksum::Checksum::new();
+            sum.add(&self.filler);
+            self.filler_sum = sum;
+        }
+        let icmp_len = netstack::icmp::HEADER_LEN + self.payload_len;
+        if netstack::ipv4::HEADER_LEN + icmp_len <= 1500 {
+            let (ident, filler, sum) = (self.ident, &self.filler, self.filler_sum);
+            core.send_ip_built(ctx, self.port, self.dst, Protocol::ICMP, icmp_len, |buf| {
+                Echo::emit_into_presummed(buf, EchoKind::Request, ident, seq, filler, sum);
+            });
+        } else {
+            self.icmp_scratch.clear();
+            Echo::emit_into(
+                &mut self.icmp_scratch,
+                EchoKind::Request,
+                self.ident,
+                seq,
+                &self.filler,
+            );
+            core.send_ip_fragmenting(ctx, self.port, self.dst, Protocol::ICMP, &self.icmp_scratch);
+        }
     }
 
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
@@ -273,6 +328,12 @@ const TTCP_WRITE: u32 = 1;
 const TTCP_RTO: u32 = 2;
 const TTCP_DELACK: u32 = 3;
 
+/// RTO timer tokens carry an epoch in their upper bits (`TTCP_RTO |
+/// epoch << 8`): when a closer deadline supersedes an in-flight timer,
+/// the epoch advances and the stale timer is recognized and dropped on
+/// arrival instead of spawning a duplicate self-renewing chain.
+const TTCP_USER_MASK: u32 = 0xFF;
+
 /// The ttcp transmitter: `total_bytes` in `write_size` chunks over
 /// TcpLite.
 pub struct TtcpSendApp {
@@ -293,6 +354,8 @@ pub struct TtcpSendApp {
     bytes_left: u64,
     write_pending: bool,
     armed_rto: Option<u64>,
+    /// Generation of the live RTO timer (see [`TTCP_USER_MASK`]).
+    rto_epoch: u32,
     /// When the first write happened.
     pub started_at: Option<SimTime>,
     /// When the last byte was acknowledged.
@@ -325,6 +388,7 @@ impl TtcpSendApp {
             bytes_left: total_bytes,
             write_pending: false,
             armed_rto: None,
+            rto_epoch: 0,
             started_at: None,
             done_at: None,
             frames_sent: 0,
@@ -388,17 +452,24 @@ impl TtcpSendApp {
 
     fn pump(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
         let now_ns = ctx.now().as_ns();
-        while let Some(seg) = self.tcp.poll(now_ns) {
-            let wire = Segment {
-                src_port: self.src_port,
-                dst_port: self.dst_port,
-                seq: seg.seq,
-                ack: 0,
-                is_ack: false,
-                payload: &seg.payload,
-            }
-            .emit(core.cfg.ips[self.port.0], self.dst);
-            core.send_ip(ctx, self.port, self.dst, Protocol::TCPLITE, wire);
+        let src_ip = core.cfg.ips[self.port.0];
+        let (dst, src_port, dst_port) = (self.dst, self.src_port, self.dst_port);
+        // Hot loop: the segment decision carries no payload; the header
+        // and pattern bytes are generated straight into the wire frame
+        // buffer — one pass, no intermediate segment vector.
+        while let Some(meta) = self.tcp.poll_meta(now_ns) {
+            core.send_ip_built(
+                ctx,
+                self.port,
+                dst,
+                Protocol::TCPLITE,
+                netstack::tcplite::HEADER_LEN + meta.len,
+                |buf| {
+                    netstack::tcplite::emit_pattern_segment(
+                        buf, src_ip, dst, src_port, dst_port, meta.seq, meta.len,
+                    );
+                },
+            );
             self.frames_sent += 1;
         }
         self.arm_rto(ctx, idx);
@@ -409,19 +480,34 @@ impl TtcpSendApp {
         self.try_write(core, ctx, idx);
     }
 
+    /// Lazy retransmission-timer arming: in the common case (every ACK
+    /// pushes the deadline *out*) the one in-flight timer is left alone
+    /// and simply re-arms itself when it fires early — scheduling a fresh
+    /// timer per ACK would park hundreds of stale events in the
+    /// simulator's queue and deepen every heap operation on the hot path.
+    /// The deadline can also move *earlier* (an ACK after a timeout
+    /// resets the backed-off RTO to its initial value), in which case a
+    /// closer timer is scheduled so recovery never waits out a stale
+    /// backed-off deadline; the superseded timer fires later as a cheap
+    /// no-op.
     fn arm_rto(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         if let Some(deadline) = self.tcp.next_timeout() {
-            if self.armed_rto != Some(deadline) {
+            let need = match self.armed_rto {
+                None => true,
+                Some(armed) => deadline < armed,
+            };
+            if need {
                 self.armed_rto = Some(deadline);
+                self.rto_epoch = self.rto_epoch.wrapping_add(1) & 0x00FF_FFFF;
                 let now = ctx.now().as_ns();
                 let delay = SimDuration::from_ns(deadline.saturating_sub(now).max(1));
-                ctx.schedule(delay, app_token(idx, TTCP_RTO));
+                ctx.schedule(delay, app_token(idx, TTCP_RTO | (self.rto_epoch << 8)));
             }
         }
     }
 
     fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
-        match user {
+        match user & TTCP_USER_MASK {
             TTCP_WRITE => {
                 // The write-syscall cost was charged by the schedule delay.
                 self.write_pending = false;
@@ -433,14 +519,23 @@ impl TtcpSendApp {
                 self.try_write(core, ctx, idx);
             }
             TTCP_RTO => {
+                if (user >> 8) != self.rto_epoch {
+                    // A superseded timer (a closer deadline was armed
+                    // after it): ignore; the live timer carries the
+                    // current epoch.
+                    return;
+                }
+                // The live timer just fired; whatever happens next needs
+                // a fresh arm (pump ends with arm_rto).
+                self.armed_rto = None;
                 let now_ns = ctx.now().as_ns();
                 if let Some(deadline) = self.tcp.next_timeout() {
                     if deadline <= now_ns {
                         self.tcp.on_timeout(now_ns);
-                        self.armed_rto = None;
                         self.pump(core, ctx, idx);
                     } else {
-                        self.armed_rto = None;
+                        // Deadline moved while the timer was in flight
+                        // (ACKs arrived): re-arm at the current deadline.
                         self.arm_rto(ctx, idx);
                     }
                 }
@@ -522,16 +617,26 @@ impl TtcpRecvApp {
         let Some((peer_ip, peer_port, port)) = self.peer else {
             return;
         };
-        let wire = Segment {
-            src_port: self.port_num,
-            dst_port: peer_port,
-            seq: 0,
-            ack,
-            is_ack: true,
-            payload: &[],
-        }
-        .emit(core.cfg.ips[port.0], peer_ip);
-        core.send_ip(ctx, port, peer_ip, Protocol::TCPLITE, wire);
+        let src_ip = core.cfg.ips[port.0];
+        let port_num = self.port_num;
+        core.send_ip_built(
+            ctx,
+            port,
+            peer_ip,
+            Protocol::TCPLITE,
+            netstack::tcplite::HEADER_LEN,
+            |buf| {
+                Segment {
+                    src_port: port_num,
+                    dst_port: peer_port,
+                    seq: 0,
+                    ack,
+                    is_ack: true,
+                    payload: &[],
+                }
+                .emit_into(buf, src_ip, peer_ip);
+            },
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -647,7 +752,7 @@ impl UploadApp {
             crate::TFTP_PORT,
             payload,
         );
-        core.send_ip(ctx, self.port, self.dst, Protocol::UDP, wire);
+        core.send_ip(ctx, self.port, self.dst, Protocol::UDP, &wire);
         self.last_tx = ctx.now();
     }
 

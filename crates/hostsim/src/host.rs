@@ -59,13 +59,15 @@ pub struct HostCore {
     pub name: String,
     /// Configuration.
     pub cfg: HostConfig,
-    arp: HashMap<Ipv4Addr, MacAddr>,
+    arp: netsim::FastMap<Ipv4Addr, MacAddr>,
     #[allow(clippy::type_complexity)]
     arp_waiting: HashMap<Ipv4Addr, Vec<(PortId, Protocol, Vec<u8>, bool)>>,
     rx_q: ServiceQueue<(PortId, FrameBuf)>,
     tx_q: ServiceQueue<(PortId, FrameBuf)>,
     reasm: netstack::ipv4::Reassembler,
     ip_ident: u16,
+    /// Reusable transport-layer build buffer (echo replies).
+    scratch: Vec<u8>,
     /// Echo requests answered.
     pub echo_replies_sent: u64,
     /// Frames accepted off the wire.
@@ -108,7 +110,7 @@ impl HostCore {
         port: PortId,
         dst_ip: Ipv4Addr,
         proto: Protocol,
-        payload: Vec<u8>,
+        payload: &[u8],
     ) {
         self.send_ip_inner(ctx, port, dst_ip, proto, payload, false);
     }
@@ -121,9 +123,89 @@ impl HostCore {
         port: PortId,
         dst_ip: Ipv4Addr,
         proto: Protocol,
-        payload: Vec<u8>,
+        payload: &[u8],
     ) {
         self.send_ip_inner(ctx, port, dst_ip, proto, payload, true);
+    }
+
+    /// Send an IP datagram whose transport payload is written by `build`
+    /// *directly into the frame buffer* — Ethernet header, IP header and
+    /// payload compose in one pass with zero intermediate copies (the
+    /// per-frame hot path: ttcp segments, ACKs, echo traffic).
+    ///
+    /// `build` must append exactly `payload_len` bytes (debug-asserted);
+    /// the payload must fit one MTU (oversize is counted and dropped,
+    /// like [`HostCore::send_ip`]). When the destination MAC is not yet
+    /// resolved, the payload is materialized once and parked behind the
+    /// ARP exchange.
+    pub fn send_ip_built(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload_len: usize,
+        build: impl FnOnce(&mut Vec<u8>),
+    ) {
+        let Some(&dst_mac) = self.arp.get(&dst_ip) else {
+            // Unresolved: build into a parked buffer (cold path).
+            let mut payload = Vec::with_capacity(payload_len);
+            build(&mut payload);
+            debug_assert_eq!(payload.len(), payload_len, "build wrote a different length");
+            self.send_ip_inner(ctx, port, dst_ip, proto, &payload, false);
+            return;
+        };
+        if netstack::ipv4::HEADER_LEN + payload_len > 1500 {
+            ctx.bump("host.oversize_drops", 1);
+            return;
+        }
+        self.compose_and_send(ctx, port, dst_mac, dst_ip, proto, payload_len, build);
+    }
+
+    /// The shared one-pass frame composer behind [`HostCore::send_ip`]
+    /// and [`HostCore::send_ip_built`]: Ethernet header + IP header into a
+    /// pooled buffer, `build` appends exactly `payload_len` transport
+    /// bytes behind them, pad to the Ethernet minimum, transmit. The
+    /// caller has resolved the MAC and bounded the payload to one MTU.
+    #[allow(clippy::too_many_arguments)]
+    fn compose_and_send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        proto: Protocol,
+        payload_len: usize,
+        build: impl FnOnce(&mut Vec<u8>),
+    ) {
+        let src_ip = self.cfg.ips[port.0];
+        let src_mac = self.cfg.macs[port.0];
+        let ident = self.ip_ident;
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        let total = ether::HEADER_LEN + netstack::ipv4::HEADER_LEN + payload_len;
+        let mut buf = ctx.take_buf(total.max(ether::MIN_FRAME));
+        let mut eth = [0u8; ether::HEADER_LEN];
+        eth[0..6].copy_from_slice(&dst_mac.octets());
+        eth[6..12].copy_from_slice(&src_mac.octets());
+        eth[12..14].copy_from_slice(&EtherType::IPV4.0.to_be_bytes());
+        buf.extend_from_slice(&eth);
+        netstack::ipv4::emit_header_append(
+            &mut buf,
+            src_ip,
+            dst_ip,
+            proto,
+            ident,
+            64,
+            payload_len,
+            false,
+            0,
+        );
+        build(&mut buf);
+        debug_assert_eq!(buf.len(), total, "build wrote a different length");
+        if buf.len() < ether::MIN_FRAME {
+            buf.resize(ether::MIN_FRAME, 0); // Ethernet minimum padding
+        }
+        self.send_raw(ctx, port, FrameBuf::from(buf));
     }
 
     fn send_ip_inner(
@@ -132,15 +214,19 @@ impl HostCore {
         port: PortId,
         dst_ip: Ipv4Addr,
         proto: Protocol,
-        payload: Vec<u8>,
+        payload: &[u8],
         fragment: bool,
     ) {
         let Some(&dst_mac) = self.arp.get(&dst_ip) else {
-            // ARP: broadcast a who-has, park the packet.
-            self.arp_waiting
-                .entry(dst_ip)
-                .or_default()
-                .push((port, proto, payload, fragment));
+            // ARP: broadcast a who-has, park the packet (the one place a
+            // payload is copied to the heap — once per unresolved peer,
+            // not per frame).
+            self.arp_waiting.entry(dst_ip).or_default().push((
+                port,
+                proto,
+                payload.to_vec(),
+                fragment,
+            ));
             let req = ArpPacket::request(self.cfg.macs[port.0], self.cfg.ips[port.0], dst_ip);
             let frame =
                 FrameBuilder::new(MacAddr::BROADCAST, self.cfg.macs[port.0], EtherType::ARP)
@@ -149,7 +235,7 @@ impl HostCore {
             self.send_raw(ctx, port, frame);
             return;
         };
-        self.emit_ip(ctx, port, dst_mac, dst_ip, proto, &payload, fragment);
+        self.emit_ip(ctx, port, dst_mac, dst_ip, proto, payload, fragment);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -163,26 +249,37 @@ impl HostCore {
         payload: &[u8],
         fragment: bool,
     ) {
-        let src_ip = self.cfg.ips[port.0];
-        let ident = self.ip_ident;
-        self.ip_ident = self.ip_ident.wrapping_add(1);
-        let packets = if fragment {
-            netstack::ipv4::emit_fragments(src_ip, dst_ip, proto, ident, 64, payload, 1500)
-        } else {
-            match netstack::ipv4::emit(src_ip, dst_ip, proto, ident, 64, payload, 1500) {
-                Ok(p) => vec![p],
-                Err(_) => {
-                    ctx.bump("host.oversize_drops", 1);
-                    return;
-                }
+        if netstack::ipv4::HEADER_LEN + payload.len() > 1500 {
+            if !fragment {
+                // The ident is consumed even on a refused datagram (as the
+                // pre-refactor path did, where it was drawn before the
+                // size check).
+                self.ip_ident = self.ip_ident.wrapping_add(1);
+                ctx.bump("host.oversize_drops", 1);
+                return;
             }
-        };
-        for ip in packets {
-            let frame = FrameBuilder::new(dst_mac, self.cfg.macs[port.0], EtherType::IPV4)
-                .payload(&ip)
-                .build();
-            self.send_raw(ctx, port, frame);
+            // Oversize: the (cold) fragmentation path keeps the layered
+            // builders.
+            let src_ip = self.cfg.ips[port.0];
+            let src_mac = self.cfg.macs[port.0];
+            let ident = self.ip_ident;
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            let packets =
+                netstack::ipv4::emit_fragments(src_ip, dst_ip, proto, ident, 64, payload, 1500);
+            for ip in packets {
+                let frame = FrameBuilder::new(dst_mac, src_mac, EtherType::IPV4)
+                    .payload(&ip)
+                    .build();
+                self.send_raw(ctx, port, frame);
+            }
+            return;
         }
+        // Hot path: one-pass composition into a pooled buffer — one
+        // payload copy, no intermediate datagram vector, and in steady
+        // state no allocation at all.
+        self.compose_and_send(ctx, port, dst_mac, dst_ip, proto, payload.len(), |buf| {
+            buf.extend_from_slice(payload)
+        });
     }
 
     /// Look up a resolved MAC (tests).
@@ -196,27 +293,37 @@ pub struct HostNode {
     /// The stack.
     pub core: HostCore,
     apps: Vec<Option<App>>,
+    /// True when some app observes raw frames (the per-frame raw-tap
+    /// fan-out is skipped entirely otherwise).
+    has_raw_tap: bool,
+    /// True when some app reacts to transmit completions.
+    has_tx_done: bool,
 }
 
 impl HostNode {
     /// Build a host with the given applications.
     pub fn new(name: impl Into<String>, cfg: HostConfig, apps: Vec<App>) -> HostNode {
+        let has_raw_tap = apps.iter().any(|a| a.wants_raw());
+        let has_tx_done = apps.iter().any(|a| a.wants_tx_done());
         HostNode {
             core: HostCore {
                 name: name.into(),
                 cfg,
-                arp: HashMap::new(),
+                arp: netsim::FastMap::default(),
                 arp_waiting: HashMap::new(),
                 rx_q: ServiceQueue::new(256),
                 tx_q: ServiceQueue::new(256),
                 reasm: netstack::ipv4::Reassembler::new(),
                 ip_ident: 1,
+                scratch: Vec::new(),
                 echo_replies_sent: 0,
                 frames_rx: 0,
                 exp_frames_rx: 0,
                 exp_bytes_rx: 0,
             },
             apps: apps.into_iter().map(Some).collect(),
+            has_raw_tap,
+            has_tx_done,
         }
     }
 
@@ -249,7 +356,14 @@ impl HostNode {
     }
 
     fn process_rx(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: FrameBuf) {
-        let Ok(parsed) = Frame::parse(&frame) else {
+        self.process_rx_view(ctx, port, &frame);
+        // The frame ends its life here on most hosts; hand the buffer
+        // back to the world's pool when this was the last reference.
+        ctx.recycle_frame(frame);
+    }
+
+    fn process_rx_view(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &FrameBuf) {
+        let Ok(parsed) = Frame::parse(frame) else {
             return;
         };
         let my_mac = self.core.cfg.macs[port.0];
@@ -260,10 +374,13 @@ impl HostNode {
         }
         self.core.frames_rx += 1;
 
-        // Raw tap for every accepted frame (the probe app).
-        self.for_each_app(ctx, |app, core, ctx, idx| {
-            app.on_raw(core, ctx, idx, port, &parsed)
-        });
+        // Raw tap for every accepted frame (the probe app); skipped
+        // outright on hosts where no app reads raw frames.
+        if self.has_raw_tap {
+            self.for_each_app(ctx, |app, core, ctx, idx| {
+                app.on_raw(core, ctx, idx, port, &parsed)
+            });
+        }
 
         if !mine {
             return;
@@ -337,9 +454,43 @@ impl HostNode {
                 if let Ok(echo) = Echo::parse(payload) {
                     match echo.kind {
                         EchoKind::Request => {
-                            let reply = echo.reply();
-                            self.core
-                                .send_ip_fragmenting(ctx, port, src, Protocol::ICMP, reply);
+                            let reply_len = payload.len();
+                            if netstack::ipv4::HEADER_LEN + reply_len <= 1500 {
+                                // Common case: the reply is the verified
+                                // request memcpy'd into the wire frame
+                                // with two fields patched (O(1) checksum
+                                // derivation) — no per-reply checksum
+                                // pass.
+                                self.core.send_ip_built(
+                                    ctx,
+                                    port,
+                                    src,
+                                    Protocol::ICMP,
+                                    reply_len,
+                                    |buf| {
+                                        Echo::reply_from_verified(buf, payload);
+                                    },
+                                );
+                            } else {
+                                // Oversize echo: build once, fragment.
+                                let mut reply = std::mem::take(&mut self.core.scratch);
+                                reply.clear();
+                                Echo::emit_into(
+                                    &mut reply,
+                                    EchoKind::Reply,
+                                    echo.ident,
+                                    echo.seq,
+                                    echo.payload,
+                                );
+                                self.core.send_ip_fragmenting(
+                                    ctx,
+                                    port,
+                                    src,
+                                    Protocol::ICMP,
+                                    &reply,
+                                );
+                                self.core.scratch = reply;
+                            }
                             self.core.echo_replies_sent += 1;
                         }
                         EchoKind::Reply => {
@@ -418,8 +569,10 @@ impl Node for HostNode {
                 }
                 ctx.send(port, frame);
                 // Transmission completed: apps may have more to send
-                // (write pacing).
-                self.for_each_app(ctx, |app, core, ctx, idx| app.on_tx_done(core, ctx, idx));
+                // (write pacing). Skipped when no app paces on tx.
+                if self.has_tx_done {
+                    self.for_each_app(ctx, |app, core, ctx, idx| app.on_tx_done(core, ctx, idx));
+                }
             }
             KIND_APP => {
                 let app_idx = ((token.0 >> 32) & 0xFF_FFFF) as usize;

@@ -42,13 +42,11 @@ pub(crate) enum EventKind {
     /// the first `n_att` attachments except the sender, in attachment
     /// order, all sharing one [`FrameBuf`]. (`n_att` is captured when the
     /// frame finishes serializing so listeners attached afterwards do not
-    /// hear a frame from before their time.)
-    DeliverAll {
-        seg: SegId,
-        src: (NodeId, PortId),
-        n_att: u32,
-        frame: FrameBuf,
-    },
+    /// hear a frame from before their time.) Boxed: this variant only
+    /// occurs on fault-injecting or capturing segments (transparent ones
+    /// take the fused [`EventKind::SegDeliver`] path), and keeping it fat
+    /// would double the slab traffic of *every* queued event.
+    DeliverAll(Box<DeliverAll>),
     /// Fire a node timer (unless cancelled).
     Timer {
         node: NodeId,
@@ -57,6 +55,25 @@ pub(crate) enum EventKind {
     },
     /// A segment finished serializing the frame at the head of its queue.
     SegTxDone { seg: SegId },
+    /// Fused completion + delivery for a segment that was transparent
+    /// (no fault injection) and uncaptured when the frame started
+    /// serializing: fires at completion + propagation, does the
+    /// completion bookkeeping and delivers in one event — half the event
+    /// traffic of the `SegTxDone`→`DeliverAll` pair on the common path.
+    /// `n_att` snapshots the listener count when serialization begins,
+    /// so nodes attached while the frame is on the wire never hear it
+    /// (the two-event path snapshots at completion; both bound the
+    /// audience to nodes attached before delivery).
+    SegDeliver { seg: SegId, n_att: u32 },
+}
+
+/// Payload of [`EventKind::DeliverAll`].
+#[derive(Debug)]
+pub(crate) struct DeliverAll {
+    pub seg: SegId,
+    pub src: (NodeId, PortId),
+    pub n_att: u32,
+    pub frame: FrameBuf,
 }
 
 #[derive(Debug)]
@@ -83,10 +100,40 @@ impl Ord for Event {
     }
 }
 
+/// A heap entry: the ordering key plus the slab slot holding the event's
+/// payload. 24 bytes, so heap sift-up/down moves a quarter of what moving
+/// whole [`Event`]s (with their embedded [`EventKind`]) used to — the
+/// heap is the hottest data structure in the simulator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
 /// Min-queue of events ordered by `(time, seq)`.
+///
+/// Future events live as 24-byte keys in a binary heap; their payloads
+/// sit in a free-listed slab the keys index. Same-instant events take the
+/// FIFO now-lane and never touch either.
 #[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<Event>>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    /// Payload slab, indexed by [`HeapKey::slot`].
+    slots: Vec<Option<EventKind>>,
+    /// Free slab slots.
+    free: Vec<u32>,
     /// FIFO of events scheduled at exactly [`EventQueue::now`].
     now_lane: VecDeque<Event>,
     /// The time of the last popped event (the simulation's current time
@@ -106,6 +153,7 @@ impl EventQueue {
     pub fn reserve(&mut self, events: usize) {
         let want = events.saturating_sub(self.heap.len());
         self.heap.reserve(want);
+        self.slots.reserve(want);
         let lane_want = events.min(1024).saturating_sub(self.now_lane.len());
         self.now_lane.reserve(lane_want);
     }
@@ -114,11 +162,20 @@ impl EventQueue {
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let event = Event { at, seq, kind };
         if at == self.now {
-            self.now_lane.push_back(event);
+            self.now_lane.push_back(Event { at, seq, kind });
         } else {
-            self.heap.push(Reverse(event));
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slots[s as usize] = Some(kind);
+                    s
+                }
+                None => {
+                    self.slots.push(Some(kind));
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            self.heap.push(Reverse(HeapKey { at, seq, slot }));
         }
     }
 
@@ -134,15 +191,43 @@ impl EventQueue {
 
     /// Remove and return the next event (the `(time, seq)` minimum).
     pub fn pop(&mut self) -> Option<Event> {
+        self.pop_at_or_before(SimTime::MAX)
+    }
+
+    /// Remove and return the next event if its time is `<= bound` — the
+    /// fused peek-and-pop the run loop uses (one head comparison instead
+    /// of two per event).
+    pub fn pop_at_or_before(&mut self, bound: SimTime) -> Option<Event> {
         let take_lane = match (self.now_lane.front(), self.heap.peek()) {
             (Some(l), Some(Reverse(h))) => (l.at, l.seq) < (h.at, h.seq),
             (Some(_), None) => true,
             (None, _) => false,
         };
         let event = if take_lane {
+            if self.now_lane.front().map(|e| e.at > bound).unwrap_or(true) {
+                return None;
+            }
             self.now_lane.pop_front()
         } else {
-            self.heap.pop().map(|Reverse(e)| e)
+            if self
+                .heap
+                .peek()
+                .map(|Reverse(h)| h.at > bound)
+                .unwrap_or(true)
+            {
+                return None;
+            }
+            self.heap.pop().map(|Reverse(key)| {
+                let kind = self.slots[key.slot as usize]
+                    .take()
+                    .expect("heap key points at an empty slab slot");
+                self.free.push(key.slot);
+                Event {
+                    at: key.at,
+                    seq: key.seq,
+                    kind,
+                }
+            })
         }?;
         debug_assert!(
             self.now_lane.is_empty() || event.at == self.now,

@@ -75,6 +75,18 @@ impl FrameBuf {
         self.0
     }
 
+    /// Reclaim the backing buffer without copying, if this is the last
+    /// reference to the whole storage — the buffer-recycling hook: a
+    /// frame that just died hands its allocation back to a pool instead
+    /// of the allocator. Returns `self` unchanged otherwise (cheap: one
+    /// refcount check).
+    pub fn try_into_vec(self) -> Result<Vec<u8>, FrameBuf> {
+        match self.0.try_into_mut() {
+            Ok(m) => Ok(Vec::from(m)),
+            Err(b) => Err(FrameBuf(b)),
+        }
+    }
+
     /// Copy-on-write mutation: clones the contents into a private buffer,
     /// lets `f` edit them, and replaces `self` with the edited copy.
     /// Other holders of the original buffer are unaffected. **This is the

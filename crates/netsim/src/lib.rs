@@ -57,6 +57,7 @@
 
 pub mod cost;
 mod event;
+pub mod fasthash;
 pub mod fault;
 pub mod framebuf;
 pub mod node;
@@ -68,6 +69,7 @@ pub mod trace;
 mod world;
 
 pub use cost::CostModel;
+pub use fasthash::{FastMap, FastSet, FxBuildHasher};
 pub use fault::FaultConfig;
 pub use framebuf::FrameBuf;
 pub use node::{Node, NodeId, PortId, TimerHandle, TimerToken};

@@ -114,6 +114,12 @@ pub struct CapturedFrame {
 pub(crate) struct PendingTx {
     pub src: (NodeId, PortId),
     pub frame: FrameBuf,
+    /// When the frame was offered to the medium. On the fused delivery
+    /// path a queued frame may have been offered *after* its
+    /// predecessor's completion (during the propagation window, while
+    /// the completion event was still in flight); its serialization then
+    /// starts at the offer instant, not the predecessor's completion.
+    pub offered_at: SimTime,
 }
 
 /// One LAN segment: attachments plus the in-flight transmit state.
@@ -127,6 +133,10 @@ pub struct Segment {
     pub(crate) queue: VecDeque<PendingTx>,
     pub(crate) counters: SegCounters,
     pub(crate) captured: Vec<CapturedFrame>,
+    /// Memoized `(len, serialization_time)` of the last frame: wire
+    /// traffic is dominated by a couple of frame sizes, so this skips the
+    /// 64-bit division on nearly every transmission.
+    ser_memo: core::cell::Cell<(usize, SimDuration)>,
 }
 
 impl Segment {
@@ -138,12 +148,19 @@ impl Segment {
             queue: VecDeque::new(),
             counters: SegCounters::default(),
             captured: Vec::new(),
+            ser_memo: core::cell::Cell::new((usize::MAX, SimDuration::ZERO)),
         }
     }
 
     /// Time for `len` payload octets plus per-frame overhead on this medium.
     pub(crate) fn serialization_time(&self, len: usize) -> SimDuration {
-        SimDuration::serialization(len + self.cfg.overhead_bytes, self.cfg.bandwidth_bps)
+        let (memo_len, memo_t) = self.ser_memo.get();
+        if memo_len == len {
+            return memo_t;
+        }
+        let t = SimDuration::serialization(len + self.cfg.overhead_bytes, self.cfg.bandwidth_bps);
+        self.ser_memo.set((len, t));
+        t
     }
 
     /// Offer a frame for transmission. Returns `true` if it was accepted
@@ -211,6 +228,7 @@ mod tests {
         PendingTx {
             src: (NodeId(n), PortId(0)),
             frame: FrameBuf::from(vec![0u8; 10]),
+            offered_at: SimTime::ZERO,
         }
     }
 

@@ -39,7 +39,17 @@ pub struct WorldCore {
     /// Reusable listener scratch for `deliver_all` (kept across events so
     /// the delivery path never allocates).
     deliver_scratch: Vec<(NodeId, PortId)>,
+    /// Recycled frame backing buffers: builders take from here
+    /// ([`Ctx::take_buf`]) and dead frames return here
+    /// ([`Ctx::recycle_frame`]), so steady-state traffic reuses a small
+    /// working set of allocations instead of hitting the allocator per
+    /// frame.
+    frame_pool: Vec<Vec<u8>>,
 }
+
+/// Upper bound on pooled buffers (a few per node is plenty; beyond that
+/// the pool would just pin memory).
+const FRAME_POOL_CAP: usize = 64;
 
 impl WorldCore {
     /// The current simulated time.
@@ -62,14 +72,64 @@ impl WorldCore {
         &mut self.counters
     }
 
+    /// Take a cleared buffer of at least `cap` capacity from the frame
+    /// pool (or a fresh one).
+    fn take_buf(&mut self, cap: usize) -> Vec<u8> {
+        // Scan a few recent entries for one big enough; the pool turns
+        // over the same frame-sized buffers in steady state.
+        let n = self.frame_pool.len();
+        for i in (n.saturating_sub(4)..n).rev() {
+            if self.frame_pool[i].capacity() >= cap {
+                return self.frame_pool.swap_remove(i);
+            }
+        }
+        Vec::with_capacity(cap)
+    }
+
+    /// Return a dead frame's backing buffer to the pool (no-op when the
+    /// storage is still shared or the pool is full).
+    fn recycle_frame(&mut self, frame: FrameBuf) {
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            if let Ok(mut v) = frame.try_into_vec() {
+                v.clear();
+                self.frame_pool.push(v);
+            }
+        }
+    }
+
     fn send_on_segment(&mut self, seg_id: SegId, src: (NodeId, PortId), frame: FrameBuf) {
         self.frames_sent += 1;
         let seg = &mut self.segments[seg_id.0];
         let ser = seg.serialization_time(frame.len());
-        let (accepted, started) = seg.offer(PendingTx { src, frame });
+        let (accepted, started) = seg.offer(PendingTx {
+            src,
+            frame,
+            offered_at: self.time,
+        });
         if accepted && started {
+            self.schedule_completion(seg_id, self.time + ser);
+        }
+    }
+
+    /// Schedule the completion of the transmission now starting on
+    /// `seg_id`, finishing at `done_at`. Transparent, uncaptured segments
+    /// take the fused completion+delivery event (fires at
+    /// `done_at + propagation`, one event per wire frame); segments with
+    /// fault injection or capture keep the two-event path, whose event
+    /// times anchor the RNG draw order and capture timestamps.
+    fn schedule_completion(&mut self, seg_id: SegId, done_at: SimTime) {
+        let seg = &self.segments[seg_id.0];
+        if seg.cfg.fault.is_transparent() && !seg.cfg.capture {
+            self.queue.push(
+                done_at + seg.cfg.propagation,
+                EventKind::SegDeliver {
+                    seg: seg_id,
+                    n_att: seg.attachments.len() as u32,
+                },
+            );
+        } else {
             self.queue
-                .push(self.time + ser, EventKind::SegTxDone { seg: seg_id });
+                .push(done_at, EventKind::SegTxDone { seg: seg_id });
         }
     }
 }
@@ -155,6 +215,21 @@ impl<'w> Ctx<'w> {
         self.core.counters.bump(key, n);
     }
 
+    /// Take a cleared byte buffer of at least `cap` capacity from the
+    /// world's frame pool — the allocation-free way to start building a
+    /// frame. Pair with [`Ctx::recycle_frame`].
+    pub fn take_buf(&mut self, cap: usize) -> Vec<u8> {
+        self.core.take_buf(cap)
+    }
+
+    /// Hand a finished-with frame back to the world's frame pool. Only
+    /// reclaims storage the caller exclusively owns (one cheap refcount
+    /// check otherwise), so it is always safe to call on the last handle
+    /// a node holds.
+    pub fn recycle_frame(&mut self, frame: FrameBuf) {
+        self.core.recycle_frame(frame);
+    }
+
     /// Read an experiment counter.
     pub fn counter(&self, key: &str) -> u64 {
         self.core.counters.get(key)
@@ -236,6 +311,7 @@ impl World {
                 frames_sent: 0,
                 frames_delivered: 0,
                 deliver_scratch: Vec::new(),
+                frame_pool: Vec::new(),
             },
             nodes: Vec::new(),
             started: 0,
@@ -293,18 +369,29 @@ impl World {
         let Some(Event { at, kind, .. }) = self.core.queue.pop() else {
             return false;
         };
+        self.dispatch(at, kind);
+        true
+    }
+
+    /// Process one event if it is due at or before `bound` (fused
+    /// peek-and-pop: the run loop's hot path compares the queue heads
+    /// once per event instead of twice).
+    fn step_at_or_before(&mut self, bound: SimTime) -> bool {
+        let Some(Event { at, kind, .. }) = self.core.queue.pop_at_or_before(bound) else {
+            return false;
+        };
+        self.dispatch(at, kind);
+        true
+    }
+
+    fn dispatch(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.core.time, "event queue went backwards");
         self.core.time = at;
         match kind {
             EventKind::Start(node) => {
                 self.with_node(node, |n, ctx| n.on_start(ctx));
             }
-            EventKind::DeliverAll {
-                seg,
-                src,
-                n_att,
-                frame,
-            } => self.deliver_all(seg, src, n_att as usize, frame),
+            EventKind::DeliverAll(d) => self.deliver_all(d.seg, d.src, d.n_att as usize, d.frame),
             EventKind::Timer { node, token, id } => {
                 self.core.live_timers -= 1;
                 // Cancellations are rare; skip the hash lookup entirely
@@ -317,8 +404,8 @@ impl World {
                 }
             }
             EventKind::SegTxDone { seg } => self.seg_tx_done(seg),
+            EventKind::SegDeliver { seg, n_att } => self.seg_deliver(seg, n_att as usize),
         }
-        true
     }
 
     /// A segment finished serializing a frame: start the next queued
@@ -345,8 +432,7 @@ impl World {
                 .frame
                 .len();
             let ser = seg.serialization_time(next_len);
-            core.queue
-                .push(now + ser, EventKind::SegTxDone { seg: seg_id });
+            core.schedule_completion(seg_id, now + ser);
         }
         // Fault injection on the completed frame, drawn from the world
         // RNG; applied by reference, no per-frame clone of the config.
@@ -382,13 +468,88 @@ impl World {
         for _ in 0..copies {
             core.queue.push(
                 now + prop,
-                EventKind::DeliverAll {
+                EventKind::DeliverAll(Box::new(crate::event::DeliverAll {
                     seg: seg_id,
                     src: done.src,
                     n_att: n_att as u32,
                     frame: frame.clone(),
-                },
+                })),
             );
+        }
+    }
+
+    /// Fused completion + delivery for a frame whose segment was
+    /// transparent and uncaptured when it started serializing. Fires at
+    /// completion + propagation; the completion bookkeeping (counters,
+    /// starting the next queued transmission) is timing-equivalent to the
+    /// two-event path: the next frame's serialization starts at the later
+    /// of the *completion* instant (`now − propagation`) and its own
+    /// offer time (a frame offered while the completed frame's delivery
+    /// was still propagating found a free medium). The fault
+    /// configuration is re-checked here so an injection enabled while the
+    /// frame was in flight is still applied. One diagnostic-only
+    /// divergence remains: such propagation-window offers count as
+    /// `contended` (they pass through the queue for one event) where the
+    /// two-event path would not have counted them — delivery timing and
+    /// ordering are unaffected.
+    fn seg_deliver(&mut self, seg_id: SegId, n_att: usize) {
+        let now = self.core.time;
+        let done;
+        let mut next_done: Option<SimTime> = None;
+        {
+            let seg = &mut self.core.segments[seg_id.0];
+            let prop = seg.cfg.propagation;
+            let (d, started_next) = seg.complete();
+            seg.counters.tx_frames += 1;
+            seg.counters.tx_bytes += d.frame.len() as u64;
+            done = d;
+            if started_next {
+                let next = seg
+                    .current
+                    .as_ref()
+                    .expect("started_next implies a current frame");
+                let ser = seg.serialization_time(next.frame.len());
+                // The next frame starts serializing when the medium frees
+                // (the completion instant, one propagation delay ago) or
+                // when it was offered — whichever is later: a frame
+                // offered during the propagation window found a free
+                // medium and starts at its own offer time, exactly as it
+                // would have on the two-event path.
+                let completion = SimTime::from_ns(now.as_ns() - prop.as_ns());
+                let start = completion.max(next.offered_at);
+                next_done = Some(start + ser);
+            }
+        }
+        if let Some(done_at) = next_done {
+            self.core.schedule_completion(seg_id, done_at);
+        }
+        let core = &mut self.core;
+        let seg = &mut core.segments[seg_id.0];
+        let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
+        if corrupted {
+            seg.counters.corrupted += 1;
+        }
+        let (frame, copies) = match outcome {
+            FaultOutcome::Deliver(f) => (f, 1u64),
+            FaultOutcome::Duplicate(f) => {
+                seg.counters.fault_duplicates += 1;
+                (f, 2)
+            }
+            FaultOutcome::Drop => {
+                seg.counters.fault_drops += 1;
+                return;
+            }
+        };
+        seg.counters.deliveries += copies * (n_att as u64 - 1);
+        let src = done.src;
+        let mut frame = Some(frame);
+        for i in 0..copies {
+            let f = if i + 1 == copies {
+                frame.take().expect("one handle per copy")
+            } else {
+                frame.clone().expect("one handle per copy")
+            };
+            self.deliver_all(seg_id, src, n_att, f);
         }
     }
 
@@ -399,17 +560,44 @@ impl World {
     /// nothing and the per-listener loop does not re-index the segment
     /// table while nodes are borrowed.
     fn deliver_all(&mut self, seg: SegId, src: (NodeId, PortId), n_att: usize, frame: FrameBuf) {
+        // Point-to-point fast path: two attachments (the dominant shape on
+        // line topologies) need no listener staging at all.
+        if n_att == 2 {
+            let atts = &self.core.segments[seg.0].attachments;
+            let (a, b) = (atts[0], atts[1]);
+            if a == src || b == src {
+                let target = if a == src { b } else { a };
+                self.core.frames_delivered += 1;
+                self.with_node(target.0, |n, ctx| n.on_frame(ctx, target.1, frame));
+                return;
+            }
+            // src not among the attachments (cannot happen with the
+            // attach-only topology API): take the general path.
+        }
         let mut listeners = std::mem::take(&mut self.core.deliver_scratch);
         listeners.clear();
         listeners.extend_from_slice(&self.core.segments[seg.0].attachments[..n_att]);
         let src_idx = listeners.iter().position(|&a| a == src);
+        // The *last* listener receives the event's own handle (moved, not
+        // cloned): on single-listener segments the receiving node ends up
+        // holding the only reference, so it can recycle the buffer.
+        let last = (0..listeners.len()).rev().find(|&i| Some(i) != src_idx);
+        let mut frame = Some(frame);
         for (i, &(node, port)) in listeners.iter().enumerate() {
             if Some(i) == src_idx {
                 continue;
             }
             self.core.frames_delivered += 1;
-            let f = frame.clone();
+            let f = if Some(i) == last {
+                frame.take().expect("last listener visited once")
+            } else {
+                frame.clone().expect("frame present until last listener")
+            };
             self.with_node(node, |n, ctx| n.on_frame(ctx, port, f));
+        }
+        // No listeners at all: the wire frame dies here — reclaim it.
+        if let Some(f) = frame {
+            self.core.recycle_frame(f);
         }
         self.core.deliver_scratch = listeners;
     }
@@ -434,12 +622,7 @@ impl World {
     /// processed). The clock is left at `t` even if the queue drains early.
     pub fn run_until(&mut self, t: SimTime) {
         self.start();
-        while let Some(next) = self.core.queue.peek_time() {
-            if next > t {
-                break;
-            }
-            self.step();
-        }
+        while self.step_at_or_before(t) {}
         if self.core.time < t {
             self.core.time = t;
         }
@@ -688,6 +871,54 @@ mod tests {
         assert_eq!(rx.len(), 1);
         // 5 bytes + 24 overhead = 29 bytes = 232 bits @100Mb/s = 2320 ns, + 1000 ns prop.
         assert_eq!(rx[0].0, SimTime::from_ns(2320 + 1000));
+    }
+
+    /// A frame offered while the previous frame's delivery is still
+    /// propagating (medium already free) must start serializing at its
+    /// own offer time — not be backdated to the predecessor's completion
+    /// by the fused delivery path.
+    #[test]
+    fn propagation_window_offer_starts_at_offer_time() {
+        struct TwoSender {
+            sent_second: bool,
+        }
+        impl Node for TwoSender {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Frame A: 5 bytes + 24 overhead = 2320 ns serialization;
+                // completes at 2320 ns, delivers at 3320 ns (1 us prop).
+                ctx.send(PortId(0), FrameBuf::from_static(b"AAAAA"));
+                // Fire inside A's propagation window (2320..3320 ns).
+                ctx.schedule(SimDuration::from_ns(2800), TimerToken(1));
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: TimerToken) {
+                self.sent_second = true;
+                ctx.send(PortId(0), FrameBuf::from_static(b"BBBBB"));
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default()); // transparent: fused path
+        let t = w.add_node(TwoSender { sent_second: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.run_until(SimTime::from_ms(1));
+        let rx = &w.node::<Echo>(a).received;
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx[0].0, SimTime::from_ns(2320 + 1000), "frame A");
+        // Frame B was offered at 2800 ns to a free medium: it serializes
+        // 2800..5120 ns and delivers at 6120 ns. (A backdating bug would
+        // start it at A's completion, 2320 ns, delivering 480 ns early.)
+        assert_eq!(rx[1].0, SimTime::from_ns(2800 + 2320 + 1000), "frame B");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! ICMP echo (RFC 792) — the substrate for the paper's `ping` latency
 //! measurements (Figure 9).
 
-use crate::checksum::{checksum, verify};
+use crate::checksum::{checksum, verify, Checksum};
 
 /// ICMP header length for echo messages.
 pub const HEADER_LEN: usize = 8;
@@ -76,18 +76,104 @@ impl<'a> Echo<'a> {
     /// Assemble an echo message.
     pub fn emit(kind: EchoKind, ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-        buf.push(match kind {
+        Echo::emit_into(&mut buf, kind, ident, seq, payload);
+        buf
+    }
+
+    /// Append an echo message to `out` (reusable-buffer form: the ping
+    /// and echo-reply hot paths build into a scratch vector instead of
+    /// allocating per message).
+    pub fn emit_into(out: &mut Vec<u8>, kind: EchoKind, ident: u16, seq: u16, payload: &[u8]) {
+        let start = out.len();
+        out.reserve(HEADER_LEN + payload.len());
+        out.push(match kind {
             EchoKind::Request => 8,
             EchoKind::Reply => 0,
         });
-        buf.push(0); // code
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&ident.to_be_bytes());
-        buf.extend_from_slice(&seq.to_be_bytes());
-        buf.extend_from_slice(payload);
-        let c = checksum(&buf);
-        buf[2..4].copy_from_slice(&c.to_be_bytes());
-        buf
+        out.push(0); // code
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&ident.to_be_bytes());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(payload);
+        let c = checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Like [`Echo::emit_into`], but with the payload's checksum
+    /// contribution supplied precomputed (a [`Checksum`] fed exactly the
+    /// payload bytes). The per-message checksum work drops to the 8
+    /// header bytes — the ping hot path reuses its filler's sum across
+    /// the whole request train.
+    pub fn emit_into_presummed(
+        out: &mut Vec<u8>,
+        kind: EchoKind,
+        ident: u16,
+        seq: u16,
+        payload: &[u8],
+        payload_sum: Checksum,
+    ) {
+        let start = out.len();
+        out.reserve(HEADER_LEN + payload.len());
+        out.push(match kind {
+            EchoKind::Request => 8,
+            EchoKind::Reply => 0,
+        });
+        out.push(0); // code
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&ident.to_be_bytes());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(payload);
+        let mut c = Checksum::new();
+        c.add(&out[start..start + HEADER_LEN]);
+        c.add_partial(payload_sum);
+        let cksum = c.finish();
+        out[start + 2..start + 4].copy_from_slice(&cksum.to_be_bytes());
+        debug_assert_eq!(
+            &out[start..],
+            Echo::emit(kind, ident, seq, payload).as_slice(),
+            "presummed emission must be byte-identical"
+        );
+    }
+
+    /// Append the reply to a **checksum-verified** echo request, given the
+    /// request's raw ICMP bytes: one memcpy plus two patched fields. The
+    /// reply checksum is derived in O(1) (RFC 1624-style incremental
+    /// update: only the type word changes, `0x0800` → `0x0000`), skipping
+    /// the full per-reply checksum pass. Callers must have validated
+    /// `request` (e.g. via [`Echo::parse`]); the derivation inherits its
+    /// correctness from that validation.
+    pub fn reply_from_verified(out: &mut Vec<u8>, request: &[u8]) {
+        debug_assert!(request.len() >= HEADER_LEN && request[0] == 8 && request[1] == 0);
+        let start = out.len();
+        out.extend_from_slice(request);
+        out[start] = 0; // type: echo reply
+        let hc = u16::from_be_bytes([request[2], request[3]]);
+        // The summed words lose 0x0800, so the checksum field absorbs it
+        // (ones'-complement arithmetic: end-around carry).
+        let (s, carry) = hc.overflowing_add(0x0800);
+        let mut hc2 = s + carry as u16;
+        if hc2 == 0xFFFF {
+            // Ambiguous ones'-complement representative (the reply's sum
+            // is congruent to ±0): the incremental update cannot tell
+            // whether a full pass would emit 0x0000 or 0xFFFF here, and
+            // the wire bytes must match [`Echo::emit`] exactly. Rare —
+            // defer to the full checksum.
+            out[start + 2..start + 4].copy_from_slice(&[0, 0]);
+            hc2 = checksum(&out[start..]);
+        }
+        out[start + 2..start + 4].copy_from_slice(&hc2.to_be_bytes());
+        debug_assert!(
+            crate::checksum::verify(&out[start..]),
+            "derived reply checksum must verify"
+        );
+        debug_assert_eq!(
+            &out[start..],
+            Echo::parse(request)
+                .map(|e| Echo::emit(EchoKind::Reply, e.ident, e.seq, e.payload))
+                .expect("caller passes a verified request")
+                .as_slice(),
+            "derived reply must be byte-identical to full emission"
+        );
     }
 
     /// The reply to this request (echoes the payload back).
@@ -120,6 +206,70 @@ mod tests {
         assert_eq!(rep.ident, 1);
         assert_eq!(rep.seq, 2);
         assert_eq!(rep.payload, b"data");
+    }
+
+    #[test]
+    fn presummed_emission_matches_plain() {
+        for len in [0usize, 1, 7, 512] {
+            let payload: Vec<u8> = (0..len as u32).map(|i| (i * 37) as u8).collect();
+            let mut sum = Checksum::new();
+            sum.add(&payload);
+            let mut fast = Vec::new();
+            Echo::emit_into_presummed(&mut fast, EchoKind::Request, 0x42, 7, &payload, sum);
+            assert_eq!(
+                fast,
+                Echo::emit(EchoKind::Request, 0x42, 7, &payload),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_reply_matches_full_emission() {
+        for len in [0usize, 1, 13, 512, 1400] {
+            let payload: Vec<u8> = (0..len as u32).map(|i| (i * 11) as u8).collect();
+            for ident in [0u16, 1, 0x1234, 0xFFFF] {
+                let request = Echo::emit(EchoKind::Request, ident, 9, &payload);
+                let mut derived = Vec::new();
+                Echo::reply_from_verified(&mut derived, &request);
+                let full = Echo::emit(EchoKind::Reply, ident, 9, &payload);
+                assert_eq!(derived, full, "len {len} ident {ident:#x}");
+            }
+        }
+    }
+
+    /// The ±0 ambiguity: a payload whose reply sums to a multiple of
+    /// 0xFFFF makes the incremental checksum land on the 0xFFFF
+    /// representative where full emission writes 0x0000. The derivation
+    /// must detect this and still be byte-identical.
+    #[test]
+    fn derived_reply_handles_zero_sum_payloads() {
+        // ident 0x0001, seq 0, payload [0xFF, 0xFE]: reply words sum to
+        // 0xFFFF (≡ −0).
+        let request = Echo::emit(EchoKind::Request, 0x0001, 0, &[0xFF, 0xFE]);
+        let mut derived = Vec::new();
+        Echo::reply_from_verified(&mut derived, &request);
+        assert_eq!(
+            derived,
+            Echo::emit(EchoKind::Reply, 0x0001, 0, &[0xFF, 0xFE])
+        );
+        // And the genuinely all-zero reply (where 0xFFFF *is* correct).
+        let request = Echo::emit(EchoKind::Request, 0, 0, &[]);
+        let mut derived = Vec::new();
+        Echo::reply_from_verified(&mut derived, &request);
+        assert_eq!(derived, Echo::emit(EchoKind::Reply, 0, 0, &[]));
+        // Sweep 16-bit payload space around the wrap for good measure.
+        for w in [0xFFFDu16, 0xFFFE, 0xFFFF, 0, 1, 0xF7FE, 0xF7FF, 0xF800] {
+            let payload = w.to_be_bytes();
+            let request = Echo::emit(EchoKind::Request, 0x0001, 0, &payload);
+            let mut derived = Vec::new();
+            Echo::reply_from_verified(&mut derived, &request);
+            assert_eq!(
+                derived,
+                Echo::emit(EchoKind::Reply, 0x0001, 0, &payload),
+                "payload word {w:#06x}"
+            );
+        }
     }
 
     #[test]

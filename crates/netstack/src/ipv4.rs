@@ -131,6 +131,75 @@ impl<'a> Packet<'a> {
     }
 }
 
+/// Append a 20-byte IPv4 header for a payload of `payload_len` bytes
+/// (which the caller appends right behind it). The header checksum is
+/// complete — it covers only the header, so the payload may be generated
+/// in place afterwards. Hot-path building block; no validation (callers
+/// check the MTU).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_header_append(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: Protocol,
+    ident: u16,
+    ttl: u8,
+    payload_len: usize,
+    more_fragments: bool,
+    offset_bytes: usize,
+) {
+    let total = HEADER_LEN + payload_len;
+    debug_assert!(total <= u16::MAX as usize);
+    debug_assert_eq!(offset_bytes % 8, 0);
+    // Compose on the stack and append once (one bounds check, and the
+    // checksum pass reads cache-hot bytes).
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = 0x45;
+    // h[1]: TOS = 0
+    h[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+    h[4..6].copy_from_slice(&ident.to_be_bytes());
+    let mut flags_frag = (offset_bytes / 8) as u16;
+    if more_fragments {
+        flags_frag |= 0x2000;
+    }
+    h[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+    h[8] = ttl;
+    h[9] = protocol.0;
+    // h[10..12]: checksum placeholder
+    h[12..16].copy_from_slice(&src.octets());
+    h[16..20].copy_from_slice(&dst.octets());
+    let c = checksum(&h);
+    h[10..12].copy_from_slice(&c.to_be_bytes());
+    buf.reserve(total);
+    buf.extend_from_slice(&h);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_raw_into(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: Protocol,
+    ident: u16,
+    ttl: u8,
+    payload: &[u8],
+    more_fragments: bool,
+    offset_bytes: usize,
+) {
+    emit_header_append(
+        buf,
+        src,
+        dst,
+        protocol,
+        ident,
+        ttl,
+        payload.len(),
+        more_fragments,
+        offset_bytes,
+    );
+    buf.extend_from_slice(payload);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn emit_raw(
     src: Ipv4Addr,
@@ -142,28 +211,42 @@ fn emit_raw(
     more_fragments: bool,
     offset_bytes: usize,
 ) -> Vec<u8> {
-    let total = HEADER_LEN + payload.len();
-    debug_assert!(total <= u16::MAX as usize);
-    debug_assert_eq!(offset_bytes % 8, 0);
-    let mut buf = Vec::with_capacity(total);
-    buf.push(0x45);
-    buf.push(0); // TOS
-    buf.extend_from_slice(&(total as u16).to_be_bytes());
-    buf.extend_from_slice(&ident.to_be_bytes());
-    let mut flags_frag = (offset_bytes / 8) as u16;
-    if more_fragments {
-        flags_frag |= 0x2000;
-    }
-    buf.extend_from_slice(&flags_frag.to_be_bytes());
-    buf.push(ttl);
-    buf.push(protocol.0);
-    buf.extend_from_slice(&[0, 0]); // checksum placeholder
-    buf.extend_from_slice(&src.octets());
-    buf.extend_from_slice(&dst.octets());
-    let c = checksum(&buf[..HEADER_LEN]);
-    buf[10..12].copy_from_slice(&c.to_be_bytes());
-    buf.extend_from_slice(payload);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_raw_into(
+        &mut buf,
+        src,
+        dst,
+        protocol,
+        ident,
+        ttl,
+        payload,
+        more_fragments,
+        offset_bytes,
+    );
     buf
+}
+
+/// Append an unfragmented datagram to `buf` (the hot-path form: callers
+/// composing a whole Ethernet frame in one buffer append the IP layer in
+/// place instead of allocating an intermediate datagram). `mtu` as in
+/// [`emit`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_append(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: Protocol,
+    ident: u16,
+    ttl: u8,
+    payload: &[u8],
+    mtu: usize,
+) -> Result<(), IpError> {
+    let total = HEADER_LEN + payload.len();
+    if total > mtu || total > u16::MAX as usize {
+        return Err(IpError::TooLarge);
+    }
+    emit_raw_into(buf, src, dst, protocol, ident, ttl, payload, false, 0);
+    Ok(())
 }
 
 /// Assemble a datagram. `mtu` is the link MTU the caller must respect;

@@ -37,6 +37,33 @@ pub fn pattern_byte(offset: u64) -> u8 {
     (offset % 251) as u8
 }
 
+/// One full period of the stream pattern (bytes `0..251`), used to fill
+/// payloads at memcpy speed instead of a division per byte.
+const PATTERN_CYCLE: [u8; 251] = {
+    let mut t = [0u8; 251];
+    let mut i = 0;
+    while i < 251 {
+        t[i] = i as u8;
+        i += 1;
+    }
+    t
+};
+
+/// Append `len` pattern bytes starting at stream offset `offset` —
+/// equivalent to pushing `pattern_byte(offset + i)` for `i in 0..len`,
+/// but filled a period at a time.
+pub fn pattern_fill(out: &mut Vec<u8>, offset: u64, len: usize) {
+    out.reserve(len);
+    let mut start = (offset % 251) as usize;
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(251 - start);
+        out.extend_from_slice(&PATTERN_CYCLE[start..start + take]);
+        remaining -= take;
+        start = 0;
+    }
+}
+
 /// Wrapping 32-bit sequence comparison: is `a < b`?
 pub fn seq_lt(a: u32, b: u32) -> bool {
     a.wrapping_sub(b) as i32 <= 0 && a != b
@@ -115,25 +142,80 @@ impl<'a> Segment<'a> {
 
     /// Assemble a segment.
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        assert!(self.payload.len() <= u16::MAX as usize);
-        let total = HEADER_LEN + self.payload.len();
-        let mut buf = Vec::with_capacity(total);
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&self.seq.to_be_bytes());
-        buf.extend_from_slice(&self.ack.to_be_bytes());
-        buf.push(if self.is_ack { 1 } else { 0 });
-        buf.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
-        buf.push(0); // pad (keeps the checksum field 16-bit aligned)
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder at 16..18
-        buf.extend_from_slice(self.payload);
-        let mut c = Checksum::new();
-        pseudo_header(&mut c, src, dst, total as u16);
-        c.add(&buf);
-        let cksum = c.finish();
-        buf[16..18].copy_from_slice(&cksum.to_be_bytes());
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        self.emit_into(&mut buf, src, dst);
         buf
     }
+
+    /// Append the wire form of this segment to `out` (reusable-buffer
+    /// form for the per-frame paths).
+    pub fn emit_into(&self, out: &mut Vec<u8>, src: Ipv4Addr, dst: Ipv4Addr) {
+        assert!(self.payload.len() <= u16::MAX as usize);
+        let start = out.len();
+        emit_header(
+            out,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.is_ack,
+            self.payload.len(),
+        );
+        out.extend_from_slice(self.payload);
+        finish_segment(out, start, src, dst);
+    }
+}
+
+/// Append the 18-byte TcpLite header (checksum zeroed) to `out`.
+#[allow(clippy::too_many_arguments)]
+fn emit_header(
+    out: &mut Vec<u8>,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    is_ack: bool,
+    payload_len: usize,
+) {
+    out.reserve(HEADER_LEN + payload_len);
+    out.extend_from_slice(&src_port.to_be_bytes());
+    out.extend_from_slice(&dst_port.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&ack.to_be_bytes());
+    out.push(if is_ack { 1 } else { 0 });
+    out.extend_from_slice(&(payload_len as u16).to_be_bytes());
+    out.push(0); // pad (keeps the checksum field 16-bit aligned)
+    out.extend_from_slice(&[0, 0]); // checksum placeholder at 16..18
+}
+
+/// Checksum the segment appended at `start` and patch its checksum field.
+fn finish_segment(out: &mut [u8], start: usize, src: Ipv4Addr, dst: Ipv4Addr) {
+    let total = out.len() - start;
+    let mut c = Checksum::new();
+    pseudo_header(&mut c, src, dst, total as u16);
+    c.add(&out[start..]);
+    let cksum = c.finish();
+    out[start + 16..start + 18].copy_from_slice(&cksum.to_be_bytes());
+}
+
+/// Append a *data* segment whose payload is the deterministic stream
+/// pattern starting at stream offset `seq` — the ttcp sender's hot path:
+/// the pattern bytes are generated straight into the output buffer (no
+/// intermediate payload vector, one pass, then one checksum pass).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_pattern_segment(
+    out: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    len: usize,
+) {
+    let start = out.len();
+    emit_header(out, src_port, dst_port, seq, 0, false, len);
+    pattern_fill(out, seq as u64, len);
+    finish_segment(out, start, src, dst);
 }
 
 /// Sender configuration.
@@ -174,6 +256,20 @@ pub struct SegmentOut {
     pub seq: u32,
     /// Payload (pattern bytes).
     pub payload: Vec<u8>,
+    /// True if this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// A segment decision without its payload bytes (the payload is the
+/// deterministic pattern at `seq`, so callers on the hot path regenerate
+/// it straight into a wire buffer via [`emit_pattern_segment`] instead of
+/// materializing a `Vec` per segment).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegMeta {
+    /// Sequence number (also the pattern offset of the first byte).
+    pub seq: u32,
+    /// Payload length.
+    pub len: usize,
     /// True if this is a retransmission.
     pub retransmit: bool,
 }
@@ -240,8 +336,9 @@ impl TcpSender {
     }
 
     /// Produce the next segment to transmit at `now_ns`, if the window,
-    /// data availability and Nagle allow one.
-    pub fn poll(&mut self, now_ns: u64) -> Option<SegmentOut> {
+    /// data availability and Nagle allow one. Allocation-free; the
+    /// payload is implied (pattern bytes starting at `seq`).
+    pub fn poll_meta(&mut self, now_ns: u64) -> Option<SegMeta> {
         let nxt_off = Self::offset(self.snd_nxt);
         if nxt_off >= self.app_len {
             return None; // nothing unsent
@@ -256,19 +353,30 @@ impl TcpSender {
             // Nagle: a small segment waits for outstanding data to drain.
             return None;
         }
-        let payload: Vec<u8> = (0..take as u64)
-            .map(|i| pattern_byte(nxt_off + i))
-            .collect();
         let seq = self.snd_nxt;
         self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
         self.segments_sent += 1;
         if self.rto_deadline_ns.is_none() {
             self.rto_deadline_ns = Some(now_ns + self.current_rto_ns);
         }
-        Some(SegmentOut {
+        Some(SegMeta {
             seq,
-            payload,
+            len: take,
             retransmit: false,
+        })
+    }
+
+    /// [`TcpSender::poll_meta`] with the pattern payload materialized —
+    /// the convenient form for tests and non-hot callers.
+    pub fn poll(&mut self, now_ns: u64) -> Option<SegmentOut> {
+        let meta = self.poll_meta(now_ns)?;
+        let base = meta.seq as u64;
+        Some(SegmentOut {
+            seq: meta.seq,
+            payload: (0..meta.len as u64)
+                .map(|i| pattern_byte(base + i))
+                .collect(),
+            retransmit: meta.retransmit,
         })
     }
 
@@ -608,6 +716,66 @@ mod tests {
         }
         assert_eq!(rx.on_timer(2_000_000), Some(250));
         assert_eq!(rx.on_timer(2_000_001), None, "timer disarms after firing");
+    }
+
+    #[test]
+    fn pattern_fill_matches_per_byte() {
+        for (off, len) in [
+            (0u64, 0usize),
+            (0, 1),
+            (7, 250),
+            (250, 252),
+            (1000, 1462),
+            (u32::MAX as u64, 777),
+        ] {
+            let mut fast = Vec::new();
+            pattern_fill(&mut fast, off, len);
+            let slow: Vec<u8> = (0..len as u64).map(|i| pattern_byte(off + i)).collect();
+            assert_eq!(fast, slow, "offset {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn emit_pattern_segment_matches_emit() {
+        let payload: Vec<u8> = (0..1000u64).map(|i| pattern_byte(12345 + i)).collect();
+        let reference = Segment {
+            src_port: 5001,
+            dst_port: 5002,
+            seq: 12345,
+            ack: 0,
+            is_ack: false,
+            payload: &payload,
+        }
+        .emit(A, B);
+        let mut fused = Vec::new();
+        emit_pattern_segment(&mut fused, A, B, 5001, 5002, 12345, 1000);
+        assert_eq!(fused, reference, "fused emission is byte-identical");
+        assert!(Segment::parse(&fused, A, B).is_ok());
+    }
+
+    #[test]
+    fn poll_meta_agrees_with_poll() {
+        let mut a = TcpSender::new(SenderConfig::default());
+        let mut b = TcpSender::new(SenderConfig::default());
+        a.write(5000);
+        b.write(5000);
+        loop {
+            let ma = a.poll_meta(0);
+            let sb = b.poll(0);
+            match (ma, sb) {
+                (None, None) => break,
+                (Some(m), Some(s)) => {
+                    assert_eq!(m.seq, s.seq);
+                    assert_eq!(m.len, s.payload.len());
+                    assert_eq!(m.retransmit, s.retransmit);
+                    let expect: Vec<u8> = (0..m.len as u64)
+                        .map(|i| pattern_byte(m.seq as u64 + i))
+                        .collect();
+                    assert_eq!(s.payload, expect);
+                }
+                other => panic!("poll/poll_meta diverged: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -577,7 +577,7 @@ fn convergence_signature(
         .map(|&b| {
             let plane = world.node::<BridgeNode>(b).plane();
             (
-                plane.flags.iter().map(|f| f.forward).collect(),
+                plane.flags().iter().map(|f| f.forward).collect(),
                 plane.published.get(STP_NAME).map(|s| s.root_mac),
             )
         })
@@ -710,7 +710,7 @@ fn bridge_reports(world: &World, built: &topo::BuiltTopology) -> Vec<BridgeRepor
                     .published
                     .get(STP_NAME)
                     .map(|s| s.root_mac.to_string()),
-                blocked_ports: plane.flags.iter().filter(|f| !f.forward).count() as u64,
+                blocked_ports: plane.flags().iter().filter(|f| !f.forward).count() as u64,
                 counters: plane.stats.as_pairs().to_vec(),
             }
         })

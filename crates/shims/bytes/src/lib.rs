@@ -96,6 +96,22 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Convert into a [`BytesMut`] without copying if this is the only
+    /// reference to the full backing storage; otherwise returns `self`
+    /// unchanged. Matches `bytes::Bytes::try_into_mut` (1.4+) — the hook
+    /// buffer-recycling paths use to reclaim a dead frame's allocation.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.0 {
+            Repr::Shared { buf, off, len } if off == 0 && len == buf.len() => {
+                match Rc::try_unwrap(buf) {
+                    Ok(v) => Ok(BytesMut(v)),
+                    Err(buf) => Err(Bytes(Repr::Shared { buf, off, len })),
+                }
+            }
+            repr => Err(Bytes(repr)),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
@@ -276,6 +292,12 @@ impl BytesMut {
 impl From<&[u8]> for BytesMut {
     fn from(s: &[u8]) -> Self {
         BytesMut(s.to_vec())
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(m: BytesMut) -> Self {
+        m.0
     }
 }
 

@@ -1,0 +1,398 @@
+//! Load-time translation of verified bytecode into the execution form.
+//!
+//! The wire format ([`crate::bytecode::Op`]) is built for decoding,
+//! digesting and verification; it is a poor shape to *run*: every import
+//! call re-resolves its target through the instance's resolution table,
+//! every host call re-derives its arity from the import signature, and the
+//! interpreter re-matches the same enum layout on every instruction.
+//!
+//! This module runs once per function at link time — strictly after the
+//! verifier has accepted the module — and emits a dense [`Inst`] stream
+//! with everything the interpreter would otherwise recompute baked in:
+//!
+//! * import calls are split into [`Inst::CallHost`] (carrying the resolved
+//!   [`HostSlot`] and arity — dispatch is an integer match, no name
+//!   lookup) and [`Inst::CallVm`] (carrying the provider instance and
+//!   function index);
+//! * `ImportGet` becomes a pre-built [`FuncVal`] push;
+//! * hot instruction sequences the verifier has already proven type-safe
+//!   are fused into superinstructions ([`Inst::LocalGet2`],
+//!   [`Inst::LocalGet2Add`], [`Inst::LocalConstAdd`], [`Inst::CmpBr`]).
+//!   Fusion never crosses a branch target, and every superinstruction
+//!   charges fuel for each source `Op` it retires
+//!   ([`Inst::cost`]), so fuel metering and [`crate::vm::ExecStats`]
+//!   stay bit-identical to instruction-at-a-time execution.
+//!
+//! Branch targets are remapped from source-pc space to decoded-pc space in
+//! a patch pass; the verifier's join rules guarantee no branch lands
+//! inside a fused sequence (the decoder additionally refuses such fusions
+//! outright, so the invariant does not depend on verifier internals).
+
+use crate::bytecode::{Function, Op};
+use crate::env::HostSlot;
+use crate::linker::ResolvedImport;
+use crate::module::Module;
+use crate::types::Ty;
+use crate::value::{FuncVal, InstanceId};
+
+/// Comparison selector for the fused compare+branch superinstruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Cmp {
+    /// Structural equality (hashable operands).
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// Integer `<`.
+    Lt,
+    /// Integer `<=`.
+    Le,
+    /// Integer `>`.
+    Gt,
+    /// Integer `>=`.
+    Ge,
+}
+
+impl Cmp {
+    fn of(op: &Op) -> Option<Cmp> {
+        Some(match op {
+            Op::Eq => Cmp::Eq,
+            Op::Ne => Cmp::Ne,
+            Op::Lt => Cmp::Lt,
+            Op::Le => Cmp::Le,
+            Op::Gt => Cmp::Gt,
+            Op::Ge => Cmp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// One pre-decoded instruction. Branch operands index the decoded stream.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Inst {
+    ConstUnit,
+    ConstBool(bool),
+    ConstInt(i64),
+    ConstStr(u32),
+    LocalGet(u16),
+    LocalSet(u16),
+    Pop,
+    Dup,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Neg,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    Jump(u32),
+    BrIf(u32),
+    BrIfNot(u32),
+    Return,
+    /// Call a function of the *same* instance; arity and frame size come
+    /// from the callee's decoded header at run time.
+    Call(u32),
+    /// Call a resolved host import: array-indexed dispatch, arity baked.
+    CallHost {
+        slot: HostSlot,
+        argc: u16,
+    },
+    /// Call a resolved import of an earlier loaded instance.
+    CallVm {
+        instance: InstanceId,
+        func: u32,
+    },
+    /// Push a pre-resolved import reference.
+    ImportGet(FuncVal),
+    CallRef(u8),
+    FuncConst(u32),
+    TupleMake(u8),
+    TupleGet(u8),
+    StrLen,
+    StrConcat,
+    StrByte,
+    StrSlice,
+    StrPackInt(u8),
+    StrUnpackInt(u8),
+    StrFromInt,
+    TableNew,
+    TableAdd,
+    TableGet,
+    TableMem,
+    TableRemove,
+    TableLen,
+    Nop,
+    /// Fused `LocalGet a; LocalGet b` (cost 2).
+    LocalGet2(u16, u16),
+    /// Fused `LocalGet a; LocalGet b; Add` (cost 3).
+    LocalGet2Add(u16, u16),
+    /// Fused `LocalGet a; ConstInt k; Add` (cost 3).
+    LocalConstAdd(u16, i64),
+    /// Fused compare + conditional branch (cost 2). `negate` selects
+    /// `BrIfNot`.
+    CmpBr {
+        cmp: Cmp,
+        negate: bool,
+        target: u32,
+    },
+}
+
+impl Inst {
+    /// Source `Op`s this instruction retires — the fuel and
+    /// `ExecStats::instructions` charge, kept identical to executing the
+    /// unfused sequence.
+    #[inline]
+    pub(crate) fn cost(&self) -> u64 {
+        match self {
+            Inst::LocalGet2(..) | Inst::CmpBr { .. } => 2,
+            Inst::LocalGet2Add(..) | Inst::LocalConstAdd(..) => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// A function in execution form.
+#[derive(Clone, Debug)]
+pub(crate) struct DecodedFunc {
+    /// The decoded instruction stream.
+    pub insts: Vec<Inst>,
+    /// Parameter count (stack values a call consumes).
+    pub n_params: u16,
+    /// Total local slots (params + locals).
+    pub n_slots: u16,
+}
+
+/// Translate one verified function. `resolved` is the instance's import
+/// resolution table, parallel to `module.imports`.
+pub(crate) fn decode_function(
+    module: &Module,
+    func: &Function,
+    resolved: &[ResolvedImport],
+) -> DecodedFunc {
+    let code = &func.code;
+
+    // Branch-target map: fusion must not swallow an instruction some
+    // branch can land on.
+    let mut is_target = vec![false; code.len()];
+    for op in code {
+        if let Op::Jump(t) | Op::BrIf(t) | Op::BrIfNot(t) = op {
+            is_target[*t as usize] = true;
+        }
+    }
+    let fusable = |interior: std::ops::Range<usize>| interior.clone().all(|i| !is_target[i]);
+
+    // Pass 1: emit decoded instructions, recording old-pc → new-pc.
+    let mut pc_map = vec![u32::MAX; code.len()];
+    let mut out: Vec<Inst> = Vec::with_capacity(code.len());
+    let mut pc = 0usize;
+    while pc < code.len() {
+        pc_map[pc] = out.len() as u32;
+        // Try 3-op fusions, then 2-op, then plain translation.
+        if pc + 2 < code.len() && fusable(pc + 1..pc + 3) {
+            if let (Op::LocalGet(a), Op::LocalGet(b), Op::Add) =
+                (&code[pc], &code[pc + 1], &code[pc + 2])
+            {
+                out.push(Inst::LocalGet2Add(*a, *b));
+                pc += 3;
+                continue;
+            }
+            if let (Op::LocalGet(a), Op::ConstInt(k), Op::Add) =
+                (&code[pc], &code[pc + 1], &code[pc + 2])
+            {
+                out.push(Inst::LocalConstAdd(*a, *k));
+                pc += 3;
+                continue;
+            }
+        }
+        if pc + 1 < code.len() && fusable(pc + 1..pc + 2) {
+            if let (Op::LocalGet(a), Op::LocalGet(b)) = (&code[pc], &code[pc + 1]) {
+                out.push(Inst::LocalGet2(*a, *b));
+                pc += 2;
+                continue;
+            }
+            if let (Some(cmp), Op::BrIf(t) | Op::BrIfNot(t)) = (Cmp::of(&code[pc]), &code[pc + 1]) {
+                out.push(Inst::CmpBr {
+                    cmp,
+                    negate: matches!(code[pc + 1], Op::BrIfNot(_)),
+                    target: *t, // patched to decoded-pc space in pass 2
+                });
+                pc += 2;
+                continue;
+            }
+        }
+        out.push(translate(&code[pc], module, resolved));
+        pc += 1;
+    }
+
+    // Pass 2: remap branch targets into the decoded stream.
+    for inst in &mut out {
+        match inst {
+            Inst::Jump(t) | Inst::BrIf(t) | Inst::BrIfNot(t) | Inst::CmpBr { target: t, .. } => {
+                let mapped = pc_map[*t as usize];
+                debug_assert_ne!(mapped, u32::MAX, "branch into a fused sequence");
+                *t = mapped;
+            }
+            _ => {}
+        }
+    }
+
+    DecodedFunc {
+        insts: out,
+        n_params: func.params.len() as u16,
+        n_slots: func.num_slots() as u16,
+    }
+}
+
+fn translate(op: &Op, module: &Module, resolved: &[ResolvedImport]) -> Inst {
+    match op {
+        Op::ConstUnit => Inst::ConstUnit,
+        Op::ConstBool(b) => Inst::ConstBool(*b),
+        Op::ConstInt(i) => Inst::ConstInt(*i),
+        Op::ConstStr(n) => Inst::ConstStr(*n),
+        Op::LocalGet(n) => Inst::LocalGet(*n),
+        Op::LocalSet(n) => Inst::LocalSet(*n),
+        Op::Pop => Inst::Pop,
+        Op::Dup => Inst::Dup,
+        Op::Add => Inst::Add,
+        Op::Sub => Inst::Sub,
+        Op::Mul => Inst::Mul,
+        Op::Div => Inst::Div,
+        Op::Mod => Inst::Mod,
+        Op::Neg => Inst::Neg,
+        Op::Eq => Inst::Eq,
+        Op::Ne => Inst::Ne,
+        Op::Lt => Inst::Lt,
+        Op::Le => Inst::Le,
+        Op::Gt => Inst::Gt,
+        Op::Ge => Inst::Ge,
+        Op::And => Inst::And,
+        Op::Or => Inst::Or,
+        Op::Not => Inst::Not,
+        Op::Jump(t) => Inst::Jump(*t),
+        Op::BrIf(t) => Inst::BrIf(*t),
+        Op::BrIfNot(t) => Inst::BrIfNot(*t),
+        Op::Return => Inst::Return,
+        Op::Call(n) => Inst::Call(*n),
+        Op::CallImport(n) => match resolved[*n as usize] {
+            ResolvedImport::Host(slot) => {
+                let Ty::Func(ft) = &module.imports[*n as usize].ty else {
+                    unreachable!("linker guarantees function imports")
+                };
+                Inst::CallHost {
+                    slot,
+                    argc: ft.params.len() as u16,
+                }
+            }
+            ResolvedImport::Vm { instance, func } => Inst::CallVm { instance, func },
+        },
+        Op::ImportGet(n) => Inst::ImportGet(match resolved[*n as usize] {
+            ResolvedImport::Host(slot) => FuncVal::Host {
+                module: slot.module,
+                item: slot.item,
+            },
+            ResolvedImport::Vm { instance, func } => FuncVal::Vm { instance, func },
+        }),
+        Op::CallRef(arity) => Inst::CallRef(*arity),
+        Op::FuncConst(n) => Inst::FuncConst(*n),
+        Op::TupleMake(n) => Inst::TupleMake(*n),
+        Op::TupleGet(i) => Inst::TupleGet(*i),
+        Op::StrLen => Inst::StrLen,
+        Op::StrConcat => Inst::StrConcat,
+        Op::StrByte => Inst::StrByte,
+        Op::StrSlice => Inst::StrSlice,
+        Op::StrPackInt(w) => Inst::StrPackInt(*w),
+        Op::StrUnpackInt(w) => Inst::StrUnpackInt(*w),
+        Op::StrFromInt => Inst::StrFromInt,
+        Op::TableNew(_) => Inst::TableNew,
+        Op::TableAdd => Inst::TableAdd,
+        Op::TableGet => Inst::TableGet,
+        Op::TableMem => Inst::TableMem,
+        Op::TableRemove => Inst::TableRemove,
+        Op::TableLen => Inst::TableLen,
+        Op::Nop => Inst::Nop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+
+    fn decode_ops(code: Vec<Op>) -> DecodedFunc {
+        let f = Function {
+            name: "f".into(),
+            params: vec![Ty::Int, Ty::Int],
+            locals: vec![],
+            result: Ty::Int,
+            code,
+        };
+        let m = crate::asm::ModuleBuilder::new("t").build();
+        decode_function(&m, &f, &[])
+    }
+
+    #[test]
+    fn fuses_local_pair_add() {
+        let d = decode_ops(vec![Op::LocalGet(0), Op::LocalGet(1), Op::Add, Op::Return]);
+        assert_eq!(d.insts, vec![Inst::LocalGet2Add(0, 1), Inst::Return]);
+        assert_eq!(d.insts[0].cost(), 3);
+    }
+
+    #[test]
+    fn fuses_compare_branch_and_remaps_target() {
+        // 0: LocalGet 0; 1: LocalGet 1; 2: Lt; 3: BrIf 6; 4: ConstInt 0;
+        // 5: Return; 6: ConstInt 1; 7: Return
+        let d = decode_ops(vec![
+            Op::LocalGet(0),
+            Op::LocalGet(1),
+            Op::Lt,
+            Op::BrIf(6),
+            Op::ConstInt(0),
+            Op::Return,
+            Op::ConstInt(1),
+            Op::Return,
+        ]);
+        assert_eq!(
+            d.insts,
+            vec![
+                Inst::LocalGet2(0, 1),
+                Inst::CmpBr {
+                    cmp: Cmp::Lt,
+                    negate: false,
+                    target: 4 // decoded index of `ConstInt 1`
+                },
+                Inst::ConstInt(0),
+                Inst::Return,
+                Inst::ConstInt(1),
+                Inst::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn branch_target_inhibits_fusion() {
+        // The Add at pc 2 is a branch target: LocalGet/LocalGet/Add must
+        // NOT fuse across it (a jump to 2 expects two operands pushed).
+        let d = decode_ops(vec![
+            Op::LocalGet(0),
+            Op::LocalGet(1),
+            Op::Add, // target of the backward jump below
+            Op::Return,
+            Op::Jump(2),
+        ]);
+        assert_eq!(d.insts[0], Inst::LocalGet2(0, 1));
+        assert_eq!(d.insts[1], Inst::Add);
+    }
+
+    #[test]
+    fn const_add_fuses() {
+        let d = decode_ops(vec![Op::LocalGet(0), Op::ConstInt(7), Op::Add, Op::Return]);
+        assert_eq!(d.insts, vec![Inst::LocalConstAdd(0, 7), Inst::Return]);
+    }
+}

@@ -81,7 +81,10 @@ pub struct HostSlot {
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     modules: Vec<HostModuleSig>,
-    index: HashMap<(String, String), HostSlot>,
+    /// Two-level index: module name → (module index, item name → item
+    /// index). Both levels key by `String` but are probed with `&str`
+    /// (via `Borrow<str>`), so a lookup never builds an owned key.
+    index: HashMap<String, (u16, HashMap<String, u16>)>,
 }
 
 impl Env {
@@ -99,22 +102,26 @@ impl Env {
             sig.name
         );
         let mod_idx = self.modules.len() as u16;
-        for (item_idx, item) in sig.items.iter().enumerate() {
-            self.index.insert(
-                (sig.name.clone(), item.name.clone()),
-                HostSlot {
-                    module: mod_idx,
-                    item: item_idx as u16,
-                },
-            );
-        }
+        let items: HashMap<String, u16> = sig
+            .items
+            .iter()
+            .enumerate()
+            .map(|(item_idx, item)| (item.name.clone(), item_idx as u16))
+            .collect();
+        self.index.insert(sig.name.clone(), (mod_idx, items));
         self.modules.push(sig);
     }
 
     /// Look up `module.item`; `None` if it was thinned away (or never
-    /// existed — indistinguishable by design).
+    /// existed — indistinguishable by design). Allocation-free: probes
+    /// the two-level index with borrowed keys.
     pub fn lookup(&self, module: &str, item: &str) -> Option<(HostSlot, &Ty)> {
-        let slot = *self.index.get(&(module.to_owned(), item.to_owned()))?;
+        let (mod_idx, items) = self.index.get(module)?;
+        let item_idx = *items.get(item)?;
+        let slot = HostSlot {
+            module: *mod_idx,
+            item: item_idx,
+        };
         Some((
             slot,
             &self.modules[slot.module as usize].items[slot.item as usize].ty,
@@ -134,12 +141,40 @@ impl Env {
     }
 }
 
-/// Runtime dispatch for host calls. The embedder implements this; `module`
-/// and `item` are guaranteed to name an item present in the `Env` the
-/// module was linked against.
+/// Runtime dispatch for host calls. The embedder implements this; every
+/// slot (and every `module.item` pair) handed to it is guaranteed to name
+/// an item present in the `Env` the module was linked against.
+///
+/// Implement **one** of the two methods:
+///
+/// * [`HostDispatch::call_slot`] — the hot path. The VM invokes host
+///   functions through it with the argument values as a mutable slice of
+///   its own scratch stack: an implementation pays an integer index plus
+///   a `match`, no string comparison and no argument `Vec`. (`args` is
+///   scratch — implementations may `std::mem::take` values out of it.)
+/// * [`HostDispatch::call`] — the legacy name-based path. The default
+///   `call_slot` resolves the slot's names through the `Env` and
+///   delegates here, so existing name-matching dispatchers keep working
+///   (at the cost of the allocation the fast path exists to avoid).
 pub trait HostDispatch {
-    /// Invoke host function `module.item` with `args`.
-    fn call(&mut self, module: &str, item: &str, args: Vec<Value>) -> Result<Value, VmError>;
+    /// Invoke the host function at `slot` with `args` (a scratch slice —
+    /// consume values freely; the VM discards it afterwards).
+    fn call_slot(
+        &mut self,
+        env: &Env,
+        slot: HostSlot,
+        args: &mut [Value],
+    ) -> Result<Value, VmError> {
+        let (m, i, _ty) = env.slot_names(slot);
+        let (m, i) = (m.to_owned(), i.to_owned());
+        self.call(&m, &i, args.to_vec())
+    }
+
+    /// Invoke host function `module.item` with `args` (legacy path).
+    fn call(&mut self, module: &str, item: &str, args: Vec<Value>) -> Result<Value, VmError> {
+        let _ = args;
+        Err(VmError::HostUnavailable(format!("{module}.{item}")))
+    }
 }
 
 /// A dispatcher that refuses everything — for executing pure modules.

@@ -21,9 +21,14 @@
 //! * [`mod env`](crate::env) — host modules with *thinned* signatures: an item absent from
 //!   the signature is unnameable, hence unreachable;
 //! * [`linker`] — the `Dynlink` equivalent: a name space, available units,
-//!   digest/type-checked loading, and init ("registration") evaluation;
-//! * [`vm`] — the interpreter, fuel-metered so the node survives
-//!   non-terminating switchlets (the paper's "algorithmic failures");
+//!   digest/type-checked loading, init ("registration") evaluation, and
+//!   translation of verified code into the pre-decoded execution form
+//!   (branch offsets remapped, call targets and host slots resolved, hot
+//!   pairs fused — see DESIGN.md);
+//! * [`vm`] — the direct-dispatch interpreter over the decoded form,
+//!   fuel-metered so the node survives non-terminating switchlets (the
+//!   paper's "algorithmic failures"), with a reusable [`vm::VmScratch`]
+//!   arena so steady-state invocations allocate nothing;
 //! * [`asm`] — a builder API standing in for the Caml compiler front end.
 //!
 //! ```
@@ -56,15 +61,21 @@
 
 pub mod asm;
 pub mod bytecode;
+mod decode;
 pub mod digest;
 pub mod env;
 pub mod linker;
 pub mod module;
+#[cfg(test)]
+mod refinterp;
 pub mod sig;
 pub mod types;
 pub mod value;
 pub mod verify;
 pub mod vm;
+
+#[cfg(test)]
+mod equiv_tests;
 
 pub use asm::ModuleBuilder;
 pub use bytecode::{Function, Op};
@@ -76,4 +87,4 @@ pub use sig::{ExportSig, ImportSig};
 pub use types::{FuncTy, Ty};
 pub use value::{FuncVal, InstanceId, Key, Value};
 pub use verify::{verify_module, VerifyError};
-pub use vm::{call, ExecConfig, ExecStats, VmError};
+pub use vm::{call, call_scratch, ExecConfig, ExecStats, VmError, VmScratch};

@@ -54,6 +54,11 @@ pub struct Instance {
     /// `Rc` value (a pointer bump) instead of copying the pool bytes on
     /// every execution.
     pub str_consts: Vec<std::rc::Rc<Vec<u8>>>,
+    /// Functions translated to the pre-decoded execution form (branch
+    /// offsets remapped, call targets and host slots resolved, hot pairs
+    /// fused) — what the interpreter actually runs. Built once here, after
+    /// verification; parallel to `module.functions`.
+    pub(crate) decoded: Vec<crate::decode::DecodedFunc>,
 }
 
 /// Loading failures — every way the node rejects a switchlet *before* it
@@ -247,10 +252,17 @@ impl Namespace {
             .iter()
             .map(|s| std::rc::Rc::new(s.clone()))
             .collect();
+        // Translate to the execution form — only verified code is decoded.
+        let decoded = module
+            .functions
+            .iter()
+            .map(|f| crate::decode::decode_function(&module, f, &resolved))
+            .collect();
         self.instances.push(Instance {
             module,
             resolved,
             str_consts,
+            decoded,
         });
         Ok(id)
     }

@@ -13,12 +13,22 @@
 //!   bridge protecting itself "from some algorithmic failures in
 //!   loadable modules": a switchlet that loops forever is cut off, the
 //!   error is reported, and the node keeps running.
+//!
+//! Since PR 4 the interpreter dispatches over the *pre-decoded* form built
+//! at link time (see [`crate::decode`]): branch offsets, call targets and
+//! host slots are resolved once per load, hot pairs run as fused
+//! superinstructions, and the operand stack and locals live in a reusable
+//! [`VmScratch`] arena so a steady-state invocation performs no
+//! allocation. Fuel metering and [`ExecStats`] are bit-identical to
+//! instruction-at-a-time execution of the source `Op` stream (each fused
+//! instruction charges one unit per source op, and exhaustion mid-sequence
+//! reports exactly the ops the reference interpreter would have retired) —
+//! an equivalence the `refinterp` proptests pin down.
 
 use std::rc::Rc;
 
-use crate::bytecode::Op;
-use crate::env::HostDispatch;
-use crate::linker::{Namespace, ResolvedImport};
+use crate::env::{HostDispatch, HostSlot};
+use crate::linker::Namespace;
 use crate::value::{FuncVal, InstanceId, Key, Value};
 
 /// Runtime failures. None of these can corrupt the host; they abort the
@@ -89,7 +99,29 @@ pub struct ExecStats {
     pub host_calls: u64,
 }
 
-/// Call a function value with `args`.
+/// The reusable execution arena: one operand stack and one locals area
+/// shared by every frame of an invocation (frames are base-offset
+/// windows). An embedder that keeps a `VmScratch` alive across
+/// invocations (as the bridge does, one per node) runs steady-state
+/// switchlet code with **zero** per-invocation allocation: the vectors
+/// grow to the high-water mark once and are reused thereafter.
+#[derive(Default)]
+pub struct VmScratch {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+}
+
+impl VmScratch {
+    /// A fresh arena with a useful starting capacity.
+    pub fn new() -> VmScratch {
+        VmScratch {
+            stack: Vec::with_capacity(32),
+            locals: Vec::with_capacity(32),
+        }
+    }
+}
+
+/// Call a function value with `args`, using a throwaway arena.
 ///
 /// `ns` provides the loaded instances; `host` the host implementations.
 /// The arguments must match the function's type — guaranteed when the call
@@ -102,287 +134,379 @@ pub fn call(
     args: Vec<Value>,
     cfg: &ExecConfig,
 ) -> Result<(Value, ExecStats), VmError> {
-    let mut stats = ExecStats::default();
-    let mut fuel = cfg.fuel;
-    let value = dispatch(ns, host, target, args, cfg, &mut fuel, 0, &mut stats)?;
-    Ok((value, stats))
+    let mut scratch = VmScratch::new();
+    call_scratch(ns, host, target, args, cfg, &mut scratch)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
+/// Call a function value with `args`, reusing the given arena. This is
+/// the per-frame entry point: with a long-lived `scratch` the invocation
+/// allocates nothing in steady state.
+pub fn call_scratch(
     ns: &Namespace,
     host: &mut dyn HostDispatch,
     target: FuncVal,
-    args: Vec<Value>,
+    mut args: Vec<Value>,
     cfg: &ExecConfig,
-    fuel: &mut u64,
-    depth: usize,
-    stats: &mut ExecStats,
-) -> Result<Value, VmError> {
-    match target {
+    scratch: &mut VmScratch,
+) -> Result<(Value, ExecStats), VmError> {
+    let mut stats = ExecStats::default();
+    let mut fuel = cfg.fuel;
+    // Nested entries (a host function re-entering the VM) stack above the
+    // caller's live region; truncating back to the entry marks cleans up
+    // every inner frame on both success and error paths.
+    let stack_mark = scratch.stack.len();
+    let locals_mark = scratch.locals.len();
+    let result = match target {
         FuncVal::Host { module, item } => {
             stats.host_calls += 1;
-            let (m, i, _ty) = ns.env().slot_names(crate::env::HostSlot { module, item });
-            let (m, i) = (m.to_owned(), i.to_owned());
-            host.call(&m, &i, args)
+            host.call_slot(ns.env(), HostSlot { module, item }, &mut args)
         }
         FuncVal::Vm { instance, func } => {
-            exec(ns, host, instance, func, args, cfg, fuel, depth, stats)
+            debug_assert_eq!(
+                args.len(),
+                ns.instance(instance).module.functions[func as usize]
+                    .params
+                    .len(),
+                "arity mismatch at entry"
+            );
+            debug_assert!(
+                args.iter()
+                    .zip(&ns.instance(instance).module.functions[func as usize].params)
+                    .all(|(v, t)| v.matches(t)),
+                "argument type mismatch at entry"
+            );
+            scratch.locals.append(&mut args);
+            exec(
+                ns,
+                host,
+                instance,
+                func,
+                cfg,
+                &mut fuel,
+                0,
+                &mut stats,
+                scratch,
+                locals_mark,
+            )
         }
-    }
+    };
+    scratch.stack.truncate(stack_mark);
+    scratch.locals.truncate(locals_mark);
+    result.map(|v| (v, stats))
 }
 
+/// Execute decoded function `func_idx` of `instance`. The caller has
+/// already pushed the arguments at `scratch.locals[locals_base..]`.
 #[allow(clippy::too_many_arguments)]
 fn exec(
     ns: &Namespace,
     host: &mut dyn HostDispatch,
     instance: InstanceId,
     func_idx: u32,
-    args: Vec<Value>,
     cfg: &ExecConfig,
     fuel: &mut u64,
     depth: usize,
     stats: &mut ExecStats,
+    scratch: &mut VmScratch,
+    locals_base: usize,
 ) -> Result<Value, VmError> {
+    use crate::decode::{Cmp, Inst};
+
     if depth >= cfg.max_depth {
         return Err(VmError::CallDepthExceeded);
     }
-    let inst = ns.instance(instance);
-    let module = &inst.module;
-    let func = &module.functions[func_idx as usize];
-    debug_assert_eq!(args.len(), func.params.len(), "arity mismatch at entry");
-    debug_assert!(
-        args.iter().zip(&func.params).all(|(v, t)| v.matches(t)),
-        "argument type mismatch at entry of {}",
-        func.name
+    let inst_ref = ns.instance(instance);
+    let dfunc = &inst_ref.decoded[func_idx as usize];
+    let code = &dfunc.insts;
+    debug_assert_eq!(
+        scratch.locals.len() - locals_base,
+        dfunc.n_params as usize,
+        "arity mismatch at frame entry of {}",
+        inst_ref.module.functions[func_idx as usize].name
     );
-
     // Locals: parameters then placeholder slots (verified code never reads
     // a local before writing it, so Unit placeholders are unobservable).
-    let mut locals = args;
-    locals.resize(func.num_slots(), Value::Unit);
-    let mut stack: Vec<Value> = Vec::with_capacity(8);
+    scratch
+        .locals
+        .resize(locals_base + dfunc.n_slots as usize, Value::Unit);
+    let stack_base = scratch.stack.len();
     let mut pc: usize = 0;
 
     macro_rules! pop {
         () => {
-            stack
+            scratch
+                .stack
                 .pop()
                 .expect("verifier invariant broken: stack underflow")
         };
     }
+    macro_rules! push {
+        ($v:expr) => {
+            scratch.stack.push($v)
+        };
+    }
+    macro_rules! local {
+        ($n:expr) => {
+            scratch.locals[locals_base + $n as usize]
+        };
+    }
 
     loop {
-        if *fuel == 0 {
+        let op = &code[pc];
+        // Fuel: charge one unit per *source* op. A fused instruction whose
+        // full cost exceeds the remaining fuel reports exhaustion after
+        // retiring exactly the ops the unfused stream would have retired
+        // (its partial effects are unobservable: the invocation aborts and
+        // the arena is rolled back; fused sequences are side-effect-free).
+        let cost = op.cost();
+        if *fuel < cost {
+            stats.instructions += *fuel;
+            *fuel = 0;
             return Err(VmError::FuelExhausted);
         }
-        *fuel -= 1;
-        stats.instructions += 1;
-
-        let op = &func.code[pc];
+        *fuel -= cost;
+        stats.instructions += cost;
         pc += 1;
         match op {
-            Op::ConstUnit => stack.push(Value::Unit),
-            Op::ConstBool(b) => stack.push(Value::Bool(*b)),
-            Op::ConstInt(i) => stack.push(Value::Int(*i)),
-            Op::ConstStr(n) => {
+            Inst::ConstUnit => push!(Value::Unit),
+            Inst::ConstBool(b) => push!(Value::Bool(*b)),
+            Inst::ConstInt(i) => push!(Value::Int(*i)),
+            Inst::ConstStr(n) => {
                 // Interned at link time: pushing a pool constant is an
                 // `Rc` clone (pointer bump), never a byte copy.
-                stack.push(Value::Str(inst.str_consts[*n as usize].clone()))
+                push!(Value::Str(inst_ref.str_consts[*n as usize].clone()))
             }
-            Op::LocalGet(n) => stack.push(locals[*n as usize].clone()),
-            Op::LocalSet(n) => locals[*n as usize] = pop!(),
-            Op::Pop => {
+            Inst::LocalGet(n) => push!(local!(*n).clone()),
+            Inst::LocalSet(n) => local!(*n) = pop!(),
+            Inst::Pop => {
                 let _ = pop!();
             }
-            Op::Dup => {
-                let top = stack.last().expect("verifier invariant broken").clone();
-                stack.push(top);
+            Inst::Dup => {
+                let top = scratch
+                    .stack
+                    .last()
+                    .expect("verifier invariant broken")
+                    .clone();
+                push!(top);
             }
-            Op::Add => {
+            Inst::Add => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Int(a.wrapping_add(b)));
+                push!(Value::Int(a.wrapping_add(b)));
             }
-            Op::Sub => {
+            Inst::Sub => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Int(a.wrapping_sub(b)));
+                push!(Value::Int(a.wrapping_sub(b)));
             }
-            Op::Mul => {
+            Inst::Mul => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Int(a.wrapping_mul(b)));
+                push!(Value::Int(a.wrapping_mul(b)));
             }
-            Op::Div => {
-                let b = pop!().as_int();
-                let a = pop!().as_int();
-                if b == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                stack.push(Value::Int(a.wrapping_div(b)));
-            }
-            Op::Mod => {
+            Inst::Div => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
                 if b == 0 {
                     return Err(VmError::DivideByZero);
                 }
-                stack.push(Value::Int(a.wrapping_rem(b)));
+                push!(Value::Int(a.wrapping_div(b)));
             }
-            Op::Neg => {
+            Inst::Mod => {
+                let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Int(a.wrapping_neg()));
+                if b == 0 {
+                    return Err(VmError::DivideByZero);
+                }
+                push!(Value::Int(a.wrapping_rem(b)));
             }
-            Op::Eq => {
+            Inst::Neg => {
+                let a = pop!().as_int();
+                push!(Value::Int(a.wrapping_neg()));
+            }
+            Inst::Eq => {
                 let b = pop!();
                 let a = pop!();
-                stack.push(Value::Bool(
-                    a.hash_eq(&b).expect("verifier invariant broken: eq"),
+                push!(Value::Bool(
+                    a.hash_eq(&b).expect("verifier invariant broken: eq")
                 ));
             }
-            Op::Ne => {
+            Inst::Ne => {
                 let b = pop!();
                 let a = pop!();
-                stack.push(Value::Bool(
-                    !a.hash_eq(&b).expect("verifier invariant broken: ne"),
+                push!(Value::Bool(
+                    !a.hash_eq(&b).expect("verifier invariant broken: ne")
                 ));
             }
-            Op::Lt => {
+            Inst::Lt => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Bool(a < b));
+                push!(Value::Bool(a < b));
             }
-            Op::Le => {
+            Inst::Le => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Bool(a <= b));
+                push!(Value::Bool(a <= b));
             }
-            Op::Gt => {
+            Inst::Gt => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Bool(a > b));
+                push!(Value::Bool(a > b));
             }
-            Op::Ge => {
+            Inst::Ge => {
                 let b = pop!().as_int();
                 let a = pop!().as_int();
-                stack.push(Value::Bool(a >= b));
+                push!(Value::Bool(a >= b));
             }
-            Op::And => {
+            Inst::And => {
                 let b = pop!().as_bool();
                 let a = pop!().as_bool();
-                stack.push(Value::Bool(a && b));
+                push!(Value::Bool(a && b));
             }
-            Op::Or => {
+            Inst::Or => {
                 let b = pop!().as_bool();
                 let a = pop!().as_bool();
-                stack.push(Value::Bool(a || b));
+                push!(Value::Bool(a || b));
             }
-            Op::Not => {
+            Inst::Not => {
                 let a = pop!().as_bool();
-                stack.push(Value::Bool(!a));
+                push!(Value::Bool(!a));
             }
-            Op::Jump(t) => pc = *t as usize,
-            Op::BrIf(t) => {
+            Inst::Jump(t) => pc = *t as usize,
+            Inst::BrIf(t) => {
                 if pop!().as_bool() {
                     pc = *t as usize;
                 }
             }
-            Op::BrIfNot(t) => {
+            Inst::BrIfNot(t) => {
                 if !pop!().as_bool() {
                     pc = *t as usize;
                 }
             }
-            Op::Return => {
+            Inst::Return => {
                 let result = pop!();
-                debug_assert!(stack.is_empty(), "verifier invariant broken: dirty return");
+                debug_assert_eq!(
+                    scratch.stack.len(),
+                    stack_base,
+                    "verifier invariant broken: dirty return"
+                );
+                scratch.locals.truncate(locals_base);
                 return Ok(result);
             }
-            Op::Call(n) => {
-                let callee = &module.functions[*n as usize];
-                let argc = callee.params.len();
-                let call_args = stack.split_off(stack.len() - argc);
+            Inst::Call(n) => {
+                let argc = inst_ref.decoded[*n as usize].n_params as usize;
+                let new_base = scratch.locals.len();
+                let split = scratch.stack.len() - argc;
+                scratch.locals.extend(scratch.stack.drain(split..));
                 let result = exec(
                     ns,
                     host,
                     instance,
                     *n,
-                    call_args,
                     cfg,
                     fuel,
                     depth + 1,
                     stats,
+                    scratch,
+                    new_base,
                 )?;
-                stack.push(result);
+                push!(result);
             }
-            Op::CallImport(n) => {
-                let resolved = inst.resolved[*n as usize];
-                let target = match resolved {
-                    ResolvedImport::Host(slot) => FuncVal::Host {
-                        module: slot.module,
-                        item: slot.item,
-                    },
-                    ResolvedImport::Vm { instance, func } => FuncVal::Vm { instance, func },
+            Inst::CallHost { slot, argc } => {
+                stats.host_calls += 1;
+                let split = scratch.stack.len() - *argc as usize;
+                let result = host.call_slot(ns.env(), *slot, &mut scratch.stack[split..])?;
+                scratch.stack.truncate(split);
+                push!(result);
+            }
+            Inst::CallVm {
+                instance: callee_inst,
+                func,
+            } => {
+                let argc = ns.instance(*callee_inst).decoded[*func as usize].n_params as usize;
+                let new_base = scratch.locals.len();
+                let split = scratch.stack.len() - argc;
+                scratch.locals.extend(scratch.stack.drain(split..));
+                let result = exec(
+                    ns,
+                    host,
+                    *callee_inst,
+                    *func,
+                    cfg,
+                    fuel,
+                    depth + 1,
+                    stats,
+                    scratch,
+                    new_base,
+                )?;
+                push!(result);
+            }
+            Inst::ImportGet(fv) => push!(Value::Func(*fv)),
+            Inst::CallRef(arity) => {
+                let argc = *arity as usize;
+                let fpos = scratch.stack.len() - argc - 1;
+                let fv = match &scratch.stack[fpos] {
+                    Value::Func(fv) => *fv,
+                    _ => panic!("verifier invariant broken: callref on non-function"),
                 };
-                let argc = match target {
-                    FuncVal::Host { .. } => {
-                        let crate::types::Ty::Func(ft) = &module.imports[*n as usize].ty else {
-                            unreachable!("linker guarantees function imports")
-                        };
-                        ft.params.len()
+                match fv {
+                    FuncVal::Host { module, item } => {
+                        stats.host_calls += 1;
+                        let result = host.call_slot(
+                            ns.env(),
+                            HostSlot { module, item },
+                            &mut scratch.stack[fpos + 1..],
+                        )?;
+                        scratch.stack.truncate(fpos);
+                        push!(result);
                     }
                     FuncVal::Vm {
-                        instance: i,
-                        func: f,
-                    } => ns.instance(i).module.functions[f as usize].params.len(),
-                };
-                let call_args = stack.split_off(stack.len() - argc);
-                let result = dispatch(ns, host, target, call_args, cfg, fuel, depth + 1, stats)?;
-                stack.push(result);
+                        instance: callee_inst,
+                        func,
+                    } => {
+                        let new_base = scratch.locals.len();
+                        scratch.locals.extend(scratch.stack.drain(fpos + 1..));
+                        let _ = pop!(); // the function value
+                        let result = exec(
+                            ns,
+                            host,
+                            callee_inst,
+                            func,
+                            cfg,
+                            fuel,
+                            depth + 1,
+                            stats,
+                            scratch,
+                            new_base,
+                        )?;
+                        push!(result);
+                    }
+                }
             }
-            Op::ImportGet(n) => {
-                let resolved = inst.resolved[*n as usize];
-                let fv = match resolved {
-                    ResolvedImport::Host(slot) => FuncVal::Host {
-                        module: slot.module,
-                        item: slot.item,
-                    },
-                    ResolvedImport::Vm { instance, func } => FuncVal::Vm { instance, func },
-                };
-                stack.push(Value::Func(fv));
+            Inst::FuncConst(n) => push!(Value::Func(FuncVal::Vm { instance, func: *n })),
+            Inst::TupleMake(n) => {
+                let split = scratch.stack.len() - *n as usize;
+                let items: Vec<Value> = scratch.stack.drain(split..).collect();
+                push!(Value::Tuple(Rc::new(items)));
             }
-            Op::CallRef(arity) => {
-                let argc = *arity as usize;
-                let call_args = stack.split_off(stack.len() - argc);
-                let Value::Func(fv) = pop!() else {
-                    panic!("verifier invariant broken: callref on non-function")
-                };
-                let result = dispatch(ns, host, fv, call_args, cfg, fuel, depth + 1, stats)?;
-                stack.push(result);
-            }
-            Op::FuncConst(n) => stack.push(Value::Func(FuncVal::Vm { instance, func: *n })),
-            Op::TupleMake(n) => {
-                let items = stack.split_off(stack.len() - *n as usize);
-                stack.push(Value::Tuple(Rc::new(items)));
-            }
-            Op::TupleGet(i) => {
+            Inst::TupleGet(i) => {
                 let Value::Tuple(items) = pop!() else {
                     panic!("verifier invariant broken: tupleget")
                 };
-                stack.push(items[*i as usize].clone());
+                push!(items[*i as usize].clone());
             }
-            Op::StrLen => {
+            Inst::StrLen => {
                 let s = pop!();
-                stack.push(Value::Int(s.as_str().len() as i64));
+                push!(Value::Int(s.as_str().len() as i64));
             }
-            Op::StrConcat => {
+            Inst::StrConcat => {
                 let b = pop!();
                 let a = pop!();
                 let mut out = a.as_str().as_ref().clone();
                 out.extend_from_slice(b.as_str());
-                stack.push(Value::Str(Rc::new(out)));
+                push!(Value::Str(Rc::new(out)));
             }
-            Op::StrByte => {
+            Inst::StrByte => {
                 let i = pop!().as_int();
                 let s = pop!();
                 let s = s.as_str();
@@ -392,9 +516,9 @@ fn exec(
                         index: i,
                     });
                 }
-                stack.push(Value::Int(s[i as usize] as i64));
+                push!(Value::Int(s[i as usize] as i64));
             }
-            Op::StrSlice => {
+            Inst::StrSlice => {
                 let len = pop!().as_int();
                 let start = pop!().as_int();
                 let s = pop!();
@@ -406,15 +530,15 @@ fn exec(
                     });
                 }
                 let out = s[start as usize..start as usize + len as usize].to_vec();
-                stack.push(Value::Str(Rc::new(out)));
+                push!(Value::Str(Rc::new(out)));
             }
-            Op::StrPackInt(width) => {
+            Inst::StrPackInt(width) => {
                 let v = pop!().as_int() as u64;
                 let bytes = v.to_be_bytes();
                 let out = bytes[8 - *width as usize..].to_vec();
-                stack.push(Value::Str(Rc::new(out)));
+                push!(Value::Str(Rc::new(out)));
             }
-            Op::StrUnpackInt(width) => {
+            Inst::StrUnpackInt(width) => {
                 let off = pop!().as_int();
                 let s = pop!();
                 let s = s.as_str();
@@ -427,14 +551,14 @@ fn exec(
                 }
                 let mut bytes = [0u8; 8];
                 bytes[8 - w..].copy_from_slice(&s[off as usize..off as usize + w]);
-                stack.push(Value::Int(u64::from_be_bytes(bytes) as i64));
+                push!(Value::Int(u64::from_be_bytes(bytes) as i64));
             }
-            Op::StrFromInt => {
+            Inst::StrFromInt => {
                 let v = pop!().as_int();
-                stack.push(Value::str(v.to_string().into_bytes()));
+                push!(Value::str(v.to_string().into_bytes()));
             }
-            Op::TableNew(_) => stack.push(Value::new_table()),
-            Op::TableAdd => {
+            Inst::TableNew => push!(Value::new_table()),
+            Inst::TableAdd => {
                 let v = pop!();
                 let k = pop!();
                 let Value::Table(t) = pop!() else {
@@ -443,7 +567,7 @@ fn exec(
                 let key = k.to_key().expect("verifier invariant broken: key");
                 t.borrow_mut().insert(key, v);
             }
-            Op::TableGet => {
+            Inst::TableGet => {
                 let default = pop!();
                 let k = pop!();
                 let Value::Table(t) = pop!() else {
@@ -451,17 +575,17 @@ fn exec(
                 };
                 let key = k.to_key().expect("verifier invariant broken: key");
                 let v = t.borrow().get(&key).cloned().unwrap_or(default);
-                stack.push(v);
+                push!(v);
             }
-            Op::TableMem => {
+            Inst::TableMem => {
                 let k = pop!();
                 let Value::Table(t) = pop!() else {
                     panic!("verifier invariant broken: tablemem")
                 };
                 let key: Key = k.to_key().expect("verifier invariant broken: key");
-                stack.push(Value::Bool(t.borrow().contains_key(&key)));
+                push!(Value::Bool(t.borrow().contains_key(&key)));
             }
-            Op::TableRemove => {
+            Inst::TableRemove => {
                 let k = pop!();
                 let Value::Table(t) = pop!() else {
                     panic!("verifier invariant broken: tableremove")
@@ -469,14 +593,49 @@ fn exec(
                 let key = k.to_key().expect("verifier invariant broken: key");
                 t.borrow_mut().remove(&key);
             }
-            Op::TableLen => {
+            Inst::TableLen => {
                 let Value::Table(t) = pop!() else {
                     panic!("verifier invariant broken: tablelen")
                 };
                 let len = t.borrow().len() as i64;
-                stack.push(Value::Int(len));
+                push!(Value::Int(len));
             }
-            Op::Nop => {}
+            Inst::Nop => {}
+            // ------------------------------------------ superinstructions
+            Inst::LocalGet2(a, b) => {
+                let va = local!(*a).clone();
+                let vb = local!(*b).clone();
+                push!(va);
+                push!(vb);
+            }
+            Inst::LocalGet2Add(a, b) => {
+                let va = local!(*a).as_int();
+                let vb = local!(*b).as_int();
+                push!(Value::Int(va.wrapping_add(vb)));
+            }
+            Inst::LocalConstAdd(a, k) => {
+                let va = local!(*a).as_int();
+                push!(Value::Int(va.wrapping_add(*k)));
+            }
+            Inst::CmpBr {
+                cmp,
+                negate,
+                target,
+            } => {
+                let b = pop!();
+                let a = pop!();
+                let taken = match cmp {
+                    Cmp::Eq => a.hash_eq(&b).expect("verifier invariant broken: eq"),
+                    Cmp::Ne => !a.hash_eq(&b).expect("verifier invariant broken: ne"),
+                    Cmp::Lt => a.as_int() < b.as_int(),
+                    Cmp::Le => a.as_int() <= b.as_int(),
+                    Cmp::Gt => a.as_int() > b.as_int(),
+                    Cmp::Ge => a.as_int() >= b.as_int(),
+                } != *negate;
+                if taken {
+                    pc = *target as usize;
+                }
+            }
         }
     }
 }

@@ -52,7 +52,7 @@ fn run(with_stp: bool) -> (u64, usize) {
             world
                 .node::<BridgeNode>(b)
                 .plane()
-                .flags
+                .flags()
                 .iter()
                 .filter(|f| !f.forward)
                 .count()

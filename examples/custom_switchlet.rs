@@ -143,7 +143,7 @@ fn main() {
     assert!(upload_and_load(&mut world, up, 0, SimTime::from_secs(20)));
     println!(
         "loaded; data plane: {:?}",
-        world.node::<BridgeNode>(bridge).plane().data_plane
+        world.node::<BridgeNode>(bridge).plane().data_plane()
     );
 
     // 2. Traffic: a good host and a blocked host, plus a sink.

@@ -56,7 +56,7 @@ fn main() {
     world.run_until(SimTime::from_secs(2));
 
     let plane = world.node::<BridgeNode>(bridge).plane();
-    println!("switching function: {:?}", plane.data_plane);
+    println!("switching function: {:?}", plane.data_plane());
     println!("learning table ({} entries):", plane.learn.len());
     let mut entries: Vec<String> = plane
         .learn

@@ -259,7 +259,7 @@ fn stp_kills_the_loop() {
         .iter()
         .map(|&b| {
             let plane = world.node::<BridgeNode>(b).plane();
-            plane.flags.iter().filter(|f| !f.forward).count()
+            plane.flags().iter().filter(|f| !f.forward).count()
         })
         .sum();
     assert_eq!(blocked, 1, "exactly one blocked port breaks the loop");

@@ -1,0 +1,283 @@
+//! Forwarding decision cache invalidation (the PR 4 generation invariant).
+//!
+//! A cached verdict may only be replayed while nothing that could change
+//! the switching function's answer has happened. These tests drive the
+//! real bridge through the events the invariant names — learn-table
+//! churn (a host moving ports mid-flow), switchlet hot-swap mid-flow,
+//! and an STP-style port-flag change — and assert both the observable
+//! forwarding behaviour and that the cache actually participated
+//! (hits/misses counters), so a silently disabled cache cannot pass.
+
+use ab_scenario::{self as scenario, host_ip, host_mac};
+use active_bridge::{BridgeCommand, BridgeConfig, BridgeNode, DataPlaneSel, Verdict};
+use ether::MacAddr;
+use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
+use netsim::{PortId, SimDuration, SimTime, World};
+
+fn host(world: &mut World, n: u32, seg: netsim::SegId, apps: Vec<hostsim::App>) -> netsim::NodeId {
+    let h = world.add_node(HostNode::new(
+        format!("host{n}"),
+        HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+        apps,
+    ));
+    world.attach(h, seg);
+    h
+}
+
+fn blast(dst: u32, count: u64, every_ms: u64) -> hostsim::App {
+    BlastApp::new(
+        PortId(0),
+        host_mac(dst),
+        100,
+        count,
+        SimDuration::from_ms(every_ms),
+    )
+}
+
+/// Steady unicast flows hit the cache, and a hit is behaviourally
+/// indistinguishable from re-execution (directed counters, no stray
+/// floods).
+#[test]
+fn repeat_unicast_flow_hits_cache() {
+    let mut world = World::new(7);
+    let segs = scenario::lans(&mut world, 3);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    // Host 2 announces itself once; host 1 then streams to it.
+    host(&mut world, 2, segs[1], vec![blast(1, 1, 1)]);
+    host(&mut world, 1, segs[0], vec![blast(2, 200, 2)]);
+    host(&mut world, 3, segs[2], vec![]);
+    world.run_until(SimTime::from_secs(2));
+    let stats = &world.node::<BridgeNode>(b).plane().stats;
+    assert!(
+        stats.directed >= 199,
+        "steady flow is directed (directed={})",
+        stats.directed
+    );
+    assert!(
+        stats.cache_hits >= 150,
+        "steady flow must be served from the decision cache (hits={})",
+        stats.cache_hits
+    );
+    assert!(
+        stats.cache_misses >= 1,
+        "first packet of a flow is a miss (misses={})",
+        stats.cache_misses
+    );
+}
+
+/// Learn-table churn: the destination host moves to another LAN mid-flow
+/// (its traffic starts arriving on a different bridge port). The learn
+/// mutation bumps the generation, so cached `Direct` verdicts die and
+/// frames follow the host immediately — no stale deliveries to the old
+/// port after the move is learned.
+#[test]
+fn learn_table_churn_invalidates_cached_direct() {
+    let mut world = World::new(7);
+    let segs = scenario::lans(&mut world, 3);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    // The streaming source on LAN 0.
+    host(&mut world, 1, segs[0], vec![blast(2, 400, 2)]);
+    // host2's MAC first appears on LAN 1...
+    host(&mut world, 2, segs[1], vec![blast(1, 1, 1)]);
+    // ... and later the same MAC speaks from LAN 2 (the "moved host",
+    // modelled as a second NIC with the same address that starts late).
+    let mover = world.add_node(HostNode::new(
+        "host2-moved",
+        HostConfig::simple(host_mac(2), host_ip(12), HostCostModel::FREE),
+        vec![hostsim::App::delayed(
+            SimDuration::from_ms(400),
+            blast(1, 1, 1),
+        )],
+    ));
+    world.attach(mover, segs[2]);
+
+    // Let the flow establish toward LAN 1.
+    world.run_until(SimTime::from_ms(395));
+    let before = world.segment(segs[2]).counters().deliveries;
+    let hits_before = world.node::<BridgeNode>(b).plane().stats.cache_hits;
+    assert!(hits_before > 50, "flow was cache-served before the move");
+
+    // Move happens at 400 ms; from then on the stream must follow.
+    world.run_until(SimTime::from_secs(2));
+    let after = world.segment(segs[2]).counters().deliveries;
+    assert!(
+        after > before + 150,
+        "after the move the stream reaches LAN 2 ({before} -> {after})"
+    );
+    // And LAN 1 stops receiving it (allow a few in-flight frames around
+    // the move instant).
+    let lan1 = world.segment(segs[1]).counters().deliveries;
+    assert!(
+        lan1 < 250,
+        "LAN 1 must not keep receiving the stream after the move (got {lan1})"
+    );
+}
+
+/// Switchlet hot-swap mid-flow: suspending the learning switchlet bumps
+/// the generation (and drops the data plane); resuming restores service.
+/// Cached verdicts from before the suspension must not be replayed while
+/// the switchlet is not running.
+#[test]
+fn hot_swap_mid_flow_invalidates_cache() {
+    let mut world = World::new(7);
+    let segs = scenario::lans(&mut world, 2);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    host(&mut world, 2, segs[1], vec![blast(1, 1, 1)]);
+    host(&mut world, 1, segs[0], vec![blast(2, 400, 2)]);
+
+    world.run_until(SimTime::from_ms(300));
+    let forwarded_before = {
+        let stats = &world.node::<BridgeNode>(b).plane().stats;
+        stats.directed + stats.flooded
+    };
+    assert!(forwarded_before > 100, "flow established");
+
+    // Suspend the switching function mid-flow.
+    world.with_ctx::<BridgeNode, _>(b, |node, ctx| {
+        node.administer(ctx, BridgeCommand::Suspend("bridge_learning".into()));
+    });
+    world.run_until(SimTime::from_ms(500));
+    let (no_plane_mid, forwarded_mid) = {
+        let stats = &world.node::<BridgeNode>(b).plane().stats;
+        (stats.no_plane, stats.directed + stats.flooded)
+    };
+    assert!(
+        no_plane_mid > 50,
+        "suspended switching function drops frames (no_plane={no_plane_mid})"
+    );
+
+    // Resume: forwarding (and caching) picks back up.
+    world.with_ctx::<BridgeNode, _>(b, |node, ctx| {
+        node.administer(ctx, BridgeCommand::Resume("bridge_learning".into()));
+    });
+    world.run_until(SimTime::from_secs(2));
+    let stats = &world.node::<BridgeNode>(b).plane().stats;
+    assert!(
+        stats.directed + stats.flooded > forwarded_mid + 50,
+        "forwarding resumed after the hot swap"
+    );
+    // The suspension window lost frames but never misdelivered: every
+    // frame was directed, flooded, filtered, blocked or counted no_plane.
+    assert_eq!(
+        stats.frames_in,
+        stats.directed
+            + stats.flooded
+            + stats.filtered
+            + stats.blocked
+            + stats.no_plane
+            + stats.registered
+            + stats.to_loader
+            + stats.queue_drops,
+        "bridge accounting is exhaustive"
+    );
+}
+
+/// A topology change expressed through the spanning tree's access points
+/// (a port-flag write): cached `Direct` verdicts through the disabled
+/// port must die with the generation bump, and traffic falls back to the
+/// remaining ports.
+#[test]
+fn port_flag_change_invalidates_cached_direct() {
+    let mut world = World::new(7);
+    let segs = scenario::lans(&mut world, 3);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    host(&mut world, 2, segs[1], vec![blast(1, 1, 1)]);
+    host(&mut world, 1, segs[0], vec![blast(2, 400, 2)]);
+    host(&mut world, 3, segs[2], vec![]);
+
+    world.run_until(SimTime::from_ms(300));
+    let hits_before = world.node::<BridgeNode>(b).plane().stats.cache_hits;
+    assert!(hits_before > 50, "flow was cache-served before the change");
+    let lan1_before = world.segment(segs[1]).counters().deliveries;
+
+    // STP-style: port 1 stops forwarding (what a Blocking transition does
+    // through the plane's access points).
+    world.with_ctx::<BridgeNode, _>(b, |node, _ctx| {
+        node.plane_mut().set_port_forward(1, false);
+        // The learned entry for host 2 now points at a non-forwarding
+        // port; the switching function floods instead (stale-entry rule).
+    });
+    world.run_until(SimTime::from_secs(2));
+    let lan1_after = world.segment(segs[1]).counters().deliveries;
+    let lan2_after = world.segment(segs[2]).counters().deliveries;
+    assert!(
+        lan1_after <= lan1_before + 2,
+        "no deliveries through the blocked port ({lan1_before} -> {lan1_after})"
+    );
+    assert!(
+        lan2_after > 100,
+        "stream falls back to flooding the open port (lan2={lan2_after})"
+    );
+}
+
+/// The plumbing the invariant rests on, exercised directly: every event
+/// class the issue names bumps the decision generation.
+#[test]
+fn generation_bumps_on_every_decision_input() {
+    let mut plane = active_bridge::Plane::new(2, SimDuration::from_secs(300));
+    let mut last = plane.generation();
+    let mut expect_bump = |plane: &active_bridge::Plane, what: &str| {
+        let g = plane.generation();
+        assert!(g > last, "{what} must bump the decision generation");
+        last = g;
+    };
+
+    plane
+        .learn
+        .learn(MacAddr::local(9), PortId(0), SimTime::ZERO);
+    expect_bump(&plane, "learn-table insertion");
+    plane.learn.flush();
+    expect_bump(&plane, "learn-table flush");
+    plane.set_port_forward(1, false);
+    expect_bump(&plane, "port-flag change");
+    plane.set_status("x", active_bridge::SwitchletStatus::Suspended);
+    expect_bump(&plane, "lifecycle transition");
+    plane.set_data_plane(DataPlaneSel::Native("y".into()));
+    expect_bump(&plane, "data-plane selection");
+    plane.bump_generation();
+    expect_bump(&plane, "explicit bump (timer delivery)");
+
+    // And a cached verdict recorded under the old generation is dead.
+    let (src, dst) = (MacAddr::local(1), MacAddr::local(2));
+    plane
+        .fwd_cache
+        .store(PortId(0), src, dst, last, SimTime::MAX, Verdict::Flood);
+    assert_eq!(
+        plane
+            .fwd_cache
+            .probe(PortId(0), src, dst, last, SimTime::ZERO),
+        Some(Verdict::Flood)
+    );
+    plane.bump_generation();
+    assert_eq!(
+        plane
+            .fwd_cache
+            .probe(PortId(0), src, dst, plane.generation(), SimTime::ZERO),
+        None,
+        "generation bump kills cached verdicts"
+    );
+}

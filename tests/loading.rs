@@ -54,7 +54,7 @@ fn boot_loading_installs_in_order() {
     assert!(node.plane().is_running("bridge_dumb"));
     assert!(node.plane().is_running("bridge_learning"));
     assert!(matches!(
-        node.plane().data_plane,
+        node.plane().data_plane(),
         DataPlaneSel::Native(ref n) if n == "bridge_learning"
     ));
 }
@@ -95,7 +95,7 @@ fn network_loading_enables_bridging() {
         };
         assert_eq!(p.received, 0, "no data plane yet");
         assert!(matches!(
-            world.node::<BridgeNode>(bridge).plane().data_plane,
+            world.node::<BridgeNode>(bridge).plane().data_plane(),
             DataPlaneSel::None
         ));
         assert!(world.node::<BridgeNode>(bridge).plane().stats.no_plane > 0);
@@ -206,7 +206,7 @@ fn vm_switchlet_loads_and_forwards() {
         SimTime::from_secs(20)
     ));
     assert!(matches!(
-        world.node::<BridgeNode>(bridge).plane().data_plane,
+        world.node::<BridgeNode>(bridge).plane().data_plane(),
         DataPlaneSel::Vm(_)
     ));
 
@@ -354,7 +354,7 @@ fn tampered_image_rejected() {
     let stats = &world.node::<BridgeNode>(bridge).plane().stats;
     assert_eq!(stats.images_rejected, 1);
     assert!(matches!(
-        world.node::<BridgeNode>(bridge).plane().data_plane,
+        world.node::<BridgeNode>(bridge).plane().data_plane(),
         DataPlaneSel::None
     ));
 }
@@ -470,7 +470,7 @@ fn runaway_switchlet_contained_and_recoverable() {
         .plane()
         .is_running("bridge_learning"));
     assert!(matches!(
-        world.node::<BridgeNode>(bridge).plane().data_plane,
+        world.node::<BridgeNode>(bridge).plane().data_plane(),
         DataPlaneSel::Native(ref n) if n == "bridge_learning"
     ));
 }
@@ -494,7 +494,7 @@ fn unknown_native_name_rejected() {
     // handlers (harmless), because only *named native carriers* dispatch
     // to factories. It must not become the data plane.
     assert!(matches!(
-        world.node::<BridgeNode>(bridge).plane().data_plane,
+        world.node::<BridgeNode>(bridge).plane().data_plane(),
         DataPlaneSel::None
     ));
 }

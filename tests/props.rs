@@ -194,8 +194,8 @@ proptest! {
         let mut active: Vec<(usize, usize)> = Vec::new();
         for (i, &b) in bridges.iter().enumerate() {
             let plane = world.node::<BridgeNode>(b).plane();
-            let fwd0 = plane.flags[0].forward;
-            let fwd1 = plane.flags[1].forward;
+            let fwd0 = plane.port_flags(0).forward;
+            let fwd1 = plane.port_flags(1).forward;
             if fwd0 && fwd1 {
                 active.push(edges[i]);
             }

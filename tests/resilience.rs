@@ -63,7 +63,7 @@ fn stp_reconverges_after_root_protocol_failure() {
     for &b in &bridges[1..] {
         let node = world.node::<BridgeNode>(b);
         assert!(
-            node.plane().flags.iter().all(|f| f.forward),
+            node.plane().flags().iter().all(|f| f.forward),
             "{}: line topology needs no blocked ports",
             world.node_name(b)
         );
