@@ -22,6 +22,7 @@
 
 use std::time::Instant;
 
+use ab_scenario::topo::{self, TopologyShape};
 use ab_scenario::{bridge, host_ip, host_mac, lans, Json};
 use active_bridge::BridgeConfig;
 use ether::MacAddr;
@@ -43,6 +44,12 @@ pub enum ScenarioKind {
     Ttcp,
     /// Concurrent ping pairs through a star.
     Pings,
+    /// The metro tier: a spine/leaf city topology with a crowd of
+    /// silent hosts on every access segment and per-district flood
+    /// blasters whose sink address nobody owns — every frame floods the
+    /// whole metro and fans out to the full ≥ 1024-host population
+    /// (the high-degree `DeliverAll` stress).
+    Metro,
 }
 
 impl ScenarioKind {
@@ -52,6 +59,7 @@ impl ScenarioKind {
             ScenarioKind::Broadcast => "broadcast",
             ScenarioKind::Ttcp => "ttcp",
             ScenarioKind::Pings => "pings",
+            ScenarioKind::Metro => "metro",
         }
     }
 }
@@ -76,13 +84,15 @@ impl SizeClass {
 }
 
 /// Every `(scenario, size)` pair the harness runs, in run order.
-pub const CASES: [(ScenarioKind, SizeClass); 6] = [
+pub const CASES: [(ScenarioKind, SizeClass); 8] = [
     (ScenarioKind::Broadcast, SizeClass::Small),
     (ScenarioKind::Broadcast, SizeClass::Large),
     (ScenarioKind::Ttcp, SizeClass::Small),
     (ScenarioKind::Ttcp, SizeClass::Large),
     (ScenarioKind::Pings, SizeClass::Small),
     (ScenarioKind::Pings, SizeClass::Large),
+    (ScenarioKind::Metro, SizeClass::Small),
+    (ScenarioKind::Metro, SizeClass::Large),
 ];
 
 /// One measured case.
@@ -466,12 +476,116 @@ fn run_pings(size: SizeClass, smoke: bool) -> CaseResult {
     )
 }
 
+// ---------------------------------------------------------------- metro
+
+/// Crowd hosts per access segment — the scenario battery's own
+/// constant, so the bench tier and the `metro` battery never drift
+/// (64 access segments × 16 on the large preset ⇒ ≥ 1024 hosts).
+const METRO_CROWD: usize = ab_scenario::workload::CROWD_PER_ACCESS as usize;
+
+fn run_metro(size: SizeClass, smoke: bool) -> CaseResult {
+    let shape = match size {
+        SizeClass::Small => TopologyShape::metro_small(),
+        SizeClass::Large => TopologyShape::metro_large(),
+    };
+    let TopologyShape::Metro {
+        spines,
+        districts,
+        leaves,
+    } = shape
+    else {
+        unreachable!("metro presets are metro-shaped")
+    };
+    let count: u64 = if smoke { 40 } else { 250 };
+    // Generous: `districts` 512-byte floods crossing a legacy 10 Mb/s
+    // access segment fit well inside one interval, so queues stay
+    // shallow and every offered frame is delivered.
+    let interval = SimDuration::from_ms(10);
+
+    let topo = topo::generate(shape, 21);
+    let access = topo.access_segments();
+    let n_hosts = access.len() * METRO_CROWD + districts;
+    let mut world = World::new(21);
+    world.trace_mut().set_enabled(false);
+    world.reserve_topology(topo.bridges.len() + n_hosts, topo.segments.len());
+    let cfg = BridgeConfig {
+        cost: CostModel::FREE,
+        expected_stations: n_hosts + topo.bridges.len(),
+        ..Default::default()
+    };
+    let built = topo::instantiate(&mut world, &topo, &cfg, &["bridge_learning"]);
+
+    // The population: silent crowds on every access segment.
+    let mut n = 1u32;
+    for &seg in &access {
+        for _ in 0..METRO_CROWD {
+            let id = world.add_node(HostNode::new(
+                format!("m{n}"),
+                HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+                vec![],
+            ));
+            world.attach(id, built.segs[seg]);
+            n += 1;
+        }
+    }
+    // One blaster per district root, each aimed at an address nobody
+    // owns: never learned, so every frame floods the entire metro.
+    let mut blasters = Vec::with_capacity(districts);
+    for d in 0..districts {
+        let root = spines + d * leaves;
+        let id = world.add_node(HostNode::new(
+            format!("blaster{d}"),
+            HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+            vec![BlastApp::new(
+                PortId(0),
+                host_mac(60_000 + d as u32),
+                512,
+                count,
+                interval,
+            )],
+        ));
+        world.attach(id, built.segs[root]);
+        blasters.push(id);
+        n += 1;
+    }
+
+    // Let the world come up, then measure the flood in steady state.
+    world.run_until(SimTime::from_ms(1));
+    let t0 = totals(&world);
+    let span = interval * count + SimDuration::from_ms(100);
+    let horizon = world.now() + span;
+    let (wall_ns, allocs, alloc_bytes) = measured(|| world.run_until(horizon));
+    let t1 = totals(&world);
+
+    let completed = blasters.iter().all(|&b| {
+        let App::Blast(blast) = world.node::<HostNode>(b).app(0) else {
+            unreachable!()
+        };
+        blast.sent == count
+    });
+    finish_case(
+        format!("metro/{}", size.label()),
+        ScenarioKind::Metro.label(),
+        size.label(),
+        n_hosts,
+        topo.segments.len(),
+        topo.bridges.len(),
+        (t0, t1),
+        span.as_ns(),
+        wall_ns,
+        allocs,
+        alloc_bytes,
+        completed,
+    )
+}
+
 /// Run one case.
 pub fn run_case(kind: ScenarioKind, size: SizeClass, smoke: bool) -> CaseResult {
     match kind {
         ScenarioKind::Broadcast => run_broadcast(size, smoke),
         ScenarioKind::Ttcp => run_ttcp_case(size, smoke),
         ScenarioKind::Pings => run_pings(size, smoke),
+        ScenarioKind::Metro => run_metro(size, smoke),
     }
 }
 
@@ -479,6 +593,15 @@ pub fn run_case(kind: ScenarioKind, size: SizeClass, smoke: bool) -> CaseResult 
 
 fn f2(v: f64) -> Json {
     Json::str(format!("{v:.2}"))
+}
+
+/// The numeric twin of [`f2`]/the 3-decimal strings: the same value
+/// rounded to `places` decimals, emitted as a JSON number. The string
+/// forms stay for schema compatibility; gates and downstream tooling
+/// read these.
+fn fnum(v: f64, places: i32) -> Json {
+    let scale = 10f64.powi(places);
+    Json::F64((v * scale).round() / scale)
 }
 
 /// Render one case as JSON.
@@ -496,9 +619,12 @@ pub fn case_json(c: &CaseResult) -> Json {
         ("wire_frames", Json::U64(c.wire_frames)),
         ("wall_ns", Json::U64(c.wall_ns)),
         ("frames_per_sec", f2(c.frames_per_sec)),
+        ("frames_per_sec_num", fnum(c.frames_per_sec, 2)),
         ("ns_per_frame", f2(c.ns_per_frame)),
+        ("ns_per_frame_num", fnum(c.ns_per_frame, 2)),
         ("allocs", Json::U64(c.allocs)),
         ("allocs_per_frame", f2(c.allocs_per_frame)),
+        ("allocs_per_frame_num", fnum(c.allocs_per_frame, 3)),
         ("alloc_bytes", Json::U64(c.alloc_bytes)),
         ("completed", Json::Bool(c.completed)),
     ])
@@ -633,6 +759,63 @@ pub fn pr3_case(name: &str) -> Option<&'static PreCase> {
     PR3_BASELINE.iter().find(|p| p.name == name)
 }
 
+/// Where [`PR4_BASELINE`] came from.
+pub const PR4_PROVENANCE: &str = "BENCH_PR4.json as committed at 50cb232 (hot switchlet execution \
+     plane, before the PR 5 multi-core work), full mode, release build, same container class as CI";
+
+/// The PR 4 committed baseline (the `cases` section of BENCH_PR4.json) —
+/// what this PR's measurements diff against. The metro cases are new in
+/// PR 5 and have no earlier recording.
+pub const PR4_BASELINE: &[PreCase] = &[
+    PreCase {
+        name: "broadcast/small",
+        frames_delivered: 51_136,
+        frames_per_sec: 12_172_890.47,
+        ns_per_frame: 82.15,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "broadcast/large",
+        frames_delivered: 409_088,
+        frames_per_sec: 18_110_397.51,
+        ns_per_frame: 55.22,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "ttcp/small",
+        frames_delivered: 9_312,
+        frames_per_sec: 1_950_246.51,
+        ns_per_frame: 512.76,
+        allocs_per_frame: 0.76,
+    },
+    PreCase {
+        name: "ttcp/large",
+        frames_delivered: 23_280,
+        frames_per_sec: 3_136_626.35,
+        ns_per_frame: 318.81,
+        allocs_per_frame: 0.26,
+    },
+    PreCase {
+        name: "pings/small",
+        frames_delivered: 7_984,
+        frames_per_sec: 3_168_496.63,
+        ns_per_frame: 315.61,
+        allocs_per_frame: 0.50,
+    },
+    PreCase {
+        name: "pings/large",
+        frames_delivered: 15_994,
+        frames_per_sec: 3_059_476.34,
+        ns_per_frame: 326.85,
+        allocs_per_frame: 0.50,
+    },
+];
+
+/// PR 4 baseline numbers for `name`, if recorded.
+pub fn pr4_case(name: &str) -> Option<&'static PreCase> {
+    PR4_BASELINE.iter().find(|p| p.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +827,19 @@ mod tests {
         assert!(b.frames_delivered > 1000, "storm must fan out: {b:?}");
         let p = run_case(ScenarioKind::Pings, SizeClass::Small, true);
         assert!(p.completed, "all pings must be answered: {p:?}");
+    }
+
+    #[test]
+    fn metro_small_floods_the_population() {
+        let m = run_case(ScenarioKind::Metro, SizeClass::Small, true);
+        assert!(m.completed, "metro blasters must drain: {m:?}");
+        // Flooded frames reach far more listeners than wires carried
+        // frames: high-degree fan-out is the point of the tier.
+        assert!(
+            m.frames_delivered as f64 / m.wire_frames as f64 > 8.0,
+            "metro fan-out too low: {m:?}"
+        );
+        assert!(m.hosts >= 100, "small metro population: {m:?}");
     }
 
     #[test]

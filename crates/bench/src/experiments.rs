@@ -326,6 +326,7 @@ pub fn run_transition(mode: TransitionMode, seed: u64) -> TransitionReport {
         ips: vec![host_ip(10), host_ip(11)],
         cost: HostCostModel::pc_1997(),
         promiscuous: true,
+        arp_hint: 0,
     };
     let inject_at = SimTime::from_secs(60);
     let probe = world.add_node(HostNode::new(
@@ -403,6 +404,7 @@ pub fn run_agility(seed: u64) -> AgilityStats {
         ips: vec![host_ip(10), host_ip(11)],
         cost: HostCostModel::pc_1997(),
         promiscuous: true,
+        arp_hint: 0,
     };
     let probe = world.add_node(HostNode::new(
         "probe",

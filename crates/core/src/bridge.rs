@@ -290,7 +290,8 @@ impl BridgeNode {
         n_ports: usize,
         cfg: BridgeConfig,
     ) -> BridgeNode {
-        let plane = Plane::new(n_ports, cfg.learn_age);
+        let mut plane = Plane::new(n_ports, cfg.learn_age);
+        plane.learn.reserve(cfg.expected_stations);
         let input_queue = cfg.input_queue;
         BridgeNode {
             name: name.into(),

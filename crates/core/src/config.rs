@@ -65,6 +65,11 @@ pub struct BridgeConfig {
     pub learn_age: SimDuration,
     /// Fuel budget per VM switchlet invocation.
     pub vm_fuel: u64,
+    /// How many distinct stations this bridge should expect to learn
+    /// (a topology-derived hint; `0` = unknown). The learning table is
+    /// pre-sized from it so metro-scale populations never pay
+    /// incremental rehashing on the per-frame learn path.
+    pub expected_stations: usize,
 }
 
 impl Default for BridgeConfig {
@@ -77,6 +82,7 @@ impl Default for BridgeConfig {
             priority: 0x8000,
             learn_age: SimDuration::from_secs(300),
             vm_fuel: 200_000,
+            expected_stations: 0,
         }
     }
 }

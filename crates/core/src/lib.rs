@@ -33,18 +33,6 @@ pub mod plane;
 pub mod scenario_impl;
 pub mod switchlets;
 
-/// Deprecated location of the topology helpers, kept so existing callers
-/// compile: the helpers are canonically re-exported (and extended with
-/// parametric generators, workload batteries and a scenario runner) by
-/// the `ab_scenario` crate.
-#[deprecated(
-    since = "0.1.0",
-    note = "the scenario helpers moved to the `ab_scenario` crate; import them from there"
-)]
-pub mod scenario {
-    pub use crate::scenario_impl::*;
-}
-
 pub use bridge::{BridgeCommand, BridgeCtx, BridgeNode, DataFrame, NativeInit, NativeSwitchlet};
 pub use config::{BridgeConfig, StpTimers, TransitionTimers};
 pub use plane::{

@@ -130,6 +130,12 @@ impl LearningTable {
         self.age
     }
 
+    /// Pre-size the table for `stations` distinct source addresses, so
+    /// steady-state learning at that scale never rehashes.
+    pub fn reserve(&mut self, stations: usize) {
+        self.map.reserve(stations.saturating_sub(self.map.len()));
+    }
+
     /// Mapping-mutation counter (monotonic).
     pub fn generation(&self) -> u64 {
         self.gen

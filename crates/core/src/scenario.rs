@@ -1,17 +1,14 @@
 //! Topology-building primitives for bridges and LANs.
 //!
-//! This module is the implementation behind **two** public paths:
-//!
-//! * `ab_scenario::*` — the canonical one. The `ab_scenario` crate
-//!   re-exports these primitives and layers the parametric topology
-//!   generators, workload batteries and the scenario runner on top.
-//! * `active_bridge::scenario::*` — the original location, kept as a
-//!   deprecated compatibility shim so no caller breaks.
+//! The canonical public path is `ab_scenario::*`: that crate re-exports
+//! these primitives and layers the parametric topology generators,
+//! workload batteries and the scenario runner on top. (The old
+//! `active_bridge::scenario` shim is gone.)
 //!
 //! The helpers themselves must live in this crate (not `ab_scenario`)
 //! because they construct [`BridgeNode`]s: `ab_scenario` depends on
 //! `active_bridge`, so hoisting them out would create a dependency cycle.
-//! New code should import them through `ab_scenario`.
+//! Import them through `ab_scenario`.
 
 use std::net::Ipv4Addr;
 

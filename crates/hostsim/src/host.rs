@@ -39,6 +39,9 @@ pub struct HostConfig {
     /// Accept all frames (the Section 7.5 measurement host reads raw
     /// packets), not just ours/broadcast.
     pub promiscuous: bool,
+    /// Expected distinct IP peers (a topology-derived hint; `0` =
+    /// unknown): the ARP table is pre-sized from it.
+    pub arp_hint: usize,
 }
 
 impl HostConfig {
@@ -49,7 +52,14 @@ impl HostConfig {
             ips: vec![ip],
             cost,
             promiscuous: false,
+            arp_hint: 0,
         }
+    }
+
+    /// Set the expected-peer hint (see [`HostConfig::arp_hint`]).
+    pub fn with_arp_hint(mut self, peers: usize) -> HostConfig {
+        self.arp_hint = peers;
+        self
     }
 }
 
@@ -305,11 +315,12 @@ impl HostNode {
     pub fn new(name: impl Into<String>, cfg: HostConfig, apps: Vec<App>) -> HostNode {
         let has_raw_tap = apps.iter().any(|a| a.wants_raw());
         let has_tx_done = apps.iter().any(|a| a.wants_tx_done());
+        let arp = netsim::FastMap::with_capacity_and_hasher(cfg.arp_hint, Default::default());
         HostNode {
             core: HostCore {
                 name: name.into(),
                 cfg,
-                arp: netsim::FastMap::default(),
+                arp,
                 arp_waiting: HashMap::new(),
                 rx_q: ServiceQueue::new(256),
                 tx_q: ServiceQueue::new(256),

@@ -158,6 +158,19 @@ impl EventQueue {
         self.now_lane.reserve(lane_want);
     }
 
+    /// Drop every pending event and rewind the clock/sequence state to
+    /// what a fresh queue has, **keeping** the heap, slab, free-list and
+    /// now-lane storage — the point of [`crate::World::reset`] is that a
+    /// sweep's steady state reuses these allocations across runs.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.now_lane.clear();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+    }
+
     /// Schedule `kind` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;

@@ -46,6 +46,14 @@ impl Trace {
         self.enabled = enabled;
     }
 
+    /// Rewind to the fresh-trace state (empty, zero appended, enabled),
+    /// keeping the ring's storage.
+    pub(crate) fn reset(&mut self) {
+        self.entries.clear();
+        self.appended = 0;
+        self.enabled = true;
+    }
+
     pub(crate) fn push(&mut self, at: SimTime, node: Option<NodeId>, msg: String) {
         self.appended += 1;
         if !self.enabled {
@@ -99,6 +107,11 @@ impl Counters {
     /// All counters in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Forget every counter.
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 }
 

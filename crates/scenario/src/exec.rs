@@ -1,0 +1,194 @@
+//! The deterministic multi-core execution plane: run independent jobs
+//! across worker threads and merge their results in stable job order.
+//!
+//! # Why job-level parallelism
+//!
+//! A `World` is a pure function of `(shape, seed)` and is deliberately
+//! `!Send` (`Rc`-backed frame buffers, single-threaded event loop).
+//! Sharding one world across cores would put the event queue's total
+//! order — the thing determinism hangs on — behind synchronization.
+//! Sweeps and bench batteries, though, are *batches of independent
+//! worlds*: the natural unit of parallelism is the job, not the frame.
+//! Each worker constructs, runs and scores a whole world without its
+//! `World` ever crossing a thread boundary; only the plain-data job
+//! spec goes in and the plain-data result comes out (the
+//! CloudflareST-style worker-fleet shape: fan measurement jobs out,
+//! merge machine-readable results).
+//!
+//! # The determinism argument
+//!
+//! * job specs are `Send` plain data, results are `Send` plain data;
+//! * every job's result depends only on its spec (worlds share nothing —
+//!   no global RNG, no cross-world state);
+//! * results land in a slot keyed by the job's index and are merged in
+//!   index order after all workers join.
+//!
+//! Scheduling therefore cannot reorder, drop or duplicate anything: a
+//! report assembled from an N-worker run is **byte-identical** to the
+//! 1-worker run (`tests/scenario_exec.rs` asserts this across the
+//! committed sweep, down to FNV trace digests).
+//!
+//! Workers may carry worker-local scratch state across jobs
+//! ([`run_jobs_local`]) — the sweep runner hands each worker one
+//! reusable [`netsim::World`] so consecutive scenarios amortize arena
+//! and pool allocations via `World::reset`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The default worker count: what the OS reports as available
+/// parallelism (1 when unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse a `--jobs` style argument: a positive integer, or `0`/`auto`
+/// meaning [`default_jobs`].
+pub fn parse_jobs(arg: &str) -> Option<usize> {
+    if arg == "auto" {
+        return Some(default_jobs());
+    }
+    match arg.parse::<usize>() {
+        Ok(0) => Some(default_jobs()),
+        Ok(n) => Some(n),
+        Err(_) => None,
+    }
+}
+
+/// Run every job in `specs` across up to `jobs` worker threads and
+/// return the results **in spec order**, regardless of which worker ran
+/// what when. `jobs <= 1` runs everything on the calling thread, in
+/// order, with no thread machinery at all.
+pub fn run_jobs<S, R>(specs: Vec<S>, jobs: usize, run: impl Fn(S) -> R + Sync) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+{
+    run_jobs_local(specs, jobs, || (), move |(), spec| run(spec))
+}
+
+/// [`run_jobs`] with worker-local state: each worker calls
+/// `worker_state` once and threads the value through every job it
+/// executes. The state never crosses threads, so it may be `!Send`
+/// (this is how sweep workers each own a reusable `World`). The
+/// sequential `jobs <= 1` path uses one state for the whole batch —
+/// exactly what a one-worker pool would do.
+pub fn run_jobs_local<S, R, W>(
+    specs: Vec<S>,
+    jobs: usize,
+    worker_state: impl Fn() -> W + Sync,
+    run: impl Fn(&mut W, S) -> R + Sync,
+) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+{
+    let n = specs.len();
+    if jobs <= 1 || n <= 1 {
+        let mut state = worker_state();
+        return specs.into_iter().map(|s| run(&mut state, s)).collect();
+    }
+
+    // Work-stealing-lite: one shared deque of `(job id, spec)`; idle
+    // workers pop from the front. Results go into per-job slots so the
+    // merge below is a plain in-order unwrap.
+    let queue: Mutex<VecDeque<(usize, S)>> = Mutex::new(specs.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = worker_state();
+                loop {
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    let Some((id, spec)) = job else { break };
+                    let result = run(&mut state, spec);
+                    *results[id].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("pool joined with an unfinished job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        for jobs in [1, 2, 4, 7] {
+            let specs: Vec<u64> = (0..25).collect();
+            let out = run_jobs(specs.clone(), jobs, |x| x * 3 + 1);
+            let expect: Vec<u64> = specs.iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_jobs((0..100usize).collect(), 4, |x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        // Each worker's state counts the jobs it ran; the total across
+        // workers must equal the job count (no job lost or duplicated),
+        // and with one worker a single state sees every job.
+        let total = AtomicUsize::new(0);
+        struct Local<'a> {
+            mine: usize,
+            total: &'a AtomicUsize,
+        }
+        impl Drop for Local<'_> {
+            fn drop(&mut self) {
+                self.total.fetch_add(self.mine, Ordering::Relaxed);
+            }
+        }
+        let out = run_jobs_local(
+            (0..40usize).collect(),
+            3,
+            || Local {
+                mine: 0,
+                total: &total,
+            },
+            |state, x| {
+                state.mine += 1;
+                x
+            },
+        );
+        assert_eq!(out.len(), 40);
+        assert_eq!(total.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_batches_work() {
+        assert_eq!(run_jobs(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(run_jobs(vec![9u8], 16, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_auto_and_rejects_junk() {
+        assert_eq!(parse_jobs("3"), Some(3));
+        assert_eq!(parse_jobs("auto"), Some(default_jobs()));
+        assert_eq!(parse_jobs("0"), Some(default_jobs()));
+        assert_eq!(parse_jobs("many"), None);
+        assert!(default_jobs() >= 1);
+    }
+}

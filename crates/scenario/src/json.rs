@@ -18,6 +18,13 @@ pub enum Json {
     U64(u64),
     /// A signed integer.
     I64(i64),
+    /// A float — for bench artifacts that carry rates and ratios.
+    /// Scenario reports stick to integers so no float formatting is on
+    /// their byte-equality path; bench JSON is compared numerically, not
+    /// byte-wise. Rendered with Rust's shortest-round-trip formatting
+    /// (deterministic for a given value); non-finite values render as
+    /// `null`.
+    F64(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -50,6 +57,18 @@ impl Json {
         }
     }
 
+    /// The value as a float, if it is any numeric variant (what bench
+    /// gates read — they consume the emitted document's numeric fields,
+    /// not the display strings).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Render compactly (no whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -74,6 +93,13 @@ impl Json {
             }
             Json::I64(n) => {
                 let _ = write!(out, "{n}");
+            }
+            Json::F64(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
             }
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
@@ -170,5 +196,18 @@ mod tests {
         let doc = Json::obj(vec![("x", Json::U64(7))]);
         assert_eq!(doc.get("x"), Some(&Json::U64(7)));
         assert_eq!(doc.get("y"), None);
+    }
+
+    #[test]
+    fn floats_render_numerically_and_read_back() {
+        let doc = Json::obj(vec![
+            ("rate", Json::F64(12.25)),
+            ("whole", Json::F64(3.0)),
+            ("bad", Json::F64(f64::NAN)),
+        ]);
+        assert_eq!(doc.render(), r#"{"rate":12.25,"whole":3,"bad":null}"#);
+        assert_eq!(doc.get("rate").unwrap().as_f64(), Some(12.25));
+        assert_eq!(Json::U64(4).as_f64(), Some(4.0));
+        assert_eq!(Json::str("4").as_f64(), None);
     }
 }

@@ -21,8 +21,9 @@
 //! produces a byte-identical JSON report on every run.
 //!
 //! The low-level world-building primitives (deterministic addresses,
-//! `lans`, `bridge`) are re-exported at the crate root; they moved here
-//! from `active_bridge::scenario`, which remains as a deprecated shim.
+//! `lans`, `bridge`) are re-exported at the crate root; this is their
+//! only public path (the deprecated `active_bridge::scenario` shim has
+//! been removed).
 //!
 //! ## Example
 //!
@@ -36,6 +37,7 @@
 //! assert!(report.passed(), "{}", report.to_json().render_pretty());
 //! ```
 
+pub mod exec;
 pub mod json;
 pub mod runner;
 pub mod sweep;
@@ -49,8 +51,9 @@ pub use active_bridge::scenario_impl::{
     bridge, bridge_ip, bridge_mac, host_ip, host_mac, lans, line, ring,
 };
 
+pub use exec::{default_jobs, parse_jobs, run_jobs, run_jobs_local};
 pub use json::Json;
-pub use runner::{run, InvariantResult, Report, Scenario, Verdict};
-pub use sweep::{run_sweep, SweepReport, SweepSpec};
-pub use topo::{instantiate, BuiltTopology, Topology, TopologyShape};
+pub use runner::{run, run_in, run_traced, InvariantResult, Report, Scenario, Verdict};
+pub use sweep::{run_sweep, run_sweep_jobs, SweepReport, SweepSpec};
+pub use topo::{instantiate, BuiltTopology, SegTier, Topology, TopologyShape};
 pub use workload::{BatteryKind, Workload};

@@ -314,6 +314,8 @@ struct Placed {
     action: AppAction,
     sender: NodeId,
     receiver: Option<NodeId>,
+    /// The crowd's hosts (empty for every other action).
+    crowd: Vec<NodeId>,
 }
 
 /// How the runner slices the run (fault script application and
@@ -324,18 +326,74 @@ const QUIET_WINDOW: SimDuration = SimDuration::from_secs(4);
 
 /// Execute `scenario` and produce its [`Report`].
 pub fn run(scenario: &Scenario) -> Report {
+    let mut world = World::new(scenario.seed);
+    run_in(&mut world, scenario)
+}
+
+/// Execute `scenario` inside a caller-supplied [`World`], resetting it
+/// first. Behaviorally identical to [`run`] — `World::reset` rewinds
+/// every observable — but a worker that runs many scenarios through one
+/// world amortizes the event-queue, frame-pool and table allocations
+/// across the whole batch (this is what the parallel sweep's workers
+/// do).
+pub fn run_in(world: &mut World, scenario: &Scenario) -> Report {
+    world.reset(scenario.seed);
+    world.trace_mut().set_enabled(false);
+    run_prepared(world, scenario)
+}
+
+/// Execute `scenario` with the world trace left **on** and return the
+/// report plus an FNV-1a digest of the full observable record (trace
+/// entries, experiment counters, frame totals). Two runs of the same
+/// scenario — on any thread, in any pool — must agree on both values;
+/// the determinism suite compares digests across worker counts.
+pub fn run_traced(scenario: &Scenario) -> (Report, u64) {
+    let mut world = World::new(scenario.seed);
+    let report = run_prepared(&mut world, scenario);
+    let digest = trace_digest(&world);
+    (report, digest)
+}
+
+/// FNV-1a over a world's observable record: every retained trace entry,
+/// every experiment counter, and the run-wide frame totals.
+pub fn trace_digest(world: &World) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for e in world.trace().entries() {
+        eat(format!("{:?}\t{:?}\t{}\n", e.at, e.node, e.msg).as_bytes());
+    }
+    for (key, value) in world.counters().iter() {
+        eat(format!("{key}\t{value}\n").as_bytes());
+    }
+    eat(format!("{}\t{}\n", world.frames_sent(), world.frames_delivered()).as_bytes());
+    h
+}
+
+/// The shared body of [`run`]/[`run_in`]/[`run_traced`]: build the
+/// topology and workload into the (fresh or freshly-reset) world, drive
+/// the run, judge the invariants.
+fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     let topo = topo::generate(scenario.shape, scenario.seed);
     assert!(topo.is_connected(), "generated topologies are connected");
     let wl = workload::generate(scenario.battery, &topo, scenario.seed);
 
-    let mut world = World::new(scenario.seed);
-    world.trace_mut().set_enabled(false);
-    let built = topo::instantiate(
-        &mut world,
-        &topo,
-        &BridgeConfig::default(),
-        topo.default_boot(),
-    );
+    // Topology-derived pre-sizing: the world's node/segment tables and
+    // every bridge's learning table are sized for the full population up
+    // front, so per-frame work at metro scale never grows a table.
+    let n_hosts = wl.host_count() as usize;
+    world.reserve_topology(topo.bridges.len() + n_hosts, topo.segments.len());
+    let cfg = BridgeConfig {
+        expected_stations: n_hosts + topo.bridges.len(),
+        ..BridgeConfig::default()
+    };
+    let built = topo::instantiate(world, &topo, &cfg, topo.default_boot());
 
     // Loopy topologies need the spanning tree fully forwarding (two
     // forward-delay intervals plus margin) before traffic starts.
@@ -346,7 +404,7 @@ pub fn run(scenario: &Scenario) -> Report {
     };
     let epoch_d = SimDuration::from_ns(epoch.as_ns());
 
-    let placed = materialize(&mut world, &built, &topo, &wl, epoch_d);
+    let placed = materialize(world, &built, &topo, &wl, epoch_d);
 
     let end = SimTime::ZERO
         + scenario
@@ -358,7 +416,7 @@ pub fn run(scenario: &Scenario) -> Report {
         wl.faults.iter().map(|(at, f)| (epoch + *at, f)).collect();
     faults.sort_by_key(|(at, _)| *at);
     let mut next_fault = 0;
-    let mut signature = convergence_signature(&world, &built);
+    let mut signature = convergence_signature(world, &built);
     let mut converged_at: Option<SimTime> = None;
     let mut now = SimTime::ZERO;
     while now < end {
@@ -376,7 +434,7 @@ pub fn run(scenario: &Scenario) -> Report {
             next_fault += 1;
         }
         world.run_until(now);
-        let sig = convergence_signature(&world, &built);
+        let sig = convergence_signature(world, &built);
         if sig != signature {
             signature = sig;
             converged_at = Some(now);
@@ -397,15 +455,15 @@ pub fn run(scenario: &Scenario) -> Report {
         8
     };
 
-    let (apps, upload_count) = judge_apps(&world, &placed, &topo);
-    let bridges = bridge_reports(&world, &built);
+    let (apps, upload_count) = judge_apps(world, &placed, &topo);
+    let bridges = bridge_reports(world, &built);
     let vm_fuel = built
         .bridges
         .iter()
         .map(|&b| world.node::<BridgeNode>(b).plane().stats.vm_instructions)
         .sum();
     let invariants = judge_invariants(
-        &world,
+        world,
         &topo,
         &wl,
         &apps,
@@ -451,7 +509,8 @@ fn materialize(
         next_host += 1;
         let id = world.add_node(HostNode::new(
             format!("host{n}"),
-            HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE),
+            // Workload endpoints resolve at most a handful of peers.
+            HostConfig::simple(host_mac(n), host_ip(n), HostCostModel::FREE).with_arp_hint(4),
             apps,
         ));
         world.attach(id, built.segs[seg]);
@@ -462,6 +521,7 @@ fn materialize(
         .enumerate()
         .map(|(i, item)| {
             let start = epoch + item.offset;
+            let mut crowd = Vec::new();
             let (sender, receiver) = match &item.action {
                 AppAction::Ping {
                     from_seg,
@@ -555,11 +615,17 @@ fn materialize(
                     );
                     (tx, None)
                 }
+                AppAction::Crowd { seg, hosts } => {
+                    assert!(*hosts > 0, "a crowd needs at least one host");
+                    crowd = (0..*hosts).map(|_| host(world, *seg, vec![]).0).collect();
+                    (crowd[0], None)
+                }
             };
             Placed {
                 action: item.action.clone(),
                 sender,
                 receiver,
+                crowd,
             }
         })
         .collect()
@@ -591,6 +657,27 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
     let reports = placed
         .iter()
         .map(|p| {
+            // Crowds run no application; judge them on reception alone.
+            if let AppAction::Crowd { seg, hosts } = &p.action {
+                let mut heard = 0u64;
+                let mut frames_rx = 0u64;
+                for &h in &p.crowd {
+                    let rx = world.node::<HostNode>(h).core.frames_rx;
+                    heard += u64::from(rx > 0);
+                    frames_rx += rx;
+                }
+                return AppReport {
+                    label: "crowd",
+                    from_seg: *seg,
+                    to_seg: *seg,
+                    ok: heard == *hosts as u64,
+                    detail: vec![
+                        ("hosts", *hosts as u64),
+                        ("heard", heard),
+                        ("frames_rx", frames_rx),
+                    ],
+                };
+            }
             let app = world.node::<HostNode>(p.sender).app(0).unwrapped();
             match (&p.action, app) {
                 (

@@ -3,8 +3,9 @@
 //! `netmeasure2`-style "battery of experiments, machine-readable results,
 //! one number at the end".
 
-use netsim::SimDuration;
+use netsim::{SimDuration, World};
 
+use crate::exec;
 use crate::json::Json;
 use crate::runner::{self, Report, Scenario};
 use crate::topo::TopologyShape;
@@ -24,9 +25,10 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// The default sweep: six shapes (line, ring, star, tree, full mesh,
-    /// random redundant graph) × three batteries, small enough to run in
-    /// tests and CI.
+    /// The default sweep: seven shapes (line, ring, star, tree, full
+    /// mesh, random redundant graph, small metro) × four batteries,
+    /// small enough to run in tests and CI — and the committed job set
+    /// the parallel execution plane is benchmarked and gated on.
     pub fn default_sweep(seed: u64) -> SweepSpec {
         SweepSpec {
             shapes: vec![
@@ -42,11 +44,13 @@ impl SweepSpec {
                     segments: 4,
                     extra_links: 1,
                 },
+                TopologyShape::metro_small(),
             ],
             batteries: vec![
                 BatteryKind::Pings,
                 BatteryKind::Streams,
                 BatteryKind::Uploads,
+                BatteryKind::Metro,
             ],
             seed,
             duration: None,
@@ -123,9 +127,24 @@ impl SweepReport {
     }
 }
 
-/// Run every scenario in the sweep.
+/// Run every scenario in the sweep on the calling thread (equivalent to
+/// [`run_sweep_jobs`] with one job).
 pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
-    SweepReport {
-        runs: spec.scenarios().iter().map(runner::run).collect(),
-    }
+    run_sweep_jobs(spec, 1)
+}
+
+/// Run the sweep across up to `jobs` worker threads. Each worker owns
+/// one reusable [`World`] (reset per scenario, so consecutive runs
+/// amortize its allocations) and each scenario is constructed, run and
+/// scored entirely inside one worker; the per-scenario reports are
+/// merged in sweep order. The report — and its JSON rendering — is
+/// **byte-identical** for every `jobs` value.
+pub fn run_sweep_jobs(spec: &SweepSpec, jobs: usize) -> SweepReport {
+    let runs = exec::run_jobs_local(
+        spec.scenarios(),
+        jobs,
+        || World::new(0),
+        |world, sc| runner::run_in(world, &sc),
+    );
+    SweepReport { runs }
 }

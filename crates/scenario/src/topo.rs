@@ -54,6 +54,21 @@ pub enum TopologyShape {
         /// Redundant links beyond the spanning tree.
         extra_links: usize,
     },
+    /// The metro tier: a backbone of `spines` gigabit spine segments
+    /// joined in a line by spine bridges, with `districts` districts
+    /// hanging off it round-robin. Each district is a seeded-random tree
+    /// of `leaves` access segments rooted at its uplink bridge — the
+    /// spine/leaf shape that carries the ≥1000-host workloads of the
+    /// `metro` battery. Acyclic by construction (redundant metro cores
+    /// are what [`TopologyShape::Random`] with `extra_links` models).
+    Metro {
+        /// Backbone segment count (≥ 1).
+        spines: usize,
+        /// District count (≥ 1).
+        districts: usize,
+        /// Access segments per district (≥ 1).
+        leaves: usize,
+    },
 }
 
 impl TopologyShape {
@@ -66,19 +81,58 @@ impl TopologyShape {
             TopologyShape::Tree { .. } => "tree",
             TopologyShape::FullMesh { .. } => "full_mesh",
             TopologyShape::Random { .. } => "random",
+            TopologyShape::Metro { .. } => "metro",
         }
     }
+
+    /// The small metro preset (2 spines × 4 districts × 2 leaves —
+    /// 10 segments, 9 bridges): big enough to have a real backbone,
+    /// small enough for test sweeps.
+    pub fn metro_small() -> TopologyShape {
+        TopologyShape::Metro {
+            spines: 2,
+            districts: 4,
+            leaves: 2,
+        }
+    }
+
+    /// The large metro preset (4 spines × 16 districts × 4 leaves — 68
+    /// segments, 67 bridges, 64 access segments): with the `metro`
+    /// battery's 16 hosts per access segment this is the ≥1024-host
+    /// scale tier the bench gates on.
+    pub fn metro_large() -> TopologyShape {
+        TopologyShape::Metro {
+            spines: 4,
+            districts: 16,
+            leaves: 4,
+        }
+    }
+}
+
+/// What role a segment plays in its topology (drives media parameters
+/// and workload placement).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SegTier {
+    /// An edge LAN: hosts live here. The default everywhere except the
+    /// metro backbone.
+    #[default]
+    Access,
+    /// A metro backbone segment: gigabit, host-free — only bridges
+    /// attach.
+    Backbone,
 }
 
 /// One segment to be created, with its per-edge medium parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SegmentSpec {
-    /// Segment name (`lan0..`).
+    /// Segment name (`lan0..`, `spine0..` on the metro backbone).
     pub name: String,
     /// Link bandwidth in bits/second.
     pub bandwidth_bps: u64,
     /// One-way propagation delay.
     pub propagation: SimDuration,
+    /// The segment's role.
+    pub tier: SegTier,
 }
 
 /// One bridge to be created and the segments (by index) it attaches to.
@@ -120,6 +174,9 @@ pub fn generate(shape: TopologyShape, seed: u64) -> Topology {
 
     let mut bridges: Vec<BridgeSpec> = Vec::new();
     let mut n_segments;
+    // The first `n_backbone` segments get the Backbone tier (only the
+    // metro shape has any).
+    let mut n_backbone = 0usize;
     let link = |bridges: &mut Vec<BridgeSpec>, a: usize, b: usize| {
         let index = bridges.len() as u32;
         bridges.push(BridgeSpec {
@@ -196,16 +253,55 @@ pub fn generate(shape: TopologyShape, seed: u64) -> Topology {
                 link(&mut bridges, a.min(b), a.max(b));
             }
         }
+        TopologyShape::Metro {
+            spines,
+            districts,
+            leaves,
+        } => {
+            assert!(
+                spines >= 1 && districts >= 1 && leaves >= 1,
+                "a metro needs spines, districts and leaves ≥ 1"
+            );
+            // Backbone segments come first (they get the Backbone tier
+            // below), joined in a line by spine bridges.
+            n_segments = spines + districts * leaves;
+            n_backbone = spines;
+            for i in 0..spines.saturating_sub(1) {
+                link(&mut bridges, i, i + 1);
+            }
+            for d in 0..districts {
+                // District root hangs off its spine via the uplink
+                // bridge; the rest of the district is a seeded-random
+                // tree, like the Random shape but confined to the
+                // district's own segments.
+                let root = spines + d * leaves;
+                link(&mut bridges, d % spines, root);
+                for l in 1..leaves {
+                    let parent = root + wiring_rng.range(l as u64) as usize;
+                    link(&mut bridges, parent, root + l);
+                }
+            }
+        }
     }
     assert!(
         n_segments <= MAX_SEGMENTS,
         "shape {shape:?} generates {n_segments} segments (cap {MAX_SEGMENTS})"
     );
 
-    // Per-edge media mix: mostly 100 Mb/s with an occasional legacy
-    // 10 Mb/s segment, and propagation jitter in the hundreds of metres.
+    // Per-edge media mix. Access segments: mostly 100 Mb/s with an
+    // occasional legacy 10 Mb/s segment, and propagation jitter in the
+    // hundreds of metres. Backbone segments: uniform gigabit (a metro
+    // core has no legacy media), same jitter draw.
     let segments = (0..n_segments)
         .map(|i| {
+            if i < n_backbone {
+                return SegmentSpec {
+                    name: format!("spine{i}"),
+                    bandwidth_bps: 1_000_000_000,
+                    propagation: SimDuration::from_ns(500 + media_rng.range(1_500)),
+                    tier: SegTier::Backbone,
+                };
+            }
             let bandwidth_bps = if media_rng.one_in(5) {
                 10_000_000
             } else {
@@ -216,6 +312,7 @@ pub fn generate(shape: TopologyShape, seed: u64) -> Topology {
                 name: format!("lan{i}"),
                 bandwidth_bps,
                 propagation,
+                tier: SegTier::Access,
             }
         })
         .collect();
@@ -281,6 +378,17 @@ impl Topology {
     /// Is every segment reachable from every other?
     pub fn is_connected(&self) -> bool {
         self.distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Indices of the segments hosts may be placed on (everything except
+    /// the metro backbone; on non-metro shapes, every segment).
+    pub fn access_segments(&self) -> Vec<usize> {
+        self.segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tier == SegTier::Access)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// A pair of far-apart segments (two BFS passes): where end-to-end
@@ -400,6 +508,47 @@ mod tests {
             assert!(loopy.is_connected());
             assert!(loopy.cyclic());
         }
+    }
+
+    #[test]
+    fn metro_counts_tiers_and_connectivity() {
+        for seed in 0..8 {
+            let t = generate(TopologyShape::metro_large(), seed);
+            // 4 spines + 16 districts × 4 leaves; one bridge per
+            // non-root segment keeps it a tree.
+            assert_eq!((t.segments.len(), t.bridges.len()), (68, 67));
+            assert!(t.is_connected());
+            assert!(!t.cyclic(), "the metro tier is acyclic by construction");
+            assert_eq!(t.access_segments().len(), 64);
+            assert!(t
+                .segments
+                .iter()
+                .take(4)
+                .all(|s| s.tier == SegTier::Backbone && s.bandwidth_bps == 1_000_000_000));
+            assert!(t.segments[4..].iter().all(|s| s.tier == SegTier::Access));
+        }
+        let t = generate(TopologyShape::metro_small(), 3);
+        assert_eq!((t.segments.len(), t.bridges.len()), (10, 9));
+        assert_eq!(t.access_segments().len(), 8);
+        assert!(t.is_connected() && !t.cyclic());
+    }
+
+    #[test]
+    fn metro_district_wiring_consumes_the_seed() {
+        let shape = TopologyShape::metro_large();
+        assert_eq!(generate(shape, 5), generate(shape, 5));
+        assert_ne!(
+            generate(shape, 5).bridges,
+            generate(shape, 6).bridges,
+            "district trees must be seeded-random"
+        );
+    }
+
+    #[test]
+    fn non_metro_shapes_are_all_access_tier() {
+        let t = generate(TopologyShape::Star { arms: 3 }, 1);
+        assert!(t.segments.iter().all(|s| s.tier == SegTier::Access));
+        assert_eq!(t.access_segments().len(), t.segments.len());
     }
 
     #[test]

@@ -28,15 +28,23 @@ pub enum BatteryKind {
     /// (exercises retransmission; loss invariants are waived while the
     /// fault is scripted).
     Churn,
+    /// The population-scale battery: [`CROWD_PER_ACCESS`] silent hosts
+    /// on every access segment (≥ 1024 on the large metro), plus
+    /// cross-district echo trains, a diameter bulk transfer, and a
+    /// flood blast whose sink never speaks — so every blast frame fans
+    /// out to the whole population (exercises high-degree `DeliverAll`
+    /// batching, learn-table scale, flood forwarding).
+    Metro,
 }
 
 impl BatteryKind {
     /// Every battery, in a stable order.
-    pub const ALL: [BatteryKind; 4] = [
+    pub const ALL: [BatteryKind; 5] = [
         BatteryKind::Pings,
         BatteryKind::Streams,
         BatteryKind::Uploads,
         BatteryKind::Churn,
+        BatteryKind::Metro,
     ];
 
     /// Short label for names and reports.
@@ -46,6 +54,7 @@ impl BatteryKind {
             BatteryKind::Streams => "streams",
             BatteryKind::Uploads => "uploads",
             BatteryKind::Churn => "churn",
+            BatteryKind::Metro => "metro",
         }
     }
 
@@ -55,6 +64,7 @@ impl BatteryKind {
             BatteryKind::Streams => 2,
             BatteryKind::Uploads => 3,
             BatteryKind::Churn => 4,
+            BatteryKind::Metro => 5,
         }
     }
 }
@@ -108,6 +118,19 @@ pub enum AppAction {
         /// Target bridge index.
         bridge: usize,
     },
+    /// `hosts` silent listener hosts on `seg` — the metro battery's
+    /// district population. They never initiate traffic, but every
+    /// broadcast or flood crossing their segment is delivered to each
+    /// of them (the high-degree fan-out the metro tier exists to
+    /// stress). Judged on every host having heard at least one frame:
+    /// ARP broadcasts from the battery's active flows reach every
+    /// forwarding segment.
+    Crowd {
+        /// The crowd's segment.
+        seg: usize,
+        /// Host count.
+        hosts: u32,
+    },
 }
 
 impl AppAction {
@@ -118,6 +141,16 @@ impl AppAction {
             AppAction::Ttcp { .. } => "ttcp",
             AppAction::Blast { .. } => "blast",
             AppAction::Upload { .. } => "upload",
+            AppAction::Crowd { .. } => "crowd",
+        }
+    }
+
+    /// How many hosts materializing this action adds to the world.
+    pub fn host_count(&self) -> u64 {
+        match self {
+            AppAction::Ping { .. } | AppAction::Ttcp { .. } | AppAction::Blast { .. } => 2,
+            AppAction::Upload { .. } => 1,
+            AppAction::Crowd { hosts, .. } => *hosts as u64,
         }
     }
 
@@ -135,6 +168,7 @@ impl AppAction {
                 count, interval, ..
             } => *interval * *count + SimDuration::from_secs(2),
             AppAction::Upload { .. } => SimDuration::from_secs(5),
+            AppAction::Crowd { .. } => SimDuration::ZERO,
         }
     }
 }
@@ -209,21 +243,46 @@ impl Workload {
             .iter()
             .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.duplicate_one_in > 0))
     }
+
+    /// Total hosts materializing this workload adds to the world (the
+    /// runner pre-sizes the world and the bridges' tables from it).
+    pub fn host_count(&self) -> u64 {
+        self.items.iter().map(|i| i.action.host_count()).sum()
+    }
 }
 
-/// A distinct `(from, to)` segment pair: the far pair first, then seeded
-/// random distinct pairs.
+/// A distinct `(from, to)` pair of **access** segments: the far pair
+/// first (snapped onto access segments — the metro backbone is
+/// host-free), then seeded random distinct pairs. On non-metro shapes
+/// every segment is access-tier, so this draws over all of them with
+/// the same RNG consumption as before the metro tier existed.
 fn pick_pair(topo: &Topology, rng: &mut Xoshiro, nth: usize) -> (usize, usize) {
+    let access = topo.access_segments();
     if nth == 0 {
-        return topo.far_pair();
+        let (a, b) = topo.far_pair();
+        let snap = |s: usize, fallback: usize| {
+            if topo.segments[s].tier == crate::topo::SegTier::Access {
+                s
+            } else {
+                fallback
+            }
+        };
+        let (a, b) = (snap(a, access[0]), snap(b, access[access.len() - 1]));
+        if a == b && access.len() > 1 {
+            // Snapping collapsed the pair (tiny metro whose diameter
+            // endpoint was a spine): span the access extremes instead so
+            // the "far" workload still crosses bridges.
+            return (access[0], access[access.len() - 1]);
+        }
+        return (a, b);
     }
-    let n = topo.segments.len() as u64;
+    let n = access.len() as u64;
     let a = rng.range(n) as usize;
     let mut b = rng.range(n) as usize;
     if a == b {
         b = (b + 1) % n as usize;
     }
-    (a, b)
+    (access[a], access[b])
 }
 
 /// Generate the battery `kind` for `topo` from `seed`. Pure and
@@ -278,7 +337,18 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             let n_uploads = 1 + rng.range(2) as usize;
             for nth in 0..n_uploads {
                 let bridge = rng.range(topo.bridges.len() as u64) as usize;
-                let from_seg = topo.bridges[bridge].segments[0];
+                // Upload from one of the target bridge's own access
+                // segments; a pure-backbone bridge (metro spine) is
+                // reached from the first access segment instead — the
+                // loader answers from anywhere in the extended LAN. On
+                // non-metro shapes every segment is access-tier, so this
+                // is `segments[0]` exactly as before.
+                let from_seg = topo.bridges[bridge]
+                    .segments
+                    .iter()
+                    .copied()
+                    .find(|&s| topo.segments[s].tier == crate::topo::SegTier::Access)
+                    .unwrap_or_else(|| topo.access_segments()[0]);
                 items.push(WorkItem {
                     offset: SimDuration::from_ms(200 * nth as u64),
                     action: AppAction::Upload { from_seg, bridge },
@@ -293,6 +363,63 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                     size: 128,
                     count: 50,
                     interval: SimDuration::from_ms(2),
+                },
+            });
+        }
+        BatteryKind::Metro => {
+            // The district population: a crowd on every access segment.
+            // On the large metro preset (64 access segments) this is the
+            // ≥ 1024-host tier.
+            let access = topo.access_segments();
+            assert!(!access.is_empty(), "every topology has access segments");
+            for &seg in &access {
+                items.push(WorkItem {
+                    offset: SimDuration::ZERO,
+                    action: AppAction::Crowd {
+                        seg,
+                        hosts: CROWD_PER_ACCESS,
+                    },
+                });
+            }
+            // Cross-district echo trains (pick_pair keeps every endpoint
+            // on an access segment; the backbone is host-free).
+            for nth in 0..4 {
+                let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
+                items.push(WorkItem {
+                    offset: SimDuration::from_ms(50 * nth as u64),
+                    action: AppAction::Ping {
+                        from_seg,
+                        to_seg,
+                        count: 6,
+                        payload: 256,
+                        interval: SimDuration::from_ms(40),
+                    },
+                });
+            }
+            // A flood blast to a sink that never speaks: no bridge ever
+            // learns its address, so every frame floods the entire metro
+            // and fans out to the whole crowd population — the
+            // high-degree DeliverAll stress.
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 1);
+            items.push(WorkItem {
+                offset: SimDuration::from_ms(100),
+                action: AppAction::Blast {
+                    from_seg,
+                    to_seg,
+                    size: 512,
+                    count: 150,
+                    interval: SimDuration::from_ms(2),
+                },
+            });
+            // One bulk transfer across the diameter.
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 0);
+            items.push(WorkItem {
+                offset: SimDuration::from_ms(200),
+                action: AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes: 150_000,
+                    write_size: 4096,
                 },
             });
         }
@@ -351,6 +478,11 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
     }
 }
 
+/// How many silent hosts the metro battery places on each access
+/// segment (64 access segments on the large metro preset ⇒ 1024 crowd
+/// hosts before the active flows' endpoints are counted).
+pub const CROWD_PER_ACCESS: u32 = 16;
+
 /// The world counter bumped by the inert upload module's `init`.
 pub const UPLOAD_ALIVE_COUNTER: &str = "scenario.upload.alive";
 
@@ -404,6 +536,59 @@ mod tests {
             .find_map(|(at, f)| matches!(f, FaultAction::Clear { .. }).then_some(*at))
             .expect("churn clears its fault");
         assert!(clear_at < wl.span());
+    }
+
+    #[test]
+    fn every_battery_keeps_hosts_off_the_backbone() {
+        use crate::topo::{SegTier, TopologyShape};
+        let topo = gen_topo(TopologyShape::metro_large(), 11);
+        for kind in BatteryKind::ALL {
+            let wl = generate(kind, &topo, 11);
+            for item in &wl.items {
+                let segs: Vec<usize> = match item.action {
+                    AppAction::Crowd { seg, .. } => vec![seg],
+                    AppAction::Ping {
+                        from_seg, to_seg, ..
+                    }
+                    | AppAction::Ttcp {
+                        from_seg, to_seg, ..
+                    }
+                    | AppAction::Blast {
+                        from_seg, to_seg, ..
+                    } => vec![from_seg, to_seg],
+                    AppAction::Upload { from_seg, .. } => vec![from_seg],
+                };
+                for s in segs {
+                    assert_eq!(
+                        topo.segments[s].tier,
+                        SegTier::Access,
+                        "{kind:?} must not place hosts on the backbone"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metro_battery_reaches_the_thousand_host_tier() {
+        use crate::topo::TopologyShape;
+        let topo = gen_topo(TopologyShape::metro_large(), 11);
+        let wl = generate(BatteryKind::Metro, &topo, 11);
+        assert!(
+            wl.host_count() >= 1024,
+            "metro/large must field ≥ 1024 hosts, got {}",
+            wl.host_count()
+        );
+        // (Backbone placement is covered for every battery by
+        // `every_battery_keeps_hosts_off_the_backbone`.)
+    }
+
+    #[test]
+    fn metro_battery_scales_down_with_the_shape() {
+        let topo = gen_topo(TopologyShape::metro_small(), 4);
+        let wl = generate(BatteryKind::Metro, &topo, 4);
+        // 8 access segments × CROWD_PER_ACCESS crowd hosts + endpoints.
+        assert_eq!(wl.host_count(), 8 * CROWD_PER_ACCESS as u64 + 4 * 2 + 2 + 2);
     }
 
     #[test]

@@ -11,9 +11,9 @@ use hostsim::{App, BlastApp, HostConfig, HostCostModel, HostNode};
 use netsim::{PortId, SimDuration, SimTime, World};
 use proptest::prelude::*;
 
-/// Map proptest-drawn indices onto a shape (all six, sized small).
+/// Map proptest-drawn indices onto a shape (all seven, sized small).
 fn shape(idx: usize, size: usize) -> TopologyShape {
-    match idx % 6 {
+    match idx % 7 {
         0 => TopologyShape::Line { bridges: size },
         1 => TopologyShape::Ring { bridges: size + 1 },
         2 => TopologyShape::Star { arms: size },
@@ -22,6 +22,11 @@ fn shape(idx: usize, size: usize) -> TopologyShape {
             fanout: 2,
         },
         4 => TopologyShape::FullMesh { segments: size + 1 },
+        5 => TopologyShape::Metro {
+            spines: 1 + size % 2,
+            districts: size,
+            leaves: 2,
+        },
         _ => TopologyShape::Random {
             segments: size + 1,
             extra_links: size % 3,
@@ -49,6 +54,16 @@ fn expected_counts(shape: TopologyShape) -> (usize, usize) {
             segments,
             extra_links,
         } => (segments, segments - 1 + extra_links),
+        TopologyShape::Metro {
+            spines,
+            districts,
+            leaves,
+        } => {
+            // One bridge per non-first spine, one uplink per district,
+            // one bridge per non-root leaf: a tree, so segments - 1.
+            let segs = spines + districts * leaves;
+            (segs, segs - 1)
+        }
     }
 }
 
@@ -165,7 +180,7 @@ proptest! {
     /// count says so.
     #[test]
     fn topology_counts_and_connectivity(
-        idx in 0usize..6,
+        idx in 0usize..7,
         size in 2usize..5,
         seed in 0u64..100_000,
     ) {
@@ -188,10 +203,10 @@ proptest! {
     /// seeds.
     #[test]
     fn generation_is_deterministic(
-        idx in 0usize..6,
+        idx in 0usize..7,
         size in 2usize..5,
         seed in 0u64..100_000,
-        battery_idx in 0usize..4,
+        battery_idx in 0usize..5,
     ) {
         let shape = shape(idx, size);
         let a = topo::generate(shape, seed);
@@ -211,7 +226,7 @@ proptest! {
     /// byte-identical trace.
     #[test]
     fn same_seed_identical_world_trace(
-        idx in 0usize..6,
+        idx in 0usize..7,
         size in 2usize..4,
         seed in 0u64..100_000,
     ) {
@@ -226,9 +241,9 @@ proptest! {
     /// every invariant holds on every generated triple.
     #[test]
     fn scenario_reports_pass_and_replay(
-        idx in 0usize..6,
+        idx in 0usize..7,
         size in 2usize..4,
-        battery_idx in 0usize..4,
+        battery_idx in 0usize..5,
         seed in 0u64..100_000,
     ) {
         let sc = Scenario::new(shape(idx, size), BatteryKind::ALL[battery_idx], seed);
