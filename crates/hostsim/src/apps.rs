@@ -588,6 +588,10 @@ pub struct TtcpRecvApp {
     pub first_at: Option<SimTime>,
     /// Latest data arrival.
     pub last_at: Option<SimTime>,
+    /// Gap (ns) between consecutive data-segment arrivals — the raw
+    /// samples scenario reports sketch into an inter-arrival jitter
+    /// histogram. One entry per accepted segment after the first.
+    pub inter_arrival_ns: Vec<u64>,
 }
 
 impl TtcpRecvApp {
@@ -600,6 +604,7 @@ impl TtcpRecvApp {
             peer: None,
             first_at: None,
             last_at: None,
+            inter_arrival_ns: Vec::new(),
         })
     }
 
@@ -664,6 +669,10 @@ impl TtcpRecvApp {
         if self.first_at.is_none() {
             self.first_at = Some(ctx.now());
         }
+        if let Some(prev) = self.last_at {
+            self.inter_arrival_ns
+                .push(ctx.now().saturating_since(prev).as_ns());
+        }
         self.last_at = Some(ctx.now());
         let now_ns = ctx.now().as_ns();
         match self.rx.on_segment(seg.seq, seg.payload.len(), now_ns) {
@@ -716,6 +725,12 @@ pub struct UploadApp {
     last_tx: SimTime,
     /// Retransmissions performed.
     pub retries: u32,
+    /// Gap (ns) between consecutive forward-progress events (server
+    /// responses that advanced the transfer, including completion) —
+    /// the delivery-timeline samples scenario reports sketch. Stalls
+    /// bridged by retries show up as large gaps.
+    pub progress_gap_ns: Vec<u64>,
+    last_progress: Option<SimTime>,
 }
 
 impl UploadApp {
@@ -736,6 +751,8 @@ impl UploadApp {
             failed: None,
             last_tx: SimTime::ZERO,
             retries: 0,
+            progress_gap_ns: Vec::new(),
+            last_progress: None,
         })
     }
 
@@ -759,6 +776,7 @@ impl UploadApp {
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
         let wrq = self.sender.start();
         self.send_udp(core, ctx, &wrq);
+        self.last_progress = Some(ctx.now());
         ctx.schedule(SimDuration::from_ms(500), app_token(idx, UPLOAD_RETRY));
     }
 
@@ -784,11 +802,25 @@ impl UploadApp {
             return;
         }
         match self.sender.on_packet(udp.payload()) {
-            SenderStep::Send(next) => self.send_udp(core, ctx, &next),
-            SenderStep::Done => self.done_at = Some(ctx.now()),
+            SenderStep::Send(next) => {
+                self.record_progress(ctx.now());
+                self.send_udp(core, ctx, &next);
+            }
+            SenderStep::Done => {
+                self.record_progress(ctx.now());
+                self.done_at = Some(ctx.now());
+            }
             SenderStep::Failed(msg) => self.failed = Some(msg),
             SenderStep::Ignore => {}
         }
+    }
+
+    fn record_progress(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_progress {
+            self.progress_gap_ns
+                .push(now.saturating_since(prev).as_ns());
+        }
+        self.last_progress = Some(now);
     }
 
     fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {

@@ -89,6 +89,10 @@ pub struct SegCounters {
     /// transmission — the idealized-collision count of this model (real
     /// CSMA/CD would have collided and backed off here).
     pub contended: u64,
+    /// Deepest the transmit queue ever got (frames waiting behind the
+    /// one being serialized) — how close the segment came to dropping
+    /// under load. Quality scoring reads this as degradation evidence.
+    pub peak_queue: u64,
     /// Frames dropped because the transmit queue was full.
     pub queue_drops: u64,
     /// Frames dropped by fault injection.
@@ -175,6 +179,7 @@ impl Segment {
         } else if self.queue.len() < self.cfg.queue_cap {
             self.counters.contended += 1;
             self.queue.push_back(tx);
+            self.counters.peak_queue = self.counters.peak_queue.max(self.queue.len() as u64);
             (true, false)
         } else {
             self.counters.queue_drops += 1;
@@ -238,6 +243,7 @@ mod tests {
         assert_eq!(seg.offer(tx(0)), (true, true));
         assert_eq!(seg.offer(tx(1)), (true, false));
         assert_eq!(seg.offer(tx(2)), (true, false));
+        assert_eq!(seg.counters.peak_queue, 2, "two frames waited at the peak");
         let (done, more) = seg.complete();
         assert_eq!(done.src.0, NodeId(0));
         assert!(more);

@@ -1,0 +1,111 @@
+//! `ab_scenario` — render scenario sweeps and analyze their reports
+//! offline, in the spirit of `netmeasure2`'s `showbat`.
+//!
+//! ```sh
+//! ab_scenario render --jobs 4 --seed 42 > sweep.json
+//! ab_scenario analyze sweep.json                 # per-scenario scorecards
+//! ab_scenario analyze sweep.json --assert-score 60   # CI gate
+//! ```
+//!
+//! `render` runs the default sweep and prints the JSON document (byte-
+//! identical for every `--jobs` value). `analyze` consumes a sweep JSON
+//! — a file, or stdin with `-` — and prints one scorecard line per
+//! scenario plus the sweep's overall quality score, entirely offline;
+//! `--assert-score N` exits non-zero when the overall score is below
+//! `N` (or missing), which is what CI gates on.
+
+use std::io::Read as _;
+
+use ab_scenario::quality;
+use ab_scenario::sweep::{run_sweep_jobs, SweepSpec};
+use ab_scenario::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ab_scenario render [--jobs N] [--seed S]\n  \
+         ab_scenario analyze <sweep.json|-> [--assert-score N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("render") => render(args),
+        Some("analyze") => analyze(args),
+        _ => usage(),
+    }
+}
+
+fn render(mut args: impl Iterator<Item = String>) {
+    let mut jobs = ab_scenario::default_jobs();
+    let mut seed = 42u64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = ab_scenario::parse_jobs(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let report = run_sweep_jobs(&SweepSpec::default_sweep(seed), jobs);
+    print!("{}", report.to_json().render_pretty());
+}
+
+fn analyze(mut args: impl Iterator<Item = String>) {
+    let Some(path) = args.next() else { usage() };
+    let mut assert_score = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--assert-score" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                assert_score = Some(v.parse::<u64>().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("reading stdin: {e}");
+                std::process::exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let sweep = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("parsing {path}: {e}");
+        std::process::exit(1);
+    });
+    let cards = quality::sweep_scorecards(&sweep).unwrap_or_else(|e| {
+        eprintln!("analyzing {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{cards}");
+    if let Some(floor) = assert_score {
+        match quality::sweep_overall(&sweep).expect("scorecards already validated the document") {
+            Some(overall) if overall >= floor => {
+                eprintln!("quality {overall} >= required {floor}");
+            }
+            Some(overall) => {
+                eprintln!("quality {overall} is below the required {floor}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("no scenario produced a quality score; cannot assert {floor}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

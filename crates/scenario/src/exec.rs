@@ -34,7 +34,7 @@
 //! and pool allocations via `World::reset`.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The default worker count: what the OS reports as available
 /// parallelism (1 when unknown).
@@ -94,27 +94,49 @@ where
     // Work-stealing-lite: one shared deque of `(job id, spec)`; idle
     // workers pop from the front. Results go into per-job slots so the
     // merge below is a plain in-order unwrap.
+    //
+    // A panicking job poisons whichever mutex it held; sibling workers
+    // recover the guard with `PoisonError::into_inner` (the queue and
+    // slots hold plain data that is never left half-updated across an
+    // unwind) and keep draining. The handles are joined explicitly so
+    // the *first* panic's real payload is resumed on the caller —
+    // letting `thread::scope` do the join would replace it with an
+    // opaque "a scoped thread panicked".
     let queue: Mutex<VecDeque<(usize, S)>> = Mutex::new(specs.into_iter().enumerate().collect());
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let workers = jobs.min(n);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut state = worker_state();
-                loop {
-                    let job = queue.lock().expect("job queue poisoned").pop_front();
-                    let Some((id, spec)) = job else { break };
-                    let result = run(&mut state, spec);
-                    *results[id].lock().expect("result slot poisoned") = Some(result);
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = worker_state();
+                    loop {
+                        let job = queue
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front();
+                        let Some((id, spec)) = job else { break };
+                        let result = run(&mut state, spec);
+                        *results[id].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    }
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("pool joined with an unfinished job")
         })
         .collect()
@@ -181,6 +203,51 @@ mod tests {
     fn empty_and_oversubscribed_batches_work() {
         assert_eq!(run_jobs(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
         assert_eq!(run_jobs(vec![9u8], 16, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn panicking_job_propagates_its_own_payload() {
+        // Before the poison fix, the panicking job poisoned the shared
+        // queue mutex and sibling workers died on "job queue poisoned"
+        // — a cascade that masked the original panic. The pool must
+        // surface the real payload.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs((0..20usize).collect(), 4, |x| {
+                if x == 7 {
+                    panic!("job 7 exploded");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("the pool must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("job 7 exploded"),
+            "expected the original payload, got {msg:?}"
+        );
+    }
+
+    #[test]
+    fn surviving_workers_drain_the_queue_after_a_panic() {
+        // The queue mutex is poisoned mid-drain; remaining jobs must
+        // still run (recovered guards), observable via the counter.
+        let ran = AtomicUsize::new(0);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs((0..50usize).collect(), 2, |x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("first job dies");
+                }
+                x
+            })
+        }));
+        // 49 survivors + the panicking job itself reached the closure.
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
     }
 
     #[test]

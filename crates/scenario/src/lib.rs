@@ -39,7 +39,9 @@
 
 pub mod exec;
 pub mod json;
+pub mod quality;
 pub mod runner;
+pub mod sketch;
 pub mod sweep;
 pub mod topo;
 pub mod workload;
@@ -53,7 +55,9 @@ pub use active_bridge::scenario_impl::{
 
 pub use exec::{default_jobs, parse_jobs, run_jobs, run_jobs_local};
 pub use json::Json;
+pub use quality::{score_report, QualityScore};
 pub use runner::{run, run_in, run_traced, InvariantResult, Report, Scenario, Verdict};
+pub use sketch::Sketch;
 pub use sweep::{run_sweep, run_sweep_jobs, SweepReport, SweepSpec};
 pub use topo::{instantiate, BuiltTopology, SegTier, Topology, TopologyShape};
-pub use workload::{BatteryKind, Workload};
+pub use workload::{BatteryKind, Phase, Workload};

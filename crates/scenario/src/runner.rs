@@ -28,8 +28,10 @@ use netsim::{NodeId, PortId, SimDuration, SimTime, World, WorldStats};
 use netstack::tcplite::{ReceiverConfig, SenderConfig};
 
 use crate::json::Json;
+use crate::quality;
+use crate::sketch::Sketch;
 use crate::topo::{self, Topology, TopologyShape};
-use crate::workload::{self, AppAction, BatteryKind, FaultAction, Workload};
+use crate::workload::{self, AppAction, BatteryKind, FaultAction, Phase, Workload};
 
 /// The IEEE spanning-tree switchlet name (what [`Topology::default_boot`]
 /// boots on loopy topologies).
@@ -98,11 +100,73 @@ pub struct InvariantResult {
     pub detail: String,
 }
 
+/// Experience metrics for one application flow: a deterministic sample
+/// sketch plus a delivery ratio, with an explicit validity flag. A flow
+/// that measured nothing (a ping with zero replies) is **invalid** and
+/// renders `null` statistics — never a perfect-looking zero.
+#[derive(Clone, Debug)]
+pub struct AppMetrics {
+    /// What the sketch samples are: `rtt` (ping round trips), `jitter`
+    /// (ttcp inter-arrival gaps), `timeline` (upload progress gaps) or
+    /// `delivery` (no sketch — counts only).
+    pub kind: &'static str,
+    /// Did the flow produce a usable measurement?
+    pub valid: bool,
+    /// Delivered fraction in per-mille (1000 = everything arrived).
+    /// `None` when nothing was expected.
+    pub delivery_pm: Option<u64>,
+    /// The sample sketch (nanosecond samples), when the flow records one.
+    pub sketch: Option<Sketch>,
+}
+
+impl AppMetrics {
+    /// A counts-only metric (blasts, crowds): validity and delivery,
+    /// no sketch.
+    pub fn delivery(valid: bool, delivery_pm: Option<u64>) -> AppMetrics {
+        AppMetrics {
+            kind: "delivery",
+            valid,
+            delivery_pm,
+            sketch: None,
+        }
+    }
+
+    /// The flow's p90 sample in nanoseconds, when valid and sketched.
+    pub fn p90_ns(&self) -> Option<u64> {
+        if !self.valid {
+            return None;
+        }
+        self.sketch.as_ref().and_then(|s| s.percentile(90))
+    }
+
+    /// Render as JSON: summary statistics derived from the buckets, the
+    /// validity flag, and the sketch itself.
+    pub fn to_json(&self) -> Json {
+        let stat = |v: Option<u64>| v.map(Json::U64).unwrap_or(Json::Null);
+        let s = self.sketch.as_ref().filter(|_| self.valid);
+        let mut members = vec![
+            ("kind", Json::str(self.kind)),
+            ("valid", Json::Bool(self.valid)),
+            ("avg_ns", stat(s.and_then(|s| s.avg()))),
+            ("p50_ns", stat(s.and_then(|s| s.percentile(50)))),
+            ("p90_ns", stat(s.and_then(|s| s.percentile(90)))),
+            ("p99_ns", stat(s.and_then(|s| s.percentile(99)))),
+            ("delivery_pm", stat(self.delivery_pm)),
+        ];
+        if let Some(sk) = &self.sketch {
+            members.push(("sketch", sk.to_json()));
+        }
+        Json::obj(members)
+    }
+}
+
 /// Per-application outcome, in workload order.
 #[derive(Clone, Debug)]
 pub struct AppReport {
     /// Action label (`ping`, `ttcp`, `blast`, `upload`).
     pub label: &'static str,
+    /// Which measurement phase scheduled this flow.
+    pub phase: Phase,
     /// Sender's segment index.
     pub from_seg: usize,
     /// Receiver's segment index (the bridge's first segment for uploads).
@@ -111,6 +175,8 @@ pub struct AppReport {
     pub ok: bool,
     /// `(key, value)` detail counters, stable order.
     pub detail: Vec<(&'static str, u64)>,
+    /// Experience metrics (sketch, percentiles, delivery, validity).
+    pub metrics: AppMetrics,
 }
 
 /// Per-bridge outcome.
@@ -214,6 +280,7 @@ impl Report {
                         ("tx_bytes", Json::U64(c.tx_bytes)),
                         ("deliveries", Json::U64(c.deliveries)),
                         ("contended", Json::U64(c.contended)),
+                        ("peak_queue", Json::U64(c.peak_queue)),
                         ("queue_drops", Json::U64(c.queue_drops)),
                         ("fault_drops", Json::U64(c.fault_drops)),
                         ("corrupted", Json::U64(c.corrupted)),
@@ -254,6 +321,7 @@ impl Report {
                 .map(|a| {
                     let mut members = vec![
                         ("label", Json::str(a.label)),
+                        ("phase", Json::str(a.phase.label())),
                         ("from_seg", Json::U64(a.from_seg as u64)),
                         ("to_seg", Json::U64(a.to_seg as u64)),
                         ("ok", Json::Bool(a.ok)),
@@ -261,6 +329,7 @@ impl Report {
                     for &(k, v) in &a.detail {
                         members.push((k, Json::U64(v)));
                     }
+                    members.push(("metrics", a.metrics.to_json()));
                     Json::obj(members)
                 })
                 .collect(),
@@ -280,13 +349,21 @@ impl Report {
         let (passed, failed, waived) = self.verdict_counts();
         let total = passed + failed;
         let summary = Json::obj(vec![
+            // `pass` is computed from judged invariants only; waived
+            // ones neither pass nor fail it.
             ("pass", Json::Bool(self.passed())),
             ("passed", Json::U64(passed)),
             ("failed", Json::U64(failed)),
             ("waived", Json::U64(waived)),
             (
+                // A run whose invariants were *all* waived has no score:
+                // rendering 100 here (the old `unwrap_or(100)`) made a
+                // fully-waived run look perfect.
                 "score_percent",
-                Json::U64((passed * 100).checked_div(total).unwrap_or(100)),
+                match (passed * 100).checked_div(total) {
+                    Some(pct) => Json::U64(pct),
+                    None => Json::Null,
+                },
             ),
         ]);
         Json::obj(vec![
@@ -304,6 +381,7 @@ impl Report {
             ),
             ("vm_fuel", Json::U64(self.vm_fuel)),
             ("invariants", invariants),
+            ("quality", quality::score_report(self).to_json()),
             ("summary", summary),
         ])
     }
@@ -312,6 +390,7 @@ impl Report {
 /// One materialized workload item: where its hosts went.
 struct Placed {
     action: AppAction,
+    phase: Phase,
     sender: NodeId,
     receiver: Option<NodeId>,
     /// The crowd's hosts (empty for every other action).
@@ -623,6 +702,7 @@ fn materialize(
             };
             Placed {
                 action: item.action.clone(),
+                phase: item.phase,
                 sender,
                 receiver,
                 crowd,
@@ -668,6 +748,7 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                 }
                 return AppReport {
                     label: "crowd",
+                    phase: p.phase,
                     from_seg: *seg,
                     to_seg: *seg,
                     ok: heard == *hosts as u64,
@@ -676,6 +757,10 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                         ("heard", heard),
                         ("frames_rx", frames_rx),
                     ],
+                    metrics: AppMetrics::delivery(
+                        *hosts > 0,
+                        (*hosts > 0).then(|| heard * 1000 / *hosts as u64),
+                    ),
                 };
             }
             let app = world.node::<HostNode>(p.sender).app(0).unwrapped();
@@ -690,14 +775,22 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                     App::Ping(a),
                 ) => AppReport {
                     label: "ping",
+                    phase: p.phase,
                     from_seg: *from_seg,
                     to_seg: *to_seg,
                     ok: a.received == *count,
-                    detail: vec![
-                        ("sent", a.sent as u64),
-                        ("received", a.received as u64),
-                        ("avg_rtt_ns", a.avg_rtt().map(|d| d.as_ns()).unwrap_or(0)),
-                    ],
+                    detail: vec![("sent", a.sent as u64), ("received", a.received as u64)],
+                    // A ping that got no replies has no RTT measurement:
+                    // the sketch is empty and `valid` is false, so every
+                    // derived statistic renders null (the old report
+                    // emitted `avg_rtt_ns: 0` here — indistinguishable
+                    // from a perfect round trip).
+                    metrics: AppMetrics {
+                        kind: "rtt",
+                        valid: a.received > 0,
+                        delivery_pm: (a.sent > 0).then(|| a.received as u64 * 1000 / a.sent as u64),
+                        sketch: Some(Sketch::from_samples(a.rtts.iter().map(|d| d.as_ns()))),
+                    },
                 },
                 (
                     AppAction::Ttcp {
@@ -708,13 +801,16 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                     },
                     App::TtcpSend(a),
                 ) => {
-                    let received = p
+                    let (received, jitter) = p
                         .receiver
                         .map(|r| match world.node::<HostNode>(r).app(0).unwrapped() {
-                            App::TtcpRecv(rx) => rx.bytes_received(),
-                            _ => 0,
+                            App::TtcpRecv(rx) => (
+                                rx.bytes_received(),
+                                Sketch::from_samples(rx.inter_arrival_ns.iter().copied()),
+                            ),
+                            _ => (0, Sketch::new()),
                         })
-                        .unwrap_or(0);
+                        .unwrap_or_else(|| (0, Sketch::new()));
                     let elapsed = match (a.started_at, a.done_at) {
                         (Some(s), Some(e)) => e.saturating_since(s),
                         _ => SimDuration::ZERO,
@@ -726,6 +822,7 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                     };
                     AppReport {
                         label: "ttcp",
+                        phase: p.phase,
                         from_seg: *from_seg,
                         to_seg: *to_seg,
                         ok: a.is_done() && received == *total_bytes,
@@ -735,6 +832,13 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                             ("elapsed_ns", elapsed.as_ns()),
                             ("throughput_bps", throughput_bps),
                         ],
+                        metrics: AppMetrics {
+                            kind: "jitter",
+                            valid: jitter.count() > 0,
+                            delivery_pm: (*total_bytes > 0)
+                                .then(|| received.min(*total_bytes) * 1000 / total_bytes),
+                            sketch: Some(jitter),
+                        },
                     }
                 }
                 (
@@ -752,26 +856,39 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                         .unwrap_or(0);
                     AppReport {
                         label: "blast",
+                        phase: p.phase,
                         from_seg: *from_seg,
                         to_seg: *to_seg,
                         ok: a.sent == *count && received == *count,
                         detail: vec![("sent", a.sent), ("received", received)],
+                        metrics: AppMetrics::delivery(
+                            *count > 0,
+                            (*count > 0).then(|| received.min(*count) * 1000 / count),
+                        ),
                     }
                 }
                 (AppAction::Upload { from_seg, bridge }, App::Upload(a)) => {
                     uploads += 1;
+                    let done = a.is_done() && a.failed.is_none();
                     AppReport {
                         label: "upload",
+                        phase: p.phase,
                         from_seg: *from_seg,
                         // Like every other label, to_seg is a segment
                         // index; the target bridge goes in the detail.
                         to_seg: topo.bridges[*bridge].segments[0],
-                        ok: a.is_done() && a.failed.is_none(),
+                        ok: done,
                         detail: vec![
                             ("bridge", *bridge as u64),
                             ("done", u64::from(a.is_done())),
                             ("retries", a.retries as u64),
                         ],
+                        metrics: AppMetrics {
+                            kind: "timeline",
+                            valid: done,
+                            delivery_pm: Some(if done { 1000 } else { 0 }),
+                            sketch: Some(Sketch::from_samples(a.progress_gap_ns.iter().copied())),
+                        },
                     }
                 }
                 (action, _) => unreachable!(
@@ -864,14 +981,16 @@ fn judge_invariants(
     });
 
     // Loss: blasts are raw and unacknowledged, so a scripted drop fault
-    // waives them; ping/ttcp/upload carry their own recovery and stay
-    // strict.
+    // waives them — as are loaded-phase probes, which run *inside* the
+    // scripted fault window precisely to measure how much is lost
+    // (their losses feed the degradation score, not the invariant).
+    // Everything else carries its own recovery and stays strict.
     let drops_scripted = wl.injects_drops();
     let mut lost = Vec::new();
     let mut waived_loss = 0u64;
     for a in apps {
         if !a.ok {
-            if a.label == "blast" && drops_scripted {
+            if drops_scripted && (a.label == "blast" || a.phase == Phase::Loaded) {
                 waived_loss += 1;
             } else {
                 lost.push(format!("{} {}→{}", a.label, a.from_seg, a.to_seg));

@@ -26,7 +26,7 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// The default sweep: seven shapes (line, ring, star, tree, full
-    /// mesh, random redundant graph, small metro) × four batteries,
+    /// mesh, random redundant graph, small metro) × five batteries,
     /// small enough to run in tests and CI — and the committed job set
     /// the parallel execution plane is benchmarked and gated on.
     pub fn default_sweep(seed: u64) -> SweepSpec {
@@ -51,6 +51,7 @@ impl SweepSpec {
                 BatteryKind::Streams,
                 BatteryKind::Uploads,
                 BatteryKind::Metro,
+                BatteryKind::Contention,
             ],
             seed,
             duration: None,
@@ -100,6 +101,32 @@ impl SweepReport {
     pub fn to_json(&self) -> Json {
         let (passed, failed, waived) = self.verdict_counts();
         let total = passed + failed;
+        // Quality aggregation: the floor mean and minimum of every
+        // scored scenario's overall quality.
+        let overalls: Vec<u64> = self
+            .runs
+            .iter()
+            .filter_map(|r| crate::quality::score_report(r).overall)
+            .collect();
+        let quality = Json::obj(vec![
+            ("scenarios_scored", Json::U64(overalls.len() as u64)),
+            (
+                "mean",
+                match overalls.is_empty() {
+                    true => Json::Null,
+                    false => Json::U64(overalls.iter().sum::<u64>() / overalls.len() as u64),
+                },
+            ),
+            (
+                "min",
+                overalls
+                    .iter()
+                    .copied()
+                    .min()
+                    .map(Json::U64)
+                    .unwrap_or(Json::Null),
+            ),
+        ]);
         Json::obj(vec![
             (
                 "runs",
@@ -117,10 +144,16 @@ impl SweepReport {
                     ("invariants_failed", Json::U64(failed)),
                     ("invariants_waived", Json::U64(waived)),
                     (
+                        // `None` — not a perfect 100 — when every judged
+                        // invariant was waived (see `Report::to_json`).
                         "score_percent",
-                        Json::U64((passed * 100).checked_div(total).unwrap_or(100)),
+                        match (passed * 100).checked_div(total) {
+                            Some(pct) => Json::U64(pct),
+                            None => Json::Null,
+                        },
                     ),
                     ("pass", Json::Bool(self.passed())),
+                    ("quality", quality),
                 ]),
             ),
         ])

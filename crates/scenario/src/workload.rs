@@ -26,8 +26,16 @@ pub enum BatteryKind {
     Uploads,
     /// Blasts and a ttcp transfer through a mid-run drop-fault window
     /// (exercises retransmission; loss invariants are waived while the
-    /// fault is scripted).
+    /// fault is scripted). Baseline pings before the fault and loaded
+    /// pings inside the drop window feed the degradation subscore.
     Churn,
+    /// The degradation battery: baseline pings measure the quiet
+    /// network, then a background blast sized to ~2/3 of the slowest
+    /// element's capacity (wire or bridge software path, whichever
+    /// binds) loads the extended LAN while loaded pings measure again.
+    /// The quality scorer compares the two phases — graceful
+    /// degradation, not just survival.
+    Contention,
     /// The population-scale battery: [`CROWD_PER_ACCESS`] silent hosts
     /// on every access segment (≥ 1024 on the large metro), plus
     /// cross-district echo trains, a diameter bulk transfer, and a
@@ -39,12 +47,13 @@ pub enum BatteryKind {
 
 impl BatteryKind {
     /// Every battery, in a stable order.
-    pub const ALL: [BatteryKind; 5] = [
+    pub const ALL: [BatteryKind; 6] = [
         BatteryKind::Pings,
         BatteryKind::Streams,
         BatteryKind::Uploads,
         BatteryKind::Churn,
         BatteryKind::Metro,
+        BatteryKind::Contention,
     ];
 
     /// Short label for names and reports.
@@ -55,6 +64,7 @@ impl BatteryKind {
             BatteryKind::Uploads => "uploads",
             BatteryKind::Churn => "churn",
             BatteryKind::Metro => "metro",
+            BatteryKind::Contention => "contention",
         }
     }
 
@@ -65,6 +75,33 @@ impl BatteryKind {
             BatteryKind::Uploads => 3,
             BatteryKind::Churn => 4,
             BatteryKind::Metro => 5,
+            BatteryKind::Contention => 6,
+        }
+    }
+}
+
+/// Which measurement phase a scheduled app belongs to. Degradation
+/// batteries run the same probe twice — once on the quiet network
+/// ([`Phase::Baseline`]) and once under scripted load or faults
+/// ([`Phase::Loaded`]) — and the quality scorer pairs the two by report
+/// order. Everything else is [`Phase::Main`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Ordinary workload traffic.
+    Main,
+    /// A quiet-network measurement taken before the disturbance.
+    Baseline,
+    /// The same measurement repeated under load or scripted faults.
+    Loaded,
+}
+
+impl Phase {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Main => "main",
+            Phase::Baseline => "baseline",
+            Phase::Loaded => "loaded",
         }
     }
 }
@@ -179,6 +216,8 @@ pub struct WorkItem {
     /// Start offset from the workload epoch (which the runner places
     /// after topology convergence).
     pub offset: SimDuration,
+    /// Which measurement phase this item belongs to.
+    pub phase: Phase,
     /// What to run.
     pub action: AppAction,
 }
@@ -297,6 +336,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                 let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
                 let payload = [64usize, 256, 512, 1024][rng.range(4) as usize];
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::from_ms(50 * nth as u64),
                     action: AppAction::Ping {
                         from_seg,
@@ -311,6 +351,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
         BatteryKind::Streams => {
             let (from_seg, to_seg) = pick_pair(topo, &mut rng, 0);
             items.push(WorkItem {
+                phase: Phase::Main,
                 offset: SimDuration::ZERO,
                 action: AppAction::Ttcp {
                     from_seg,
@@ -322,6 +363,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             for nth in 1..3 {
                 let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::from_ms(100 * nth as u64),
                     action: AppAction::Blast {
                         from_seg,
@@ -350,12 +392,14 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                     .find(|&s| topo.segments[s].tier == crate::topo::SegTier::Access)
                     .unwrap_or_else(|| topo.access_segments()[0]);
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::from_ms(200 * nth as u64),
                     action: AppAction::Upload { from_seg, bridge },
                 });
             }
             let (from_seg, to_seg) = pick_pair(topo, &mut rng, 1);
             items.push(WorkItem {
+                phase: Phase::Main,
                 offset: SimDuration::from_ms(50),
                 action: AppAction::Blast {
                     from_seg,
@@ -374,6 +418,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             assert!(!access.is_empty(), "every topology has access segments");
             for &seg in &access {
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::ZERO,
                     action: AppAction::Crowd {
                         seg,
@@ -386,6 +431,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             for nth in 0..4 {
                 let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::from_ms(50 * nth as u64),
                     action: AppAction::Ping {
                         from_seg,
@@ -402,6 +448,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             // high-degree DeliverAll stress.
             let (from_seg, to_seg) = pick_pair(topo, &mut rng, 1);
             items.push(WorkItem {
+                phase: Phase::Main,
                 offset: SimDuration::from_ms(100),
                 action: AppAction::Blast {
                     from_seg,
@@ -414,6 +461,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             // One bulk transfer across the diameter.
             let (from_seg, to_seg) = pick_pair(topo, &mut rng, 0);
             items.push(WorkItem {
+                phase: Phase::Main,
                 offset: SimDuration::from_ms(200),
                 action: AppAction::Ttcp {
                     from_seg,
@@ -423,13 +471,92 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                 },
             });
         }
+        BatteryKind::Contention => {
+            // Baseline pings measure the quiet network first: done by
+            // 8 × 30 ms = 240 ms, before the blast window opens.
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 0);
+            let ping = |phase, offset_ms| WorkItem {
+                phase,
+                offset: SimDuration::from_ms(offset_ms),
+                action: AppAction::Ping {
+                    from_seg,
+                    to_seg,
+                    count: 8,
+                    payload: 256,
+                    interval: SimDuration::from_ms(30),
+                },
+            };
+            items.push(ping(Phase::Baseline, 0));
+            // The background load: a blast whose sink never speaks, so
+            // every frame floods the whole extended LAN and contends on
+            // every segment and every bridge. The inter-frame interval
+            // is sized from the *slowest* element a flooded frame passes
+            // through — the slowest segment's serialization time, or the
+            // bridges' per-frame software path (which dominates on fast
+            // media: a full-size frame costs ~0.56 ms through the
+            // calibrated forwarding path, far above its 100 Mb/s wire
+            // time) — run at utilization ρ = 2/3: heavy enough to queue
+            // probes behind it, light enough that no queue overflows and
+            // drops (the loss invariant stays strict here; nothing is
+            // scripted).
+            let min_bw = topo
+                .segments
+                .iter()
+                .map(|s| s.bandwidth_bps)
+                .min()
+                .expect("every topology has segments");
+            let size = 1400usize;
+            let overhead = 24u64; // preamble + IFG + FCS, the segment default
+            let wire_ns = ((size as u64 + overhead) * 8 * 1_000_000_000).div_ceil(min_bw);
+            let bridge_ns = active_bridge::BridgeConfig::default()
+                .cost
+                .service_time(size + 14) // payload + Ethernet header
+                .as_ns();
+            let interval = SimDuration::from_ns(wire_ns.max(bridge_ns) * 3 / 2);
+            // The blast opens before the loaded pings and outlives them:
+            // loaded pings run 500..740 ms, the blast 400..~900 ms.
+            let blast_span_ns = SimDuration::from_ms(500).as_ns();
+            let count = blast_span_ns.div_ceil(interval.as_ns()).max(1);
+            let (b_from, b_to) = pick_pair(topo, &mut rng, 1);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(400),
+                action: AppAction::Blast {
+                    from_seg: b_from,
+                    to_seg: b_to,
+                    size,
+                    count,
+                    interval,
+                },
+            });
+            // Loaded pings: the same pair, re-measured mid-blast.
+            items.push(ping(Phase::Loaded, 500));
+        }
         BatteryKind::Churn => {
+            // Baseline pings complete before the fault window opens at
+            // 500 ms (6 × 50 ms = 300 ms); loaded pings run inside it
+            // and are waived from the loss invariant like the blasts.
+            let (p_from, p_to) = pick_pair(topo, &mut rng, 3);
+            let ping = |phase, offset_ms| WorkItem {
+                phase,
+                offset: SimDuration::from_ms(offset_ms),
+                action: AppAction::Ping {
+                    from_seg: p_from,
+                    to_seg: p_to,
+                    count: 6,
+                    payload: 256,
+                    interval: SimDuration::from_ms(50),
+                },
+            };
+            items.push(ping(Phase::Baseline, 0));
+            items.push(ping(Phase::Loaded, 1_000));
             // Long raw blasts span the whole fault window (their sinks
             // never speak, so the frames flood every segment — the lossy
             // patch always bites them; their loss is waived).
             for nth in 0..2 {
                 let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
                 items.push(WorkItem {
+                    phase: Phase::Main,
                     offset: SimDuration::from_ms(100 + 200 * nth as u64),
                     action: AppAction::Blast {
                         from_seg,
@@ -461,6 +588,7 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
             // churn is survivable, not just observable.
             let (from_seg, to_seg) = pick_pair(topo, &mut rng, 2);
             items.push(WorkItem {
+                phase: Phase::Main,
                 offset: SimDuration::from_ms(4_500),
                 action: AppAction::Ttcp {
                     from_seg,

@@ -206,7 +206,7 @@ proptest! {
         idx in 0usize..7,
         size in 2usize..5,
         seed in 0u64..100_000,
-        battery_idx in 0usize..5,
+        battery_idx in 0usize..6,
     ) {
         let shape = shape(idx, size);
         let a = topo::generate(shape, seed);
@@ -243,7 +243,7 @@ proptest! {
     fn scenario_reports_pass_and_replay(
         idx in 0usize..7,
         size in 2usize..4,
-        battery_idx in 0usize..5,
+        battery_idx in 0usize..6,
         seed in 0u64..100_000,
     ) {
         let sc = Scenario::new(shape(idx, size), BatteryKind::ALL[battery_idx], seed);
