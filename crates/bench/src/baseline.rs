@@ -816,6 +816,80 @@ pub fn pr4_case(name: &str) -> Option<&'static PreCase> {
     PR4_BASELINE.iter().find(|p| p.name == name)
 }
 
+/// Where [`PR5_BASELINE`] came from.
+pub const PR5_PROVENANCE: &str = "BENCH_PR5.json as committed at 96420a7 (multi-core execution \
+     plane, before the PR 7 flight-recorder work), full mode, release build, same container \
+     class as CI";
+
+/// The PR 5 committed baseline (the `cases` section of BENCH_PR5.json) —
+/// the anchor set for the probe-overhead gate: these numbers were
+/// recorded before any flight-recorder hook existed, so a disarmed-probe
+/// run that stays within tolerance of them (anchor-normalized) proves
+/// the hooks' disarmed cost is in the noise.
+pub const PR5_BASELINE: &[PreCase] = &[
+    PreCase {
+        name: "broadcast/small",
+        frames_delivered: 51_136,
+        frames_per_sec: 12_806_276.52,
+        ns_per_frame: 78.09,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "broadcast/large",
+        frames_delivered: 409_088,
+        frames_per_sec: 17_913_263.81,
+        ns_per_frame: 55.82,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "ttcp/small",
+        frames_delivered: 9_312,
+        frames_per_sec: 1_896_266.18,
+        ns_per_frame: 527.35,
+        allocs_per_frame: 0.756,
+    },
+    PreCase {
+        name: "ttcp/large",
+        frames_delivered: 23_280,
+        frames_per_sec: 2_862_498.98,
+        ns_per_frame: 349.35,
+        allocs_per_frame: 0.258,
+    },
+    PreCase {
+        name: "pings/small",
+        frames_delivered: 7_984,
+        frames_per_sec: 3_001_704.63,
+        ns_per_frame: 333.14,
+        allocs_per_frame: 0.504,
+    },
+    PreCase {
+        name: "pings/large",
+        frames_delivered: 15_994,
+        frames_per_sec: 2_967_711.98,
+        ns_per_frame: 336.96,
+        allocs_per_frame: 0.504,
+    },
+    PreCase {
+        name: "metro/small",
+        frames_delivered: 139_572,
+        frames_per_sec: 21_764_015.46,
+        ns_per_frame: 45.95,
+        allocs_per_frame: 0.0,
+    },
+    PreCase {
+        name: "metro/large",
+        frames_delivered: 4_413_208,
+        frames_per_sec: 21_586_668.21,
+        ns_per_frame: 46.32,
+        allocs_per_frame: 0.0,
+    },
+];
+
+/// PR 5 baseline numbers for `name`, if recorded.
+pub fn pr5_case(name: &str) -> Option<&'static PreCase> {
+    PR5_BASELINE.iter().find(|p| p.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

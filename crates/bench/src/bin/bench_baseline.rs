@@ -16,7 +16,7 @@
 //! cargo run --release -p ab_bench --bin bench_baseline -- [--smoke] \
 //!     [--jobs N] [--out BENCH_PR5.json] [--assert-alloc-o1] \
 //!     [--assert-ttcp-allocs 0.5] [--assert-vs-pr4 0.10] \
-//!     [--assert-scaling 1.8]
+//!     [--assert-probe-overhead 0.02] [--assert-scaling 1.8]
 //! ```
 //!
 //! * `--smoke` — CI-sized runs (a few seconds total);
@@ -33,6 +33,12 @@
 //!   *normalized to the broadcast/large anchor of the same run*,
 //!   regressed more than `TOL` versus the recorded PR 4 baseline
 //!   (anchor normalization cancels machine speed);
+//! * `--assert-probe-overhead TOL` — exit nonzero if any case's
+//!   ns-per-frame, normalized to the same anchor, grew more than `TOL`
+//!   versus the recorded **PR 5** baseline — the last recording taken
+//!   before the flight-recorder hooks existed. These runs keep the
+//!   probe disarmed, so the gate bounds the *disarmed* per-hook cost
+//!   (one predictable branch each) to the noise floor;
 //! * `--assert-scaling EFF` — exit nonzero if the 4-job sweep speedup
 //!   falls below `EFF` — enforced only when the machine actually has
 //!   ≥ 4 hardware threads (reported as `host_parallelism` either way).
@@ -78,6 +84,7 @@ struct Args {
     assert_o1: bool,
     assert_ttcp_allocs: Option<f64>,
     assert_vs_pr4: Option<f64>,
+    assert_probe_overhead: Option<f64>,
     assert_scaling: Option<f64>,
 }
 
@@ -89,6 +96,7 @@ fn parse_args() -> Args {
         assert_o1: false,
         assert_ttcp_allocs: None,
         assert_vs_pr4: None,
+        assert_probe_overhead: None,
         assert_scaling: None,
     };
     let mut args = std::env::args().skip(1);
@@ -110,6 +118,9 @@ fn parse_args() -> Args {
                 parsed.assert_ttcp_allocs = Some(num(&mut args, "--assert-ttcp-allocs"))
             }
             "--assert-vs-pr4" => parsed.assert_vs_pr4 = Some(num(&mut args, "--assert-vs-pr4")),
+            "--assert-probe-overhead" => {
+                parsed.assert_probe_overhead = Some(num(&mut args, "--assert-probe-overhead"))
+            }
             "--assert-scaling" => parsed.assert_scaling = Some(num(&mut args, "--assert-scaling")),
             "--out" => parsed.out = args.next().expect("--out needs a path"),
             other => {
@@ -339,6 +350,13 @@ fn main() {
         ("cases", Json::Arr(results.iter().map(case_json).collect())),
         ("scaling", scaling_json),
         (
+            "pr5_baseline",
+            Json::obj(vec![
+                ("provenance", Json::str(baseline::PR5_PROVENANCE)),
+                ("cases", Json::Arr(pre_cases_json(baseline::PR5_BASELINE))),
+            ]),
+        ),
+        (
             "pr4_baseline",
             Json::obj(vec![
                 ("provenance", Json::str(baseline::PR4_PROVENANCE)),
@@ -470,6 +488,55 @@ fn main() {
             }
             _ => {
                 eprintln!("anchor case missing; cannot assert the PR4 comparison");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(tol) = args.assert_probe_overhead {
+        // Same anchor normalization as the PR 4 gate, but against the
+        // PR 5 recording (the last one with no probe hooks compiled in)
+        // and on ns-per-frame: every case's anchor-relative cost per
+        // delivered frame must stay within `tol` of what it was before
+        // the flight recorder existed. The probe is disarmed throughout
+        // these runs, so this bounds the disarmed hook cost.
+        match (
+            case_num(ANCHOR, "ns_per_frame_num"),
+            baseline::pr5_case(ANCHOR),
+        ) {
+            (Some(anchor_now), Some(anchor_pr5)) if anchor_now > 0.0 => {
+                for c in &results {
+                    let Some(pr5) = baseline::pr5_case(&c.name) else {
+                        continue;
+                    };
+                    let Some(now) = case_num(&c.name, "ns_per_frame_num") else {
+                        continue;
+                    };
+                    let now_rel = now / anchor_now;
+                    let pr5_rel = pr5.ns_per_frame / anchor_pr5.ns_per_frame;
+                    let ratio = now_rel / pr5_rel;
+                    let ok = ratio <= 1.0 + tol;
+                    println!(
+                        "# probe overhead (disarmed, vs PR5, normalized to {ANCHOR}): \
+                         {:<18} {:.3}x -> {}",
+                        c.name,
+                        ratio,
+                        if ok { "OK" } else { "EXCEEDED" }
+                    );
+                    if !ok {
+                        eprintln!(
+                            "disarmed probe overhead exceeds {:.1}%: {} ns/frame ratio {:.3} \
+                             vs the PR5 (pre-probe) baseline",
+                            tol * 100.0,
+                            c.name,
+                            ratio
+                        );
+                        failed = true;
+                    }
+                }
+            }
+            _ => {
+                eprintln!("anchor case missing; cannot assert the probe-overhead bound");
                 failed = true;
             }
         }

@@ -378,6 +378,35 @@ impl BridgeNode {
         self.plane.status_of(name)
     }
 
+    /// Start accumulating per-function VM hot counters (call count and
+    /// inclusive fuel) on this bridge — the JIT-tier promotion signal.
+    /// Idempotent; profiling never changes results, fuel accounting or
+    /// `ExecStats`.
+    pub fn enable_vm_profile(&mut self) {
+        self.vm_scratch.enable_profile();
+    }
+
+    /// The accumulated hot-function profile as
+    /// `(module, function, counters)` lines in deterministic
+    /// `(instance, func)` order. Empty when profiling was never enabled.
+    pub fn hot_functions(&self) -> Vec<(String, String, switchlet::FuncHotCounters)> {
+        let Some(profile) = self.vm_scratch.profile() else {
+            return Vec::new();
+        };
+        profile
+            .iter()
+            .map(|(instance, func, c)| {
+                let module = &self.ns.instance(instance).module;
+                let fname = module
+                    .functions
+                    .get(func as usize)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| format!("fn{func}"));
+                (module.name.clone(), fname, c)
+            })
+            .collect()
+    }
+
     // ---------------------------------------------------------- dispatch
 
     fn with_slot(
@@ -418,6 +447,7 @@ impl BridgeNode {
             max_depth: 64,
         };
         let owner = self.vm_owner.get(&target).cloned().unwrap_or_default();
+        ctx.probe_exec_begin();
         let mut env = hostmods::HostEnv {
             sim: ctx,
             plane: &mut self.plane,
@@ -437,6 +467,7 @@ impl BridgeNode {
             &mut self.vm_scratch,
         ) {
             Ok((_, stats)) => {
+                ctx.probe_exec_end(stats.instructions, stats.host_calls);
                 self.vm_instructions += stats.instructions;
                 self.plane.stats.vm_instructions += stats.instructions;
             }
@@ -444,6 +475,7 @@ impl BridgeNode {
                 // Contained: the switchlet invocation failed, the bridge
                 // carries on (the paper's "protect itself from some
                 // algorithmic failures").
+                ctx.probe_exec_end(0, 0);
                 let name = self.name.clone();
                 ctx.trace(format!("{name}: vm switchlet trapped: {e}"));
                 ctx.bump("bridge.vm_traps", 1);

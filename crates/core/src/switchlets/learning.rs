@@ -23,6 +23,17 @@ pub const NAME: &str = "bridge_learning";
 const SWEEP_TOKEN: u32 = 1;
 const SWEEP_EVERY: SimDuration = SimDuration::from_secs(60);
 
+/// Flight-recorder label for a verdict (static strings: recording a
+/// decision allocates nothing).
+fn verdict_label(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Blocked => "blocked",
+        Verdict::Filter => "filter",
+        Verdict::Direct(_) => "direct",
+        Verdict::Flood => "flood",
+    }
+}
+
 /// The learning switching function.
 ///
 /// Since PR 4 the per-flow verdict is memoized in the plane's
@@ -120,6 +131,8 @@ impl NativeSwitchlet for LearningBridge {
             let gen = bc.plane.generation();
             if let Some(verdict) = bc.plane.fwd_cache.probe(port, src, dst, gen, now) {
                 bc.plane.stats.cache_hits += 1;
+                bc.sim
+                    .probe_decision(port, verdict_label(verdict), true, gen);
                 self.replay(bc, port, frame, verdict, now);
                 return;
             }
@@ -130,6 +143,8 @@ impl NativeSwitchlet for LearningBridge {
             if unicast {
                 let gen = bc.plane.generation();
                 bc.plane.stats.cache_misses += 1;
+                bc.sim
+                    .probe_decision(port, verdict_label(Verdict::Blocked), false, gen);
                 bc.plane
                     .fwd_cache
                     .store(port, src, dst, gen, SimTime::MAX, Verdict::Blocked);
@@ -143,6 +158,9 @@ impl NativeSwitchlet for LearningBridge {
         }
         // Group destinations always flood (footnote 3).
         if dst.is_multicast() {
+            let gen = bc.plane.generation();
+            bc.sim
+                .probe_decision(port, verdict_label(Verdict::Flood), false, gen);
             self.flood(bc, port, frame);
             return;
         }
@@ -172,6 +190,8 @@ impl NativeSwitchlet for LearningBridge {
         // have inserted a mapping), then apply.
         let gen = bc.plane.generation();
         bc.plane.stats.cache_misses += 1;
+        bc.sim
+            .probe_decision(port, verdict_label(verdict), false, gen);
         bc.plane
             .fwd_cache
             .store(port, src, dst, gen, valid_until, verdict);

@@ -286,6 +286,7 @@ impl PingApp {
     }
 
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        ctx.probe_mark("ping.start");
         self.send_one(core, ctx);
         if self.sent < self.count {
             ctx.schedule(self.interval, app_token(idx, PING_SEND));
@@ -317,6 +318,7 @@ impl PingApp {
             self.received += 1;
             if self.received == self.count {
                 self.done_at = Some(ctx.now());
+                ctx.probe_mark("ping.done");
             }
         }
     }
@@ -412,6 +414,7 @@ impl TtcpSendApp {
 
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
         self.started_at = Some(ctx.now());
+        ctx.probe_mark("ttcp.start");
         self.try_write(core, ctx, idx);
     }
 
@@ -570,6 +573,7 @@ impl TtcpSendApp {
         if self.tcp.all_acked() && self.writes_left == 0 && self.done_at.is_none() {
             self.done_at = Some(ctx.now());
             ctx.bump("ttcp.done", 1);
+            ctx.probe_mark("ttcp.done");
             return;
         }
         self.pump(core, ctx, idx);
@@ -774,6 +778,7 @@ impl UploadApp {
     }
 
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        ctx.probe_mark("upload.start");
         let wrq = self.sender.start();
         self.send_udp(core, ctx, &wrq);
         self.last_progress = Some(ctx.now());
@@ -809,6 +814,7 @@ impl UploadApp {
             SenderStep::Done => {
                 self.record_progress(ctx.now());
                 self.done_at = Some(ctx.now());
+                ctx.probe_mark("upload.done");
             }
             SenderStep::Failed(msg) => self.failed = Some(msg),
             SenderStep::Ignore => {}
@@ -1164,6 +1170,7 @@ impl BlastApp {
 
     fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
         if self.count > 0 {
+            ctx.probe_mark("blast.start");
             self.send_one(core, ctx);
             if self.sent < self.count {
                 ctx.schedule(self.interval, app_token(idx, BLAST_TICK));

@@ -61,6 +61,7 @@ pub mod fasthash;
 pub mod fault;
 pub mod framebuf;
 pub mod node;
+pub mod probe;
 pub mod rng;
 pub mod segment;
 pub mod service;
@@ -73,6 +74,7 @@ pub use fasthash::{FastMap, FastSet, FxBuildHasher};
 pub use fault::FaultConfig;
 pub use framebuf::FrameBuf;
 pub use node::{Node, NodeId, PortId, TimerHandle, TimerToken};
+pub use probe::{Probe, ProbeConfig, ProbeEvent, ProbeRecord};
 pub use rng::Xoshiro;
 pub use segment::{SegCounters, SegId, Segment, SegmentConfig};
 pub use service::{Offer, ServiceQueue};

@@ -209,6 +209,17 @@ impl Segment {
         &self.counters
     }
 
+    /// Frames currently waiting behind the transmission in flight (the
+    /// flight recorder stamps this onto queued offers).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The segment's configured transmit-queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.cfg.queue_cap
+    }
+
     /// Captured frames (empty unless capture was enabled).
     pub fn captured(&self) -> &[CapturedFrame] {
         &self.captured

@@ -12,6 +12,7 @@ use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultOutcome;
 use crate::framebuf::FrameBuf;
 use crate::node::{Node, NodeId, PortId, TimerHandle, TimerToken};
+use crate::probe::{Probe, ProbeRecord};
 use crate::rng::Xoshiro;
 use crate::segment::{CapturedFrame, PendingTx, SegId, Segment, SegmentConfig};
 use crate::time::{SimDuration, SimTime};
@@ -32,6 +33,9 @@ pub struct WorldCore {
     live_timers: u64,
     pub(crate) trace: Trace,
     pub(crate) counters: Counters,
+    /// The flight recorder (disarmed by default; see [`crate::probe`]).
+    /// Records only — arming it never changes event order or RNG draws.
+    pub(crate) probe: Probe,
     /// Frames handed to `Ctx::send` (before segment queueing).
     pub frames_sent: u64,
     /// Frame deliveries to node ports.
@@ -101,11 +105,30 @@ impl WorldCore {
         self.frames_sent += 1;
         let seg = &mut self.segments[seg_id.0];
         let ser = seg.serialization_time(frame.len());
+        let len = frame.len() as u32;
         let (accepted, started) = seg.offer(PendingTx {
             src,
             frame,
             offered_at: self.time,
         });
+        if self.probe.is_armed() {
+            let record = if accepted {
+                ProbeRecord::FrameOffered {
+                    seg: seg_id,
+                    src,
+                    len,
+                    queued: !started,
+                    depth: self.segments[seg_id.0].queue_depth() as u32,
+                }
+            } else {
+                ProbeRecord::QueueDrop {
+                    seg: seg_id,
+                    src,
+                    len,
+                }
+            };
+            self.probe.record(self.time, record);
+        }
         if accepted && started {
             self.schedule_completion(seg_id, self.time + ser);
         }
@@ -181,14 +204,25 @@ impl<'w> Ctx<'w> {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
         self.core.live_timers += 1;
+        let deadline = self.core.time + after;
         self.core.queue.push(
-            self.core.time + after,
+            deadline,
             EventKind::Timer {
                 node: self.node,
                 token,
                 id,
             },
         );
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::TimerArm {
+                    node: self.node,
+                    id,
+                    deadline,
+                },
+            );
+        }
         TimerHandle(id)
     }
 
@@ -196,6 +230,15 @@ impl<'w> Ctx<'w> {
     /// already-cancelled timer is a no-op.
     pub fn cancel(&mut self, handle: TimerHandle) {
         self.core.cancelled_timers.insert(handle.0);
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::TimerCancel {
+                    node: self.node,
+                    id: handle.0,
+                },
+            );
+        }
     }
 
     /// The deterministic RNG.
@@ -233,6 +276,77 @@ impl<'w> Ctx<'w> {
     /// Read an experiment counter.
     pub fn counter(&self, key: &str) -> u64 {
         self.core.counters.get(key)
+    }
+
+    /// Is the flight recorder armed? Nodes with recording hooks of their
+    /// own can skip argument preparation entirely when it is not.
+    #[inline(always)]
+    pub fn probe_armed(&self) -> bool {
+        self.core.probe.is_armed()
+    }
+
+    /// Record a bridge forwarding decision in the flight recorder
+    /// (no-op when disarmed; never perturbs the simulation).
+    #[inline]
+    pub fn probe_decision(
+        &mut self,
+        port: PortId,
+        verdict: &'static str,
+        cache_hit: bool,
+        generation: u64,
+    ) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::Decision {
+                    node: self.node,
+                    port,
+                    verdict,
+                    cache_hit,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Record the start of a switchlet invocation on this node.
+    #[inline]
+    pub fn probe_exec_begin(&mut self) {
+        if self.core.probe.is_armed() {
+            self.core
+                .probe
+                .record(self.core.time, ProbeRecord::ExecBegin { node: self.node });
+        }
+    }
+
+    /// Record the end of a switchlet invocation with its metered cost
+    /// (pass zeros when the invocation trapped).
+    #[inline]
+    pub fn probe_exec_end(&mut self, fuel: u64, host_calls: u64) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::ExecEnd {
+                    node: self.node,
+                    fuel,
+                    host_calls,
+                },
+            );
+        }
+    }
+
+    /// Record a free-form application phase mark (e.g. `"ttcp.start"`).
+    #[inline]
+    pub fn probe_mark(&mut self, label: &'static str) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::Mark {
+                    node: self.node,
+                    label,
+                },
+            );
+        }
     }
 }
 
@@ -308,6 +422,7 @@ impl World {
                 live_timers: 0,
                 trace: Trace::new(65_536),
                 counters: Counters::default(),
+                probe: Probe::new(),
                 frames_sent: 0,
                 frames_delivered: 0,
                 deliver_scratch: Vec::new(),
@@ -343,6 +458,10 @@ impl World {
         self.core.live_timers = 0;
         self.core.trace.reset();
         self.core.counters.clear();
+        // Probe state (records *and* the armed flag) must not leak into
+        // the next scenario: a reused world starts disarmed, like a fresh
+        // one.
+        self.core.probe.reset();
         self.core.frames_sent = 0;
         self.core.frames_delivered = 0;
         // `deliver_scratch` and `frame_pool` survive deliberately: they
@@ -450,6 +569,11 @@ impl World {
                 {
                     // Cancelled; skip.
                 } else {
+                    if self.core.probe.is_armed() {
+                        self.core
+                            .probe
+                            .record(at, ProbeRecord::TimerFire { node, id });
+                    }
                     self.with_node(node, |n, ctx| n.on_timer(ctx, token));
                 }
             }
@@ -474,6 +598,21 @@ impl World {
         let (done, started_next) = seg.complete();
         seg.counters.tx_frames += 1;
         seg.counters.tx_bytes += done.frame.len() as u64;
+        if core.probe.is_armed() {
+            let ser_ns = core.segments[seg_id.0]
+                .serialization_time(done.frame.len())
+                .as_ns();
+            core.probe.record(
+                now,
+                ProbeRecord::WireTx {
+                    seg: seg_id,
+                    src: done.src,
+                    len: done.frame.len() as u32,
+                    ser_ns,
+                },
+            );
+        }
+        let seg = &mut core.segments[seg_id.0];
         if started_next {
             let next_len = seg
                 .current
@@ -487,18 +626,40 @@ impl World {
         // Fault injection on the completed frame, drawn from the world
         // RNG; applied by reference, no per-frame clone of the config.
         let seg = &mut core.segments[seg_id.0];
+        let wire_len = done.frame.len() as u32;
         let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
         if corrupted {
             seg.counters.corrupted += 1;
+            core.probe.record(
+                now,
+                ProbeRecord::FaultCorrupt {
+                    seg: seg_id,
+                    len: wire_len,
+                },
+            );
         }
         let (frame, copies) = match outcome {
             FaultOutcome::Deliver(f) => (f, 1),
             FaultOutcome::Duplicate(f) => {
                 seg.counters.fault_duplicates += 1;
+                core.probe.record(
+                    now,
+                    ProbeRecord::FaultDuplicate {
+                        seg: seg_id,
+                        len: wire_len,
+                    },
+                );
                 (f, 2)
             }
             FaultOutcome::Drop => {
                 seg.counters.fault_drops += 1;
+                core.probe.record(
+                    now,
+                    ProbeRecord::FaultDrop {
+                        seg: seg_id,
+                        len: wire_len,
+                    },
+                );
                 return;
             }
         };
@@ -553,6 +714,21 @@ impl World {
             seg.counters.tx_frames += 1;
             seg.counters.tx_bytes += d.frame.len() as u64;
             done = d;
+            if self.core.probe.is_armed() {
+                // Stamp the wire-tx at the completion instant (this fused
+                // event fires one propagation delay later).
+                let completion = SimTime::from_ns(now.as_ns() - prop.as_ns());
+                let ser_ns = seg.serialization_time(done.frame.len()).as_ns();
+                self.core.probe.record(
+                    completion,
+                    ProbeRecord::WireTx {
+                        seg: seg_id,
+                        src: done.src,
+                        len: done.frame.len() as u32,
+                        ser_ns,
+                    },
+                );
+            }
             if started_next {
                 let next = seg
                     .current
@@ -575,18 +751,40 @@ impl World {
         }
         let core = &mut self.core;
         let seg = &mut core.segments[seg_id.0];
+        let wire_len = done.frame.len() as u32;
         let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
         if corrupted {
             seg.counters.corrupted += 1;
+            core.probe.record(
+                now,
+                ProbeRecord::FaultCorrupt {
+                    seg: seg_id,
+                    len: wire_len,
+                },
+            );
         }
         let (frame, copies) = match outcome {
             FaultOutcome::Deliver(f) => (f, 1u64),
             FaultOutcome::Duplicate(f) => {
                 seg.counters.fault_duplicates += 1;
+                core.probe.record(
+                    now,
+                    ProbeRecord::FaultDuplicate {
+                        seg: seg_id,
+                        len: wire_len,
+                    },
+                );
                 (f, 2)
             }
             FaultOutcome::Drop => {
                 seg.counters.fault_drops += 1;
+                core.probe.record(
+                    now,
+                    ProbeRecord::FaultDrop {
+                        seg: seg_id,
+                        len: wire_len,
+                    },
+                );
                 return;
             }
         };
@@ -618,6 +816,16 @@ impl World {
             if a == src || b == src {
                 let target = if a == src { b } else { a };
                 self.core.frames_delivered += 1;
+                if self.core.probe.is_armed() {
+                    self.core.probe.record(
+                        self.core.time,
+                        ProbeRecord::Deliver {
+                            seg,
+                            dst: target,
+                            len: frame.len() as u32,
+                        },
+                    );
+                }
                 self.with_node(target.0, |n, ctx| n.on_frame(ctx, target.1, frame));
                 return;
             }
@@ -632,6 +840,7 @@ impl World {
         // cloned): on single-listener segments the receiving node ends up
         // holding the only reference, so it can recycle the buffer.
         let last = (0..listeners.len()).rev().find(|&i| Some(i) != src_idx);
+        let armed = self.core.probe.is_armed();
         let mut frame = Some(frame);
         for (i, &(node, port)) in listeners.iter().enumerate() {
             if Some(i) == src_idx {
@@ -643,6 +852,16 @@ impl World {
             } else {
                 frame.clone().expect("frame present until last listener")
             };
+            if armed {
+                self.core.probe.record(
+                    self.core.time,
+                    ProbeRecord::Deliver {
+                        seg,
+                        dst: (node, port),
+                        len: f.len() as u32,
+                    },
+                );
+            }
             self.with_node(node, |n, ctx| n.on_frame(ctx, port, f));
         }
         // No listeners at all: the wire frame dies here — reclaim it.
@@ -705,6 +924,17 @@ impl World {
     /// Number of pending events.
     pub fn pending_events(&self) -> usize {
         self.core.queue.len()
+    }
+
+    /// Access a node by concrete type if it is one, `None` otherwise
+    /// (how offline tooling sorts a mixed node population into bridges
+    /// and hosts without panicking on either).
+    pub fn try_node<N: Node>(&self, id: NodeId) -> Option<&N> {
+        self.nodes[id.0]
+            .as_deref()
+            .expect("node checked out")
+            .as_any()
+            .downcast_ref::<N>()
     }
 
     /// Access a node by concrete type (e.g. to read results after a run).
@@ -792,6 +1022,16 @@ impl World {
                 })
                 .collect(),
         }
+    }
+
+    /// The flight recorder.
+    pub fn probe(&self) -> &Probe {
+        &self.core.probe
+    }
+
+    /// The flight recorder, mutable (to arm or disarm it).
+    pub fn probe_mut(&mut self) -> &mut Probe {
+        &mut self.core.probe
     }
 
     /// Run-wide trace.
@@ -1081,6 +1321,50 @@ mod tests {
         assert_eq!(reused.pending_events(), 0);
         assert_eq!(reused.num_nodes(), 0);
         assert_eq!(drive(&mut reused), want);
+    }
+
+    /// Arming the recorder must not change behavior, and `reset` must
+    /// clear both the ring and the armed flag — a reused world starts
+    /// with a cold recorder, exactly like a fresh one, and replays the
+    /// same run.
+    #[test]
+    fn reset_clears_armed_probe_state_and_replays() {
+        use crate::probe::ProbeConfig;
+        fn drive(w: &mut World) -> (u64, u64) {
+            let lan = w.add_segment(SegmentConfig {
+                fault: crate::fault::FaultConfig {
+                    drop_one_in: 3,
+                    duplicate_one_in: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let t = w.add_node(Talker { sent_timer: false });
+            let a = w.add_node(echo("a", true));
+            w.attach(t, lan);
+            w.attach(a, lan);
+            w.run_until(SimTime::from_ms(50));
+            (w.frames_delivered(), w.segment(lan).counters().fault_drops)
+        }
+        let mut fresh = World::new(7);
+        let want = drive(&mut fresh);
+
+        let mut reused = World::new(7);
+        reused.probe_mut().arm(ProbeConfig { capacity: 1024 });
+        let got = drive(&mut reused);
+        assert_eq!(got, want, "an armed recorder must not perturb the run");
+        assert!(reused.probe().appended() > 0, "the armed run recorded");
+
+        reused.reset(7);
+        assert!(!reused.probe().is_armed(), "reset must disarm the probe");
+        assert!(reused.probe().is_empty(), "reset must clear the ring");
+        assert_eq!(reused.probe().appended(), 0);
+        assert_eq!(drive(&mut reused), want, "reset world replays fresh");
+        assert_eq!(
+            reused.probe().appended(),
+            0,
+            "a reset (disarmed) recorder must stay silent"
+        );
     }
 
     #[test]

@@ -5,25 +5,43 @@
 //! ab_scenario render --jobs 4 --seed 42 > sweep.json
 //! ab_scenario analyze sweep.json                 # per-scenario scorecards
 //! ab_scenario analyze sweep.json --assert-score 60   # CI gate
+//! ab_scenario trace metro pings > trace.json     # flight-recorder timeline
+//! ab_scenario validate-trace trace.json          # structural check (CI)
 //! ```
 //!
 //! `render` runs the default sweep and prints the JSON document (byte-
-//! identical for every `--jobs` value). `analyze` consumes a sweep JSON
+//! identical for every `--jobs` value; `--profile` prints the exec
+//! pool's self-profile to stderr). `analyze` consumes a sweep JSON
 //! — a file, or stdin with `-` — and prints one scorecard line per
 //! scenario plus the sweep's overall quality score, entirely offline;
 //! `--assert-score N` exits non-zero when the overall score is below
 //! `N` (or missing), which is what CI gates on.
+//!
+//! `trace` runs **one** scenario with the flight recorder armed and
+//! prints a Chrome trace-event / Perfetto-compatible timeline to stdout
+//! (load it via `chrome://tracing` or Perfetto's "legacy trace" path);
+//! hot-function and segment-queue summary tables go to stderr. The
+//! document is deterministic: same shape/battery/seed → byte-identical
+//! JSON. `validate-trace` re-parses an emitted document with the
+//! in-repo JSON parser and checks the trace-event contract.
 
 use std::io::Read as _;
 
 use ab_scenario::quality;
-use ab_scenario::sweep::{run_sweep_jobs, SweepSpec};
-use ab_scenario::Json;
+use ab_scenario::runner::Scenario;
+use ab_scenario::sweep::{run_sweep_jobs_profiled, SweepSpec};
+use ab_scenario::topo::TopologyShape;
+use ab_scenario::workload::BatteryKind;
+use ab_scenario::{timeline, Json};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ab_scenario render [--jobs N] [--seed S]\n  \
-         ab_scenario analyze <sweep.json|-> [--assert-score N]"
+        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--profile]\n  \
+         ab_scenario analyze <sweep.json|-> [--assert-score N]\n  \
+         ab_scenario trace <shape> <battery> [--seed S] [--capacity N]\n  \
+         ab_scenario validate-trace <trace.json|->\n\n\
+         shapes: line ring star tree full_mesh random metro metro_large\n\
+         batteries: pings streams uploads churn metro contention"
     );
     std::process::exit(2);
 }
@@ -33,13 +51,50 @@ fn main() {
     match args.next().as_deref() {
         Some("render") => render(args),
         Some("analyze") => analyze(args),
+        Some("trace") => trace(args),
+        Some("validate-trace") => validate_trace(args),
         _ => usage(),
     }
+}
+
+/// Parse a shape label into the default-sweep parameterization (plus
+/// the large metro tier, which the sweep reserves for benches).
+fn parse_shape(label: &str) -> Option<TopologyShape> {
+    Some(match label {
+        "line" => TopologyShape::Line { bridges: 2 },
+        "ring" => TopologyShape::Ring { bridges: 3 },
+        "star" => TopologyShape::Star { arms: 3 },
+        "tree" => TopologyShape::Tree {
+            depth: 2,
+            fanout: 2,
+        },
+        "full_mesh" => TopologyShape::FullMesh { segments: 3 },
+        "random" => TopologyShape::Random {
+            segments: 4,
+            extra_links: 1,
+        },
+        "metro" => TopologyShape::metro_small(),
+        "metro_large" => TopologyShape::metro_large(),
+        _ => return None,
+    })
+}
+
+fn parse_battery(label: &str) -> Option<BatteryKind> {
+    Some(match label {
+        "pings" => BatteryKind::Pings,
+        "streams" => BatteryKind::Streams,
+        "uploads" => BatteryKind::Uploads,
+        "churn" => BatteryKind::Churn,
+        "metro" => BatteryKind::Metro,
+        "contention" => BatteryKind::Contention,
+        _ => return None,
+    })
 }
 
 fn render(mut args: impl Iterator<Item = String>) {
     let mut jobs = ab_scenario::default_jobs();
     let mut seed = 42u64;
+    let mut profile = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
@@ -50,11 +105,90 @@ fn render(mut args: impl Iterator<Item = String>) {
                 let v = args.next().unwrap_or_else(|| usage());
                 seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--profile" => profile = true,
             _ => usage(),
         }
     }
-    let report = run_sweep_jobs(&SweepSpec::default_sweep(seed), jobs);
+    let (report, pool) = run_sweep_jobs_profiled(&SweepSpec::default_sweep(seed), jobs);
+    if profile {
+        eprint!("{}", pool.render());
+    }
     print!("{}", report.to_json().render_pretty());
+}
+
+fn trace(mut args: impl Iterator<Item = String>) {
+    let Some(shape_label) = args.next() else {
+        usage()
+    };
+    let Some(battery_label) = args.next() else {
+        usage()
+    };
+    let Some(shape) = parse_shape(&shape_label) else {
+        eprintln!("unknown shape {shape_label:?}");
+        usage();
+    };
+    let Some(battery) = parse_battery(&battery_label) else {
+        eprintln!("unknown battery {battery_label:?}");
+        usage();
+    };
+    let mut seed = 42u64;
+    let mut probe = netsim::ProbeConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--capacity" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                probe.capacity = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let scenario = Scenario::new(shape, battery, seed);
+    let (report, digest, world) = ab_scenario::run_recorded(&scenario, probe);
+    eprintln!(
+        "{}: digest {digest:#018x}, {} invariants, pass={}",
+        scenario.name,
+        report.invariants.len(),
+        report.passed()
+    );
+    eprint!("{}", timeline::summary_tables(&world, &report));
+    print!(
+        "{}",
+        timeline::timeline_json(&world, &report).render_pretty()
+    );
+}
+
+fn validate_trace(mut args: impl Iterator<Item = String>) {
+    let Some(path) = args.next() else { usage() };
+    let text = read_input(&path);
+    match timeline::validate_timeline(&text) {
+        Ok(n) => eprintln!("{path}: valid trace-event document, {n} events"),
+        Err(e) => {
+            eprintln!("{path}: invalid trace document: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read_input(path: &str) -> String {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("reading stdin: {e}");
+                std::process::exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(1);
+        })
+    }
 }
 
 fn analyze(mut args: impl Iterator<Item = String>) {
@@ -69,21 +203,7 @@ fn analyze(mut args: impl Iterator<Item = String>) {
             _ => usage(),
         }
     }
-    let text = if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .unwrap_or_else(|e| {
-                eprintln!("reading stdin: {e}");
-                std::process::exit(1);
-            });
-        buf
-    } else {
-        std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("reading {path}: {e}");
-            std::process::exit(1);
-        })
-    };
+    let text = read_input(&path);
     let sweep = Json::parse(&text).unwrap_or_else(|e| {
         eprintln!("parsing {path}: {e}");
         std::process::exit(1);

@@ -35,6 +35,100 @@
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Where one job's wall-clock time went, as seen by the pool.
+///
+/// Wall-clock values never enter byte-compared artifacts (reports, trace
+/// JSON): the profile renders to stderr only, so timing jitter cannot
+/// break the byte-identity guarantees of the result merge.
+#[derive(Copy, Clone, Debug)]
+pub struct JobProfile {
+    /// Job index in spec order.
+    pub id: usize,
+    /// Worker that executed the job (0-based; 0 on the sequential path).
+    pub worker: usize,
+    /// Time between pool start and this job's dequeue.
+    pub queue_wait_ns: u64,
+    /// Time inside the job closure.
+    pub run_ns: u64,
+}
+
+/// One worker's aggregate over a pool run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct WorkerProfile {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Total time inside job closures.
+    pub busy_ns: u64,
+}
+
+/// Pool self-profile: per-job timings **merged in job-id order** (so the
+/// profile's shape is identical across `--jobs 1/2/4`; only the
+/// wall-clock values differ) plus per-worker aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct PoolProfile {
+    /// Per-job timings, in job-id order.
+    pub jobs: Vec<JobProfile>,
+    /// Per-worker aggregates, indexed by worker id.
+    pub workers: Vec<WorkerProfile>,
+    /// Pool wall time, start to join.
+    pub wall_ns: u64,
+}
+
+impl PoolProfile {
+    /// Render a fixed-width utilization table (for stderr).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let wall_ms = self.wall_ns as f64 / 1e6;
+        let busy_total: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        let _ = writeln!(
+            out,
+            "pool: {} jobs on {} workers, wall {:.1} ms, busy {:.1} ms ({:.0}% utilization)",
+            self.jobs.len(),
+            self.workers.len(),
+            wall_ms,
+            busy_total as f64 / 1e6,
+            if self.wall_ns > 0 && !self.workers.is_empty() {
+                100.0 * busy_total as f64 / (self.wall_ns as f64 * self.workers.len() as f64)
+            } else {
+                0.0
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  {:>6}  {:>6}  {:>10}  {:>6}",
+            "worker", "jobs", "busy ms", "util"
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            let util = if self.wall_ns > 0 {
+                100.0 * w.busy_ns as f64 / self.wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {i:>6}  {:>6}  {:>10.2}  {util:>5.0}%",
+                w.jobs,
+                w.busy_ns as f64 / 1e6,
+            );
+        }
+        let mut slowest: Vec<&JobProfile> = self.jobs.iter().collect();
+        slowest.sort_by(|a, b| b.run_ns.cmp(&a.run_ns).then(a.id.cmp(&b.id)));
+        for j in slowest.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  job {:>4}  worker {}  wait {:>8.2} ms  run {:>8.2} ms",
+                j.id,
+                j.worker,
+                j.queue_wait_ns as f64 / 1e6,
+                j.run_ns as f64 / 1e6,
+            );
+        }
+        out
+    }
+}
 
 /// The default worker count: what the OS reports as available
 /// parallelism (1 when unknown).
@@ -85,10 +179,48 @@ where
     S: Send,
     R: Send,
 {
+    run_jobs_local_profiled(specs, jobs, worker_state, run).0
+}
+
+/// [`run_jobs_local`] plus a [`PoolProfile`]: per-job queue-wait and run
+/// times and per-worker utilization, merged in job-id order after the
+/// join. Profiling is passive (two `Instant::now` reads per job) and
+/// cannot affect results or their order.
+pub fn run_jobs_local_profiled<S, R, W>(
+    specs: Vec<S>,
+    jobs: usize,
+    worker_state: impl Fn() -> W + Sync,
+    run: impl Fn(&mut W, S) -> R + Sync,
+) -> (Vec<R>, PoolProfile)
+where
+    S: Send,
+    R: Send,
+{
     let n = specs.len();
+    let pool_start = Instant::now();
     if jobs <= 1 || n <= 1 {
         let mut state = worker_state();
-        return specs.into_iter().map(|s| run(&mut state, s)).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut profile = PoolProfile {
+            workers: vec![WorkerProfile::default()],
+            ..Default::default()
+        };
+        for (id, spec) in specs.into_iter().enumerate() {
+            let dequeued = pool_start.elapsed();
+            let t0 = Instant::now();
+            out.push(run(&mut state, spec));
+            let run_ns = t0.elapsed().as_nanos() as u64;
+            profile.jobs.push(JobProfile {
+                id,
+                worker: 0,
+                queue_wait_ns: dequeued.as_nanos() as u64,
+                run_ns,
+            });
+            profile.workers[0].jobs += 1;
+            profile.workers[0].busy_ns += run_ns;
+        }
+        profile.wall_ns = pool_start.elapsed().as_nanos() as u64;
+        return (out, profile);
     }
 
     // Work-stealing-lite: one shared deque of `(job id, spec)`; idle
@@ -103,12 +235,17 @@ where
     // letting `thread::scope` do the join would replace it with an
     // opaque "a scoped thread panicked".
     let queue: Mutex<VecDeque<(usize, S)>> = Mutex::new(specs.into_iter().enumerate().collect());
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<(R, JobProfile)>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let workers = jobs.min(n);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                // `move` carries only the Copy bits (worker id, the pool
+                // start instant); the shared structures go in by
+                // reference.
+                let (queue, results) = (&queue, &results);
+                let (worker_state, run) = (&worker_state, &run);
+                scope.spawn(move || {
                     let mut state = worker_state();
                     loop {
                         let job = queue
@@ -116,8 +253,17 @@ where
                             .unwrap_or_else(PoisonError::into_inner)
                             .pop_front();
                         let Some((id, spec)) = job else { break };
+                        let queue_wait_ns = pool_start.elapsed().as_nanos() as u64;
+                        let t0 = Instant::now();
                         let result = run(&mut state, spec);
-                        *results[id].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                        let prof = JobProfile {
+                            id,
+                            worker,
+                            queue_wait_ns,
+                            run_ns: t0.elapsed().as_nanos() as u64,
+                        };
+                        *results[id].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some((result, prof));
                     }
                 })
             })
@@ -132,14 +278,25 @@ where
             std::panic::resume_unwind(payload);
         }
     });
-    results
+    let mut profile = PoolProfile {
+        workers: vec![WorkerProfile::default(); workers],
+        ..Default::default()
+    };
+    let out = results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            let (result, prof) = slot
+                .into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
-                .expect("pool joined with an unfinished job")
+                .expect("pool joined with an unfinished job");
+            profile.jobs.push(prof);
+            profile.workers[prof.worker].jobs += 1;
+            profile.workers[prof.worker].busy_ns += prof.run_ns;
+            result
         })
-        .collect()
+        .collect();
+    profile.wall_ns = pool_start.elapsed().as_nanos() as u64;
+    (out, profile)
 }
 
 #[cfg(test)]
@@ -248,6 +405,24 @@ mod tests {
         }));
         // 49 survivors + the panicking job itself reached the closure.
         assert_eq!(ran.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_profile_merges_in_job_order_for_any_worker_count() {
+        for jobs in [1, 2, 4] {
+            let (out, profile) =
+                run_jobs_local_profiled((0..20usize).collect(), jobs, || (), |(), x| x * 2);
+            assert_eq!(out, (0..20usize).map(|x| x * 2).collect::<Vec<_>>());
+            let ids: Vec<usize> = profile.jobs.iter().map(|j| j.id).collect();
+            assert_eq!(ids, (0..20).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(profile.workers.len(), jobs.max(1), "jobs={jobs}");
+            let ran: u64 = profile.workers.iter().map(|w| w.jobs).sum();
+            assert_eq!(ran, 20);
+            for j in &profile.jobs {
+                assert!(j.worker < profile.workers.len());
+            }
+            assert!(profile.render().starts_with("pool: 20 jobs"));
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod quality;
 pub mod runner;
 pub mod sketch;
 pub mod sweep;
+pub mod timeline;
 pub mod topo;
 pub mod workload;
 
@@ -53,11 +54,17 @@ pub use active_bridge::scenario_impl::{
     bridge, bridge_ip, bridge_mac, host_ip, host_mac, lans, line, ring,
 };
 
-pub use exec::{default_jobs, parse_jobs, run_jobs, run_jobs_local};
+pub use exec::{
+    default_jobs, parse_jobs, run_jobs, run_jobs_local, run_jobs_local_profiled, JobProfile,
+    PoolProfile, WorkerProfile,
+};
 pub use json::Json;
 pub use quality::{score_report, QualityScore};
-pub use runner::{run, run_in, run_traced, InvariantResult, Report, Scenario, Verdict};
+pub use runner::{
+    run, run_in, run_recorded, run_traced, InvariantResult, Report, Scenario, Verdict,
+};
 pub use sketch::Sketch;
-pub use sweep::{run_sweep, run_sweep_jobs, SweepReport, SweepSpec};
+pub use sweep::{run_sweep, run_sweep_jobs, run_sweep_jobs_profiled, SweepReport, SweepSpec};
+pub use timeline::{summary_tables, timeline_json, validate_timeline};
 pub use topo::{instantiate, BuiltTopology, SegTier, Topology, TopologyShape};
 pub use workload::{BatteryKind, Phase, Workload};

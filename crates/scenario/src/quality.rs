@@ -222,8 +222,8 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
     };
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
-        "SCENARIO", "PASS", "INV%", "LAT", "LOSS", "FAIR", "DEGR", "QUAL"
+        "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
+        "SCENARIO", "PASS", "INV%", "LAT", "LOSS", "FAIR", "DEGR", "QUAL", "PKQ"
     ));
     let mut passed = 0u64;
     let mut overalls = Vec::new();
@@ -250,7 +250,7 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
             overalls.push(o);
         }
         out.push_str(&format!(
-            "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
+            "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
             name,
             if pass { "yes" } else { "NO" },
             cell(inv),
@@ -259,6 +259,10 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
             cell(q.fairness),
             cell(q.degradation),
             cell(q.overall),
+            // The deepest transmit queue any segment reached — the
+            // congestion evidence behind a weak latency/degradation
+            // score, surfaced next to it.
+            q.peak_queue,
         ));
     }
     let mean_q = mean(&overalls);

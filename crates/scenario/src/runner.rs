@@ -433,6 +433,23 @@ pub fn run_traced(scenario: &Scenario) -> (Report, u64) {
     (report, digest)
 }
 
+/// Execute `scenario` with the flight recorder armed and return the
+/// report, the trace digest, and the finished [`World`] (for timeline
+/// export — the probe ring, hot-function profiles and segment state are
+/// still in it).
+///
+/// The recorder is records-only: it never schedules, never draws from
+/// the RNG, and the returned digest is bit-identical to an unarmed
+/// [`run_traced`] of the same scenario (`tests/flight_recorder.rs`
+/// pins this).
+pub fn run_recorded(scenario: &Scenario, probe: netsim::ProbeConfig) -> (Report, u64, World) {
+    let mut world = World::new(scenario.seed);
+    world.probe_mut().arm(probe);
+    let report = run_prepared(&mut world, scenario);
+    let digest = trace_digest(&world);
+    (report, digest, world)
+}
+
 /// FNV-1a over a world's observable record: every retained trace entry,
 /// every experiment counter, and the run-wide frame totals.
 pub fn trace_digest(world: &World) -> u64 {
@@ -473,6 +490,16 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         ..BridgeConfig::default()
     };
     let built = topo::instantiate(world, &topo, &cfg, topo.default_boot());
+
+    // Armed flight recorder ⇒ also collect per-function VM hot counters
+    // on every bridge (the trace subcommand's hot-function table).
+    // Profiling is passive: results, fuel accounting and `ExecStats`
+    // are untouched.
+    if world.probe().is_armed() {
+        for &b in &built.bridges {
+            world.node_mut::<BridgeNode>(b).enable_vm_profile();
+        }
+    }
 
     // Loopy topologies need the spanning tree fully forwarding (two
     // forward-delay intervals plus margin) before traffic starts.

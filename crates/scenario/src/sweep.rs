@@ -173,11 +173,19 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
 /// merged in sweep order. The report — and its JSON rendering — is
 /// **byte-identical** for every `jobs` value.
 pub fn run_sweep_jobs(spec: &SweepSpec, jobs: usize) -> SweepReport {
-    let runs = exec::run_jobs_local(
+    run_sweep_jobs_profiled(spec, jobs).0
+}
+
+/// [`run_sweep_jobs`] plus the pool's self-profile (per-job wall/queue
+/// times, per-worker utilization — see [`exec::PoolProfile`]). The
+/// profile is wall-clock and renders to stderr only; the sweep report
+/// stays byte-identical across `jobs` values.
+pub fn run_sweep_jobs_profiled(spec: &SweepSpec, jobs: usize) -> (SweepReport, exec::PoolProfile) {
+    let (runs, profile) = exec::run_jobs_local_profiled(
         spec.scenarios(),
         jobs,
         || World::new(0),
         |world, sc| runner::run_in(world, &sc),
     );
-    SweepReport { runs }
+    (SweepReport { runs }, profile)
 }

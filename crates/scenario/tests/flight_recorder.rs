@@ -1,0 +1,180 @@
+//! Flight-recorder integration: arming the probe never changes a run,
+//! the exported timeline is byte-stable, and the VM hot-function profile
+//! observes a real switchlet data plane end to end.
+
+use ab_scenario::runner::{run_recorded, run_traced, Scenario};
+use ab_scenario::topo::TopologyShape;
+use ab_scenario::workload::BatteryKind;
+use ab_scenario::{run_jobs_local, timeline};
+use netsim::{ProbeConfig, ProbeRecord};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(TopologyShape::Star { arms: 3 }, BatteryKind::Pings, 7),
+        Scenario::new(TopologyShape::Ring { bridges: 3 }, BatteryKind::Streams, 11),
+        Scenario::new(
+            TopologyShape::Random {
+                segments: 4,
+                extra_links: 1,
+            },
+            BatteryKind::Contention,
+            23,
+        ),
+    ]
+}
+
+/// The recorded run is the traced run: same report, same trace digest.
+/// This is the scenario-level face of the non-perturbation invariant
+/// (the world-level proof against golden digests is in
+/// `tests/determinism.rs`).
+#[test]
+fn recording_does_not_change_report_or_digest() {
+    for sc in scenarios() {
+        let (plain_report, plain_digest) = run_traced(&sc);
+        let (rec_report, rec_digest, world) = run_recorded(&sc, ProbeConfig::default());
+        assert_eq!(
+            plain_digest, rec_digest,
+            "{}: probe-armed digest diverged",
+            sc.name
+        );
+        assert_eq!(
+            plain_report.to_json().render_pretty(),
+            rec_report.to_json().render_pretty(),
+            "{}: probe-armed report diverged",
+            sc.name
+        );
+        assert!(
+            !world.probe().is_empty(),
+            "{}: armed run recorded nothing",
+            sc.name
+        );
+    }
+}
+
+/// The exported timeline is a pure function of the scenario: repeated
+/// runs — and runs performed inside the exec pool at any worker count —
+/// render byte-identical JSON.
+#[test]
+fn timeline_json_is_byte_identical_across_runs_and_jobs() {
+    let sc = Scenario::new(TopologyShape::Star { arms: 3 }, BatteryKind::Pings, 7);
+    let render = |sc: &Scenario| {
+        let (report, _digest, world) = run_recorded(sc, ProbeConfig::default());
+        timeline::timeline_json(&world, &report).render_pretty()
+    };
+    let reference = render(&sc);
+    assert!(reference.len() > 2, "timeline rendered an empty document");
+    for jobs in [1usize, 2, 4] {
+        let outputs = run_jobs_local(
+            vec![sc.clone(), sc.clone(), sc.clone()],
+            jobs,
+            || (),
+            |_, sc| render(&sc),
+        );
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(
+                out.as_bytes(),
+                reference.as_bytes(),
+                "jobs={jobs} run {i}: timeline bytes diverged"
+            );
+        }
+    }
+    // And the document passes its own structural validator.
+    let events = timeline::validate_timeline(&reference).expect("exported timeline validates");
+    assert!(events > 0, "timeline has no events");
+}
+
+/// Ring capacity is respected end to end: a tiny ring retains the newest
+/// records and reports the evicted count exactly.
+#[test]
+fn trace_honors_a_tiny_ring_capacity() {
+    let sc = Scenario::new(TopologyShape::Star { arms: 3 }, BatteryKind::Pings, 7);
+    let (_report, _digest, world) = run_recorded(&sc, ProbeConfig { capacity: 32 });
+    let probe = world.probe();
+    assert_eq!(probe.len(), 32);
+    assert!(probe.dropped() > 0, "the run should overflow 32 records");
+    assert_eq!(probe.appended(), probe.dropped() + probe.len() as u64);
+    // Survivors are the newest, in order.
+    let seqs: Vec<u64> = probe.records().map(|e| e.seq).collect();
+    assert_eq!(seqs.last().copied(), Some(probe.appended() - 1));
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+}
+
+/// The VM hot-function profile and exec records, exercised by a real VM
+/// data plane: a bridge booting the `dumb_vm` switchlet image forwards
+/// pings, so every frame is a metered VM invocation.
+#[test]
+fn vm_data_plane_populates_hot_functions_and_exec_records() {
+    use ab_scenario::{bridge_ip, bridge_mac, host_ip, host_mac};
+    use active_bridge::{BridgeConfig, BridgeNode};
+    use hostsim::apps::{App, PingApp};
+    use hostsim::{HostConfig, HostCostModel, HostNode};
+    use netsim::{PortId, SegmentConfig, SimDuration, SimTime, World};
+
+    let mut world = World::new(3);
+    world.probe_mut().arm(ProbeConfig::default());
+    let lan0 = world.add_segment(SegmentConfig::named("lan0"));
+    let lan1 = world.add_segment(SegmentConfig::named("lan1"));
+    let mut node = BridgeNode::new(
+        "bridge0",
+        bridge_mac(0),
+        bridge_ip(0),
+        2,
+        BridgeConfig::default(),
+    );
+    node.boot_load_native(active_bridge::loader::NAME);
+    node.boot_load(active_bridge::switchlets::dumb_vm::build_image());
+    node.enable_vm_profile();
+    let b = world.add_node(node);
+    world.attach(b, lan0);
+    world.attach(b, lan1);
+    let host_a = world.add_node(HostNode::new(
+        "hostA",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![PingApp::new(
+            PortId(0),
+            host_ip(2),
+            5,
+            64,
+            SimDuration::from_ms(10),
+            1,
+        )],
+    ));
+    world.attach(host_a, lan0);
+    let host_b = world.add_node(HostNode::new(
+        "hostB",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(host_b, lan1);
+    world.run_until(SimTime::from_secs(1));
+
+    let App::Ping(ping) = world.node::<HostNode>(host_a).app(0) else {
+        panic!("app 0 is the ping train");
+    };
+    assert_eq!(ping.received, 5, "pings crossed the VM bridge");
+
+    // The profile saw the forwarding function — named, with inclusive
+    // fuel — and the probe holds the matching exec records.
+    let hot = world.node::<BridgeNode>(b).hot_functions();
+    assert!(!hot.is_empty(), "VM data plane produced no hot functions");
+    let total_calls: u64 = hot.iter().map(|(_, _, c)| c.calls).sum();
+    let total_fuel: u64 = hot.iter().map(|(_, _, c)| c.fuel).sum();
+    assert!(total_calls >= 10, "every frame is at least one VM call");
+    assert!(total_fuel > 0, "VM execution burned fuel");
+
+    let execs: Vec<(u64, u64)> = world
+        .probe()
+        .records()
+        .filter_map(|e| match e.record {
+            ProbeRecord::ExecEnd {
+                fuel, host_calls, ..
+            } => Some((fuel, host_calls)),
+            _ => None,
+        })
+        .collect();
+    assert!(!execs.is_empty(), "no ExecEnd records for the VM bridge");
+    assert!(
+        execs.iter().any(|&(fuel, _)| fuel > 0),
+        "exec records carry metered fuel"
+    );
+}

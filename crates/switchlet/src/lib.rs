@@ -87,4 +87,6 @@ pub use sig::{ExportSig, ImportSig};
 pub use types::{FuncTy, Ty};
 pub use value::{FuncVal, InstanceId, Key, Value};
 pub use verify::{verify_module, VerifyError};
-pub use vm::{call, call_scratch, ExecConfig, ExecStats, VmError, VmScratch};
+pub use vm::{
+    call, call_scratch, ExecConfig, ExecStats, FuncHotCounters, HotProfile, VmError, VmScratch,
+};

@@ -99,16 +99,62 @@ pub struct ExecStats {
     pub host_calls: u64,
 }
 
+/// Per-function hot counters accumulated across invocations — the
+/// promotion signal a JIT tier consumes: which functions are entered
+/// often and where the fuel actually goes. Keyed by
+/// `(instance, function index)`; fuel is **inclusive** (a caller's total
+/// includes its callees, the standard inclusive-time convention).
+#[derive(Default, Debug)]
+pub struct HotProfile {
+    counters: std::collections::BTreeMap<(usize, u32), FuncHotCounters>,
+}
+
+/// One function's accumulated cost inside a [`HotProfile`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncHotCounters {
+    /// Times the function was entered (including as a callee).
+    pub calls: u64,
+    /// Fuel (source instructions) retired while the function was on the
+    /// stack — inclusive of callees.
+    pub fuel: u64,
+}
+
+impl HotProfile {
+    fn record(&mut self, instance: InstanceId, func: u32, fuel: u64) {
+        let c = self.counters.entry((instance.0, func)).or_default();
+        c.calls += 1;
+        c.fuel += fuel;
+    }
+
+    /// The accumulated counters, in `(instance, func)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, u32, FuncHotCounters)> + '_ {
+        self.counters
+            .iter()
+            .map(|(&(inst, func), &c)| (InstanceId(inst), func, c))
+    }
+
+    /// Is anything recorded?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
 /// The reusable execution arena: one operand stack and one locals area
 /// shared by every frame of an invocation (frames are base-offset
 /// windows). An embedder that keeps a `VmScratch` alive across
 /// invocations (as the bridge does, one per node) runs steady-state
 /// switchlet code with **zero** per-invocation allocation: the vectors
 /// grow to the high-water mark once and are reused thereafter.
+///
+/// The arena optionally carries a [`HotProfile`]: with profiling enabled
+/// every function entry bumps its call count and inclusive fuel. Off by
+/// default (one `Option` check per function entry); profiling never
+/// changes [`ExecStats`], fuel accounting or results.
 #[derive(Default)]
 pub struct VmScratch {
     stack: Vec<Value>,
     locals: Vec<Value>,
+    profile: Option<Box<HotProfile>>,
 }
 
 impl VmScratch {
@@ -117,7 +163,21 @@ impl VmScratch {
         VmScratch {
             stack: Vec::with_capacity(32),
             locals: Vec::with_capacity(32),
+            profile: None,
         }
+    }
+
+    /// Start accumulating per-function hot counters (idempotent; keeps
+    /// existing counts).
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated profile, if profiling was ever enabled.
+    pub fn profile(&self) -> Option<&HotProfile> {
+        self.profile.as_deref()
     }
 }
 
@@ -195,10 +255,60 @@ pub fn call_scratch(
     result.map(|v| (v, stats))
 }
 
+/// Execute decoded function `func_idx` of `instance`, bumping the hot
+/// profile (when enabled) with the entry and its inclusive fuel. The
+/// trap path is charged too: the fuel a function burned before running
+/// out is exactly what a promotion heuristic should see.
+#[allow(clippy::too_many_arguments)]
+fn exec(
+    ns: &Namespace,
+    host: &mut dyn HostDispatch,
+    instance: InstanceId,
+    func_idx: u32,
+    cfg: &ExecConfig,
+    fuel: &mut u64,
+    depth: usize,
+    stats: &mut ExecStats,
+    scratch: &mut VmScratch,
+    locals_base: usize,
+) -> Result<Value, VmError> {
+    if scratch.profile.is_none() {
+        return exec_inner(
+            ns,
+            host,
+            instance,
+            func_idx,
+            cfg,
+            fuel,
+            depth,
+            stats,
+            scratch,
+            locals_base,
+        );
+    }
+    let entry = stats.instructions;
+    let result = exec_inner(
+        ns,
+        host,
+        instance,
+        func_idx,
+        cfg,
+        fuel,
+        depth,
+        stats,
+        scratch,
+        locals_base,
+    );
+    if let Some(profile) = scratch.profile.as_deref_mut() {
+        profile.record(instance, func_idx, stats.instructions - entry);
+    }
+    result
+}
+
 /// Execute decoded function `func_idx` of `instance`. The caller has
 /// already pushed the arguments at `scratch.locals[locals_base..]`.
 #[allow(clippy::too_many_arguments)]
-fn exec(
+fn exec_inner(
     ns: &Namespace,
     host: &mut dyn HostDispatch,
     instance: InstanceId,
@@ -637,5 +747,95 @@ fn exec(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ModuleBuilder;
+    use crate::bytecode::Op;
+    use crate::env::Env;
+    use crate::linker::Namespace;
+    use crate::types::Ty;
+
+    struct NoHost;
+    impl crate::env::HostDispatch for NoHost {
+        fn call(&mut self, m: &str, i: &str, _args: Vec<Value>) -> Result<Value, VmError> {
+            Err(VmError::HostUnavailable(format!("{m}.{i}")))
+        }
+    }
+
+    /// `quad(x) = double(double(x))`, `double(x) = x + x`: two profiled
+    /// functions with a caller/callee relationship.
+    fn quad_ns() -> (Namespace, InstanceId, u32, u32) {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.func("double", vec![Ty::Int], Ty::Int);
+        f.op(Op::LocalGet(0))
+            .op(Op::LocalGet(0))
+            .op(Op::Add)
+            .op(Op::Return);
+        let double = mb.finish(f);
+        let mut f = mb.func("quad", vec![Ty::Int], Ty::Int);
+        f.op(Op::LocalGet(0))
+            .op(Op::Call(double))
+            .op(Op::Call(double))
+            .op(Op::Return);
+        let quad = mb.finish(f);
+        let mut ns = Namespace::new(Env::new());
+        let inst = ns.load_module(mb.build()).expect("module verifies");
+        (ns, inst, double, quad)
+    }
+
+    #[test]
+    fn hot_profile_counts_calls_and_inclusive_fuel() {
+        let (ns, inst, double, quad) = quad_ns();
+        let target = FuncVal::Vm {
+            instance: inst,
+            func: quad,
+        };
+        let cfg = ExecConfig::default();
+
+        // Reference run without profiling.
+        let mut plain = VmScratch::new();
+        let (v0, stats0) = call_scratch(
+            &ns,
+            &mut NoHost,
+            target,
+            vec![Value::Int(5)],
+            &cfg,
+            &mut plain,
+        )
+        .expect("runs");
+        assert_eq!(v0.as_int(), 20);
+        assert!(plain.profile().is_none(), "profiling is off by default");
+
+        // Profiled run: identical result and stats, counters filled in.
+        let mut scratch = VmScratch::new();
+        scratch.enable_profile();
+        for _ in 0..3 {
+            let (v, stats) = call_scratch(
+                &ns,
+                &mut NoHost,
+                target,
+                vec![Value::Int(5)],
+                &cfg,
+                &mut scratch,
+            )
+            .expect("runs");
+            assert_eq!(v.as_int(), v0.as_int());
+            assert_eq!(stats, stats0, "profiling must not change ExecStats");
+        }
+        let profile = scratch.profile().expect("enabled");
+        let lines: Vec<_> = profile.iter().collect();
+        // `double`: 4 source ops per entry, entered twice per quad call.
+        // `quad`: 4 own ops + 8 inclusive callee ops.
+        assert_eq!(
+            lines,
+            vec![
+                (inst, double, FuncHotCounters { calls: 6, fuel: 24 }),
+                (inst, quad, FuncHotCounters { calls: 3, fuel: 36 }),
+            ]
+        );
     }
 }

@@ -149,12 +149,21 @@ fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
 /// the richest observable record of the frame plane (timestamps, sender
 /// ports, post-fault wire bytes).
 fn lossy_captured_run_bytes(seed: u64) -> Vec<u8> {
+    lossy_captured_run_bytes_with_probe(seed, false)
+}
+
+/// Same run, optionally with the flight recorder armed — the observable
+/// bytes must not depend on `armed` (the non-perturbation invariant).
+fn lossy_captured_run_bytes_with_probe(seed: u64, armed: bool) -> Vec<u8> {
     use ab_scenario::{host_ip, host_mac};
     use active_bridge::BridgeConfig;
     use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
-    use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
+    use netsim::{FaultConfig, PortId, ProbeConfig, SegmentConfig, SimDuration, SimTime, World};
 
     let mut world = World::new(seed);
+    if armed {
+        world.probe_mut().arm(ProbeConfig::default());
+    }
     let lan_a = world.add_segment(SegmentConfig::named("lan_a"));
     let lan_b = world.add_segment(SegmentConfig {
         fault: FaultConfig {
@@ -261,6 +270,29 @@ fn traces_are_byte_identical_to_the_pre_refactor_representation() {
             (bytes.len(), fnv1a(&bytes)),
             (len, digest),
             "seed {seed:#x}: trace bytes diverged from the pre-refactor recording"
+        );
+    }
+}
+
+/// The flight recorder's non-perturbation proof: arming the probe on the
+/// RNG-dependent lossy run must reproduce the golden digests bit for bit.
+/// If any probe hook scheduled an event, drew from the world RNG, or
+/// perturbed `(time, seq)` ordering, the fault pattern would shift and
+/// these digests would diverge.
+#[test]
+fn probe_armed_run_reproduces_the_golden_digests() {
+    const GOLDEN: [(u64, usize, u64); 4] = [
+        (0xAB1D, 77166, 0x09c24dbacd1f12cc),
+        (0xF00D, 82508, 0xd8eac9df4145b982),
+        (7, 81620, 0x1954233dd7c9cc86),
+        (99, 82508, 0x7f358d68a661b39e),
+    ];
+    for (seed, len, digest) in GOLDEN {
+        let bytes = lossy_captured_run_bytes_with_probe(seed, true);
+        assert_eq!(
+            (bytes.len(), fnv1a(&bytes)),
+            (len, digest),
+            "seed {seed:#x}: arming the flight recorder perturbed the run"
         );
     }
 }
