@@ -17,7 +17,7 @@
 //! cooperative threads).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use ether::{EtherType, Frame, MacAddr};
@@ -30,21 +30,25 @@ use crate::config::BridgeConfig;
 use crate::hostmods;
 use crate::plane::{DataPlaneSel, Plane, SwitchletStatus};
 
-/// Timer token kinds (top byte of the `u64`).
+/// Timer token kinds (top byte of the `u64`). Bits 48–55 carry the
+/// bridge's crash epoch: a timer armed before a crash refers to state
+/// that died with the old epoch, so `on_timer` drops any token whose
+/// epoch disagrees with the current one.
 const KIND_SERVICE: u64 = 0;
 const KIND_SWITCHLET: u64 = 1;
 const KIND_VM_TIMER: u64 = 2;
 
-fn service_token() -> TimerToken {
-    TimerToken(KIND_SERVICE << 56)
+fn service_token(epoch: u8) -> TimerToken {
+    TimerToken(KIND_SERVICE << 56 | (epoch as u64) << 48)
 }
 
-fn switchlet_token(slot: usize, user: u32) -> TimerToken {
-    TimerToken(KIND_SWITCHLET << 56 | (slot as u64) << 32 | user as u64)
+fn switchlet_token(epoch: u8, slot: usize, user: u32) -> TimerToken {
+    debug_assert!(slot <= 0xFFFF, "switchlet slot overflows its token bits");
+    TimerToken(KIND_SWITCHLET << 56 | (epoch as u64) << 48 | (slot as u64) << 32 | user as u64)
 }
 
-fn vm_timer_token(idx: usize) -> TimerToken {
-    TimerToken(KIND_VM_TIMER << 56 | idx as u64)
+fn vm_timer_token(epoch: u8, idx: usize) -> TimerToken {
+    TimerToken(KIND_VM_TIMER << 56 | (epoch as u64) << 48 | idx as u64)
 }
 
 /// A frame on the bridge's data path: the parsed Ethernet view together
@@ -129,6 +133,7 @@ pub struct BridgeCtx<'a, 'w> {
     /// The bridge's name (for logs).
     pub bridge_name: &'a str,
     slot: usize,
+    epoch: u8,
     cmds: &'a mut Vec<BridgeCommand>,
 }
 
@@ -154,7 +159,8 @@ impl<'a, 'w> BridgeCtx<'a, 'w> {
     /// `on_timer`.
     pub fn schedule(&mut self, after: SimDuration, user: u32) -> TimerHandle {
         let slot = self.slot;
-        self.sim.schedule(after, switchlet_token(slot, user))
+        self.sim
+            .schedule(after, switchlet_token(self.epoch, slot, user))
     }
 
     /// Cancel a previously scheduled timer.
@@ -278,6 +284,13 @@ pub struct BridgeNode {
     /// generation — the per-frame name lookups (`by_name` + status) run
     /// only when something that could change the answer happened.
     plane_target: Option<(u64, HandlerTarget)>,
+    /// Crash epoch, stamped into every timer token so timers armed before
+    /// a crash die with the state they referred to.
+    epoch: u8,
+    /// Watchdog: traps/fuel exhaustions per VM module since boot.
+    trap_counts: HashMap<String, u32>,
+    /// Modules the watchdog quarantined (never re-dispatched this epoch).
+    quarantined: HashSet<String>,
 }
 
 impl BridgeNode {
@@ -313,6 +326,9 @@ impl BridgeNode {
             ports_known: false,
             vm_scratch: VmScratch::new(),
             plane_target: None,
+            epoch: 0,
+            trap_counts: HashMap::new(),
+            quarantined: HashSet::new(),
         }
     }
 
@@ -429,6 +445,7 @@ impl BridgeNode {
                         ip: self.ip,
                         bridge_name: &self.name,
                         slot: idx,
+                        epoch: self.epoch,
                         cmds: &mut self.cmds,
                     };
                     f(native.as_mut(), &mut bc);
@@ -447,6 +464,7 @@ impl BridgeNode {
             max_depth: 64,
         };
         let owner = self.vm_owner.get(&target).cloned().unwrap_or_default();
+        let owner_for_watchdog = owner.clone();
         ctx.probe_exec_begin();
         let mut env = hostmods::HostEnv {
             sim: ctx,
@@ -479,8 +497,101 @@ impl BridgeNode {
                 let name = self.name.clone();
                 ctx.trace(format!("{name}: vm switchlet trapped: {e}"));
                 ctx.bump("bridge.vm_traps", 1);
+                self.watchdog_trap(ctx, owner_for_watchdog);
             }
         }
+    }
+
+    // ----------------------------------------------------------- watchdog
+
+    /// Record one trap against a VM module; at the configured threshold
+    /// the watchdog quarantines it (see [`BridgeNode::quarantine`]).
+    fn watchdog_trap(&mut self, ctx: &mut Ctx<'_>, module: String) {
+        let threshold = self.cfg.watchdog_traps;
+        if threshold == 0 || module.is_empty() || self.quarantined.contains(&module) {
+            return;
+        }
+        let count = self.trap_counts.entry(module.clone()).or_insert(0);
+        *count += 1;
+        if *count >= threshold {
+            self.quarantine(ctx, &module);
+        }
+    }
+
+    /// Quarantine a repeatedly-trapping module: stop it, release its port
+    /// bindings and handlers, and — if it held the data plane — roll back
+    /// to the last-known-good switching function, or to dumb flood
+    /// forwarding as the final degraded tier, so traffic keeps flowing.
+    fn quarantine(&mut self, ctx: &mut Ctx<'_>, module: &str) {
+        self.quarantined.insert(module.to_owned());
+        self.plane
+            .set_status(module.to_owned(), SwitchletStatus::Stopped);
+        self.plane.unbind_all(module);
+        // Drop every handler the module registered: a quarantined
+        // switchlet must never run again, on any path.
+        let doomed: Vec<FuncVal> = self
+            .vm_owner
+            .iter()
+            .filter(|&(_, owner)| owner == module)
+            .map(|(&fv, _)| fv)
+            .collect();
+        self.vm_handlers.retain(|_, fv| !doomed.contains(fv));
+        for fv in &doomed {
+            self.vm_owner.remove(fv);
+        }
+        if self.sel_is_quarantined(&self.plane.data_plane().clone()) {
+            // `None` (the bare-loader state) is not a known-good plane:
+            // rolling back to it would blackhole traffic.
+            let rollback = self
+                .plane
+                .prev_data_plane()
+                .cloned()
+                .filter(|sel| *sel != DataPlaneSel::None && !self.sel_is_quarantined(sel));
+            let n = self.name.clone();
+            match rollback {
+                Some(sel) => {
+                    ctx.trace(format!("{n}: watchdog rollback to last-known-good plane"));
+                    self.plane.set_data_plane(sel);
+                }
+                None => {
+                    ctx.trace(format!("{n}: watchdog fallback to dumb flood forwarding"));
+                    use crate::switchlets::dumb;
+                    if self.by_name.contains_key(dumb::NAME) {
+                        // Already loaded (install_native would no-op):
+                        // revive and reinstall it directly.
+                        self.plane.set_status(dumb::NAME, SwitchletStatus::Running);
+                        self.plane
+                            .set_data_plane(DataPlaneSel::Native(dumb::NAME.into()));
+                    } else {
+                        self.install_native(ctx, dumb::NAME);
+                    }
+                }
+            }
+        }
+        self.plane_target = None;
+        ctx.bump("bridge.quarantines", 1);
+        ctx.probe_quarantine();
+        let n = self.name.clone();
+        ctx.trace(format!("{n}: watchdog quarantined {module}"));
+    }
+
+    /// Does this data-plane selection belong to a quarantined module? A
+    /// VM handler whose owner is unknown (already evicted) counts as
+    /// quarantined — it must not be rolled back to.
+    fn sel_is_quarantined(&self, sel: &DataPlaneSel) -> bool {
+        match sel {
+            DataPlaneSel::None => false,
+            DataPlaneSel::Native(name) => self.quarantined.contains(name),
+            DataPlaneSel::Vm(fv) => self
+                .vm_owner
+                .get(fv)
+                .is_none_or(|owner| self.quarantined.contains(owner)),
+        }
+    }
+
+    /// Has the watchdog quarantined this module?
+    pub fn is_quarantined(&self, module: &str) -> bool {
+        self.quarantined.contains(module)
     }
 
     /// Resolve a handler name to an invocable target without holding (or
@@ -734,7 +845,7 @@ impl BridgeNode {
                     } => {
                         let idx = self.vm_timers.len();
                         self.vm_timers.push((callback, token));
-                        ctx.schedule(after, vm_timer_token(idx));
+                        ctx.schedule(after, vm_timer_token(self.epoch, idx));
                     }
                 }
             }
@@ -757,8 +868,52 @@ impl Node for BridgeNode {
             ctx.num_ports()
         );
         self.ports_known = true;
-        // The boot loader: load the "disk" images in order.
-        let images: Vec<Vec<u8>> = self.boot_images.drain(..).collect();
+        // The boot loader: load the "disk" images in order. They are
+        // retained (not drained) so a crash-restart can replay the same
+        // cold boot.
+        let images = self.boot_images.clone();
+        for image in images {
+            self.load_image(ctx, &image);
+            self.apply_cmds(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        // Volatile state dies with the power: the forwarding tables and
+        // decision cache (inside `plane`), STP engine state (inside the
+        // STP switchlet instance), queued frames, VM instances and
+        // scratch, pending commands, and the watchdog's history. The
+        // epoch bump orphans every timer already in flight.
+        self.epoch = self.epoch.wrapping_add(1);
+        self.service = ServiceQueue::new(self.cfg.input_queue);
+        let mut plane = Plane::new(self.plane.num_ports(), self.cfg.learn_age);
+        plane.learn.reserve(self.cfg.expected_stations);
+        self.plane = plane;
+        self.plane_target = None;
+        self.slots.clear();
+        self.by_name.clear();
+        self.ns = Namespace::new(hostmods::host_env());
+        self.vm_handlers.clear();
+        self.vm_owner.clear();
+        self.vm_timers.clear();
+        self.cmds.clear();
+        self.trap_counts.clear();
+        self.quarantined.clear();
+        let profiling = self.vm_scratch.profile().is_some();
+        self.vm_scratch = VmScratch::new();
+        if profiling {
+            self.vm_scratch.enable_profile();
+        }
+        let n = self.name.clone();
+        ctx.trace(format!("{n}: crashed (volatile state lost)"));
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let n = self.name.clone();
+        ctx.trace(format!("{n}: restarting from boot images"));
+        // Cold boot: exactly the `on_start` load sequence, replayed
+        // against the fresh state `on_crash` left behind.
+        let images = self.boot_images.clone();
         for image in images {
             self.load_image(ctx, &image);
             self.apply_cmds(ctx);
@@ -779,7 +934,7 @@ impl Node for BridgeNode {
         }
         match self.service.offer((port, frame)) {
             Offer::Started => {
-                ctx.schedule(service_time, service_token());
+                ctx.schedule(service_time, service_token(self.epoch));
             }
             Offer::Queued => {}
             Offer::Dropped => {
@@ -789,18 +944,23 @@ impl Node for BridgeNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if ((token.0 >> 48) & 0xFF) as u8 != self.epoch {
+            // Armed before a crash: the queue entry, slot or VM timer it
+            // referred to died with the old epoch.
+            return;
+        }
         let kind = token.0 >> 56;
         match kind {
             KIND_SERVICE => {
                 let ((port, frame), next) = self.service.complete();
                 if let Some((_, next_frame)) = next {
                     let t = self.cfg.cost.service_time(next_frame.len());
-                    ctx.schedule(t, service_token());
+                    ctx.schedule(t, service_token(self.epoch));
                 }
                 self.process_frame(ctx, port, frame);
             }
             KIND_SWITCHLET => {
-                let slot = ((token.0 >> 32) & 0xFF_FFFF) as usize;
+                let slot = ((token.0 >> 32) & 0xFFFF) as usize;
                 let user = (token.0 & 0xFFFF_FFFF) as u32;
                 if slot < self.slots.len() {
                     let name = self.slots[slot].name.clone();

@@ -70,6 +70,11 @@ pub struct BridgeConfig {
     /// pre-sized from it so metro-scale populations never pay
     /// incremental rehashing on the per-frame learn path.
     pub expected_stations: usize,
+    /// Switchlet watchdog threshold: after this many traps or fuel
+    /// exhaustions, a VM switchlet is quarantined and the data plane
+    /// rolled back to its last-known-good tier (`0` disables the
+    /// watchdog).
+    pub watchdog_traps: u32,
 }
 
 impl Default for BridgeConfig {
@@ -83,6 +88,7 @@ impl Default for BridgeConfig {
             learn_age: SimDuration::from_secs(300),
             vm_fuel: 200_000,
             expected_stations: 0,
+            watchdog_traps: 3,
         }
     }
 }

@@ -355,6 +355,10 @@ pub struct Plane {
     addr_handlers: Vec<(MacAddr, String)>,
     /// The installed switching function.
     data_plane: DataPlaneSel,
+    /// The switching function installed before the current one — the
+    /// watchdog's last-known-good rollback target when the current one
+    /// is quarantined.
+    prev_data_plane: Option<DataPlaneSel>,
     /// Switchlet lifecycle status mirror (readable by other switchlets —
     /// the control switchlet "checks that the DEC switchlet is operating
     /// and that the 802.1D switchlet is not").
@@ -382,6 +386,7 @@ impl Plane {
             learn: LearningTable::new(learn_age),
             addr_handlers: Vec::new(),
             data_plane: DataPlaneSel::None,
+            prev_data_plane: None,
             status: HashMap::new(),
             published: HashMap::new(),
             owners_in: vec![None; n_ports],
@@ -461,12 +466,20 @@ impl Plane {
         &self.data_plane
     }
 
-    /// Install (or clear) the switching function.
+    /// Install (or clear) the switching function. Real changes remember
+    /// the displaced selection (see [`Plane::prev_data_plane`]) and bump
+    /// the generation.
     pub fn set_data_plane(&mut self, sel: DataPlaneSel) {
         if self.data_plane != sel {
-            self.data_plane = sel;
+            self.prev_data_plane = Some(std::mem::replace(&mut self.data_plane, sel));
             self.gen += 1;
         }
+    }
+
+    /// The switching function the current one displaced, if any — the
+    /// watchdog rolls back to it when the current one is quarantined.
+    pub fn prev_data_plane(&self) -> Option<&DataPlaneSel> {
+        self.prev_data_plane.as_ref()
     }
 
     // ------------------------------------------------------- lifecycle

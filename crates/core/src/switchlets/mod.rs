@@ -7,6 +7,7 @@ pub mod dumb;
 pub mod dumb_vm;
 pub mod learning;
 pub mod stp;
+pub mod trap_vm;
 
 use std::collections::HashMap;
 

@@ -1,0 +1,70 @@
+//! A deliberately faulty VM data path, for watchdog exercises.
+//!
+//! The switching handler traps on every invocation (an unguarded divide
+//! by zero — the VM's cheapest deterministic failure). Installing it
+//! over a working bridge reproduces the paper's "algorithmic failure"
+//! scenario: the bridge must contain the fault, quarantine the module
+//! after the configured number of traps, and keep traffic flowing on a
+//! degraded tier (last-known-good plane, or dumb flood forwarding).
+
+use switchlet::{ModuleBuilder, Op, Ty};
+
+use crate::hostmods::handler_ty;
+
+/// The module name the image loads under.
+pub const NAME: &str = "vm_trap";
+
+/// Build the loadable image.
+pub fn build_image() -> Vec<u8> {
+    let mut mb = ModuleBuilder::new(NAME);
+    let i_reg = mb.import(
+        "func",
+        "register_handler",
+        Ty::func(vec![Ty::Str, handler_ty()], Ty::Unit),
+    );
+    let i_log = mb.import("log", "msg", Ty::func(vec![Ty::Str], Ty::Unit));
+
+    // handler(frame: str, inport: int) -> unit: trap immediately.
+    let mut f = mb.func("switching", vec![Ty::Str, Ty::Int], Ty::Unit);
+    f.op(Op::ConstInt(1)).op(Op::ConstInt(0)).op(Op::Div);
+    f.op(Op::Pop);
+    f.op(Op::ConstUnit).op(Op::Return);
+    let handler_idx = mb.finish(f);
+    mb.export("switching", handler_idx);
+
+    // init: log, then register the faulty switching function.
+    let banner = mb.intern_str(b"vm trap bridge: faulty data path installed");
+    let key = mb.intern_str(b"switching");
+    let mut init = mb.func("init", vec![], Ty::Unit);
+    init.op(Op::ConstStr(banner))
+        .op(Op::CallImport(i_log))
+        .op(Op::Pop);
+    init.op(Op::ConstStr(key));
+    init.op(Op::FuncConst(handler_idx));
+    init.op(Op::CallImport(i_reg));
+    init.op(Op::Return);
+    let init_idx = mb.finish(init);
+    mb.set_init(init_idx);
+
+    mb.build().encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchlet::{verify_module, Module};
+
+    #[test]
+    fn image_decodes_and_verifies() {
+        let image = build_image();
+        let module = Module::decode(&image).expect("well-formed image");
+        assert_eq!(module.name, NAME);
+        verify_module(&module).expect("statically type-safe");
+        assert!(module.init.is_some(), "has registration forms");
+    }
+
+    #[test]
+    fn image_is_deterministic() {
+        assert_eq!(build_image(), build_image());
+    }
+}

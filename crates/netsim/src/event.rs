@@ -28,6 +28,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::chaos::ChaosEv;
 use crate::framebuf::FrameBuf;
 use crate::node::{NodeId, PortId, TimerToken};
 use crate::segment::SegId;
@@ -65,6 +66,10 @@ pub(crate) enum EventKind {
     /// (the two-event path snapshots at completion; both bound the
     /// audience to nodes attached before delivery).
     SegDeliver { seg: SegId, n_att: u32 },
+    /// A scripted topology fault fires (see [`crate::chaos`]). Scheduled
+    /// up-front by [`crate::chaos::ChaosScript::schedule`], so chaotic
+    /// runs keep the same `(time, seq)` order on every replay.
+    Chaos(ChaosEv),
 }
 
 /// Payload of [`EventKind::DeliverAll`].

@@ -45,7 +45,11 @@ impl FaultConfig {
     /// this delivery and the buffer other holders share stays pristine.
     /// The RNG draw sequence is part of the replay contract: transparent
     /// configs draw nothing; otherwise the draws are drop, (corrupt,
-    /// index, bit), duplicate, in that order.
+    /// index, bit), duplicate, in that order. The decision draws never
+    /// depend on the frame's contents — an empty frame still consumes
+    /// the corrupt decision and skips only the index/bit draws (there is
+    /// no octet to flip), so frame length cannot shift the stream for
+    /// later frames' decisions.
     pub fn apply(&self, frame: FrameBuf, rng: &mut Xoshiro) -> (FaultOutcome, bool) {
         if self.is_transparent() {
             return (FaultOutcome::Deliver(frame), false);
@@ -55,7 +59,7 @@ impl FaultConfig {
         }
         let mut corrupted = false;
         let mut frame = frame;
-        if !frame.is_empty() && rng.one_in(self.corrupt_one_in) {
+        if rng.one_in(self.corrupt_one_in) && !frame.is_empty() {
             corrupted = true;
             let idx = rng.range(frame.len() as u64) as usize;
             // Flip a random bit so corruption is always a real change.
@@ -150,6 +154,72 @@ mod tests {
         let mut rng = Xoshiro::seed_from_u64(6);
         match cfg.apply(FrameBuf::new(), &mut rng) {
             (FaultOutcome::Deliver(out), false) => assert!(out.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// How many `next_u64` calls one `apply` consumed: replay the seed's
+    /// stream until it lines up with the RNG state `apply` left behind.
+    fn draws_consumed(cfg: &FaultConfig, frame: FrameBuf, seed: u64) -> u64 {
+        let mut used = Xoshiro::seed_from_u64(seed);
+        let _ = cfg.apply(frame, &mut used);
+        let probe = used.next_u64();
+        let mut reference = Xoshiro::seed_from_u64(seed);
+        for consumed in 0..16 {
+            if reference.next_u64() == probe {
+                return consumed;
+            }
+        }
+        panic!("apply consumed more than 15 draws");
+    }
+
+    /// The replay contract: the decision draws (drop, corrupt,
+    /// duplicate) must not depend on the frame's contents. With all
+    /// three knobs set but astronomically unlikely to fire, `apply`
+    /// consumes exactly three draws for every frame length — including
+    /// the degenerate empty and 1-byte frames.
+    #[test]
+    fn decision_draw_sequence_is_independent_of_frame_length() {
+        let cfg = FaultConfig {
+            drop_one_in: u64::MAX,
+            corrupt_one_in: u64::MAX,
+            duplicate_one_in: u64::MAX,
+        };
+        for frame in [
+            FrameBuf::new(),
+            FrameBuf::from_static(b"x"),
+            FrameBuf::from_static(b"hello world"),
+        ] {
+            assert_eq!(draws_consumed(&cfg, frame, 123), 3);
+        }
+    }
+
+    /// When the corrupt decision *fires*, an empty frame skips only the
+    /// index/bit draws (nothing to flip) and is delivered unmodified,
+    /// while a 1-byte frame takes them and gets exactly one bit flipped
+    /// — and the duplicate decision still sees the stream position right
+    /// after the corrupt decision in both cases.
+    #[test]
+    fn degenerate_frames_pin_the_corrupt_draws() {
+        let cfg = FaultConfig {
+            corrupt_one_in: 1,
+            duplicate_one_in: 1,
+            ..Default::default()
+        };
+        // Empty: corrupt decision (1 draw) + duplicate decision (1 draw).
+        assert_eq!(draws_consumed(&cfg, FrameBuf::new(), 9), 2);
+        match cfg.apply(FrameBuf::new(), &mut Xoshiro::seed_from_u64(9)) {
+            (FaultOutcome::Duplicate(out), false) => assert!(out.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // 1-byte: corrupt + index + bit + duplicate = 4 draws
+        // (range(1) and range(8) are power-of-two bounds: no rejection).
+        assert_eq!(draws_consumed(&cfg, FrameBuf::from_static(b"z"), 9), 4);
+        match cfg.apply(FrameBuf::from_static(b"z"), &mut Xoshiro::seed_from_u64(9)) {
+            (FaultOutcome::Duplicate(out), true) => {
+                assert_eq!(out.len(), 1);
+                assert_eq!((out[0] ^ b'z').count_ones(), 1);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -55,6 +55,7 @@
 //! assert_eq!(world.node::<Sink>(s).0, 1);
 //! ```
 
+pub mod chaos;
 pub mod cost;
 mod event;
 pub mod fasthash;
@@ -69,6 +70,7 @@ pub mod time;
 pub mod trace;
 mod world;
 
+pub use chaos::{ChaosAction, ChaosEv, ChaosScript, ChaosStep};
 pub use cost::CostModel;
 pub use fasthash::{FastMap, FastSet, FxBuildHasher};
 pub use fault::FaultConfig;

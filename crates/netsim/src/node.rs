@@ -63,6 +63,17 @@ pub trait Node: Any {
     /// A timer scheduled via [`Ctx::schedule`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
 
+    /// The node crashed (see [`crate::chaos`]): discard all volatile
+    /// state. While crashed the world delivers it no frames and fires
+    /// none of its pending timers. Default: no-op (stateless nodes have
+    /// nothing to lose).
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// The node restarted cold after a crash: rebuild whatever a power
+    /// cycle would rebuild (reload boot images, restart protocols).
+    /// Default: no-op.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
     /// Downcast support.

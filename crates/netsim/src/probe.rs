@@ -176,6 +176,32 @@ pub enum ProbeRecord {
         /// The phase label.
         label: &'static str,
     },
+    /// A chaos script took a segment down.
+    LinkDown {
+        /// The downed segment.
+        seg: SegId,
+    },
+    /// A chaos script brought a segment back up.
+    LinkUp {
+        /// The healed segment.
+        seg: SegId,
+    },
+    /// A chaos script crashed a node (volatile state discarded).
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A chaos script restarted a crashed node cold.
+    NodeRestart {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A bridge's watchdog quarantined a misbehaving switchlet and rolled
+    /// the data plane back to its last-known-good tier.
+    Quarantine {
+        /// The bridge that quarantined.
+        node: NodeId,
+    },
 }
 
 /// One recorded event: a [`ProbeRecord`] stamped with the simulated time

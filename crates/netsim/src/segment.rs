@@ -95,6 +95,9 @@ pub struct SegCounters {
     pub peak_queue: u64,
     /// Frames dropped because the transmit queue was full.
     pub queue_drops: u64,
+    /// Frames offered while the segment was scripted down (see
+    /// [`crate::chaos`]) and therefore dropped at the offer point.
+    pub down_drops: u64,
     /// Frames dropped by fault injection.
     pub fault_drops: u64,
     /// Frames corrupted by fault injection.
@@ -137,6 +140,11 @@ pub struct Segment {
     pub(crate) queue: VecDeque<PendingTx>,
     pub(crate) counters: SegCounters,
     pub(crate) captured: Vec<CapturedFrame>,
+    /// True while a chaos script holds the segment down: offers are
+    /// dropped (counted in [`SegCounters::down_drops`]); the frame in
+    /// flight and the queue drain normally, like a cable pulled
+    /// mid-preamble rather than a vaporized switch fabric.
+    pub(crate) down: bool,
     /// Memoized `(len, serialization_time)` of the last frame: wire
     /// traffic is dominated by a couple of frame sizes, so this skips the
     /// 64-bit division on nearly every transmission.
@@ -152,6 +160,7 @@ impl Segment {
             queue: VecDeque::new(),
             counters: SegCounters::default(),
             captured: Vec::new(),
+            down: false,
             ser_memo: core::cell::Cell::new((usize::MAX, SimDuration::ZERO)),
         }
     }
@@ -223,6 +232,11 @@ impl Segment {
     /// Captured frames (empty unless capture was enabled).
     pub fn captured(&self) -> &[CapturedFrame] {
         &self.captured
+    }
+
+    /// Is the segment scripted down right now?
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Segment name.

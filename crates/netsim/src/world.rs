@@ -8,6 +8,7 @@
 //! world core, invokes the callback, and puts the node back. This gives the
 //! node full mutable access to simulator services without aliasing itself.
 
+use crate::chaos::ChaosEv;
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultOutcome;
 use crate::framebuf::FrameBuf;
@@ -40,6 +41,13 @@ pub struct WorldCore {
     pub frames_sent: u64,
     /// Frame deliveries to node ports.
     pub frames_delivered: u64,
+    /// Per node: true while a chaos script holds it crashed. A crashed
+    /// node receives no frames and none of its pending timers fire.
+    crashed: Vec<bool>,
+    /// How many nodes are currently crashed — the delivery and timer hot
+    /// paths stay one compare (`crashed_count != 0`) in the common
+    /// chaos-free case.
+    crashed_count: usize,
     /// Reusable listener scratch for `deliver_all` (kept across events so
     /// the delivery path never allocates).
     deliver_scratch: Vec<(NodeId, PortId)>,
@@ -103,6 +111,16 @@ impl WorldCore {
 
     fn send_on_segment(&mut self, seg_id: SegId, src: (NodeId, PortId), frame: FrameBuf) {
         self.frames_sent += 1;
+        if self.segments[seg_id.0].down {
+            // The segment is scripted down: the offer never reaches the
+            // medium. Frames already serializing or queued keep draining
+            // (their `SegTxDone`/`SegDeliver` events are in flight and
+            // clearing `current` under them would desynchronize the
+            // completion bookkeeping).
+            self.segments[seg_id.0].counters.down_drops += 1;
+            self.recycle_frame(frame);
+            return;
+        }
         let seg = &mut self.segments[seg_id.0];
         let ser = seg.serialization_time(frame.len());
         let len = frame.len() as u32;
@@ -348,6 +366,17 @@ impl<'w> Ctx<'w> {
             );
         }
     }
+
+    /// Record that this node's watchdog quarantined a switchlet and
+    /// rolled its data plane back.
+    #[inline]
+    pub fn probe_quarantine(&mut self) {
+        if self.core.probe.is_armed() {
+            self.core
+                .probe
+                .record(self.core.time, ProbeRecord::Quarantine { node: self.node });
+        }
+    }
 }
 
 /// One segment's identity and wire counters inside a [`WorldStats`]
@@ -425,6 +454,8 @@ impl World {
                 probe: Probe::new(),
                 frames_sent: 0,
                 frames_delivered: 0,
+                crashed: Vec::new(),
+                crashed_count: 0,
                 deliver_scratch: Vec::new(),
                 frame_pool: Vec::new(),
             },
@@ -464,6 +495,12 @@ impl World {
         self.core.probe.reset();
         self.core.frames_sent = 0;
         self.core.frames_delivered = 0;
+        // Chaos state must not leak into the next scenario: a pooled
+        // world starts with every node alive, exactly like a fresh one.
+        // (Per-segment fault configs and down flags clear with
+        // `segments` above.)
+        self.core.crashed.clear();
+        self.core.crashed_count = 0;
         // `deliver_scratch` and `frame_pool` survive deliberately: they
         // are pure caches, invisible to simulation behavior.
         self.nodes.clear();
@@ -500,6 +537,7 @@ impl World {
         self.core.node_names.push(node.name().to_owned());
         self.nodes.push(Some(Box::new(node)));
         self.core.node_ports.push(Vec::new());
+        self.core.crashed.push(false);
         id
     }
 
@@ -568,6 +606,9 @@ impl World {
                 if !self.core.cancelled_timers.is_empty() && self.core.cancelled_timers.remove(&id)
                 {
                     // Cancelled; skip.
+                } else if self.core.crashed_count != 0 && self.core.crashed[node.0] {
+                    // The node is crashed: its pending timers die
+                    // silently, like RAM losing power.
                 } else {
                     if self.core.probe.is_armed() {
                         self.core
@@ -579,6 +620,12 @@ impl World {
             }
             EventKind::SegTxDone { seg } => self.seg_tx_done(seg),
             EventKind::SegDeliver { seg, n_att } => self.seg_deliver(seg, n_att as usize),
+            EventKind::Chaos(ev) => match ev {
+                ChaosEv::LinkDown(seg) => self.set_link_down(seg, true),
+                ChaosEv::LinkUp(seg) => self.set_link_down(seg, false),
+                ChaosEv::NodeCrash(node) => self.crash_node(node),
+                ChaosEv::NodeRestart(node) => self.restart_node(node),
+            },
         }
     }
 
@@ -815,6 +862,12 @@ impl World {
             let (a, b) = (atts[0], atts[1]);
             if a == src || b == src {
                 let target = if a == src { b } else { a };
+                if self.core.crashed_count != 0 && self.core.crashed[target.0 .0] {
+                    // The listener is crashed: the frame falls on the
+                    // floor (never counted as delivered).
+                    self.core.recycle_frame(frame);
+                    return;
+                }
                 self.core.frames_delivered += 1;
                 if self.core.probe.is_armed() {
                     self.core.probe.record(
@@ -839,11 +892,17 @@ impl World {
         // The *last* listener receives the event's own handle (moved, not
         // cloned): on single-listener segments the receiving node ends up
         // holding the only reference, so it can recycle the buffer.
-        let last = (0..listeners.len()).rev().find(|&i| Some(i) != src_idx);
+        // Crashed listeners hear nothing, so they are excluded here too;
+        // if every listener is crashed, the trailing recycle below
+        // reclaims the untaken handle.
+        let any_crashed = self.core.crashed_count != 0;
+        let last = (0..listeners.len()).rev().find(|&i| {
+            Some(i) != src_idx && !(any_crashed && self.core.crashed[listeners[i].0 .0])
+        });
         let armed = self.core.probe.is_armed();
         let mut frame = Some(frame);
         for (i, &(node, port)) in listeners.iter().enumerate() {
-            if Some(i) == src_idx {
+            if Some(i) == src_idx || (any_crashed && self.core.crashed[node.0]) {
                 continue;
             }
             self.core.frames_delivered += 1;
@@ -1003,6 +1062,87 @@ impl World {
     /// world RNG as usual, so scripted runs stay deterministic.
     pub fn set_segment_fault(&mut self, id: SegId, fault: crate::fault::FaultConfig) {
         self.core.segments[id.0].cfg.fault = fault;
+    }
+
+    /// Schedule a chaos event at absolute time `at` (normally called via
+    /// [`crate::chaos::ChaosScript::schedule`], which pushes a whole
+    /// script up-front so the event order is fixed before the run).
+    pub fn schedule_chaos(&mut self, at: SimTime, ev: ChaosEv) {
+        self.core.queue.push(at, EventKind::Chaos(ev));
+    }
+
+    /// Take a segment down (`true`) or bring it back up (`false`), now.
+    /// While down, offered frames are dropped and counted in
+    /// [`crate::SegCounters::down_drops`]; the frame in flight and the
+    /// queue drain normally. A no-op if the state already matches.
+    pub fn set_link_down(&mut self, id: SegId, down: bool) {
+        let seg = &mut self.core.segments[id.0];
+        if seg.down == down {
+            return;
+        }
+        seg.down = down;
+        let name = seg.cfg.name.clone();
+        let now = self.core.time;
+        if self.core.probe.is_armed() {
+            let record = if down {
+                ProbeRecord::LinkDown { seg: id }
+            } else {
+                ProbeRecord::LinkUp { seg: id }
+            };
+            self.core.probe.record(now, record);
+        }
+        let what = if down { "down" } else { "up" };
+        self.core
+            .trace
+            .push(now, None, format!("chaos: link {what}: {name}"));
+    }
+
+    /// Crash a node now: mark it dead (no frames delivered, no pending
+    /// timers fire) and invoke [`Node::on_crash`] so it discards its
+    /// volatile state. A no-op on an already-crashed node.
+    pub fn crash_node(&mut self, id: NodeId) {
+        if self.core.crashed[id.0] {
+            return;
+        }
+        self.core.crashed[id.0] = true;
+        self.core.crashed_count += 1;
+        let now = self.core.time;
+        if self.core.probe.is_armed() {
+            self.core
+                .probe
+                .record(now, ProbeRecord::NodeCrash { node: id });
+        }
+        let name = self.core.node_names[id.0].clone();
+        self.core
+            .trace
+            .push(now, None, format!("chaos: crash: {name}"));
+        self.with_node(id, |n, ctx| n.on_crash(ctx));
+    }
+
+    /// Restart a crashed node cold: mark it alive again and invoke
+    /// [`Node::on_restart`]. A no-op on a node that is not crashed.
+    pub fn restart_node(&mut self, id: NodeId) {
+        if !self.core.crashed[id.0] {
+            return;
+        }
+        self.core.crashed[id.0] = false;
+        self.core.crashed_count -= 1;
+        let now = self.core.time;
+        if self.core.probe.is_armed() {
+            self.core
+                .probe
+                .record(now, ProbeRecord::NodeRestart { node: id });
+        }
+        let name = self.core.node_names[id.0].clone();
+        self.core
+            .trace
+            .push(now, None, format!("chaos: restart: {name}"));
+        self.with_node(id, |n, ctx| n.on_restart(ctx));
+    }
+
+    /// Is the node currently crashed?
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.core.crashed[id.0]
     }
 
     /// Point-in-time snapshot of the world's frame accounting: run-wide
@@ -1365,6 +1505,257 @@ mod tests {
             0,
             "a reset (disarmed) recorder must stay silent"
         );
+    }
+
+    #[test]
+    fn down_segment_drops_offers_and_counts_them() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.set_link_down(lan, true);
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.frames_delivered(), 0, "nothing crosses a down link");
+        assert_eq!(w.segment(lan).counters().down_drops, 1);
+        assert_eq!(w.segment(lan).counters().tx_frames, 0);
+        assert!(w.segment(lan).is_down());
+        assert!(
+            w.trace().contains("chaos: link down"),
+            "chaos transitions are traced"
+        );
+    }
+
+    #[test]
+    fn link_down_drains_the_frame_in_flight() {
+        // Down the link *while* a frame is serializing: that frame (and
+        // anything already queued) still delivers; only new offers drop.
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        // Talker's frame starts serializing at t=0 and needs ~2.3 us.
+        w.run_until(SimTime::from_us(1));
+        w.set_link_down(lan, true);
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.node::<Echo>(a).received.len(), 1, "in-flight frame lands");
+        assert_eq!(w.segment(lan).counters().down_drops, 0);
+    }
+
+    #[test]
+    fn link_up_restores_delivery_and_repeat_transitions_are_noops() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        w.set_link_down(lan, true);
+        w.set_link_down(lan, true); // no-op
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.frames_delivered(), 0);
+        w.set_link_down(lan, false);
+        w.set_link_down(lan, false); // no-op
+        w.with_ctx::<Echo, _>(a, |_, ctx| {
+            ctx.send(PortId(0), FrameBuf::from_static(b"after-heal"))
+        });
+        w.run_until(SimTime::from_ms(20));
+        assert_eq!(w.frames_delivered(), 1, "healed link carries traffic");
+    }
+
+    #[test]
+    fn crashed_node_hears_nothing_and_its_timers_die() {
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        // Crash both before anything flows: the talker's start-time frame
+        // still transmits (it was sent before the crash at t=0? no —
+        // crash first, then start), so crash after start but before
+        // delivery.
+        w.start();
+        w.run_until(SimTime::from_us(1)); // frame is serializing, timer pending
+        w.crash_node(a);
+        w.crash_node(t);
+        w.crash_node(t); // no-op on an already-crashed node
+        assert!(w.is_crashed(t));
+        w.run_until(SimTime::from_ms(10));
+        assert_eq!(w.node::<Echo>(a).received.len(), 0, "crashed listener");
+        assert!(
+            !w.node::<Talker>(t).sent_timer,
+            "a crashed node's pending timers never fire"
+        );
+        assert_eq!(w.frames_delivered(), 0);
+        assert!(w.trace().contains("chaos: crash"));
+    }
+
+    #[test]
+    fn restart_brings_a_node_back() {
+        struct Phoenix {
+            crashes: u32,
+            restarts: u32,
+            frames: u32,
+        }
+        impl Node for Phoenix {
+            fn name(&self) -> &str {
+                "phoenix"
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {
+                self.frames += 1;
+            }
+            fn on_crash(&mut self, _: &mut Ctx<'_>) {
+                self.crashes += 1;
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+                self.restarts += 1;
+                ctx.trace("back from the dead");
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let p = w.add_node(Phoenix {
+            crashes: 0,
+            restarts: 0,
+            frames: 0,
+        });
+        let a = w.add_node(echo("a", false));
+        w.attach(p, lan);
+        w.attach(a, lan);
+        w.restart_node(p); // no-op: not crashed
+        w.crash_node(p);
+        w.restart_node(p);
+        assert!(!w.is_crashed(p));
+        w.with_ctx::<Echo, _>(a, |_, ctx| {
+            ctx.send(PortId(0), FrameBuf::from_static(b"hello again"))
+        });
+        w.run_until(SimTime::from_ms(10));
+        let ph = w.node::<Phoenix>(p);
+        assert_eq!((ph.crashes, ph.restarts), (1, 1));
+        assert_eq!(ph.frames, 1, "restarted node hears traffic again");
+    }
+
+    #[test]
+    fn chaos_script_schedules_against_world_ids() {
+        use crate::chaos::ChaosScript;
+        let mut w = World::new(1);
+        let lan = w.add_segment(SegmentConfig::default());
+        let t = w.add_node(Talker { sent_timer: false });
+        let a = w.add_node(echo("a", false));
+        w.attach(t, lan);
+        w.attach(a, lan);
+        let mut script = ChaosScript::transparent();
+        script
+            .partition(0, SimDuration::from_ms(0), SimDuration::from_ms(5))
+            .crash_cycle(0, SimDuration::from_ms(1), SimDuration::from_ms(6));
+        script.schedule(&mut w, SimTime::ZERO, &[lan], &[a]);
+        w.run_until(SimTime::from_ms(4));
+        assert!(w.segment(lan).is_down());
+        assert!(w.is_crashed(a));
+        w.run_until(SimTime::from_ms(10));
+        assert!(!w.segment(lan).is_down());
+        assert!(!w.is_crashed(a));
+        // The talker's t=0 frame was offered while the link was down.
+        assert_eq!(w.segment(lan).counters().down_drops, 1);
+    }
+
+    #[test]
+    fn chaos_replays_byte_identically() {
+        use crate::chaos::ChaosScript;
+        fn run(seed: u64) -> (u64, u64, u64) {
+            let mut w = World::new(seed);
+            let lan = w.add_segment(SegmentConfig {
+                fault: crate::fault::FaultConfig {
+                    drop_one_in: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let t = w.add_node(Talker { sent_timer: false });
+            let a = w.add_node(echo("a", true));
+            w.attach(t, lan);
+            w.attach(a, lan);
+            let mut script = ChaosScript::transparent();
+            script
+                .flap_storm(
+                    0,
+                    SimDuration::from_us(1),
+                    4,
+                    SimDuration::from_us(2),
+                    SimDuration::from_us(2),
+                )
+                .crash_cycle(0, SimDuration::from_us(3), SimDuration::from_us(9));
+            script.schedule(&mut w, SimTime::ZERO, &[lan], &[a]);
+            w.run_until(SimTime::from_ms(50));
+            let c = w.segment(lan).counters();
+            (w.frames_delivered(), c.down_drops, w.trace().appended())
+        }
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn reset_clears_chaos_state() {
+        let mut w = World::new(5);
+        let lan = w.add_segment(SegmentConfig::default());
+        let a = w.add_node(echo("a", false));
+        w.attach(a, lan);
+        w.set_link_down(lan, true);
+        w.crash_node(a);
+        w.reset(5);
+        let lan2 = w.add_segment(SegmentConfig::default());
+        let b = w.add_node(echo("b", false));
+        w.attach(b, lan2);
+        assert!(!w.segment(lan2).is_down(), "down state must not leak");
+        assert!(!w.is_crashed(b), "crash marks must not leak");
+        assert_eq!(w.segment(lan2).counters().down_drops, 0);
+    }
+
+    /// A world dirtied by an (unhealed!) chaos script replays like a
+    /// fresh one after `reset` — the exec pool reuses worlds across
+    /// sweep scenarios, so leaked down-links or crash marks would make
+    /// the chaos sweep's report depend on worker scheduling.
+    #[test]
+    fn reset_after_chaos_replays_like_fresh() {
+        use crate::chaos::ChaosScript;
+        fn drive(w: &mut World) -> (u64, u64, u64) {
+            let lan = w.add_segment(SegmentConfig::default());
+            let t = w.add_node(Talker { sent_timer: false });
+            let a = w.add_node(echo("a", true));
+            w.attach(t, lan);
+            w.attach(a, lan);
+            w.run_until(SimTime::from_ms(50));
+            let c = w.segment(lan).counters();
+            (w.frames_delivered(), c.down_drops, w.trace().appended())
+        }
+        let mut fresh = World::new(7);
+        let want = drive(&mut fresh);
+
+        // Dirty a world with chaos that is never healed, then reset.
+        let mut reused = World::new(123);
+        let lan = reused.add_segment(SegmentConfig::default());
+        let a = reused.add_node(echo("a", false));
+        reused.attach(a, lan);
+        let mut script = ChaosScript::transparent();
+        script
+            .link_down(SimDuration::from_us(1), 0)
+            .crash(SimDuration::from_us(2), 0);
+        script.schedule(&mut reused, SimTime::ZERO, &[lan], &[a]);
+        reused.run_until(SimTime::from_ms(10));
+        assert!(reused.segment(lan).is_down());
+        assert!(reused.is_crashed(a));
+
+        reused.reset(7);
+        assert_eq!(drive(&mut reused), want, "reset world replays fresh");
     }
 
     #[test]

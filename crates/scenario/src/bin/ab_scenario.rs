@@ -3,8 +3,10 @@
 //!
 //! ```sh
 //! ab_scenario render --jobs 4 --seed 42 > sweep.json
+//! ab_scenario render --sweep chaos > chaos.json  # robustness battery
 //! ab_scenario analyze sweep.json                 # per-scenario scorecards
 //! ab_scenario analyze sweep.json --assert-score 60   # CI gate
+//! ab_scenario analyze chaos.json --assert-pass   # recovery-invariant gate
 //! ab_scenario trace metro pings > trace.json     # flight-recorder timeline
 //! ab_scenario validate-trace trace.json          # structural check (CI)
 //! ```
@@ -36,12 +38,12 @@ use ab_scenario::{timeline, Json};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--profile]\n  \
-         ab_scenario analyze <sweep.json|-> [--assert-score N]\n  \
+        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--sweep default|chaos] [--profile]\n  \
+         ab_scenario analyze <sweep.json|-> [--assert-score N] [--assert-pass]\n  \
          ab_scenario trace <shape> <battery> [--seed S] [--capacity N]\n  \
          ab_scenario validate-trace <trace.json|->\n\n\
          shapes: line ring star tree full_mesh random metro metro_large\n\
-         batteries: pings streams uploads churn metro contention"
+         batteries: pings streams uploads churn metro contention chaos"
     );
     std::process::exit(2);
 }
@@ -87,6 +89,7 @@ fn parse_battery(label: &str) -> Option<BatteryKind> {
         "churn" => BatteryKind::Churn,
         "metro" => BatteryKind::Metro,
         "contention" => BatteryKind::Contention,
+        "chaos" => BatteryKind::Chaos,
         _ => return None,
     })
 }
@@ -95,6 +98,7 @@ fn render(mut args: impl Iterator<Item = String>) {
     let mut jobs = ab_scenario::default_jobs();
     let mut seed = 42u64;
     let mut profile = false;
+    let mut sweep = "default".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
@@ -105,11 +109,20 @@ fn render(mut args: impl Iterator<Item = String>) {
                 let v = args.next().unwrap_or_else(|| usage());
                 seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--sweep" => sweep = args.next().unwrap_or_else(|| usage()),
             "--profile" => profile = true,
             _ => usage(),
         }
     }
-    let (report, pool) = run_sweep_jobs_profiled(&SweepSpec::default_sweep(seed), jobs);
+    let spec = match sweep.as_str() {
+        "default" => SweepSpec::default_sweep(seed),
+        "chaos" => SweepSpec::chaos_sweep(seed),
+        other => {
+            eprintln!("unknown sweep {other:?}");
+            usage();
+        }
+    };
+    let (report, pool) = run_sweep_jobs_profiled(&spec, jobs);
     if profile {
         eprint!("{}", pool.render());
     }
@@ -194,12 +207,14 @@ fn read_input(path: &str) -> String {
 fn analyze(mut args: impl Iterator<Item = String>) {
     let Some(path) = args.next() else { usage() };
     let mut assert_score = None;
+    let mut assert_pass = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--assert-score" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 assert_score = Some(v.parse::<u64>().unwrap_or_else(|_| usage()));
             }
+            "--assert-pass" => assert_pass = true,
             _ => usage(),
         }
     }
@@ -213,6 +228,19 @@ fn analyze(mut args: impl Iterator<Item = String>) {
         std::process::exit(1);
     });
     print!("{cards}");
+    if assert_pass {
+        match sweep.get("summary").and_then(|s| s.get("pass")) {
+            Some(Json::Bool(true)) => eprintln!("every scenario passed its invariants"),
+            Some(Json::Bool(false)) => {
+                eprintln!("a scenario failed an invariant (see scorecards above)");
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("not a sweep document: no summary.pass");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(floor) = assert_score {
         match quality::sweep_overall(&sweep).expect("scorecards already validated the document") {
             Some(overall) if overall >= floor => {

@@ -61,7 +61,8 @@ pub use exec::{
 pub use json::Json;
 pub use quality::{score_report, QualityScore};
 pub use runner::{
-    run, run_in, run_recorded, run_traced, InvariantResult, Report, Scenario, Verdict,
+    run, run_in, run_recorded, run_traced, InvariantResult, RecoveryReport, Report, Scenario,
+    Verdict,
 };
 pub use sketch::Sketch;
 pub use sweep::{run_sweep, run_sweep_jobs, run_sweep_jobs_profiled, SweepReport, SweepSpec};

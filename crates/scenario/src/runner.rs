@@ -192,6 +192,22 @@ pub struct BridgeReport {
     pub counters: Vec<(&'static str, u64)>,
 }
 
+/// Recovery telemetry for runs whose workload scripts downtime
+/// (chaos-free runs carry none, keeping their reports byte-identical).
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// When the script's last healing step fired.
+    pub last_heal: SimTime,
+    /// Frames dropped by downed segments across the run.
+    pub down_drops: u64,
+    /// Bridge crashes the script performed.
+    pub crashes: u64,
+    /// Delay from the last heal to the first slice boundary at which
+    /// new frames had been delivered (sampled on the runner's slice
+    /// grid; `None` if nothing was delivered after the heal).
+    pub time_to_first_delivery: Option<SimDuration>,
+}
+
 /// The full structured result of one scenario run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -221,6 +237,9 @@ pub struct Report {
     pub apps: Vec<AppReport>,
     /// VM instructions retired across all bridges.
     pub vm_fuel: u64,
+    /// Recovery telemetry (`Some` only when the workload scripts
+    /// downtime).
+    pub recovery: Option<RecoveryReport>,
     /// The judged invariants.
     pub invariants: Vec<InvariantResult>,
 }
@@ -285,6 +304,7 @@ impl Report {
                         ("fault_drops", Json::U64(c.fault_drops)),
                         ("corrupted", Json::U64(c.corrupted)),
                         ("fault_duplicates", Json::U64(c.fault_duplicates)),
+                        ("down_drops", Json::U64(c.down_drops)),
                     ])
                 })
                 .collect(),
@@ -366,7 +386,7 @@ impl Report {
                 },
             ),
         ]);
-        Json::obj(vec![
+        let mut members = vec![
             ("scenario", scenario),
             ("convergence", convergence),
             ("world", world),
@@ -380,10 +400,30 @@ impl Report {
                 ]),
             ),
             ("vm_fuel", Json::U64(self.vm_fuel)),
-            ("invariants", invariants),
-            ("quality", quality::score_report(self).to_json()),
-            ("summary", summary),
-        ])
+        ];
+        // Present only on chaos runs: chaos-free reports render the
+        // exact same bytes as before the recovery section existed.
+        if let Some(r) = &self.recovery {
+            members.push((
+                "recovery",
+                Json::obj(vec![
+                    ("last_heal_ns", Json::U64(r.last_heal.as_ns())),
+                    ("down_drops", Json::U64(r.down_drops)),
+                    ("crashes", Json::U64(r.crashes)),
+                    (
+                        "time_to_first_delivery_ns",
+                        match r.time_to_first_delivery {
+                            Some(d) => Json::U64(d.as_ns()),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ));
+        }
+        members.push(("invariants", invariants));
+        members.push(("quality", quality::score_report(self).to_json()));
+        members.push(("summary", summary));
+        Json::obj(members)
     }
 }
 
@@ -512,6 +552,13 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
 
     let placed = materialize(world, &built, &topo, &wl, epoch_d);
 
+    // Chaos steps go onto the world event queue up-front (not the slice
+    // grid): their order relative to traffic is fixed by `(time, seq)`
+    // alone, so a chaotic run replays byte-for-byte at any worker
+    // count. A transparent script schedules nothing.
+    wl.chaos.schedule(world, epoch, &built.segs, &built.bridges);
+    let heal_at = wl.chaos.last_heal_at().map(|d| epoch + d);
+
     let end = SimTime::ZERO
         + scenario
             .duration
@@ -524,6 +571,8 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     let mut next_fault = 0;
     let mut signature = convergence_signature(world, &built);
     let mut converged_at: Option<SimTime> = None;
+    let mut delivered_at_heal: Option<u64> = None;
+    let mut first_delivery_after_heal: Option<SimTime> = None;
     let mut now = SimTime::ZERO;
     while now < end {
         now = (now + SLICE).min(end);
@@ -544,6 +593,21 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         if sig != signature {
             signature = sig;
             converged_at = Some(now);
+        }
+        // Time-to-first-delivery after the script's last heal, sampled
+        // on the slice grid: the baseline is the delivery count at the
+        // first boundary past the heal, and recovery is the first later
+        // boundary where it has grown.
+        if let Some(heal) = heal_at {
+            if now >= heal && first_delivery_after_heal.is_none() {
+                match delivered_at_heal {
+                    None => delivered_at_heal = Some(world.frames_delivered()),
+                    Some(base) if world.frames_delivered() > base => {
+                        first_delivery_after_heal = Some(now);
+                    }
+                    Some(_) => {}
+                }
+            }
         }
     }
 
@@ -568,6 +632,12 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         .iter()
         .map(|&b| world.node::<BridgeNode>(b).plane().stats.vm_instructions)
         .sum();
+    let recovery = heal_at.map(|heal| RecoveryReport {
+        last_heal: heal,
+        down_drops: after.segments.iter().map(|s| s.counters.down_drops).sum(),
+        crashes: wl.chaos.crash_count(),
+        time_to_first_delivery: first_delivery_after_heal.map(|t| t.saturating_since(heal)),
+    });
     let invariants = judge_invariants(
         world,
         &topo,
@@ -595,6 +665,7 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         bridges,
         apps,
         vm_fuel,
+        recovery,
         invariants,
     }
 }
@@ -715,6 +786,25 @@ fn materialize(
                                 dst,
                                 3000 + i as u16,
                                 format!("scn_upload{i}.img"),
+                                image,
+                            ),
+                        )],
+                    );
+                    (tx, None)
+                }
+                AppAction::UploadTrap { from_seg, bridge } => {
+                    let image = active_bridge::switchlets::trap_vm::build_image();
+                    let dst = bridge_ip(topo.bridges[*bridge].index);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            UploadApp::new(
+                                PortId(0),
+                                dst,
+                                3000 + i as u16,
+                                format!("vm_trap{i}.img"),
                                 image,
                             ),
                         )],
@@ -918,6 +1008,31 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                         },
                     }
                 }
+                (AppAction::UploadTrap { from_seg, bridge }, App::Upload(a)) => {
+                    // The transfer itself must succeed — proving the
+                    // loader path survived the chaos — but the module
+                    // is *designed* to be quarantined afterwards, so it
+                    // does not count toward `uploads_alive`.
+                    let done = a.is_done() && a.failed.is_none();
+                    AppReport {
+                        label: "upload_trap",
+                        phase: p.phase,
+                        from_seg: *from_seg,
+                        to_seg: topo.bridges[*bridge].segments[0],
+                        ok: done,
+                        detail: vec![
+                            ("bridge", *bridge as u64),
+                            ("done", u64::from(a.is_done())),
+                            ("retries", a.retries as u64),
+                        ],
+                        metrics: AppMetrics {
+                            kind: "timeline",
+                            valid: done,
+                            delivery_pm: Some(if done { 1000 } else { 0 }),
+                            sketch: Some(Sketch::from_samples(a.progress_gap_ns.iter().copied())),
+                        },
+                    }
+                }
                 (action, _) => unreachable!(
                     "placed app for {} does not match its action",
                     action.label()
@@ -978,12 +1093,17 @@ fn judge_invariants(
     });
 
     // Convergence: the control plane must settle before the workload
-    // epoch and stay settled to the end.
+    // epoch and stay settled to the end. Scripted downtime legitimately
+    // moves port states mid-run, so it waives this — the
+    // `reconverges_after_heal` invariant below takes over.
+    let downtime = wl.injects_downtime();
     let settled = converged_at.is_none_or(|t| t <= epoch);
     out.push(InvariantResult {
         name: "converged_before_workload",
         verdict: if settled {
             Verdict::Pass
+        } else if downtime {
+            Verdict::Waived
         } else {
             Verdict::Fail
         },
@@ -1008,11 +1128,12 @@ fn judge_invariants(
     });
 
     // Loss: blasts are raw and unacknowledged, so a scripted drop fault
-    // waives them — as are loaded-phase probes, which run *inside* the
-    // scripted fault window precisely to measure how much is lost
-    // (their losses feed the degradation score, not the invariant).
-    // Everything else carries its own recovery and stays strict.
-    let drops_scripted = wl.injects_drops();
+    // or scripted downtime waives them — as are loaded-phase probes,
+    // which run *inside* the scripted fault window precisely to measure
+    // how much is lost (their losses feed the degradation score, not
+    // the invariant). Everything else carries its own recovery and
+    // stays strict.
+    let drops_scripted = wl.injects_drops() || downtime;
     let mut lost = Vec::new();
     let mut waived_loss = 0u64;
     for a in apps {
@@ -1035,7 +1156,7 @@ fn judge_invariants(
         },
         detail: if lost.is_empty() {
             format!(
-                "{} workload items delivered ({} waived under scripted drops)",
+                "{} workload items delivered ({} waived under scripted faults)",
                 apps.len() as u64 - waived_loss,
                 waived_loss
             )
@@ -1066,7 +1187,10 @@ fn judge_invariants(
     out.push(InvariantResult {
         name: "no_duplicate_delivery",
         verdict: if !duplicated.is_empty() {
-            if wl.injects_duplicates() {
+            // Scripted duplication waives this, as does scripted
+            // downtime: a healing ring can loop transiently while the
+            // spanning tree re-blocks a port.
+            if wl.injects_duplicates() || downtime {
                 Verdict::Waived
             } else {
                 Verdict::Fail
@@ -1105,6 +1229,87 @@ fn judge_invariants(
                 Verdict::Fail
             },
             detail: format!("{alive} of {uploads} uploaded switchlets ran init"),
+        });
+    }
+
+    // Recovery invariants: judged only on runs that script downtime.
+    if downtime {
+        let heal_offset = wl.chaos.last_heal_at().unwrap_or(SimDuration::ZERO);
+        let heal = epoch + heal_offset;
+
+        // After the last heal the control plane must settle within a
+        // bound: a spanning-tree re-convergence around a restarted
+        // bridge (max-age expiry plus two forward-delay intervals) on
+        // loopy topologies, a re-flood on learning-only ones.
+        let bound = if topo.cyclic() {
+            SimDuration::from_secs(55)
+        } else {
+            SimDuration::from_secs(5)
+        };
+        let reconverged = converged_at.is_none_or(|t| t <= heal + bound);
+        out.push(InvariantResult {
+            name: "reconverges_after_heal",
+            verdict: if reconverged {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: match converged_at {
+                Some(t) => format!(
+                    "last control-plane change at {} ns (heal {} ns, bound {} ns)",
+                    t.as_ns(),
+                    heal.as_ns(),
+                    bound.as_ns()
+                ),
+                None => "control plane never changed".to_owned(),
+            },
+        });
+
+        // No permanent blackhole: every reliable main-phase flow
+        // scheduled at or after the last heal must succeed. Raw blasts
+        // are excluded — the watchdog probe intentionally sacrifices a
+        // few frames to the trap threshold.
+        let mut dead = Vec::new();
+        let mut probes = 0u64;
+        for (item, a) in wl.items.iter().zip(apps) {
+            if item.phase == Phase::Main && item.offset >= heal_offset && a.label != "blast" {
+                probes += 1;
+                if !a.ok {
+                    dead.push(format!("{} {}→{}", a.label, a.from_seg, a.to_seg));
+                }
+            }
+        }
+        out.push(InvariantResult {
+            name: "no_permanent_blackhole",
+            verdict: if !dead.is_empty() {
+                Verdict::Fail
+            } else if probes > 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Waived
+            },
+            detail: if dead.is_empty() {
+                format!("{probes} post-heal probes delivered")
+            } else {
+                format!("dead after heal: {}", dead.join(", "))
+            },
+        });
+    }
+
+    // The watchdog must engage exactly as scripted — no more, no fewer.
+    if wl.expected_quarantines > 0 {
+        let quarantines = world.counters().get("bridge.quarantines");
+        out.push(InvariantResult {
+            name: "quarantine_engages",
+            verdict: if quarantines == wl.expected_quarantines {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "{quarantines} watchdog quarantines (scripted {})",
+                wl.expected_quarantines
+            ),
         });
     }
 

@@ -58,6 +58,22 @@ impl SweepSpec {
         }
     }
 
+    /// The chaos sweep: one learning-only and one spanning-tree shape ×
+    /// the chaos battery — the robustness gate CI renders at several
+    /// worker counts and byte-compares. Kept out of [`default_sweep`] so
+    /// the committed quality-gate job set (and its scores) is unchanged.
+    pub fn chaos_sweep(seed: u64) -> SweepSpec {
+        SweepSpec {
+            shapes: vec![
+                TopologyShape::Line { bridges: 2 },
+                TopologyShape::Ring { bridges: 3 },
+            ],
+            batteries: vec![BatteryKind::Chaos],
+            seed,
+            duration: None,
+        }
+    }
+
     /// The scenarios this sweep runs, in order.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::new();

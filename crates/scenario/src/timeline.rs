@@ -19,6 +19,8 @@
 //! deterministic probe ring, so the rendered document is byte-identical
 //! across runs and `--jobs` values.
 
+use std::collections::HashMap;
+
 use active_bridge::BridgeNode;
 use netsim::{NodeId, ProbeRecord, World};
 
@@ -115,6 +117,11 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
             ));
         }
     };
+
+    // Chaos down-time renders as complete spans: a LinkDown / NodeCrash
+    // opens a window, the matching LinkUp / NodeRestart closes it.
+    let mut seg_down: HashMap<u64, u64> = HashMap::new();
+    let mut node_down: HashMap<usize, u64> = HashMap::new();
 
     for ev in world.probe().records() {
         let ns = ev.at.as_ns();
@@ -280,7 +287,88 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
                     vec![],
                 ));
             }
+            ProbeRecord::LinkDown { seg } => {
+                seg_down.entry(seg.0 as u64).or_insert(ns);
+            }
+            ProbeRecord::LinkUp { seg } => {
+                let tid = seg.0 as u64;
+                match seg_down.remove(&tid) {
+                    Some(start) => {
+                        events.push(complete(
+                            "down",
+                            PID_SEGMENTS,
+                            tid,
+                            start,
+                            ns - start,
+                            vec![],
+                        ));
+                    }
+                    // A heal with no recorded outage (e.g. the ring
+                    // displaced the LinkDown record) still shows up.
+                    None => events.push(instant("link_up", PID_SEGMENTS, tid, ns, vec![])),
+                }
+            }
+            ProbeRecord::NodeCrash { node } => {
+                name_node(&mut events, node);
+                node_down.entry(node.0).or_insert(ns);
+            }
+            ProbeRecord::NodeRestart { node } => {
+                name_node(&mut events, node);
+                let pid = node_pid(world, node);
+                match node_down.remove(&node.0) {
+                    Some(start) => {
+                        events.push(complete(
+                            "crashed",
+                            pid,
+                            node.0 as u64,
+                            start,
+                            ns - start,
+                            vec![],
+                        ));
+                    }
+                    None => events.push(instant("restart", pid, node.0 as u64, ns, vec![])),
+                }
+            }
+            ProbeRecord::Quarantine { node } => {
+                name_node(&mut events, node);
+                events.push(instant(
+                    "quarantine",
+                    node_pid(world, node),
+                    node.0 as u64,
+                    ns,
+                    vec![],
+                ));
+            }
         }
+    }
+
+    // Outages still open at the horizon render as spans reaching it
+    // (sorted for byte-deterministic output).
+    let end_ns = report.end.as_ns();
+    let mut open_segs: Vec<(u64, u64)> = seg_down.into_iter().collect();
+    open_segs.sort_unstable();
+    for (tid, start) in open_segs {
+        events.push(complete(
+            "down",
+            PID_SEGMENTS,
+            tid,
+            start,
+            end_ns.saturating_sub(start),
+            vec![],
+        ));
+    }
+    let mut open_nodes: Vec<(usize, u64)> = node_down.into_iter().collect();
+    open_nodes.sort_unstable();
+    for (id, start) in open_nodes {
+        let node = NodeId(id);
+        events.push(complete(
+            "crashed",
+            node_pid(world, node),
+            id as u64,
+            start,
+            end_ns.saturating_sub(start),
+            vec![],
+        ));
     }
 
     let probe = world.probe();

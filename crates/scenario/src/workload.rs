@@ -7,7 +7,7 @@
 //! when) plus a list of scheduled [`FaultAction`]s driving
 //! `netsim::fault` mid-run. The runner materializes both.
 
-use netsim::{FaultConfig, SimDuration, Xoshiro};
+use netsim::{ChaosScript, FaultConfig, SimDuration, Xoshiro};
 use switchlet::{ModuleBuilder, Op, Ty};
 
 use crate::topo::Topology;
@@ -43,17 +43,27 @@ pub enum BatteryKind {
     /// out to the whole population (exercises high-degree `DeliverAll`
     /// batching, learn-table scale, flood forwarding).
     Metro,
+    /// The robustness battery: scheduled topology faults — a partition
+    /// that heals, a link flap storm, rolling bridge crash/restart
+    /// cycles — plus a post-heal upload of a deliberately faulty
+    /// switchlet the watchdog must quarantine. Baseline pings measure
+    /// the quiet network, loaded pings re-measure inside the outage
+    /// window, and a strict post-heal transfer proves the extended LAN
+    /// recovered (the `reconverges_after_heal`, `no_permanent_blackhole`
+    /// and `quarantine_engages` invariants).
+    Chaos,
 }
 
 impl BatteryKind {
     /// Every battery, in a stable order.
-    pub const ALL: [BatteryKind; 6] = [
+    pub const ALL: [BatteryKind; 7] = [
         BatteryKind::Pings,
         BatteryKind::Streams,
         BatteryKind::Uploads,
         BatteryKind::Churn,
         BatteryKind::Metro,
         BatteryKind::Contention,
+        BatteryKind::Chaos,
     ];
 
     /// Short label for names and reports.
@@ -65,6 +75,7 @@ impl BatteryKind {
             BatteryKind::Churn => "churn",
             BatteryKind::Metro => "metro",
             BatteryKind::Contention => "contention",
+            BatteryKind::Chaos => "chaos",
         }
     }
 
@@ -76,6 +87,7 @@ impl BatteryKind {
             BatteryKind::Churn => 4,
             BatteryKind::Metro => 5,
             BatteryKind::Contention => 6,
+            BatteryKind::Chaos => 7,
         }
     }
 }
@@ -155,6 +167,18 @@ pub enum AppAction {
         /// Target bridge index.
         bridge: usize,
     },
+    /// A TFTP upload of the deliberately faulty `vm_trap` switchlet to
+    /// bridge `bridge` — the chaos battery's watchdog probe. The module
+    /// installs a data plane that traps on every frame; the bridge must
+    /// quarantine it at the configured trap threshold and fall back to
+    /// its last-known-good plane (judged exactly by the
+    /// `quarantine_engages` invariant).
+    UploadTrap {
+        /// Uploader's segment.
+        from_seg: usize,
+        /// Target bridge index.
+        bridge: usize,
+    },
     /// `hosts` silent listener hosts on `seg` — the metro battery's
     /// district population. They never initiate traffic, but every
     /// broadcast or flood crossing their segment is delivered to each
@@ -178,6 +202,7 @@ impl AppAction {
             AppAction::Ttcp { .. } => "ttcp",
             AppAction::Blast { .. } => "blast",
             AppAction::Upload { .. } => "upload",
+            AppAction::UploadTrap { .. } => "upload_trap",
             AppAction::Crowd { .. } => "crowd",
         }
     }
@@ -186,7 +211,7 @@ impl AppAction {
     pub fn host_count(&self) -> u64 {
         match self {
             AppAction::Ping { .. } | AppAction::Ttcp { .. } | AppAction::Blast { .. } => 2,
-            AppAction::Upload { .. } => 1,
+            AppAction::Upload { .. } | AppAction::UploadTrap { .. } => 1,
             AppAction::Crowd { hosts, .. } => *hosts as u64,
         }
     }
@@ -204,7 +229,7 @@ impl AppAction {
             AppAction::Blast {
                 count, interval, ..
             } => *interval * *count + SimDuration::from_secs(2),
-            AppAction::Upload { .. } => SimDuration::from_secs(5),
+            AppAction::Upload { .. } | AppAction::UploadTrap { .. } => SimDuration::from_secs(5),
             AppAction::Crowd { .. } => SimDuration::ZERO,
         }
     }
@@ -248,6 +273,13 @@ pub struct Workload {
     pub items: Vec<WorkItem>,
     /// Scheduled fault-script steps (offsets from the workload epoch).
     pub faults: Vec<(SimDuration, FaultAction)>,
+    /// Scheduled topology faults (offsets from the workload epoch) —
+    /// transparent for every battery except chaos, so existing runs
+    /// replay byte-for-byte.
+    pub chaos: ChaosScript,
+    /// How many watchdog quarantines the script is engineered to
+    /// trigger; when non-zero the runner judges the count exactly.
+    pub expected_quarantines: u64,
 }
 
 impl Workload {
@@ -266,7 +298,14 @@ impl Workload {
             .map(|(at, _)| *at + SimDuration::from_secs(1))
             .max()
             .unwrap_or(SimDuration::ZERO);
-        apps.max(faults)
+        // Transparent scripts contribute nothing (no margin either), so
+        // chaos-free batteries keep their exact pre-chaos spans.
+        let chaos = if self.chaos.is_transparent() {
+            SimDuration::ZERO
+        } else {
+            self.chaos.span() + SimDuration::from_secs(1)
+        };
+        apps.max(faults).max(chaos)
     }
 
     /// Does the script inject frame drops at any point?
@@ -274,6 +313,14 @@ impl Workload {
         self.faults
             .iter()
             .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.drop_one_in > 0))
+    }
+
+    /// Does the script take links down or crash bridges at any point?
+    /// While scripted downtime is in play the convergence, loss and
+    /// duplicate invariants are judged leniently and the recovery
+    /// invariants take over.
+    pub fn injects_downtime(&self) -> bool {
+        !self.chaos.is_transparent()
     }
 
     /// Does the script inject frame duplication at any point?
@@ -330,6 +377,8 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
     let mut rng = Xoshiro::seed_from_u64(seed ^ (0x3A77_E21B_00C0_FFEE ^ kind.tag()));
     let mut items = Vec::new();
     let mut faults = Vec::new();
+    let mut chaos = ChaosScript::transparent();
+    let mut expected_quarantines = 0u64;
     match kind {
         BatteryKind::Pings => {
             for nth in 0..3 {
@@ -598,11 +647,149 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                 },
             });
         }
+        BatteryKind::Chaos => {
+            // Baseline pings complete before the first fault at 500 ms
+            // (6 × 50 ms = 300 ms); loaded pings run inside the outage
+            // window and are waived from the loss invariant (their
+            // losses feed the degradation score instead).
+            let (p_from, p_to) = pick_pair(topo, &mut rng, 3);
+            let ping = |phase, offset_ms| WorkItem {
+                phase,
+                offset: SimDuration::from_ms(offset_ms),
+                action: AppAction::Ping {
+                    from_seg: p_from,
+                    to_seg: p_to,
+                    count: 6,
+                    payload: 256,
+                    interval: SimDuration::from_ms(50),
+                },
+            };
+            items.push(ping(Phase::Baseline, 0));
+            items.push(ping(Phase::Loaded, 1_200));
+            // Long raw blasts span the whole outage window (their sinks
+            // never speak, so the frames flood every segment — the
+            // downed link and the crashed bridges always bite them;
+            // their loss is waived under scripted downtime).
+            for nth in 0..2 {
+                let (from_seg, to_seg) = pick_pair(topo, &mut rng, nth);
+                items.push(WorkItem {
+                    phase: Phase::Main,
+                    offset: SimDuration::from_ms(100 + 200 * nth as u64),
+                    action: AppAction::Blast {
+                        from_seg,
+                        to_seg,
+                        size: 512,
+                        count: 1_600 + rng.range(200),
+                        interval: SimDuration::from_ms(2),
+                    },
+                });
+            }
+            // The chaos script itself: which link partitions and flaps,
+            // which bridges crash, and when — all decided here from the
+            // scenario seed, never from the world RNG, so the schedule
+            // is fixed before the world runs (byte-identical replays at
+            // any worker count).
+            let victim_seg = rng.range(topo.segments.len() as u64) as usize;
+            let victim_bridge = rng.range(topo.bridges.len() as u64) as usize;
+            chaos.partition(
+                victim_seg,
+                SimDuration::from_ms(500),
+                SimDuration::from_ms(2_500),
+            );
+            chaos.flap_storm(
+                victim_seg,
+                SimDuration::from_ms(2_800),
+                2,
+                SimDuration::from_ms(100),
+                SimDuration::from_ms(100),
+            );
+            chaos.crash_cycle(
+                victim_bridge,
+                SimDuration::from_ms(1_000),
+                SimDuration::from_ms(2_000),
+            );
+            if topo.bridges.len() > 1 {
+                // Roll the crash onto a second bridge, overlapping the
+                // flap storm — the last restart is the script's final
+                // healing step.
+                chaos.crash_cycle(
+                    (victim_bridge + 1) % topo.bridges.len(),
+                    SimDuration::from_ms(1_400),
+                    SimDuration::from_ms(3_400),
+                );
+            }
+            // After the last heal the plane gets a recovery margin: on
+            // loopy topologies the spanning tree may need a max-age
+            // expiry plus two forward-delay intervals to reopen ports
+            // around a restarted bridge; learning-only topologies just
+            // re-flood.
+            let heal = chaos
+                .last_heal_at()
+                .expect("the chaos script heals everything it breaks");
+            let margin = if topo.cyclic() {
+                SimDuration::from_secs(55)
+            } else {
+                SimDuration::from_secs(5)
+            };
+            let post = heal + margin;
+            // The watchdog probe: upload a deliberately faulty data
+            // plane to one bridge, then trigger it with a flood blast
+            // (every frame crossing that bridge traps its VM). The
+            // bridge must quarantine the module at the trap threshold
+            // and roll back — exactly one quarantine, judged by the
+            // `quarantine_engages` invariant. The blast loses the few
+            // frames eaten before the threshold; that loss is waived.
+            let trap_bridge = rng.range(topo.bridges.len() as u64) as usize;
+            let trap_from = topo.bridges[trap_bridge]
+                .segments
+                .iter()
+                .copied()
+                .find(|&s| topo.segments[s].tier == crate::topo::SegTier::Access)
+                .unwrap_or_else(|| topo.access_segments()[0]);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: post,
+                action: AppAction::UploadTrap {
+                    from_seg: trap_from,
+                    bridge: trap_bridge,
+                },
+            });
+            expected_quarantines = 1;
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 1);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: post + SimDuration::from_secs(5),
+                action: AppAction::Blast {
+                    from_seg,
+                    to_seg,
+                    size: 256,
+                    count: 30,
+                    interval: SimDuration::from_ms(2),
+                },
+            });
+            // And the recovery proof: once the watchdog has rolled the
+            // plane back, a reliable transfer must complete strictly —
+            // chaos is survivable, not just observable (this is what
+            // `no_permanent_blackhole` judges).
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 2);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: post + SimDuration::from_secs(6),
+                action: AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes: 100_000,
+                    write_size: 4096,
+                },
+            });
+        }
     }
     Workload {
         kind,
         items,
         faults,
+        chaos,
+        expected_quarantines,
     }
 }
 
@@ -648,6 +835,7 @@ mod tests {
             let a = generate(kind, &topo, 7);
             let b = generate(kind, &topo, 7);
             assert_eq!(a.items, b.items, "{kind:?} items must replay");
+            assert_eq!(a.chaos, b.chaos, "{kind:?} chaos script must replay");
             assert!(!a.items.is_empty());
         }
     }
@@ -684,7 +872,9 @@ mod tests {
                     | AppAction::Blast {
                         from_seg, to_seg, ..
                     } => vec![from_seg, to_seg],
-                    AppAction::Upload { from_seg, .. } => vec![from_seg],
+                    AppAction::Upload { from_seg, .. } | AppAction::UploadTrap { from_seg, .. } => {
+                        vec![from_seg]
+                    }
                 };
                 for s in segs {
                     assert_eq!(
@@ -717,6 +907,61 @@ mod tests {
         let wl = generate(BatteryKind::Metro, &topo, 4);
         // 8 access segments × CROWD_PER_ACCESS crowd hosts + endpoints.
         assert_eq!(wl.host_count(), 8 * CROWD_PER_ACCESS as u64 + 4 * 2 + 2 + 2);
+    }
+
+    #[test]
+    fn chaos_battery_heals_everything_and_schedules_recovery_probes() {
+        use netsim::ChaosAction;
+        for shape in [
+            TopologyShape::Line { bridges: 2 },
+            TopologyShape::Ring { bridges: 3 },
+        ] {
+            let topo = gen_topo(shape, 5);
+            let wl = generate(BatteryKind::Chaos, &topo, 5);
+            assert!(wl.injects_downtime());
+            assert!(!wl.injects_drops(), "chaos scripts topology, not frames");
+            assert_eq!(wl.expected_quarantines, 1);
+            // Every down has an up and every crash a restart: the
+            // script is self-healing by construction.
+            let count = |pred: fn(&ChaosAction) -> bool| {
+                wl.chaos.steps.iter().filter(|s| pred(&s.action)).count()
+            };
+            assert_eq!(
+                count(|a| matches!(a, ChaosAction::LinkDown { .. })),
+                count(|a| matches!(a, ChaosAction::LinkUp { .. })),
+            );
+            assert_eq!(
+                count(|a| matches!(a, ChaosAction::NodeCrash { .. })),
+                count(|a| matches!(a, ChaosAction::NodeRestart { .. })),
+            );
+            // The recovery probes run strictly after the last heal, and
+            // the span covers them.
+            let heal = wl.chaos.last_heal_at().expect("script heals");
+            assert!(wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::Ttcp { .. }) && i.offset > heal));
+            assert!(wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::UploadTrap { .. }) && i.offset > heal));
+            assert!(heal < wl.span());
+        }
+    }
+
+    #[test]
+    fn non_chaos_batteries_stay_transparent() {
+        let topo = gen_topo(TopologyShape::Ring { bridges: 4 }, 7);
+        for kind in BatteryKind::ALL {
+            if kind == BatteryKind::Chaos {
+                continue;
+            }
+            let wl = generate(kind, &topo, 7);
+            assert!(
+                wl.chaos.is_transparent() && wl.expected_quarantines == 0,
+                "{kind:?} must not script downtime"
+            );
+        }
     }
 
     #[test]

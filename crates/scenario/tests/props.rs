@@ -200,13 +200,13 @@ proptest! {
     }
 
     /// Topology and workload generation are pure functions of their
-    /// seeds.
+    /// seeds — including the chaos battery's fault script.
     #[test]
     fn generation_is_deterministic(
         idx in 0usize..7,
         size in 2usize..5,
         seed in 0u64..100_000,
-        battery_idx in 0usize..6,
+        battery_idx in 0usize..7,
     ) {
         let shape = shape(idx, size);
         let a = topo::generate(shape, seed);
@@ -216,6 +216,7 @@ proptest! {
         let wa = workload::generate(battery, &a, seed);
         let wb = workload::generate(battery, &b, seed);
         prop_assert_eq!(wa.items, wb.items);
+        prop_assert_eq!(wa.chaos, wb.chaos);
     }
 }
 

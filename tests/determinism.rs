@@ -155,12 +155,25 @@ fn lossy_captured_run_bytes(seed: u64) -> Vec<u8> {
 /// Same run, optionally with the flight recorder armed — the observable
 /// bytes must not depend on `armed` (the non-perturbation invariant).
 fn lossy_captured_run_bytes_with_probe(seed: u64, armed: bool) -> Vec<u8> {
+    let mut world = netsim::World::new(seed);
+    lossy_captured_run_in(&mut world, armed, false)
+}
+
+/// The body of the golden-digest run, against a caller-provided world
+/// (so reused/reset worlds can be proven equivalent to fresh ones).
+/// With `transparent_chaos`, an empty [`netsim::ChaosScript`] is
+/// scheduled before the run — it must schedule nothing, draw nothing
+/// and leave the digests untouched.
+fn lossy_captured_run_in(
+    world: &mut netsim::World,
+    armed: bool,
+    transparent_chaos: bool,
+) -> Vec<u8> {
     use ab_scenario::{host_ip, host_mac};
     use active_bridge::BridgeConfig;
     use hostsim::{BlastApp, HostConfig, HostCostModel, HostNode};
-    use netsim::{FaultConfig, PortId, ProbeConfig, SegmentConfig, SimDuration, SimTime, World};
+    use netsim::{FaultConfig, PortId, ProbeConfig, SegmentConfig, SimDuration, SimTime};
 
-    let mut world = World::new(seed);
     if armed {
         world.probe_mut().arm(ProbeConfig::default());
     }
@@ -175,12 +188,15 @@ fn lossy_captured_run_bytes_with_probe(seed: u64, armed: bool) -> Vec<u8> {
         ..SegmentConfig::named("lan_b")
     });
     let _bridge = ab_scenario::bridge(
-        &mut world,
+        world,
         0,
         &[lan_a, lan_b],
         BridgeConfig::default(),
         &["bridge_learning"],
     );
+    if transparent_chaos {
+        netsim::ChaosScript::transparent().schedule(world, SimTime::ZERO, &[lan_a, lan_b], &[]);
+    }
     let sender = world.add_node(HostNode::new(
         "sender",
         HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
@@ -293,6 +309,77 @@ fn probe_armed_run_reproduces_the_golden_digests() {
             (bytes.len(), fnv1a(&bytes)),
             (len, digest),
             "seed {seed:#x}: arming the flight recorder perturbed the run"
+        );
+    }
+}
+
+/// The chaos plane's transparency proof: scheduling an **empty**
+/// `ChaosScript` into the golden lossy run must reproduce the recorded
+/// digests bit for bit. A transparent script schedules no events and
+/// draws nothing from the world RNG, so every pre-chaos workload (all
+/// of which now carry one) replays exactly as before the chaos plane
+/// existed.
+#[test]
+fn transparent_chaos_script_reproduces_the_golden_digests() {
+    const GOLDEN: [(u64, usize, u64); 4] = [
+        (0xAB1D, 77166, 0x09c24dbacd1f12cc),
+        (0xF00D, 82508, 0xd8eac9df4145b982),
+        (7, 81620, 0x1954233dd7c9cc86),
+        (99, 82508, 0x7f358d68a661b39e),
+    ];
+    for (seed, len, digest) in GOLDEN {
+        let mut world = netsim::World::new(seed);
+        let bytes = lossy_captured_run_in(&mut world, false, true);
+        assert_eq!(
+            (bytes.len(), fnv1a(&bytes)),
+            (len, digest),
+            "seed {seed:#x}: a transparent chaos script perturbed the run"
+        );
+    }
+}
+
+/// The reset-regression proof for the chaos plane: a world dirtied by
+/// *unhealed* chaos (a downed segment, a crashed node, accumulated
+/// `down_drops`) and then `reset` must reproduce the golden digests —
+/// the sweep exec pool reuses worlds across scenarios, so any leaked
+/// chaos state would make reports depend on which worker ran what.
+#[test]
+fn chaos_dirtied_then_reset_world_reproduces_the_golden_digests() {
+    use hostsim::{HostConfig, HostCostModel, HostNode};
+    use netsim::{SegmentConfig, SimTime, World};
+
+    const GOLDEN: [(u64, usize, u64); 4] = [
+        (0xAB1D, 77166, 0x09c24dbacd1f12cc),
+        (0xF00D, 82508, 0xd8eac9df4145b982),
+        (7, 81620, 0x1954233dd7c9cc86),
+        (99, 82508, 0x7f358d68a661b39e),
+    ];
+    for (seed, len, digest) in GOLDEN {
+        // Dirty a differently-seeded world and leave its chaos unhealed.
+        let mut world = World::new(!seed);
+        let lan = world.add_segment(SegmentConfig::named("doomed"));
+        let node = world.add_node(HostNode::new(
+            "victim",
+            HostConfig::simple(
+                ab_scenario::host_mac(9),
+                ab_scenario::host_ip(9),
+                HostCostModel::FREE,
+            ),
+            vec![],
+        ));
+        world.attach(node, lan);
+        world.set_link_down(lan, true);
+        world.crash_node(node);
+        world.run_until(SimTime::from_ms(5));
+        assert!(world.segment(lan).is_down());
+        assert!(world.is_crashed(node));
+
+        world.reset(seed);
+        let bytes = lossy_captured_run_in(&mut world, false, false);
+        assert_eq!(
+            (bytes.len(), fnv1a(&bytes)),
+            (len, digest),
+            "seed {seed:#x}: chaos state leaked through World::reset"
         );
     }
 }

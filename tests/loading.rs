@@ -437,7 +437,9 @@ fn runaway_switchlet_contained_and_recoverable() {
         SimTime::from_secs(20)
     ));
 
-    // Traffic hits the spinner: trapped, counted, bridge alive.
+    // Traffic hits the spinner: each invocation is cut off by fuel and
+    // counted, and at the watchdog threshold the module is quarantined
+    // (the bridge stays alive throughout).
     let blaster = world.add_node(HostNode::new(
         "blaster",
         HostConfig::simple(host_mac(4), host_ip(4), HostCostModel::FREE),
@@ -451,7 +453,10 @@ fn runaway_switchlet_contained_and_recoverable() {
     ));
     world.attach(blaster, lan0);
     world.run_until(world.now() + SimDuration::from_secs(1));
-    assert!(world.counters().get("bridge.vm_traps") >= 5);
+    let threshold = u64::from(BridgeConfig::default().watchdog_traps);
+    assert_eq!(world.counters().get("bridge.vm_traps"), threshold);
+    assert_eq!(world.counters().get("bridge.quarantines"), 1);
+    assert!(world.node::<BridgeNode>(bridge).is_quarantined("spinner"));
 
     // Recovery: load the learning switchlet; it replaces the data plane.
     let up2 = world.add_node(HostNode::new(

@@ -228,6 +228,186 @@ fn vm_timer_callbacks_fire_repeatedly() {
     assert_eq!(world.counters().get("heartbeat.ticks"), 5);
 }
 
+/// A bridge crash blackholes traffic and loses all volatile state; a
+/// restart cold-boots from the retained disk images and forwarding
+/// resumes.
+#[test]
+fn bridge_crash_loses_state_and_restart_recovers_forwarding() {
+    let mut world = World::new(37);
+    let segs = scenario::lans(&mut world, 2);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let sink = world.add_node(HostNode::new(
+        "sink",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(sink, segs[1]);
+    let blast = |world: &mut World, n: u32| {
+        let blaster = world.add_node(HostNode::new(
+            format!("blaster{n}"),
+            HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+            vec![BlastApp::new(
+                PortId(0),
+                host_mac(2),
+                128,
+                10,
+                SimDuration::from_ms(2),
+            )],
+        ));
+        world.attach(blaster, segs[0]);
+        let horizon = world.now() + SimDuration::from_ms(100);
+        world.run_until(horizon);
+    };
+    blast(&mut world, 1);
+    assert_eq!(world.node::<HostNode>(sink).core.exp_frames_rx, 10);
+
+    // Crash: frames sent while the bridge is down go nowhere, and the
+    // crash wipes the loaded switchlets.
+    world.crash_node(b);
+    assert!(world.is_crashed(b));
+    blast(&mut world, 2);
+    assert_eq!(
+        world.node::<HostNode>(sink).core.exp_frames_rx,
+        10,
+        "a crashed bridge forwards nothing"
+    );
+    assert_eq!(
+        world
+            .node::<BridgeNode>(b)
+            .switchlet_status("bridge_learning"),
+        None,
+        "volatile switchlet state died with the crash"
+    );
+
+    // Restart: the boot images replay, the learning bridge re-links,
+    // and traffic flows again.
+    world.restart_node(b);
+    blast(&mut world, 3);
+    assert!(world
+        .node::<BridgeNode>(b)
+        .plane()
+        .is_running("bridge_learning"));
+    assert_eq!(world.node::<HostNode>(sink).core.exp_frames_rx, 20);
+}
+
+/// A repeatedly-trapping VM data path hits the watchdog threshold, is
+/// quarantined, and the bridge rolls back to the last-known-good
+/// switching function — traffic provably continues.
+#[test]
+fn watchdog_quarantines_trapping_switchlet_and_rolls_back() {
+    let mut world = World::new(38);
+    let segs = scenario::lans(&mut world, 2);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    world.run_until(SimTime::from_ms(10));
+    // Hot-swap in the faulty data path over the administrative
+    // interface (the in-band loading analogue).
+    world.with_ctx::<BridgeNode, _>(b, |node, ctx| {
+        node.administer(
+            ctx,
+            BridgeCommand::LoadImage(active_bridge::switchlets::trap_vm::build_image()),
+        );
+    });
+    let sink = world.add_node(HostNode::new(
+        "sink",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(sink, segs[1]);
+    let blaster = world.add_node(HostNode::new(
+        "blaster",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            128,
+            10,
+            SimDuration::from_ms(2),
+        )],
+    ));
+    world.attach(blaster, segs[0]);
+    let horizon = world.now() + SimDuration::from_ms(100);
+    world.run_until(horizon);
+
+    let node = world.node::<BridgeNode>(b);
+    assert!(node.is_quarantined("vm_trap"));
+    assert_eq!(world.counters().get("bridge.quarantines"), 1);
+    assert_eq!(
+        world.counters().get("bridge.vm_traps"),
+        u64::from(BridgeConfig::default().watchdog_traps),
+        "quarantine engages exactly at the threshold"
+    );
+    // The frames that trapped were lost; every frame after the rollback
+    // reached the sink through the restored learning plane.
+    assert_eq!(
+        world.node::<HostNode>(sink).core.exp_frames_rx,
+        10 - u64::from(BridgeConfig::default().watchdog_traps)
+    );
+}
+
+/// With no previously-working switching function to roll back to, the
+/// watchdog's final degraded tier is dumb flood forwarding.
+#[test]
+fn watchdog_falls_back_to_dumb_forwarding_without_a_known_good_plane() {
+    let mut world = World::new(39);
+    let segs = scenario::lans(&mut world, 2);
+    let mut node = BridgeNode::new(
+        "bridge0",
+        scenario::bridge_mac(0),
+        scenario::bridge_ip(0),
+        2,
+        BridgeConfig::default(),
+    );
+    node.boot_load_native(active_bridge::loader::NAME);
+    node.boot_load(active_bridge::switchlets::trap_vm::build_image());
+    let b = world.add_node(node);
+    for &s in &segs {
+        world.attach(b, s);
+    }
+    let sink = world.add_node(HostNode::new(
+        "sink",
+        HostConfig::simple(host_mac(2), host_ip(2), HostCostModel::FREE),
+        vec![],
+    ));
+    world.attach(sink, segs[1]);
+    let blaster = world.add_node(HostNode::new(
+        "blaster",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::FREE),
+        vec![BlastApp::new(
+            PortId(0),
+            host_mac(2),
+            128,
+            10,
+            SimDuration::from_ms(2),
+        )],
+    ));
+    world.attach(blaster, segs[0]);
+    world.run_until(SimTime::from_ms(100));
+
+    let node = world.node::<BridgeNode>(b);
+    assert!(node.is_quarantined("vm_trap"));
+    assert_eq!(
+        node.switchlet_status("bridge_dumb"),
+        Some(active_bridge::SwitchletStatus::Running),
+        "the degraded tier is the dumb flooder"
+    );
+    assert_eq!(
+        world.node::<HostNode>(sink).core.exp_frames_rx,
+        10 - u64::from(BridgeConfig::default().watchdog_traps)
+    );
+}
+
 /// The administrative interface can hot-swap the data plane, mirroring
 /// the in-band loading path.
 #[test]
