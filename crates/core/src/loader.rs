@@ -14,7 +14,7 @@ use bytes::Bytes;
 use ether::{EtherType, FrameBuilder, MacAddr};
 use netsim::PortId;
 use netstack::ipv4::Protocol;
-use netstack::{ArpOp, ArpPacket, TftpServer, UdpDatagram};
+use netstack::{ArpOp, ArpPacket, TftpPacket, TftpServer, UdpDatagram};
 
 use crate::bridge::{BridgeCommand, BridgeCtx, DataFrame, NativeSwitchlet};
 
@@ -30,6 +30,10 @@ pub struct NetLoader {
     ip_ident: u16,
     /// Images received over the network.
     pub images_received: u64,
+    /// Sealed images whose envelope failed verification — counted here
+    /// *and* in [`crate::plane::BridgeStats::images_rejected`]; the
+    /// payload never reaches decode or evaluation.
+    pub integrity_rejects: u64,
 }
 
 impl Default for NetLoader {
@@ -38,6 +42,7 @@ impl Default for NetLoader {
             tftp: TftpServer::new(),
             ip_ident: 1,
             images_received: 0,
+            integrity_rejects: 0,
         }
     }
 }
@@ -114,21 +119,55 @@ impl NativeSwitchlet for NetLoader {
                     return;
                 }
                 let peer = (ip.src(), udp.src_port());
-                let (reply, file) = self.tftp.on_packet(peer, udp.payload());
+                let now_ns = bc.now().as_ns();
+                let (mut reply, file) = self.tftp.on_packet_at(peer, udp.payload(), now_ns);
+                // The integrity gate: a digest-sealed envelope is
+                // verified *before* any decode or evaluation touches the
+                // payload. On a corrupted image the final ACK is replaced
+                // by a TFTP error whose message lets the sender classify
+                // the failure as `IntegrityReject` and re-send; the data
+                // plane keeps running the last known-good selection. Bare
+                // images (no envelope magic) take the legacy path
+                // untouched.
+                let mut accepted = None;
+                let mut rejected = None;
+                if let Some(file) = file {
+                    if switchlet::is_enveloped(&file.data) {
+                        match switchlet::unseal(&file.data) {
+                            Ok(payload) => accepted = Some((file.filename, payload.to_vec())),
+                            Err(e) => {
+                                reply = Some(
+                                    TftpPacket::Error {
+                                        code: 0,
+                                        msg: &format!("integrity check failed: {e}"),
+                                    }
+                                    .emit(),
+                                );
+                                rejected = Some((file.filename, file.data.len(), e));
+                            }
+                        }
+                    } else {
+                        accepted = Some((file.filename, file.data));
+                    }
+                }
                 if let Some(reply) = reply {
                     let dst_mac = frame.src();
                     self.send_udp(bc, port, dst_mac, peer.0, peer.1, &reply);
                 }
-                if let Some(file) = file {
+                if let Some((filename, len, e)) = rejected {
+                    self.integrity_rejects += 1;
+                    bc.plane.stats.images_rejected += 1;
+                    bc.log(format!("loader: rejected {filename} ({len} bytes): {e}"));
+                }
+                if let Some((filename, image)) = accepted {
                     self.images_received += 1;
                     bc.log(format!(
-                        "loader: received {} ({} bytes); loading",
-                        file.filename,
-                        file.data.len()
+                        "loader: received {filename} ({} bytes); loading",
+                        image.len()
                     ));
                     // "... an attempt is made to dynamically load and
                     // evaluate the file."
-                    bc.command(BridgeCommand::LoadImage(file.data));
+                    bc.command(BridgeCommand::LoadImage(image));
                 }
             }
             _ => {}

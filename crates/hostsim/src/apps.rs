@@ -15,7 +15,7 @@ use netstack::ipv4::Protocol;
 use netstack::tcplite::{
     ReceiverConfig, RecvAction, Segment, SenderConfig, TcpReceiver, TcpSender,
 };
-use netstack::{Echo, EchoKind, SenderStep, TftpSender, UdpDatagram};
+use netstack::{Echo, EchoKind, FailureClass, SenderStep, TftpSender, UdpDatagram};
 
 use crate::host::{app_token, HostCore};
 
@@ -713,6 +713,70 @@ impl TtcpRecvApp {
 
 const UPLOAD_RETRY: u32 = 1;
 
+/// Tuning knobs for the upload transport, lifted out of the old magic
+/// constants (500 ms poll, 400 ms stall threshold).
+///
+/// The default reproduces the original fixed-threshold transport
+/// bit-for-bit: the RTO never moves (`rtt_gain` 0 disables seeding, the
+/// ceiling equals the initial RTO so backoff clamps in place) and the
+/// retry budget is effectively unbounded. [`UploadConfig::resilient`] is
+/// the adaptive preset the lossy battery runs with.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct UploadConfig {
+    /// Poll-timer period: the grid on which stalls are noticed.
+    pub poll: SimDuration,
+    /// Retransmission threshold before any RTT sample has been taken.
+    pub initial_rto: SimDuration,
+    /// Floor for the RTT-seeded RTO (ignored while `rtt_gain` is 0).
+    pub min_rto: SimDuration,
+    /// Ceiling the binary exponential backoff saturates at.
+    pub rto_ceiling: SimDuration,
+    /// RTO = measured RTT x this gain, clamped to `[min_rto,
+    /// rto_ceiling]`, re-seeded on every forward-progress event. 0 turns
+    /// seeding off (fixed-threshold legacy behaviour).
+    pub rtt_gain: u32,
+    /// Budget of recovery actions (retransmissions + session restarts);
+    /// once spent, the upload is parked as a classified failure.
+    pub max_retries: u32,
+    /// Consecutive fruitless retransmissions before the sender drops its
+    /// ARP entry for the loader and re-resolves (0 = never, the legacy
+    /// behaviour). ARP has no checksum: on a corrupting medium a
+    /// bit-flipped reply can poison the cache, and without a refresh
+    /// every later retransmission unicasts to a MAC nobody owns.
+    pub arp_refresh: u32,
+}
+
+impl Default for UploadConfig {
+    fn default() -> Self {
+        UploadConfig {
+            poll: SimDuration::from_ms(500),
+            initial_rto: SimDuration::from_ms(400),
+            min_rto: SimDuration::from_ms(400),
+            rto_ceiling: SimDuration::from_ms(400),
+            rtt_gain: 0,
+            max_retries: u32::MAX,
+            arp_refresh: 0,
+        }
+    }
+}
+
+impl UploadConfig {
+    /// The hostile-media preset: RTT-seeded RTO, 8x backoff headroom,
+    /// and a finite budget so a dead server fails the upload instead of
+    /// livelocking it.
+    pub fn resilient() -> Self {
+        UploadConfig {
+            poll: SimDuration::from_ms(100),
+            initial_rto: SimDuration::from_ms(400),
+            min_rto: SimDuration::from_ms(200),
+            rto_ceiling: SimDuration::from_ms(3_200),
+            rtt_gain: 4,
+            max_retries: 40,
+            arp_refresh: 4,
+        }
+    }
+}
+
 /// Uploads a switchlet image to a bridge's TFTP loader.
 pub struct UploadApp {
     /// Port to upload from.
@@ -721,14 +785,28 @@ pub struct UploadApp {
     pub dst: Ipv4Addr,
     /// Our UDP port.
     pub src_port: u16,
+    /// Transport tuning.
+    pub cfg: UploadConfig,
     sender: TftpSender,
     /// Completion time.
     pub done_at: Option<SimTime>,
-    /// Failure reason, if the server refused.
+    /// Terminal failure reason — set only when the upload is parked for
+    /// good (budget spent); transient failures restart instead.
     pub failed: Option<String>,
+    /// Class of the most recent failure event (terminal or recovered).
+    pub failure: Option<FailureClass>,
     last_tx: SimTime,
+    /// Current retransmission threshold (adaptive when configured).
+    rto: SimDuration,
     /// Retransmissions performed.
     pub retries: u32,
+    /// Fresh-WRQ session restarts after classified server failures.
+    pub restarts: u32,
+    /// Backoff doublings clamped at [`UploadConfig::rto_ceiling`].
+    pub rto_ceiling_hits: u32,
+    /// Retransmissions since the last forward-progress event — the
+    /// [`UploadConfig::arp_refresh`] trigger.
+    retries_since_progress: u32,
     /// Gap (ns) between consecutive forward-progress events (server
     /// responses that advanced the transfer, including completion) —
     /// the delivery-timeline samples scenario reports sketch. Stalls
@@ -738,7 +816,7 @@ pub struct UploadApp {
 }
 
 impl UploadApp {
-    /// Configure an upload.
+    /// Configure an upload with the legacy fixed-threshold transport.
     pub fn new(
         port: PortId,
         dst: Ipv4Addr,
@@ -746,15 +824,40 @@ impl UploadApp {
         filename: impl Into<String>,
         image: Vec<u8>,
     ) -> App {
+        Self::with_config(
+            port,
+            dst,
+            src_port,
+            filename,
+            image,
+            UploadConfig::default(),
+        )
+    }
+
+    /// Configure an upload with explicit transport tuning.
+    pub fn with_config(
+        port: PortId,
+        dst: Ipv4Addr,
+        src_port: u16,
+        filename: impl Into<String>,
+        image: Vec<u8>,
+        cfg: UploadConfig,
+    ) -> App {
         App::Upload(UploadApp {
             port,
             dst,
             src_port,
+            cfg,
             sender: TftpSender::new(filename, image),
             done_at: None,
             failed: None,
+            failure: None,
             last_tx: SimTime::ZERO,
+            rto: cfg.initial_rto,
             retries: 0,
+            restarts: 0,
+            rto_ceiling_hits: 0,
+            retries_since_progress: 0,
             progress_gap_ns: Vec::new(),
             last_progress: None,
         })
@@ -782,7 +885,7 @@ impl UploadApp {
         let wrq = self.sender.start();
         self.send_udp(core, ctx, &wrq);
         self.last_progress = Some(ctx.now());
-        ctx.schedule(SimDuration::from_ms(500), app_token(idx, UPLOAD_RETRY));
+        ctx.schedule(self.cfg.poll, app_token(idx, UPLOAD_RETRY));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -806,9 +909,11 @@ impl UploadApp {
         if udp.dst_port() != self.src_port {
             return;
         }
+        let rtt = ctx.now().saturating_since(self.last_tx);
         match self.sender.on_packet(udp.payload()) {
             SenderStep::Send(next) => {
                 self.record_progress(ctx.now());
+                self.reseed_rto(rtt);
                 self.send_udp(core, ctx, &next);
             }
             SenderStep::Done => {
@@ -816,7 +921,24 @@ impl UploadApp {
                 self.done_at = Some(ctx.now());
                 ctx.probe_mark("upload.done");
             }
-            SenderStep::Failed(msg) => self.failed = Some(msg),
+            SenderStep::Failed(class, msg) => {
+                ctx.probe_mark("upload.fail");
+                self.failure = Some(class);
+                if self.budget_used() >= self.cfg.max_retries {
+                    self.failed = Some(msg);
+                } else {
+                    // A refused or lost session (server crash,
+                    // out-of-sequence, integrity reject) is recoverable:
+                    // RFC 1350 has no mid-transfer resume, so rewind to a
+                    // fresh WRQ and re-send the whole image, charging the
+                    // restart against the retry budget.
+                    self.restarts += 1;
+                    self.sender.restart();
+                    self.rto = self.cfg.initial_rto;
+                    let wrq = self.sender.start();
+                    self.send_udp(core, ctx, &wrq);
+                }
+            }
             SenderStep::Ignore => {}
         }
     }
@@ -827,19 +949,71 @@ impl UploadApp {
                 .push(now.saturating_since(prev).as_ns());
         }
         self.last_progress = Some(now);
+        self.retries_since_progress = 0;
+    }
+
+    /// Recovery actions spent against [`UploadConfig::max_retries`].
+    pub fn budget_used(&self) -> u32 {
+        self.retries.saturating_add(self.restarts)
+    }
+
+    fn reseed_rto(&mut self, rtt: SimDuration) {
+        if self.cfg.rtt_gain == 0 {
+            return;
+        }
+        let ns = rtt
+            .as_ns()
+            .saturating_mul(self.cfg.rtt_gain as u64)
+            .clamp(self.cfg.min_rto.as_ns(), self.cfg.rto_ceiling.as_ns());
+        self.rto = SimDuration::from_ns(ns);
     }
 
     fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
         if user != UPLOAD_RETRY || self.done_at.is_some() || self.failed.is_some() {
             return;
         }
-        if ctx.now().saturating_since(self.last_tx) >= SimDuration::from_ms(400) {
+        if ctx.now().saturating_since(self.last_tx) >= self.rto {
             if let Some(current) = self.sender.current() {
+                if self.budget_used() >= self.cfg.max_retries {
+                    // Budget spent with the server silent: classified
+                    // timeout, upload parked (the poll timer is not
+                    // re-armed, so a dead server cannot livelock us).
+                    ctx.probe_mark("upload.fail");
+                    self.failure = Some(FailureClass::Timeout);
+                    self.failed = Some(format!(
+                        "timeout: retry budget ({}) exhausted",
+                        self.cfg.max_retries
+                    ));
+                    return;
+                }
                 self.retries += 1;
+                self.retries_since_progress += 1;
+                // A run of fruitless retransmissions may mean the ARP
+                // cache is poisoned (a corrupted, checksum-less reply):
+                // periodically re-resolve so the next send re-ARPs
+                // instead of unicasting to a MAC nobody owns.
+                if self.cfg.arp_refresh > 0
+                    && self
+                        .retries_since_progress
+                        .is_multiple_of(self.cfg.arp_refresh)
+                    && core.invalidate_arp(self.dst)
+                {
+                    ctx.probe_mark("upload.rearp");
+                }
+                // Binary exponential backoff, saturating at the ceiling.
+                let doubled = self.rto.as_ns().saturating_mul(2);
+                if doubled >= self.cfg.rto_ceiling.as_ns() {
+                    if doubled > self.cfg.rto_ceiling.as_ns() {
+                        self.rto_ceiling_hits += 1;
+                    }
+                    self.rto = self.cfg.rto_ceiling;
+                } else {
+                    self.rto = SimDuration::from_ns(doubled);
+                }
                 self.send_udp(core, ctx, &current);
             }
         }
-        ctx.schedule(SimDuration::from_ms(500), app_token(idx, UPLOAD_RETRY));
+        ctx.schedule(self.cfg.poll, app_token(idx, UPLOAD_RETRY));
     }
 }
 
@@ -1313,6 +1487,128 @@ mod tests {
             unreachable!()
         };
         assert_eq!(b.sent, 3, "nested wrappers must both fire");
+    }
+
+    /// ARP has no checksum, so a corrupting medium can poison the
+    /// sender's cache with a MAC nobody owns. With `arp_refresh` set,
+    /// a run of fruitless retransmissions drops the entry and the next
+    /// send re-resolves the true MAC from the peer's reply.
+    #[test]
+    fn arp_refresh_heals_a_poisoned_cache() {
+        let mut world = World::new(7);
+        let lan = world.add_segment(SegmentConfig::default());
+        let peer_mac = MacAddr::local(2);
+        let peer_ip = Ipv4Addr::new(10, 1, 0, 2);
+        let peer = world.add_node(HostNode::new(
+            "peer",
+            HostConfig::simple(peer_mac, peer_ip, HostCostModel::FREE),
+            vec![],
+        ));
+        world.attach(peer, lan);
+
+        let cfg = UploadConfig {
+            poll: SimDuration::from_ms(10),
+            initial_rto: SimDuration::from_ms(20),
+            min_rto: SimDuration::from_ms(20),
+            rto_ceiling: SimDuration::from_ms(40),
+            rtt_gain: 0,
+            max_retries: 1000,
+            arp_refresh: 3,
+        };
+        let app =
+            UploadApp::with_config(PortId(0), peer_ip, 4000, "poisoned.swl", vec![0u8; 64], cfg);
+        let h = world.add_node(HostNode::new(
+            "uploader",
+            HostConfig::simple(
+                MacAddr::local(1),
+                Ipv4Addr::new(10, 1, 0, 1),
+                HostCostModel::FREE,
+            ),
+            vec![app],
+        ));
+        world.attach(h, lan);
+        // Poison the cache before the first send: one bit away from
+        // the peer's real MAC, exactly as a corrupted reply leaves it.
+        world
+            .node_mut::<HostNode>(h)
+            .core
+            .seed_arp(peer_ip, MacAddr::local(0x8002));
+        world.run_until(SimTime::from_ms(503));
+
+        let host = world.node::<HostNode>(h);
+        assert_eq!(
+            host.core.arp_entry(peer_ip),
+            Some(peer_mac),
+            "the refresh must re-resolve the true MAC"
+        );
+        let App::Upload(a) = host.app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert!(
+            a.retries >= cfg.arp_refresh,
+            "the refresh rides on fruitless retransmissions ({} retries)",
+            a.retries
+        );
+        assert!(
+            !a.is_done(),
+            "no TFTP server answers here, so the upload keeps retrying"
+        );
+    }
+
+    /// The legacy transport (`arp_refresh` 0) never touches the cache:
+    /// a poisoned entry stays poisoned forever — the failure mode the
+    /// refresh knob exists to break.
+    #[test]
+    fn legacy_transport_never_refreshes_a_poisoned_cache() {
+        let mut world = World::new(7);
+        let lan = world.add_segment(SegmentConfig::default());
+        let peer_ip = Ipv4Addr::new(10, 1, 0, 2);
+        let peer = world.add_node(HostNode::new(
+            "peer",
+            HostConfig::simple(MacAddr::local(2), peer_ip, HostCostModel::FREE),
+            vec![],
+        ));
+        world.attach(peer, lan);
+        let bogus = MacAddr::local(0x8002);
+        let app = UploadApp::with_config(
+            PortId(0),
+            peer_ip,
+            4000,
+            "poisoned.swl",
+            vec![0u8; 64],
+            UploadConfig {
+                poll: SimDuration::from_ms(10),
+                initial_rto: SimDuration::from_ms(20),
+                min_rto: SimDuration::from_ms(20),
+                rto_ceiling: SimDuration::from_ms(40),
+                rtt_gain: 0,
+                max_retries: 1000,
+                arp_refresh: 0,
+            },
+        );
+        let h = world.add_node(HostNode::new(
+            "uploader",
+            HostConfig::simple(
+                MacAddr::local(1),
+                Ipv4Addr::new(10, 1, 0, 1),
+                HostCostModel::FREE,
+            ),
+            vec![app],
+        ));
+        world.attach(h, lan);
+        world.node_mut::<HostNode>(h).core.seed_arp(peer_ip, bogus);
+        world.run_until(SimTime::from_ms(503));
+
+        let host = world.node::<HostNode>(h);
+        assert_eq!(
+            host.core.arp_entry(peer_ip),
+            Some(bogus),
+            "without a refresh the poisoned entry is permanent"
+        );
+        let App::Upload(a) = host.app(0).unwrapped() else {
+            unreachable!()
+        };
+        assert!(a.retries > 0 && !a.is_done());
     }
 
     #[test]

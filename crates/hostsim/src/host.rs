@@ -111,6 +111,24 @@ impl HostCore {
         }
     }
 
+    /// Install a static ARP entry (tests and fixed-infrastructure
+    /// setups; also how a test models a cache poisoned by a corrupted
+    /// reply).
+    pub fn seed_arp(&mut self, dst_ip: Ipv4Addr, mac: MacAddr) {
+        self.arp.insert(dst_ip, mac);
+    }
+
+    /// Forget the resolved MAC for `dst_ip`, forcing the next send to
+    /// re-ARP. ARP carries no checksum, so on a corrupting medium a
+    /// bit-flipped reply (or a corrupted frame fed to opportunistic
+    /// learning) can poison the cache with a MAC nobody owns — every
+    /// subsequent unicast then vanishes into the flood. A transport that
+    /// keeps timing out can call this to re-resolve (returns whether an
+    /// entry was actually dropped).
+    pub fn invalidate_arp(&mut self, dst_ip: Ipv4Addr) -> bool {
+        self.arp.remove(&dst_ip).is_some()
+    }
+
     /// Send an IP payload to `dst_ip` out of `port`, resolving the MAC
     /// via ARP if necessary (pending packets queue behind the request).
     /// Payloads exceeding the MTU are refused (the loader-stack rule).

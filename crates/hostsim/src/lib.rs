@@ -17,7 +17,9 @@ pub mod cost;
 pub mod host;
 pub mod repeater;
 
-pub use apps::{App, BlastApp, DelayedApp, PingApp, ProbeApp, TtcpRecvApp, TtcpSendApp, UploadApp};
+pub use apps::{
+    App, BlastApp, DelayedApp, PingApp, ProbeApp, TtcpRecvApp, TtcpSendApp, UploadApp, UploadConfig,
+};
 pub use cost::HostCostModel;
 pub use host::{HostConfig, HostCore, HostNode};
 pub use repeater::RepeaterNode;

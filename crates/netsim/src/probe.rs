@@ -108,6 +108,16 @@ pub enum ProbeRecord {
         /// Payload length in octets.
         len: u32,
     },
+    /// The segment's Gilbert–Elliott burst model changed state (see
+    /// [`crate::fault::BurstConfig`]): `bad == true` marks the start of
+    /// a loss burst, `false` its end. The timeline export pairs them
+    /// into burst windows.
+    FaultBurst {
+        /// The segment whose burst model flipped.
+        seg: SegId,
+        /// The *new* state: `true` = entered the bad state.
+        bad: bool,
+    },
     /// One delivery of a wire frame to one listening port.
     Deliver {
         /// The segment it arrived on.

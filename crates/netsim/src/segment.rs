@@ -100,6 +100,10 @@ pub struct SegCounters {
     pub down_drops: u64,
     /// Frames dropped by fault injection.
     pub fault_drops: u64,
+    /// The subset of `fault_drops` fired by the Gilbert–Elliott burst
+    /// model's *bad* state (see [`crate::fault::BurstConfig`]) — how
+    /// much of the loss arrived in correlated trains.
+    pub burst_drops: u64,
     /// Frames corrupted by fault injection.
     pub corrupted: u64,
     /// Frames delivered twice by fault injection.
@@ -145,6 +149,11 @@ pub struct Segment {
     /// flight and the queue drain normally, like a cable pulled
     /// mid-preamble rather than a vaporized switch fabric.
     pub(crate) down: bool,
+    /// Gilbert–Elliott burst state: `true` while the medium is in the
+    /// bad state. Always `false` for configs without
+    /// [`crate::fault::FaultConfig::burst`]; reset to good whenever the
+    /// fault config is replaced mid-run.
+    pub(crate) burst_bad: bool,
     /// Memoized `(len, serialization_time)` of the last frame: wire
     /// traffic is dominated by a couple of frame sizes, so this skips the
     /// 64-bit division on nearly every transmission.
@@ -161,6 +170,7 @@ impl Segment {
             counters: SegCounters::default(),
             captured: Vec::new(),
             down: false,
+            burst_bad: false,
             ser_memo: core::cell::Cell::new((usize::MAX, SimDuration::ZERO)),
         }
     }
@@ -237,6 +247,12 @@ impl Segment {
     /// Is the segment scripted down right now?
     pub fn is_down(&self) -> bool {
         self.down
+    }
+
+    /// Is the Gilbert–Elliott burst model currently in its bad state?
+    /// Always `false` for configs without a burst model.
+    pub fn in_burst(&self) -> bool {
+        self.burst_bad
     }
 
     /// Segment name.

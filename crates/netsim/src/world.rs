@@ -672,10 +672,18 @@ impl World {
         }
         // Fault injection on the completed frame, drawn from the world
         // RNG; applied by reference, no per-frame clone of the config.
+        // The burst state threads through as a disjoint field borrow.
         let seg = &mut core.segments[seg_id.0];
         let wire_len = done.frame.len() as u32;
-        let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
-        if corrupted {
+        let verdict = seg
+            .cfg
+            .fault
+            .apply_stateful(done.frame, &mut core.rng, &mut seg.burst_bad);
+        if let Some(bad) = verdict.flipped {
+            core.probe
+                .record(now, ProbeRecord::FaultBurst { seg: seg_id, bad });
+        }
+        if verdict.corrupted {
             seg.counters.corrupted += 1;
             core.probe.record(
                 now,
@@ -685,7 +693,7 @@ impl World {
                 },
             );
         }
-        let (frame, copies) = match outcome {
+        let (frame, copies) = match verdict.outcome {
             FaultOutcome::Deliver(f) => (f, 1),
             FaultOutcome::Duplicate(f) => {
                 seg.counters.fault_duplicates += 1;
@@ -700,6 +708,9 @@ impl World {
             }
             FaultOutcome::Drop => {
                 seg.counters.fault_drops += 1;
+                if verdict.burst_dropped {
+                    seg.counters.burst_drops += 1;
+                }
                 core.probe.record(
                     now,
                     ProbeRecord::FaultDrop {
@@ -799,8 +810,15 @@ impl World {
         let core = &mut self.core;
         let seg = &mut core.segments[seg_id.0];
         let wire_len = done.frame.len() as u32;
-        let (outcome, corrupted) = seg.cfg.fault.apply(done.frame, &mut core.rng);
-        if corrupted {
+        let verdict = seg
+            .cfg
+            .fault
+            .apply_stateful(done.frame, &mut core.rng, &mut seg.burst_bad);
+        if let Some(bad) = verdict.flipped {
+            core.probe
+                .record(now, ProbeRecord::FaultBurst { seg: seg_id, bad });
+        }
+        if verdict.corrupted {
             seg.counters.corrupted += 1;
             core.probe.record(
                 now,
@@ -810,7 +828,7 @@ impl World {
                 },
             );
         }
-        let (frame, copies) = match outcome {
+        let (frame, copies) = match verdict.outcome {
             FaultOutcome::Deliver(f) => (f, 1u64),
             FaultOutcome::Duplicate(f) => {
                 seg.counters.fault_duplicates += 1;
@@ -825,6 +843,9 @@ impl World {
             }
             FaultOutcome::Drop => {
                 seg.counters.fault_drops += 1;
+                if verdict.burst_dropped {
+                    seg.counters.burst_drops += 1;
+                }
                 core.probe.record(
                     now,
                     ProbeRecord::FaultDrop {
@@ -1061,7 +1082,11 @@ impl World {
     /// frame that completes serialization from now on, drawn from the
     /// world RNG as usual, so scripted runs stay deterministic.
     pub fn set_segment_fault(&mut self, id: SegId, fault: crate::fault::FaultConfig) {
-        self.core.segments[id.0].cfg.fault = fault;
+        let seg = &mut self.core.segments[id.0];
+        seg.cfg.fault = fault;
+        // A fresh config starts from the good state: burst history does
+        // not leak across scripted fault windows.
+        seg.burst_bad = false;
     }
 
     /// Schedule a chaos event at absolute time `at` (normally called via
@@ -1421,6 +1446,88 @@ mod tests {
             w.frames_delivered() + w.segment(lan).counters().fault_drops * 1000
         }
         assert_eq!(build_and_run(99), build_and_run(99));
+    }
+
+    /// A burst-configured segment routes through the stateful fault
+    /// path: bad-state drops land in both `fault_drops` and
+    /// `burst_drops`, state flips emit `FaultBurst` probe records in
+    /// matched pairs, and the whole run replays from its seed.
+    #[test]
+    fn burst_faults_count_flip_and_replay() {
+        use crate::probe::{ProbeConfig, ProbeRecord};
+        /// Sends one small frame every 100 µs, unconditionally.
+        struct Chatter {
+            left: u32,
+        }
+        impl Node for Chatter {
+            fn name(&self) -> &str {
+                "chatter"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(SimDuration::from_us(100), TimerToken(1));
+            }
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: FrameBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: TimerToken) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.send(PortId(0), FrameBuf::from_static(b"burst-probe"));
+                    ctx.schedule(SimDuration::from_us(100), TimerToken(1));
+                }
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+        }
+        fn build_and_run(seed: u64) -> (u64, u64, u64, Vec<(u64, bool)>) {
+            let mut w = World::new(seed);
+            w.probe_mut().arm(ProbeConfig::default());
+            let lan = w.add_segment(SegmentConfig {
+                fault: crate::fault::FaultConfig {
+                    burst: Some(crate::fault::BurstConfig {
+                        enter_one_in: 8,
+                        exit_one_in: 4,
+                        bad_drop_one_in: 2,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let t = w.add_node(Chatter { left: 400 });
+            let a = w.add_node(echo("a", false));
+            w.attach(t, lan);
+            w.attach(a, lan);
+            w.run_until(SimTime::from_ms(50));
+            let c = w.segment(lan).counters();
+            let flips: Vec<(u64, bool)> = w
+                .probe()
+                .records()
+                .filter_map(|e| match e.record {
+                    ProbeRecord::FaultBurst { bad, .. } => Some((e.at.as_ns(), bad)),
+                    _ => None,
+                })
+                .collect();
+            (w.frames_delivered(), c.fault_drops, c.burst_drops, flips)
+        }
+        let (delivered, fault_drops, burst_drops, flips) = build_and_run(7);
+        assert!(delivered > 0, "good state must let traffic through");
+        assert!(burst_drops > 0, "the bad state must have eaten frames");
+        assert_eq!(
+            fault_drops, burst_drops,
+            "good state injects nothing in this config"
+        );
+        assert!(!flips.is_empty(), "bursts must have started");
+        // Flips strictly alternate, starting with a burst entry.
+        for (i, (_, bad)) in flips.iter().enumerate() {
+            assert_eq!(*bad, i % 2 == 0, "flip {i} out of order");
+        }
+        assert_eq!(
+            build_and_run(7),
+            (delivered, fault_drops, burst_drops, flips)
+        );
     }
 
     /// `World::reset` must be observationally identical to a fresh

@@ -29,5 +29,7 @@ pub use tcplite::{
     pattern_byte, ReceiverConfig, RecvAction, Segment as TcpLiteSegment, SegmentOut, SenderConfig,
     TcpReceiver, TcpSender,
 };
-pub use tftp::{ReceivedFile, SenderStep, TftpPacket, TftpSender, TftpServer};
+pub use tftp::{
+    FailureClass, ReceivedFile, SenderStep, TftpPacket, TftpSender, TftpServer, IDLE_SESSION_NS,
+};
 pub use udp::{Datagram as UdpDatagram, UdpError};

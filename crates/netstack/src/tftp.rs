@@ -155,7 +155,16 @@ struct Transfer {
     filename: String,
     next_block: u16,
     data: Vec<u8>,
+    /// Timestamp of the last packet seen on this session (whatever clock
+    /// the embedding node passes to [`TftpServer::on_packet_at`]; 0 when
+    /// driven through the clockless [`TftpServer::on_packet`]).
+    last_activity_ns: u64,
 }
+
+/// Sessions idle longer than this are expired (lazily, on the next
+/// packet): a sender stranded by a server crash must not pin state
+/// forever, and a fresh WRQ after the stall starts clean.
+pub const IDLE_SESSION_NS: u64 = 30_000_000_000; // 30 s
 
 /// The write-only, binary-only TFTP server.
 #[derive(Default)]
@@ -165,6 +174,8 @@ pub struct TftpServer {
     pub completed: u64,
     /// Requests refused (RRQ, bad mode, bad sequence).
     pub refused: u64,
+    /// Sessions dropped by idle expiry.
+    pub expired: u64,
 }
 
 impl TftpServer {
@@ -173,13 +184,38 @@ impl TftpServer {
         TftpServer::default()
     }
 
-    /// Handle one packet from `peer`. Returns the reply to send (if any)
-    /// and the completed file (if this packet finished an upload).
+    /// In-progress upload sessions.
+    pub fn active_transfers(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Handle one packet from `peer` with no notion of time (no idle
+    /// expiry). Equivalent to [`TftpServer::on_packet_at`] at a frozen
+    /// clock.
     pub fn on_packet(
         &mut self,
         peer: (Ipv4Addr, u16),
         packet: &[u8],
     ) -> (Option<Vec<u8>>, Option<ReceivedFile>) {
+        self.on_packet_at(peer, packet, 0)
+    }
+
+    /// Handle one packet from `peer` at `now_ns` on the embedding node's
+    /// clock. Returns the reply to send (if any) and the completed file
+    /// (if this packet finished an upload). Sessions idle longer than
+    /// [`IDLE_SESSION_NS`] are expired before the packet is processed,
+    /// so a stale half-transfer cannot shadow a fresh WRQ or accept a
+    /// wildly late DATA block.
+    pub fn on_packet_at(
+        &mut self,
+        peer: (Ipv4Addr, u16),
+        packet: &[u8],
+        now_ns: u64,
+    ) -> (Option<Vec<u8>>, Option<ReceivedFile>) {
+        let before = self.transfers.len();
+        self.transfers
+            .retain(|_, t| now_ns.saturating_sub(t.last_activity_ns) < IDLE_SESSION_NS);
+        self.expired += (before - self.transfers.len()) as u64;
         let Some(pkt) = TftpPacket::parse(packet) else {
             return (None, None); // malformed: silently dropped
         };
@@ -217,6 +253,7 @@ impl TftpServer {
                         filename: filename.to_owned(),
                         next_block: 1,
                         data: Vec::new(),
+                        last_activity_ns: now_ns,
                     },
                 );
                 (Some(TftpPacket::Ack { block: 0 }.emit()), None)
@@ -235,8 +272,12 @@ impl TftpServer {
                         None,
                     );
                 };
-                if block + 1 == t.next_block {
-                    // Duplicate of the previous block: re-ack.
+                t.last_activity_ns = now_ns;
+                if block < t.next_block {
+                    // Duplicate of an already-received block (a lost ACK
+                    // made the sender retransmit): re-ack, never
+                    // re-append. Only a *future* block is a protocol
+                    // violation.
                     return (Some(TftpPacket::Ack { block }.emit()), None);
                 }
                 if block != t.next_block {
@@ -278,6 +319,34 @@ impl TftpServer {
     }
 }
 
+/// Why an upload attempt failed — the adaptive-retransmission layer
+/// keys its recovery policy off this.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The retry budget ran out with no server response (assigned by the
+    /// embedding transport, never by the state machine itself).
+    Timeout,
+    /// The server refused or lost the session (write-only violation,
+    /// out-of-sequence, "no transfer in progress" after a crash, ...).
+    /// A fresh WRQ may well succeed — restart and re-send.
+    ServerError,
+    /// The receiver's integrity gate rejected the completed image: the
+    /// bits that arrived did not match the sealed digest. Re-sending
+    /// gives the payload another chance through the lossy medium.
+    IntegrityReject,
+}
+
+impl FailureClass {
+    /// Stable lowercase label (report/probe rendering).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::Timeout => "timeout",
+            FailureClass::ServerError => "server_error",
+            FailureClass::IntegrityReject => "integrity_reject",
+        }
+    }
+}
+
 /// What the sender should do next.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SenderStep {
@@ -285,8 +354,10 @@ pub enum SenderStep {
     Send(Vec<u8>),
     /// Transfer complete.
     Done,
-    /// The server refused the transfer.
-    Failed(String),
+    /// The server refused the transfer. The sender is parked until
+    /// [`TftpSender::restart`]; the class says whether re-sending is
+    /// worth it.
+    Failed(FailureClass, String),
     /// Ignore this packet (duplicate/foreign).
     Ignore,
 }
@@ -380,7 +451,15 @@ impl TftpSender {
             }
             Some(TftpPacket::Error { code, msg }) => {
                 self.done = true;
-                SenderStep::Failed(format!("tftp error {code}: {msg}"))
+                // The loader's integrity gate rejects with a message the
+                // sender can recognize; everything else is a generic
+                // server-side refusal.
+                let class = if msg.contains("integrity") {
+                    FailureClass::IntegrityReject
+                } else {
+                    FailureClass::ServerError
+                };
+                SenderStep::Failed(class, format!("tftp error {code}: {msg}"))
             }
             _ => SenderStep::Ignore,
         }
@@ -389,6 +468,16 @@ impl TftpSender {
     /// True once the final block has been acknowledged.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Rewind to a fresh session: the next [`TftpSender::start`] /
+    /// [`TftpSender::current`] is a new WRQ for the same payload. This
+    /// is the crash-resume path — after a server restart (or an
+    /// integrity reject) the old session is gone, and RFC 1350 has no
+    /// mid-transfer resume, so the upload begins again from block 1.
+    pub fn restart(&mut self) {
+        self.acked_through = None;
+        self.done = false;
     }
 }
 
@@ -567,5 +656,209 @@ mod tests {
         let sender = TftpSender::new("f", vec![1, 2, 3]);
         // Before any ack, current() is the WRQ.
         assert_eq!(sender.current().unwrap(), sender.start());
+    }
+
+    #[test]
+    fn stale_ack_is_ignored_by_sender() {
+        let mut server = TftpServer::new();
+        let mut sender = TftpSender::new("f", vec![0xCC; 700]);
+        let (ack0, _) = server.on_packet(PEER, &sender.start());
+        let d1 = match sender.on_packet(&ack0.unwrap()) {
+            SenderStep::Send(p) => p,
+            other => panic!("expected first data block, got {other:?}"),
+        };
+        let (ack1, _) = server.on_packet(PEER, &d1);
+        let ack1 = ack1.unwrap();
+        let d2 = match sender.on_packet(&ack1) {
+            SenderStep::Send(p) => p,
+            other => panic!("expected second data block, got {other:?}"),
+        };
+        // A duplicated ACK for block 1 (the network replayed it) must not
+        // advance or reset the sender: block 2 stays outstanding.
+        assert_eq!(sender.on_packet(&ack1), SenderStep::Ignore);
+        assert_eq!(sender.current().unwrap(), d2);
+        let (_, file) = server.on_packet(PEER, &d2);
+        assert_eq!(file.unwrap().data.len(), 700);
+    }
+
+    #[test]
+    fn duplicate_final_block_reacked_without_double_completion() {
+        let mut server = TftpServer::new();
+        server.on_packet(
+            PEER,
+            &TftpPacket::Wrq {
+                filename: "f",
+                mode: "octet",
+            }
+            .emit(),
+        );
+        let fin = TftpPacket::Data {
+            block: 1,
+            data: b"short",
+        }
+        .emit();
+        let (r1, f1) = server.on_packet(PEER, &fin);
+        assert!(matches!(
+            TftpPacket::parse(&r1.unwrap()),
+            Some(TftpPacket::Ack { block: 1 })
+        ));
+        assert_eq!(f1.unwrap().data, b"short");
+        assert_eq!(server.completed, 1);
+        // The final ACK was lost; the sender retransmits the final block.
+        // With the session gone this is "no transfer in progress" — the
+        // sender treats that error as terminal only if it never saw Done,
+        // which it did; the important property is the server does not
+        // complete (or load) the file twice.
+        let (r2, f2) = server.on_packet(PEER, &fin);
+        assert!(f2.is_none());
+        assert!(matches!(
+            TftpPacket::parse(&r2.unwrap()),
+            Some(TftpPacket::Error { code: 5, .. })
+        ));
+        assert_eq!(server.completed, 1);
+    }
+
+    #[test]
+    fn zero_length_wrq_completes_with_empty_terminator() {
+        let mut server = TftpServer::new();
+        let mut sender = TftpSender::new("empty.swl", Vec::new());
+        let (ack0, _) = server.on_packet(PEER, &sender.start());
+        // The only data block is the zero-length terminator.
+        let d1 = match sender.on_packet(&ack0.unwrap()) {
+            SenderStep::Send(p) => p,
+            other => panic!("expected terminator block, got {other:?}"),
+        };
+        assert_eq!(
+            TftpPacket::parse(&d1),
+            Some(TftpPacket::Data {
+                block: 1,
+                data: &[]
+            })
+        );
+        let (ack1, file) = server.on_packet(PEER, &d1);
+        assert_eq!(file.unwrap().data, Vec::<u8>::new());
+        assert_eq!(sender.on_packet(&ack1.unwrap()), SenderStep::Done);
+    }
+
+    #[test]
+    fn mid_transfer_server_reset_recovers_via_restart() {
+        let mut server = TftpServer::new();
+        let mut sender = TftpSender::new("f", vec![0xEE; 1300]);
+        let (ack0, _) = server.on_packet(PEER, &sender.start());
+        let d1 = match sender.on_packet(&ack0.unwrap()) {
+            SenderStep::Send(p) => p,
+            other => panic!("expected data, got {other:?}"),
+        };
+        let (ack1, _) = server.on_packet(PEER, &d1);
+        let d2 = match sender.on_packet(&ack1.unwrap()) {
+            SenderStep::Send(p) => p,
+            other => panic!("expected data, got {other:?}"),
+        };
+        // The server crashes and restarts: all session state is gone.
+        server = TftpServer::new();
+        let (err, _) = server.on_packet(PEER, &d2);
+        let step = sender.on_packet(&err.unwrap());
+        match step {
+            SenderStep::Failed(class, _) => assert_eq!(class, FailureClass::ServerError),
+            other => panic!("expected classified failure, got {other:?}"),
+        }
+        assert!(sender.current().is_none(), "failed sender is parked");
+        // Recovery: restart() rewinds to a fresh WRQ and the whole file
+        // goes through the new server instance.
+        sender.restart();
+        let mut wire = sender.current().expect("restart re-arms the WRQ");
+        assert_eq!(wire, sender.start());
+        loop {
+            let (reply, file) = server.on_packet(PEER, &wire);
+            if let Some(f) = file {
+                assert_eq!(f.data, vec![0xEE; 1300]);
+                assert_eq!(sender.on_packet(&reply.unwrap()), SenderStep::Done);
+                break;
+            }
+            match sender.on_packet(&reply.unwrap()) {
+                SenderStep::Send(next) => wire = next,
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integrity_error_classified_for_resend() {
+        let mut sender = TftpSender::new("f", vec![1]);
+        let err = TftpPacket::Error {
+            code: 0,
+            msg: "integrity check failed",
+        }
+        .emit();
+        match sender.on_packet(&err) {
+            SenderStep::Failed(class, msg) => {
+                assert_eq!(class, FailureClass::IntegrityReject);
+                assert!(msg.contains("integrity"));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(FailureClass::IntegrityReject.label(), "integrity_reject");
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_fresh_wrq_starts_clean() {
+        let mut server = TftpServer::new();
+        let wrq = TftpPacket::Wrq {
+            filename: "f",
+            mode: "octet",
+        }
+        .emit();
+        server.on_packet_at(PEER, &wrq, 1_000);
+        let d1 = TftpPacket::Data {
+            block: 1,
+            data: &[7u8; BLOCK_SIZE],
+        }
+        .emit();
+        server.on_packet_at(PEER, &d1, 2_000);
+        assert_eq!(server.active_transfers(), 1);
+        // The sender crashes and comes back much later with a new WRQ:
+        // the stale half-transfer is expired, the new session starts at
+        // block 1 and completes with only its own bytes.
+        let later = 2_000 + IDLE_SESSION_NS;
+        let (ack, _) = server.on_packet_at(PEER, &wrq, later);
+        assert!(matches!(
+            TftpPacket::parse(&ack.unwrap()),
+            Some(TftpPacket::Ack { block: 0 })
+        ));
+        assert_eq!(server.expired, 1);
+        assert_eq!(server.active_transfers(), 1);
+        let fin = TftpPacket::Data {
+            block: 1,
+            data: b"fresh",
+        }
+        .emit();
+        let (_, file) = server.on_packet_at(PEER, &fin, later + 1);
+        assert_eq!(file.unwrap().data, b"fresh");
+    }
+
+    #[test]
+    fn late_data_after_expiry_is_refused_not_appended() {
+        let mut server = TftpServer::new();
+        let wrq = TftpPacket::Wrq {
+            filename: "f",
+            mode: "octet",
+        }
+        .emit();
+        server.on_packet_at(PEER, &wrq, 0);
+        // A wildly late DATA block (the sender stalled past the idle
+        // horizon) must hit an expired session, not a live one.
+        let d1 = TftpPacket::Data {
+            block: 1,
+            data: b"late",
+        }
+        .emit();
+        let (reply, file) = server.on_packet_at(PEER, &d1, IDLE_SESSION_NS + 1);
+        assert!(file.is_none());
+        assert!(matches!(
+            TftpPacket::parse(&reply.unwrap()),
+            Some(TftpPacket::Error { code: 5, .. })
+        ));
+        assert_eq!(server.expired, 1);
+        assert_eq!(server.active_transfers(), 0);
     }
 }

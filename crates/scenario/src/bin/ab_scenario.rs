@@ -38,12 +38,12 @@ use ab_scenario::{timeline, Json};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--sweep default|chaos] [--profile]\n  \
+        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--sweep default|chaos|lossy] [--profile]\n  \
          ab_scenario analyze <sweep.json|-> [--assert-score N] [--assert-pass]\n  \
          ab_scenario trace <shape> <battery> [--seed S] [--capacity N]\n  \
          ab_scenario validate-trace <trace.json|->\n\n\
          shapes: line ring star tree full_mesh random metro metro_large\n\
-         batteries: pings streams uploads churn metro contention chaos"
+         batteries: pings streams uploads churn metro contention chaos lossy"
     );
     std::process::exit(2);
 }
@@ -90,6 +90,7 @@ fn parse_battery(label: &str) -> Option<BatteryKind> {
         "metro" => BatteryKind::Metro,
         "contention" => BatteryKind::Contention,
         "chaos" => BatteryKind::Chaos,
+        "lossy" => BatteryKind::Lossy,
         _ => return None,
     })
 }
@@ -117,6 +118,7 @@ fn render(mut args: impl Iterator<Item = String>) {
     let spec = match sweep.as_str() {
         "default" => SweepSpec::default_sweep(seed),
         "chaos" => SweepSpec::chaos_sweep(seed),
+        "lossy" => SweepSpec::lossy_sweep(seed),
         other => {
             eprintln!("unknown sweep {other:?}");
             usage();

@@ -22,10 +22,11 @@
 use active_bridge::{BridgeConfig, BridgeNode};
 use hostsim::{
     App, BlastApp, HostConfig, HostCostModel, HostNode, PingApp, TtcpRecvApp, TtcpSendApp,
-    UploadApp,
+    UploadApp, UploadConfig,
 };
 use netsim::{NodeId, PortId, SimDuration, SimTime, World, WorldStats};
 use netstack::tcplite::{ReceiverConfig, SenderConfig};
+use netstack::FailureClass;
 
 use crate::json::Json;
 use crate::quality;
@@ -208,6 +209,27 @@ pub struct RecoveryReport {
     pub time_to_first_delivery: Option<SimDuration>,
 }
 
+/// Hostile-media telemetry for runs whose workload scripts bursty loss
+/// (burst-free runs carry none, keeping their reports byte-identical).
+#[derive(Clone, Debug)]
+pub struct ResilienceReport {
+    /// Retransmissions performed across all uploads.
+    pub retries: u64,
+    /// Fresh-WRQ session restarts after classified server failures.
+    pub restarts: u64,
+    /// Backoff doublings clamped at the configured RTO ceiling.
+    pub rto_ceiling_hits: u64,
+    /// Sealed images the integrity gate refused across all bridges.
+    pub integrity_rejects: u64,
+    /// Frames the burst model dropped while a segment was in its bad
+    /// state.
+    pub burst_drops: u64,
+    /// The longest gap between consecutive upload forward-progress
+    /// events — the worst stall the adaptive transport bridged (`None`
+    /// if no upload ever progressed twice).
+    pub max_stall: Option<SimDuration>,
+}
+
 /// The full structured result of one scenario run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -240,6 +262,9 @@ pub struct Report {
     /// Recovery telemetry (`Some` only when the workload scripts
     /// downtime).
     pub recovery: Option<RecoveryReport>,
+    /// Hostile-media telemetry (`Some` only when the workload scripts
+    /// bursty loss).
+    pub resilience: Option<ResilienceReport>,
     /// The judged invariants.
     pub invariants: Vec<InvariantResult>,
 }
@@ -293,7 +318,7 @@ impl Report {
                 .iter()
                 .map(|s| {
                     let c = &s.counters;
-                    Json::obj(vec![
+                    let mut members = vec![
                         ("name", Json::str(&s.name)),
                         ("tx_frames", Json::U64(c.tx_frames)),
                         ("tx_bytes", Json::U64(c.tx_bytes)),
@@ -305,7 +330,14 @@ impl Report {
                         ("corrupted", Json::U64(c.corrupted)),
                         ("fault_duplicates", Json::U64(c.fault_duplicates)),
                         ("down_drops", Json::U64(c.down_drops)),
-                    ])
+                    ];
+                    // Present only where the burst model actually fired:
+                    // burst-free reports render the exact same bytes as
+                    // before the Gilbert–Elliott model existed.
+                    if c.burst_drops > 0 {
+                        members.push(("burst_drops", Json::U64(c.burst_drops)));
+                    }
+                    Json::obj(members)
                 })
                 .collect(),
         );
@@ -413,6 +445,26 @@ impl Report {
                     (
                         "time_to_first_delivery_ns",
                         match r.time_to_first_delivery {
+                            Some(d) => Json::U64(d.as_ns()),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ));
+        }
+        // Present only on bursty-loss runs, mirroring `recovery`.
+        if let Some(r) = &self.resilience {
+            members.push((
+                "resilience",
+                Json::obj(vec![
+                    ("retries", Json::U64(r.retries)),
+                    ("restarts", Json::U64(r.restarts)),
+                    ("rto_ceiling_hits", Json::U64(r.rto_ceiling_hits)),
+                    ("integrity_rejects", Json::U64(r.integrity_rejects)),
+                    ("burst_drops", Json::U64(r.burst_drops)),
+                    (
+                        "max_stall_ns",
+                        match r.max_stall {
                             Some(d) => Json::U64(d.as_ns()),
                             None => Json::Null,
                         },
@@ -638,6 +690,9 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         crashes: wl.chaos.crash_count(),
         time_to_first_delivery: first_delivery_after_heal.map(|t| t.saturating_since(heal)),
     });
+    let resilience = wl
+        .injects_bursts()
+        .then(|| resilience_report(world, &placed, &after, &bridges));
     let invariants = judge_invariants(
         world,
         &topo,
@@ -666,7 +721,54 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         apps,
         vm_fuel,
         recovery,
+        resilience,
         invariants,
+    }
+}
+
+/// Aggregate the hostile-media telemetry: every upload's transport
+/// counters, the bridges' integrity-gate rejects, and the burst model's
+/// drop total.
+fn resilience_report(
+    world: &World,
+    placed: &[Placed],
+    after: &WorldStats,
+    bridges: &[BridgeReport],
+) -> ResilienceReport {
+    let mut retries = 0u64;
+    let mut restarts = 0u64;
+    let mut rto_ceiling_hits = 0u64;
+    let mut max_stall_ns = 0u64;
+    for p in placed {
+        let is_upload = matches!(
+            p.action,
+            AppAction::Upload { .. }
+                | AppAction::UploadTrap { .. }
+                | AppAction::UploadSealed { .. }
+                | AppAction::UploadCorrupt { .. }
+        );
+        if !is_upload {
+            continue;
+        }
+        if let App::Upload(a) = world.node::<HostNode>(p.sender).app(0).unwrapped() {
+            retries += a.retries as u64;
+            restarts += a.restarts as u64;
+            rto_ceiling_hits += a.rto_ceiling_hits as u64;
+            max_stall_ns = max_stall_ns.max(a.progress_gap_ns.iter().copied().max().unwrap_or(0));
+        }
+    }
+    ResilienceReport {
+        retries,
+        restarts,
+        rto_ceiling_hits,
+        integrity_rejects: bridges
+            .iter()
+            .flat_map(|b| &b.counters)
+            .filter(|&&(k, _)| k == "images_rejected")
+            .map(|&(_, v)| v)
+            .sum(),
+        burst_drops: after.segments.iter().map(|s| s.counters.burst_drops).sum(),
+        max_stall: (max_stall_ns > 0).then(|| SimDuration::from_ns(max_stall_ns)),
     }
 }
 
@@ -806,6 +908,57 @@ fn materialize(
                                 3000 + i as u16,
                                 format!("vm_trap{i}.img"),
                                 image,
+                            ),
+                        )],
+                    );
+                    (tx, None)
+                }
+                AppAction::UploadSealed {
+                    from_seg,
+                    bridge,
+                    pad,
+                } => {
+                    let image = workload::sealed_upload_image(i as u32, *pad);
+                    let dst = bridge_ip(topo.bridges[*bridge].index);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            UploadApp::with_config(
+                                PortId(0),
+                                dst,
+                                3000 + i as u16,
+                                format!("scn_upload{i}.swl"),
+                                image,
+                                UploadConfig::resilient(),
+                            ),
+                        )],
+                    );
+                    (tx, None)
+                }
+                AppAction::UploadCorrupt { from_seg, bridge } => {
+                    let image = workload::corrupt_upload_image(i as u32);
+                    let dst = bridge_ip(topo.bridges[*bridge].index);
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            UploadApp::with_config(
+                                PortId(0),
+                                dst,
+                                3000 + i as u16,
+                                format!("scn_corrupt{i}.swl"),
+                                image,
+                                // The poisoned image can never succeed:
+                                // keep its budget small so it parks as a
+                                // classified IntegrityReject well before
+                                // the evaluation window.
+                                UploadConfig {
+                                    max_retries: 6,
+                                    ..UploadConfig::resilient()
+                                },
                             ),
                         )],
                     );
@@ -1031,6 +1184,66 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                             delivery_pm: Some(if done { 1000 } else { 0 }),
                             sketch: Some(Sketch::from_samples(a.progress_gap_ns.iter().copied())),
                         },
+                    }
+                }
+                (
+                    AppAction::UploadSealed {
+                        from_seg, bridge, ..
+                    },
+                    App::Upload(a),
+                ) => {
+                    // A sealed upload must survive the hostile medium:
+                    // it counts toward `uploads_alive` exactly like a
+                    // plain one, and its transport counters feed the
+                    // resilience invariants.
+                    uploads += 1;
+                    let done = a.is_done() && a.failed.is_none();
+                    AppReport {
+                        label: "upload_sealed",
+                        phase: p.phase,
+                        from_seg: *from_seg,
+                        to_seg: topo.bridges[*bridge].segments[0],
+                        ok: done,
+                        detail: vec![
+                            ("bridge", *bridge as u64),
+                            ("done", u64::from(a.is_done())),
+                            ("parked", u64::from(a.failed.is_some())),
+                            ("retries", a.retries as u64),
+                            ("restarts", a.restarts as u64),
+                            ("rto_ceiling_hits", a.rto_ceiling_hits as u64),
+                            ("budget_used", a.budget_used() as u64),
+                            ("budget", a.cfg.max_retries as u64),
+                        ],
+                        metrics: AppMetrics {
+                            kind: "timeline",
+                            valid: done,
+                            delivery_pm: Some(if done { 1000 } else { 0 }),
+                            sketch: Some(Sketch::from_samples(a.progress_gap_ns.iter().copied())),
+                        },
+                    }
+                }
+                (AppAction::UploadCorrupt { from_seg, bridge }, App::Upload(a)) => {
+                    // The poisoned image must *never* complete: success
+                    // here is the gate refusing every re-send and the
+                    // sender parking with a classified integrity reject
+                    // — so it does not count toward `uploads_alive`.
+                    let classified = a.failure == Some(FailureClass::IntegrityReject);
+                    let ok = !a.is_done() && classified;
+                    AppReport {
+                        label: "upload_corrupt",
+                        phase: p.phase,
+                        from_seg: *from_seg,
+                        to_seg: topo.bridges[*bridge].segments[0],
+                        ok,
+                        detail: vec![
+                            ("bridge", *bridge as u64),
+                            ("done", u64::from(a.is_done())),
+                            ("parked", u64::from(a.failed.is_some())),
+                            ("classified_integrity", u64::from(classified)),
+                            ("retries", a.retries as u64),
+                            ("restarts", a.restarts as u64),
+                        ],
+                        metrics: AppMetrics::delivery(true, Some(if ok { 1000 } else { 0 })),
                     }
                 }
                 (action, _) => unreachable!(
@@ -1293,6 +1506,123 @@ fn judge_invariants(
             } else {
                 format!("dead after heal: {}", dead.join(", "))
             },
+        });
+    }
+
+    // Resilience invariants: judged only on runs that script bursty
+    // loss (the lossy battery). They hold the adaptive transport and
+    // the integrity gate to account *under* the hostile medium — never
+    // waived there.
+    if wl.injects_bursts() {
+        let detail = |a: &AppReport, key: &str| {
+            a.detail
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map_or(0, |&(_, v)| v)
+        };
+        let sealed: Vec<&AppReport> = apps.iter().filter(|a| a.label == "upload_sealed").collect();
+        let corrupt: Vec<&AppReport> = apps
+            .iter()
+            .filter(|a| a.label == "upload_corrupt")
+            .collect();
+
+        // Every sealed upload must complete despite the burst model
+        // chewing on its segment (and, in the lossy battery, a bridge
+        // crash mid-transfer).
+        let incomplete = sealed.iter().filter(|a| !a.ok).count() as u64;
+        out.push(InvariantResult {
+            name: "uploads_complete_under_loss",
+            verdict: if sealed.is_empty() {
+                Verdict::Waived
+            } else if incomplete == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "{} of {} sealed uploads completed under bursty loss",
+                sealed.len() as u64 - incomplete,
+                sealed.len()
+            ),
+        });
+
+        // ... and must get there inside its recovery budget: no sealed
+        // upload parked, none spent more than `max_retries` actions.
+        let mut worst_used = 0u64;
+        let mut budget = 0u64;
+        let mut blown = 0u64;
+        for a in &sealed {
+            let used = detail(a, "budget_used");
+            worst_used = worst_used.max(used);
+            budget = detail(a, "budget");
+            if detail(a, "parked") > 0 || used > budget {
+                blown += 1;
+            }
+        }
+        out.push(InvariantResult {
+            name: "retries_within_budget",
+            verdict: if sealed.is_empty() {
+                Verdict::Waived
+            } else if blown == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "worst sealed upload spent {worst_used} of {budget} recovery actions ({blown} exhausted)"
+            ),
+        });
+
+        // The deliberately poisoned image must be refused at the gate —
+        // every re-send rejected, the sender parked with a classified
+        // integrity failure, and the payload never evaluated (its init
+        // would inflate the `uploads_alive` counter, which that
+        // invariant cross-checks).
+        let rejects: u64 = bridges
+            .iter()
+            .flat_map(|b| &b.counters)
+            .filter(|&&(k, _)| k == "images_rejected")
+            .map(|&(_, v)| v)
+            .sum();
+        let unparked = corrupt.iter().filter(|a| !a.ok).count() as u64;
+        let gate_held = unparked == 0 && rejects >= corrupt.len() as u64;
+        out.push(InvariantResult {
+            name: "corrupted_image_never_activates",
+            verdict: if corrupt.is_empty() {
+                Verdict::Waived
+            } else if gate_held {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "{} corrupt uploads, {rejects} gate rejects, {unparked} escaped classification",
+                corrupt.len()
+            ),
+        });
+
+        // Every upload under the hostile medium must reach a terminal
+        // state — completed or parked — before the run ends; a transport
+        // that retries forever would leave one in limbo.
+        let in_limbo = sealed
+            .iter()
+            .chain(&corrupt)
+            .filter(|a| detail(a, "done") == 0 && detail(a, "parked") == 0)
+            .count() as u64;
+        let judged = (sealed.len() + corrupt.len()) as u64;
+        out.push(InvariantResult {
+            name: "no_livelock",
+            verdict: if judged == 0 {
+                Verdict::Waived
+            } else if in_limbo == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "{} of {judged} uploads reached a terminal state",
+                judged - in_limbo
+            ),
         });
     }
 

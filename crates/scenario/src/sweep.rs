@@ -74,6 +74,23 @@ impl SweepSpec {
         }
     }
 
+    /// The lossy sweep: the same two shapes as the chaos sweep × the
+    /// lossy battery — the hostile-media gate CI renders at several
+    /// worker counts, byte-compares, and holds to the four resilience
+    /// invariants. Kept out of [`default_sweep`] for the same reason as
+    /// the chaos sweep.
+    pub fn lossy_sweep(seed: u64) -> SweepSpec {
+        SweepSpec {
+            shapes: vec![
+                TopologyShape::Line { bridges: 2 },
+                TopologyShape::Ring { bridges: 3 },
+            ],
+            batteries: vec![BatteryKind::Lossy],
+            seed,
+            duration: None,
+        }
+    }
+
     /// The scenarios this sweep runs, in order.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::new();

@@ -122,6 +122,9 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
     // opens a window, the matching LinkUp / NodeRestart closes it.
     let mut seg_down: HashMap<u64, u64> = HashMap::new();
     let mut node_down: HashMap<usize, u64> = HashMap::new();
+    // Gilbert–Elliott bad-state windows render the same way: a
+    // `FaultBurst { bad: true }` opens, the matching `bad: false` closes.
+    let mut burst_open: HashMap<u64, u64> = HashMap::new();
 
     for ev in world.probe().records() {
         let ns = ev.at.as_ns();
@@ -198,6 +201,28 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
                     ns,
                     vec![("len", Json::U64(len as u64))],
                 ));
+            }
+            ProbeRecord::FaultBurst { seg, bad } => {
+                let tid = seg.0 as u64;
+                if bad {
+                    burst_open.entry(tid).or_insert(ns);
+                } else {
+                    match burst_open.remove(&tid) {
+                        Some(start) => {
+                            events.push(complete(
+                                "burst",
+                                PID_SEGMENTS,
+                                tid,
+                                start,
+                                ns - start,
+                                vec![],
+                            ));
+                        }
+                        // A burst whose entry record fell off the ring
+                        // still marks its end.
+                        None => events.push(instant("burst_end", PID_SEGMENTS, tid, ns, vec![])),
+                    }
+                }
             }
             // Deliveries are numerous and implied by the wire span; the
             // ring keeps them for programmatic consumers, the timeline
@@ -350,6 +375,18 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
     for (tid, start) in open_segs {
         events.push(complete(
             "down",
+            PID_SEGMENTS,
+            tid,
+            start,
+            end_ns.saturating_sub(start),
+            vec![],
+        ));
+    }
+    let mut open_bursts: Vec<(u64, u64)> = burst_open.into_iter().collect();
+    open_bursts.sort_unstable();
+    for (tid, start) in open_bursts {
+        events.push(complete(
+            "burst",
             PID_SEGMENTS,
             tid,
             start,

@@ -7,7 +7,7 @@
 //! when) plus a list of scheduled [`FaultAction`]s driving
 //! `netsim::fault` mid-run. The runner materializes both.
 
-use netsim::{ChaosScript, FaultConfig, SimDuration, Xoshiro};
+use netsim::{BurstConfig, ChaosScript, FaultConfig, SimDuration, Xoshiro};
 use switchlet::{ModuleBuilder, Op, Ty};
 
 use crate::topo::Topology;
@@ -52,11 +52,20 @@ pub enum BatteryKind {
     /// recovered (the `reconverges_after_heal`, `no_permanent_blackhole`
     /// and `quarantine_engages` invariants).
     Chaos,
+    /// The hostile-media battery: a Gilbert–Elliott burst-loss window
+    /// (≥ 10% steady-state loss) over the upload path, a digest-sealed
+    /// switchlet upload riding the adaptive retransmission transport, a
+    /// bridge crash mid-transfer the sender must survive with a fresh
+    /// session, and a deliberately pre-corrupted image the integrity
+    /// gate must reject without evaluation. Judged by the
+    /// `uploads_complete_under_loss`, `retries_within_budget`,
+    /// `corrupted_image_never_activates` and `no_livelock` invariants.
+    Lossy,
 }
 
 impl BatteryKind {
     /// Every battery, in a stable order.
-    pub const ALL: [BatteryKind; 7] = [
+    pub const ALL: [BatteryKind; 8] = [
         BatteryKind::Pings,
         BatteryKind::Streams,
         BatteryKind::Uploads,
@@ -64,6 +73,7 @@ impl BatteryKind {
         BatteryKind::Metro,
         BatteryKind::Contention,
         BatteryKind::Chaos,
+        BatteryKind::Lossy,
     ];
 
     /// Short label for names and reports.
@@ -76,6 +86,7 @@ impl BatteryKind {
             BatteryKind::Metro => "metro",
             BatteryKind::Contention => "contention",
             BatteryKind::Chaos => "chaos",
+            BatteryKind::Lossy => "lossy",
         }
     }
 
@@ -88,6 +99,7 @@ impl BatteryKind {
             BatteryKind::Metro => 5,
             BatteryKind::Contention => 6,
             BatteryKind::Chaos => 7,
+            BatteryKind::Lossy => 8,
         }
     }
 }
@@ -179,6 +191,32 @@ pub enum AppAction {
         /// Target bridge index.
         bridge: usize,
     },
+    /// A digest-sealed switchlet upload (see [`sealed_upload_image`])
+    /// on the adaptive retransmission transport
+    /// (`UploadConfig::resilient`) — the lossy battery's workhorse,
+    /// scheduled to ride out a burst-loss window and a mid-transfer
+    /// bridge crash. `pad` inflates the image so the transfer spans
+    /// many TFTP blocks (a crash at a fixed offset reliably lands
+    /// mid-session).
+    UploadSealed {
+        /// Uploader's segment.
+        from_seg: usize,
+        /// Target bridge index.
+        bridge: usize,
+        /// Extra payload octets interned into the module image.
+        pad: usize,
+    },
+    /// A sealed upload whose payload is corrupted *after* sealing — the
+    /// bridge's integrity gate must reject every attempt before decode
+    /// or evaluation, the sender sees `IntegrityReject` and parks once
+    /// its (deliberately small) retry budget is spent. Judged by the
+    /// `corrupted_image_never_activates` invariant.
+    UploadCorrupt {
+        /// Uploader's segment.
+        from_seg: usize,
+        /// Target bridge index.
+        bridge: usize,
+    },
     /// `hosts` silent listener hosts on `seg` — the metro battery's
     /// district population. They never initiate traffic, but every
     /// broadcast or flood crossing their segment is delivered to each
@@ -203,6 +241,8 @@ impl AppAction {
             AppAction::Blast { .. } => "blast",
             AppAction::Upload { .. } => "upload",
             AppAction::UploadTrap { .. } => "upload_trap",
+            AppAction::UploadSealed { .. } => "upload_sealed",
+            AppAction::UploadCorrupt { .. } => "upload_corrupt",
             AppAction::Crowd { .. } => "crowd",
         }
     }
@@ -211,7 +251,10 @@ impl AppAction {
     pub fn host_count(&self) -> u64 {
         match self {
             AppAction::Ping { .. } | AppAction::Ttcp { .. } | AppAction::Blast { .. } => 2,
-            AppAction::Upload { .. } | AppAction::UploadTrap { .. } => 1,
+            AppAction::Upload { .. }
+            | AppAction::UploadTrap { .. }
+            | AppAction::UploadSealed { .. }
+            | AppAction::UploadCorrupt { .. } => 1,
             AppAction::Crowd { hosts, .. } => *hosts as u64,
         }
     }
@@ -230,6 +273,11 @@ impl AppAction {
                 count, interval, ..
             } => *interval * *count + SimDuration::from_secs(2),
             AppAction::Upload { .. } | AppAction::UploadTrap { .. } => SimDuration::from_secs(5),
+            // Sealed/corrupt uploads ride hostile media: allow for the
+            // full backoff ladder and a mid-transfer bridge restart.
+            AppAction::UploadSealed { .. } | AppAction::UploadCorrupt { .. } => {
+                SimDuration::from_secs(15)
+            }
             AppAction::Crowd { .. } => SimDuration::ZERO,
         }
     }
@@ -308,11 +356,24 @@ impl Workload {
         apps.max(faults).max(chaos)
     }
 
-    /// Does the script inject frame drops at any point?
+    /// Does the script inject frame drops at any point — uniformly
+    /// (`drop_one_in`) or through a Gilbert–Elliott burst model whose
+    /// states can drop?
     pub fn injects_drops(&self) -> bool {
+        self.faults.iter().any(|(_, f)| {
+            matches!(f, FaultAction::Set { fault, .. }
+                if fault.drop_one_in > 0
+                    || fault.burst.is_some_and(|b| b.good_drop_one_in > 0 || b.bad_drop_one_in > 0))
+        })
+    }
+
+    /// Does the script install a Gilbert–Elliott burst model at any
+    /// point? When it does, the runner judges the four resilience
+    /// invariants and renders the `resilience` report section.
+    pub fn injects_bursts(&self) -> bool {
         self.faults
             .iter()
-            .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.drop_one_in > 0))
+            .any(|(_, f)| matches!(f, FaultAction::Set { fault, .. } if fault.burst.is_some()))
     }
 
     /// Does the script take links down or crash bridges at any point?
@@ -783,6 +844,130 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                 },
             });
         }
+        BatteryKind::Lossy => {
+            // Baseline pings on the quiet network (done by 300 ms);
+            // loaded pings re-measure inside the burst window and feed
+            // the degradation subscore (their loss is waived — the
+            // burst is scripted).
+            let (p_from, p_to) = pick_pair(topo, &mut rng, 3);
+            let ping = |phase, offset_ms| WorkItem {
+                phase,
+                offset: SimDuration::from_ms(offset_ms),
+                action: AppAction::Ping {
+                    from_seg: p_from,
+                    to_seg: p_to,
+                    count: 6,
+                    payload: 256,
+                    interval: SimDuration::from_ms(50),
+                },
+            };
+            items.push(ping(Phase::Baseline, 0));
+            items.push(ping(Phase::Loaded, 1_200));
+            // The upload target and its access segment (same rule as
+            // the uploads battery: a pure-backbone bridge is reached
+            // from the first access segment).
+            let access_of = |bridge: usize| {
+                topo.bridges[bridge]
+                    .segments
+                    .iter()
+                    .copied()
+                    .find(|&s| topo.segments[s].tier == crate::topo::SegTier::Access)
+                    .unwrap_or_else(|| topo.access_segments()[0])
+            };
+            let bridge = rng.range(topo.bridges.len() as u64) as usize;
+            let from_seg = access_of(bridge);
+            // The hostile medium: a Gilbert–Elliott burst window over
+            // the upload segment. π_bad = (1/20)/(1/20 + 1/5) = 1/5 of
+            // frames see the bad state, which drops every 2nd frame —
+            // 10% steady-state loss, arriving in correlated trains
+            // (plus a trickle of bad-state corruption the integrity
+            // layers must absorb).
+            let burst = BurstConfig {
+                enter_one_in: 20,
+                exit_one_in: 5,
+                good_drop_one_in: 0,
+                good_corrupt_one_in: 0,
+                bad_drop_one_in: 2,
+                bad_corrupt_one_in: 8,
+            };
+            debug_assert!(burst.steady_state_drop_pm() >= 100);
+            faults.push((
+                SimDuration::from_ms(500),
+                FaultAction::Set {
+                    seg: from_seg,
+                    fault: FaultConfig {
+                        burst: Some(burst),
+                        ..FaultConfig::default()
+                    },
+                },
+            ));
+            faults.push((
+                SimDuration::from_secs(6),
+                FaultAction::Clear { seg: from_seg },
+            ));
+            // A flood blast spans the window (its sink never speaks, so
+            // its frames cross the bursty segment throughout — the
+            // burst always bites something; this loss is waived).
+            let (b_from, b_to) = pick_pair(topo, &mut rng, 1);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(100),
+                action: AppAction::Blast {
+                    from_seg: b_from,
+                    to_seg: b_to,
+                    size: 512,
+                    count: 1_600 + rng.range(200),
+                    interval: SimDuration::from_ms(2),
+                },
+            });
+            // The sealed upload starts just before its target bridge
+            // crashes: the pad stretches the transfer over dozens of
+            // TFTP blocks, so the crash at +5 ms reliably lands
+            // mid-session. The sender must ride out the burst loss, the
+            // two-second outage (backoff ladder), the post-restart
+            // "no transfer in progress" error (fresh WRQ) — and still
+            // deliver the image intact.
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(995),
+                action: AppAction::UploadSealed {
+                    from_seg,
+                    bridge,
+                    pad: 20_000,
+                },
+            });
+            chaos.crash_cycle(
+                bridge,
+                SimDuration::from_ms(1_000),
+                SimDuration::from_ms(2_000),
+            );
+            // The poisoned image goes to the next bridge over (the same
+            // one on single-bridge lines): its envelope is corrupted
+            // after sealing, so every delivery attempt must die at the
+            // integrity gate without touching decode or the data plane.
+            let bad_bridge = (bridge + 1) % topo.bridges.len();
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(700),
+                action: AppAction::UploadCorrupt {
+                    from_seg: access_of(bad_bridge),
+                    bridge: bad_bridge,
+                },
+            });
+            // Recovery proof: after the burst clears and the bridge is
+            // back, a strict reliable transfer must complete.
+            let (from_seg, to_seg) = pick_pair(topo, &mut rng, 2);
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_secs(8),
+                action: AppAction::Ttcp {
+                    from_seg,
+                    to_seg,
+                    total_bytes: 100_000,
+                    write_size: 4096,
+                },
+            });
+        }
     }
     Workload {
         kind,
@@ -806,6 +991,14 @@ pub const UPLOAD_ALIVE_COUNTER: &str = "scenario.upload.alive";
 /// function, so uploading it exercises the whole TFTP → verify → link →
 /// init path without perturbing the data plane.
 pub fn inert_upload_image(tag: u32) -> Vec<u8> {
+    padded_upload_image(tag, 0)
+}
+
+/// [`inert_upload_image`] plus `pad` octets of deterministic interned
+/// ballast — a *valid* module inflated so its TFTP transfer spans many
+/// blocks (the lossy battery needs the transfer window wide enough for
+/// a scripted crash to land mid-session).
+fn padded_upload_image(tag: u32, pad: usize) -> Vec<u8> {
     let mut mb = ModuleBuilder::new(format!("scn_upload{tag}"));
     let i_bump = mb.import(
         "bridgectl",
@@ -813,6 +1006,12 @@ pub fn inert_upload_image(tag: u32) -> Vec<u8> {
         Ty::func(vec![Ty::Str, Ty::Int], Ty::Unit),
     );
     let key = mb.intern_str(UPLOAD_ALIVE_COUNTER.as_bytes());
+    if pad > 0 {
+        let ballast: Vec<u8> = (0..pad)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag as u8))
+            .collect();
+        mb.intern_str(&ballast);
+    }
     let mut init = mb.func("init", vec![], Ty::Unit);
     init.op(Op::ConstStr(key))
         .op(Op::ConstInt(1))
@@ -821,6 +1020,25 @@ pub fn inert_upload_image(tag: u32) -> Vec<u8> {
     let init_fn = mb.finish(init);
     mb.set_init(init_fn);
     mb.build().encode()
+}
+
+/// A digest-sealed upload image: a padded valid module wrapped in the
+/// [`switchlet::envelope`] format (magic, version, length, content MD5).
+/// The bridge's integrity gate verifies the seal before decode.
+pub fn sealed_upload_image(tag: u32, pad: usize) -> Vec<u8> {
+    switchlet::seal(&padded_upload_image(tag, pad))
+}
+
+/// A sealed image corrupted *after* sealing: one payload bit is flipped
+/// under an intact header, exactly what a hostile medium hands the
+/// loader. If the integrity gate ever let it through, the module would
+/// still decode and its `init` would bump [`UPLOAD_ALIVE_COUNTER`] —
+/// which is how `corrupted_image_never_activates` catches a leak.
+pub fn corrupt_upload_image(tag: u32) -> Vec<u8> {
+    let mut sealed = switchlet::seal(&padded_upload_image(tag, 64));
+    let last = sealed.len() - 1;
+    sealed[last] ^= 0x01;
+    sealed
 }
 
 #[cfg(test)]
@@ -872,7 +1090,10 @@ mod tests {
                     | AppAction::Blast {
                         from_seg, to_seg, ..
                     } => vec![from_seg, to_seg],
-                    AppAction::Upload { from_seg, .. } | AppAction::UploadTrap { from_seg, .. } => {
+                    AppAction::Upload { from_seg, .. }
+                    | AppAction::UploadTrap { from_seg, .. }
+                    | AppAction::UploadSealed { from_seg, .. }
+                    | AppAction::UploadCorrupt { from_seg, .. } => {
                         vec![from_seg]
                     }
                 };
@@ -953,7 +1174,7 @@ mod tests {
     fn non_chaos_batteries_stay_transparent() {
         let topo = gen_topo(TopologyShape::Ring { bridges: 4 }, 7);
         for kind in BatteryKind::ALL {
-            if kind == BatteryKind::Chaos {
+            if matches!(kind, BatteryKind::Chaos | BatteryKind::Lossy) {
                 continue;
             }
             let wl = generate(kind, &topo, 7);
@@ -961,6 +1182,7 @@ mod tests {
                 wl.chaos.is_transparent() && wl.expected_quarantines == 0,
                 "{kind:?} must not script downtime"
             );
+            assert!(!wl.injects_bursts(), "{kind:?} must not script burst loss");
         }
     }
 
@@ -968,5 +1190,95 @@ mod tests {
     fn upload_image_is_loadable() {
         let image = inert_upload_image(0);
         assert!(switchlet::Module::decode(&image).is_ok());
+    }
+
+    #[test]
+    fn lossy_battery_scripts_hostile_media_and_heals_it() {
+        for shape in [
+            TopologyShape::Line { bridges: 2 },
+            TopologyShape::Ring { bridges: 3 },
+        ] {
+            let topo = gen_topo(shape, 5);
+            let wl = generate(BatteryKind::Lossy, &topo, 5);
+            assert!(wl.injects_bursts());
+            assert!(wl.injects_drops(), "burst bad state drops frames");
+            assert!(wl.injects_downtime(), "the target bridge crashes");
+            assert_eq!(wl.expected_quarantines, 0);
+            // The burst model meets the ≥ 10% steady-state loss floor.
+            let burst = wl
+                .faults
+                .iter()
+                .find_map(|(_, f)| match f {
+                    FaultAction::Set { fault, .. } => fault.burst,
+                    FaultAction::Clear { .. } => None,
+                })
+                .expect("lossy scripts a burst window");
+            assert!(
+                burst.steady_state_drop_pm() >= 100,
+                "per-mille steady loss {} under the 10% floor",
+                burst.steady_state_drop_pm()
+            );
+            // The window heals inside the span, and the crash heals too.
+            let clear_at = wl
+                .faults
+                .iter()
+                .find_map(|(at, f)| matches!(f, FaultAction::Clear { .. }).then_some(*at))
+                .expect("lossy clears its burst window");
+            assert!(clear_at < wl.span());
+            let heal = wl.chaos.last_heal_at().expect("the crash restarts");
+            assert!(heal < wl.span());
+            // Both resilience probes are scheduled, and the sealed
+            // upload starts before the crash so the outage lands
+            // mid-transfer.
+            let sealed_at = wl
+                .items
+                .iter()
+                .find_map(|i| {
+                    matches!(i.action, AppAction::UploadSealed { .. }).then_some(i.offset)
+                })
+                .expect("lossy schedules a sealed upload");
+            let crash_at = wl
+                .chaos
+                .steps
+                .iter()
+                .find_map(|s| {
+                    matches!(s.action, netsim::ChaosAction::NodeCrash { .. }).then_some(s.at)
+                })
+                .expect("lossy crashes the target bridge");
+            assert!(sealed_at < crash_at);
+            assert!(wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::UploadCorrupt { .. })));
+            // The strict recovery transfer runs after every heal.
+            let ttcp_at = wl
+                .items
+                .iter()
+                .find_map(|i| matches!(i.action, AppAction::Ttcp { .. }).then_some(i.offset))
+                .expect("lossy schedules a recovery transfer");
+            assert!(ttcp_at > heal && ttcp_at > clear_at);
+        }
+    }
+
+    #[test]
+    fn sealed_image_unseals_to_a_loadable_module() {
+        let sealed = sealed_upload_image(0, 20_000);
+        assert!(switchlet::is_enveloped(&sealed));
+        let payload = switchlet::unseal(&sealed).expect("seal verifies");
+        assert!(switchlet::Module::decode(payload).is_ok());
+        assert!(
+            sealed.len() > 20_000,
+            "the pad must stretch the transfer over many TFTP blocks"
+        );
+    }
+
+    #[test]
+    fn corrupt_image_fails_the_integrity_gate() {
+        let bad = corrupt_upload_image(0);
+        assert!(switchlet::is_enveloped(&bad));
+        assert!(matches!(
+            switchlet::unseal(&bad),
+            Err(switchlet::EnvelopeError::DigestMismatch { .. })
+        ));
     }
 }

@@ -200,13 +200,14 @@ proptest! {
     }
 
     /// Topology and workload generation are pure functions of their
-    /// seeds — including the chaos battery's fault script.
+    /// seeds — including the chaos battery's fault script and the lossy
+    /// battery's burst schedule.
     #[test]
     fn generation_is_deterministic(
         idx in 0usize..7,
         size in 2usize..5,
         seed in 0u64..100_000,
-        battery_idx in 0usize..7,
+        battery_idx in 0usize..8,
     ) {
         let shape = shape(idx, size);
         let a = topo::generate(shape, seed);
@@ -217,6 +218,59 @@ proptest! {
         let wb = workload::generate(battery, &b, seed);
         prop_assert_eq!(wa.items, wb.items);
         prop_assert_eq!(wa.chaos, wb.chaos);
+    }
+
+    /// The Gilbert–Elliott burst model is a pure function of the RNG
+    /// seed: the same seed replays the identical drop/corrupt/transition
+    /// sequence for any odds, and the fraction of frames spent in the
+    /// bad state tracks the configured steady state within tolerance.
+    #[test]
+    fn burst_model_replays_and_tracks_its_odds(
+        enter in 4u64..24,
+        exit in 2u64..12,
+        seed in 0u64..100_000,
+    ) {
+        use netsim::fault::FaultOutcome;
+        use netsim::{BurstConfig, FaultConfig, FrameBuf, Xoshiro};
+
+        let cfg = FaultConfig {
+            burst: Some(BurstConfig {
+                enter_one_in: enter,
+                exit_one_in: exit,
+                bad_drop_one_in: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let run = || {
+            let mut rng = Xoshiro::seed_from_u64(seed);
+            let mut bad = false;
+            let mut record = Vec::with_capacity(4096);
+            let mut bad_frames = 0u64;
+            for _ in 0..4096 {
+                let v = cfg.apply_stateful(FrameBuf::from_static(b"payload"), &mut rng, &mut bad);
+                bad_frames += u64::from(bad);
+                record.push((
+                    matches!(v.outcome, FaultOutcome::Drop),
+                    v.corrupted,
+                    v.burst_dropped,
+                    v.flipped,
+                ));
+            }
+            (record, bad_frames)
+        };
+        let (a, bad_frames) = run();
+        let b = run();
+        prop_assert_eq!(&a, &b.0, "same seed must replay the same fault sequence");
+        // π_bad = enter⁻¹ / (enter⁻¹ + exit⁻¹) = exit / (enter + exit);
+        // allow a generous band around it — 4096 frames of a two-state
+        // chain with dwell times this short concentrate well inside it.
+        let expected_pm = 1000 * exit / (enter + exit);
+        let observed_pm = 1000 * bad_frames / 4096;
+        prop_assert!(
+            observed_pm + 150 > expected_pm && observed_pm < expected_pm + 150,
+            "bad-state occupancy {observed_pm}‰ strayed from the configured {expected_pm}‰"
+        );
     }
 }
 

@@ -64,6 +64,7 @@ pub mod bytecode;
 mod decode;
 pub mod digest;
 pub mod env;
+pub mod envelope;
 pub mod linker;
 pub mod module;
 #[cfg(test)]
@@ -81,6 +82,7 @@ pub use asm::ModuleBuilder;
 pub use bytecode::{Function, Op};
 pub use digest::{md5, Digest, Md5};
 pub use env::{Env, HostDispatch, HostModuleSig, HostSlot, NoHost};
+pub use envelope::{is_enveloped, seal, unseal, EnvelopeError};
 pub use linker::{Instance, LoadError, Namespace, ResolvedImport};
 pub use module::{DecodeError, Export, Module};
 pub use sig::{ExportSig, ImportSig};

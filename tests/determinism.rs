@@ -95,6 +95,7 @@ fn lossy_run_trace_bytes(seed: u64) -> Vec<u8> {
             drop_one_in: 4,
             corrupt_one_in: 7,
             duplicate_one_in: 5,
+            ..Default::default()
         },
         ..SegmentConfig::named("lan_b")
     });
@@ -183,6 +184,7 @@ fn lossy_captured_run_in(
             drop_one_in: 4,
             corrupt_one_in: 7,
             duplicate_one_in: 5,
+            ..Default::default()
         },
         capture: true,
         ..SegmentConfig::named("lan_b")

@@ -81,7 +81,7 @@ proptest! {
         let mut world = World::new(seed);
         world.trace_mut().set_enabled(false);
         let lan = world.add_segment(SegmentConfig {
-            fault: FaultConfig { drop_one_in: 0, corrupt_one_in, duplicate_one_in },
+            fault: FaultConfig { drop_one_in: 0, corrupt_one_in, duplicate_one_in, ..Default::default() },
             capture: true,
             ..Default::default()
         });

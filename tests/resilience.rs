@@ -6,9 +6,13 @@ use ab_bench::{build_path, run_until_done, Forwarder};
 use ab_scenario::{self as scenario, host_ip, host_mac};
 use active_bridge::hostmods::timer_cb_ty;
 use active_bridge::{BridgeCommand, BridgeConfig, BridgeNode, PortRole, StpSwitchlet};
-use hostsim::{App, BlastApp, HostConfig, HostCostModel, HostNode, TtcpRecvApp, TtcpSendApp};
+use hostsim::{
+    App, BlastApp, HostConfig, HostCostModel, HostNode, TtcpRecvApp, TtcpSendApp, UploadApp,
+    UploadConfig,
+};
 use netsim::{FaultConfig, PortId, SegmentConfig, SimDuration, SimTime, World};
 use netstack::tcplite::{ReceiverConfig, SenderConfig};
+use netstack::FailureClass;
 use switchlet::{ModuleBuilder, Op, Ty};
 
 /// Ring of three bridges: kill the spanning-tree protocol on the root
@@ -405,6 +409,134 @@ fn watchdog_falls_back_to_dumb_forwarding_without_a_known_good_plane() {
     assert_eq!(
         world.node::<HostNode>(sink).core.exp_frames_rx,
         10 - u64::from(BridgeConfig::default().watchdog_traps)
+    );
+}
+
+/// A bridge crash in the middle of a sealed-image upload: the sender
+/// classifies the dead server, opens a *fresh* TFTP session after the
+/// restart (no resumed state survives the crash), and the transfer
+/// completes — the module's `init` runs exactly once.
+#[test]
+fn upload_resumes_with_fresh_session_after_bridge_crash() {
+    let mut world = World::new(40);
+    let segs = scenario::lans(&mut world, 2);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let uploader = world.add_node(HostNode::new(
+        "uploader",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::pc_1997()),
+        vec![UploadApp::with_config(
+            PortId(0),
+            scenario::bridge_ip(0),
+            4000,
+            "resume.swl",
+            scenario::workload::sealed_upload_image(9, 60_000),
+            UploadConfig::resilient(),
+        )],
+    ));
+    world.attach(uploader, segs[0]);
+
+    // Let the session open and move a few blocks, then pull the plug:
+    // the ballast-padded image spans >100 TFTP blocks, so 5 ms of
+    // pc-1997 service time is nowhere near the end of the transfer.
+    world.run_until(SimTime::from_ms(5));
+    let App::Upload(a) = world.node::<HostNode>(uploader).app(0).unwrapped() else {
+        unreachable!()
+    };
+    assert!(!a.is_done(), "the padded image must still be in flight");
+    world.crash_node(b);
+    let horizon = world.now() + SimDuration::from_ms(50);
+    world.run_until(horizon);
+    world.restart_node(b);
+
+    run_until_done(&mut world, SimTime::from_secs(30), |w| {
+        let App::Upload(a) = w.node::<HostNode>(uploader).app(0).unwrapped() else {
+            unreachable!()
+        };
+        a.is_done()
+    });
+    let App::Upload(a) = world.node::<HostNode>(uploader).app(0).unwrapped() else {
+        unreachable!()
+    };
+    assert!(a.is_done(), "the upload must complete after the restart");
+    assert!(a.failed.is_none());
+    assert!(
+        a.restarts >= 1,
+        "recovery goes through a fresh WRQ, not a resumed session"
+    );
+    assert_eq!(
+        world
+            .counters()
+            .get(scenario::workload::UPLOAD_ALIVE_COUNTER),
+        1,
+        "the module's init ran exactly once, on the restarted bridge"
+    );
+}
+
+/// One payload bit flipped under an intact envelope header: the
+/// loader's integrity gate refuses the image before decode, the sender
+/// parks the upload as a classified integrity reject once its budget is
+/// spent, and the poisoned module never executes.
+#[test]
+fn integrity_gate_refuses_corrupted_image_end_to_end() {
+    let mut world = World::new(41);
+    let segs = scenario::lans(&mut world, 2);
+    let b = scenario::bridge(
+        &mut world,
+        0,
+        &segs,
+        BridgeConfig::default(),
+        &["bridge_learning"],
+    );
+    let uploader = world.add_node(HostNode::new(
+        "uploader",
+        HostConfig::simple(host_mac(1), host_ip(1), HostCostModel::pc_1997()),
+        vec![UploadApp::with_config(
+            PortId(0),
+            scenario::bridge_ip(0),
+            4000,
+            "corrupt.swl",
+            scenario::workload::corrupt_upload_image(7),
+            UploadConfig {
+                max_retries: 6,
+                ..UploadConfig::resilient()
+            },
+        )],
+    ));
+    world.attach(uploader, segs[0]);
+
+    run_until_done(&mut world, SimTime::from_secs(30), |w| {
+        let App::Upload(a) = w.node::<HostNode>(uploader).app(0).unwrapped() else {
+            unreachable!()
+        };
+        a.is_done() || a.failed.is_some()
+    });
+    let App::Upload(a) = world.node::<HostNode>(uploader).app(0).unwrapped() else {
+        unreachable!()
+    };
+    assert!(!a.is_done(), "a corrupted image must never complete");
+    assert_eq!(a.failure, Some(FailureClass::IntegrityReject));
+    assert!(a.failed.is_some(), "the spent budget parks the upload");
+    let node = world.node::<BridgeNode>(b);
+    assert!(
+        node.plane().stats.images_rejected >= 1,
+        "every delivery attempt died at the gate"
+    );
+    assert!(
+        node.plane().is_running("bridge_learning"),
+        "the data plane is unharmed"
+    );
+    assert_eq!(
+        world
+            .counters()
+            .get(scenario::workload::UPLOAD_ALIVE_COUNTER),
+        0,
+        "the poisoned init never ran"
     );
 }
 
