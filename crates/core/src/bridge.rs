@@ -37,6 +37,15 @@ use crate::plane::{DataPlaneSel, Plane, SwitchletStatus};
 const KIND_SERVICE: u64 = 0;
 const KIND_SWITCHLET: u64 = 1;
 const KIND_VM_TIMER: u64 = 2;
+const KIND_STORM: u64 = 3;
+
+/// Storm-control traffic classes (index into the per-port bucket pair).
+const STORM_BROADCAST: usize = 0;
+const STORM_UNKNOWN: usize = 1;
+
+/// One admitted frame costs 10⁹ nano-tokens, so bucket refill
+/// (`elapsed_ns × rate_pps`) stays in integer arithmetic.
+const NANO_PER_FRAME: u64 = 1_000_000_000;
 
 fn service_token(epoch: u8) -> TimerToken {
     TimerToken(KIND_SERVICE << 56 | (epoch as u64) << 48)
@@ -49,6 +58,26 @@ fn switchlet_token(epoch: u8, slot: usize, user: u32) -> TimerToken {
 
 fn vm_timer_token(epoch: u8, idx: usize) -> TimerToken {
     TimerToken(KIND_VM_TIMER << 56 | (epoch as u64) << 48 | idx as u64)
+}
+
+fn storm_token(epoch: u8, port: usize, class: usize) -> TimerToken {
+    debug_assert!(port <= 0xFFFF, "storm port overflows its token bits");
+    TimerToken(KIND_STORM << 56 | (epoch as u64) << 48 | (class as u64) << 16 | port as u64)
+}
+
+/// Runtime state of one storm-control token bucket (one per armed
+/// port-class). Volatile: dies with a crash like the rest of the plane.
+#[derive(Copy, Clone)]
+struct StormBucket {
+    /// Nano-tokens remaining (one admitted frame spends [`NANO_PER_FRAME`]).
+    tokens_nano: u64,
+    /// Last refill instant.
+    last: netsim::SimTime,
+    /// Consecutive over-budget drops since the last admitted frame; at
+    /// the configured trip count the port-class is suppressed.
+    strikes: u32,
+    /// Suppressed until the hold-down timer releases it.
+    suppressed: bool,
 }
 
 /// A frame on the bridge's data path: the parsed Ethernet view together
@@ -291,6 +320,9 @@ pub struct BridgeNode {
     trap_counts: HashMap<String, u32>,
     /// Modules the watchdog quarantined (never re-dispatched this epoch).
     quarantined: HashSet<String>,
+    /// Storm-control buckets, `[broadcast, unknown-unicast]` per port,
+    /// lazily materialized at first policed arrival. Volatile.
+    storm: Vec<[Option<StormBucket>; 2]>,
 }
 
 impl BridgeNode {
@@ -305,6 +337,7 @@ impl BridgeNode {
     ) -> BridgeNode {
         let mut plane = Plane::new(n_ports, cfg.learn_age);
         plane.learn.reserve(cfg.expected_stations);
+        plane.learn.set_bounds(cfg.learn_cap, cfg.learn_port_quota);
         let input_queue = cfg.input_queue;
         BridgeNode {
             name: name.into(),
@@ -329,6 +362,7 @@ impl BridgeNode {
             epoch: 0,
             trap_counts: HashMap::new(),
             quarantined: HashSet::new(),
+            storm: Vec::new(),
         }
     }
 
@@ -369,6 +403,14 @@ impl BridgeNode {
     /// variants for the fallback experiment).
     pub fn register_factory(&mut self, name: &str, factory: NativeFactory) {
         self.factories.insert(name.to_owned(), factory);
+    }
+
+    /// Arm BPDU guard on `ports`. Guard ports differ per bridge even when
+    /// the rest of the config is shared, so scenarios call this after
+    /// construction; it must run before the world starts (switchlets
+    /// snapshot the config when they install at boot).
+    pub fn set_bpdu_guard(&mut self, ports: Vec<usize>) {
+        self.cfg.bpdu_guard = ports;
     }
 
     /// The administrative interface: apply a `switchctl` command from
@@ -705,8 +747,80 @@ impl BridgeNode {
                 self.dispatch_registered(ctx, target, port, &parsed);
             }
         }
+        // Storm control polices flooded classes ahead of the switching
+        // function: a dropped frame is never switched and never learned.
+        if self.police_frame(ctx, port, &parsed) {
+            self.apply_cmds(ctx);
+            return;
+        }
         self.dispatch_data_plane(ctx, port, &parsed);
         self.apply_cmds(ctx);
+    }
+
+    /// The storm-control stage: deterministic per-port token buckets for
+    /// broadcast/multicast and unknown-unicast ingress. Returns `true`
+    /// when the frame must be dropped (port-class suppressed, or over
+    /// budget). Known unicast exits on one learned port — it cannot
+    /// storm — and is never policed.
+    fn police_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &DataFrame<'_>) -> bool {
+        if self.cfg.storm_broadcast.is_none() && self.cfg.storm_unknown.is_none() {
+            return false;
+        }
+        let now = ctx.now();
+        let dst = frame.dst();
+        let (class, class_cfg) = if dst.is_multicast() {
+            (STORM_BROADCAST, self.cfg.storm_broadcast)
+        } else if self.plane.learn.peek(dst, now) {
+            return false;
+        } else {
+            (STORM_UNKNOWN, self.cfg.storm_unknown)
+        };
+        let Some(scfg) = class_cfg else {
+            return false;
+        };
+        if self.storm.len() <= port.0 {
+            self.storm.resize(port.0 + 1, [None; 2]);
+        }
+        let bucket = self.storm[port.0][class].get_or_insert(StormBucket {
+            tokens_nano: scfg.burst.saturating_mul(NANO_PER_FRAME),
+            last: now,
+            strikes: 0,
+            suppressed: false,
+        });
+        if bucket.suppressed {
+            return true;
+        }
+        let elapsed = now.saturating_since(bucket.last).as_ns();
+        bucket.last = now;
+        bucket.tokens_nano = bucket
+            .tokens_nano
+            .saturating_add(elapsed.saturating_mul(scfg.rate_pps))
+            .min(scfg.burst.saturating_mul(NANO_PER_FRAME));
+        if bucket.tokens_nano >= NANO_PER_FRAME {
+            bucket.tokens_nano -= NANO_PER_FRAME;
+            bucket.strikes = 0;
+            return false;
+        }
+        bucket.strikes += 1;
+        if bucket.strikes >= scfg.trip {
+            bucket.suppressed = true;
+            bucket.strikes = 0;
+            self.plane.stats.storm_suppressions += 1;
+            ctx.bump("bridge.storm_suppressions", 1);
+            ctx.probe_port_suppressed(port);
+            ctx.schedule(scfg.hold_down, storm_token(self.epoch, port.0, class));
+            let n = self.name.clone();
+            let cls = if class == STORM_BROADCAST {
+                "broadcast"
+            } else {
+                "unknown-unicast"
+            };
+            ctx.trace(format!(
+                "{n}: storm control suppressed port {} ({cls})",
+                port.0
+            ));
+        }
+        true
     }
 
     // ------------------------------------------------------ switchlet mgmt
@@ -888,8 +1002,12 @@ impl Node for BridgeNode {
         self.service = ServiceQueue::new(self.cfg.input_queue);
         let mut plane = Plane::new(self.plane.num_ports(), self.cfg.learn_age);
         plane.learn.reserve(self.cfg.expected_stations);
+        plane
+            .learn
+            .set_bounds(self.cfg.learn_cap, self.cfg.learn_port_quota);
         self.plane = plane;
         self.plane_target = None;
+        self.storm.clear();
         self.slots.clear();
         self.by_name.clear();
         self.ns = Namespace::new(hostmods::host_env());
@@ -981,6 +1099,36 @@ impl Node for BridgeNode {
                     self.call_vm(ctx, fv, vec![Value::Int(user)]);
                 }
                 self.apply_cmds(ctx);
+            }
+            KIND_STORM => {
+                let port = (token.0 & 0xFFFF) as usize;
+                let class = ((token.0 >> 16) & 0xFF) as usize;
+                let scfg = if class == STORM_BROADCAST {
+                    self.cfg.storm_broadcast
+                } else {
+                    self.cfg.storm_unknown
+                };
+                if let (Some(scfg), Some(bucket)) = (
+                    scfg,
+                    self.storm
+                        .get_mut(port)
+                        .and_then(|classes| classes.get_mut(class))
+                        .and_then(|slot| slot.as_mut()),
+                ) {
+                    if bucket.suppressed {
+                        // Hold-down expired: re-enable with a full bucket
+                        // so a still-running storm re-trips cleanly
+                        // instead of flapping per frame.
+                        bucket.suppressed = false;
+                        bucket.strikes = 0;
+                        bucket.tokens_nano = scfg.burst.saturating_mul(NANO_PER_FRAME);
+                        bucket.last = ctx.now();
+                        ctx.bump("bridge.storm_releases", 1);
+                        ctx.probe_port_released(PortId(port));
+                        let n = self.name.clone();
+                        ctx.trace(format!("{n}: storm control released port {port}"));
+                    }
+                }
             }
             _ => unreachable!("unknown bridge timer kind {kind}"),
         }

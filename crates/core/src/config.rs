@@ -46,6 +46,25 @@ impl Default for TransitionTimers {
     }
 }
 
+/// One storm-control budget: a deterministic token bucket policing one
+/// traffic class (broadcast/multicast, or unknown unicast) per ingress
+/// port, ahead of the switching function. Refill arithmetic is integer
+/// nano-tokens (`elapsed_ns × rate_pps`, one frame = 10⁹ nano-tokens),
+/// so policing is replay-stable by construction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StormConfig {
+    /// Sustained budget, frames per second, per port.
+    pub rate_pps: u64,
+    /// Bucket depth, frames (the tolerated burst).
+    pub burst: u64,
+    /// Over-budget drops before the port-class is suppressed for
+    /// `hold_down` (sustained violation, not a stray burst).
+    pub trip: u32,
+    /// Suppression hold-down; an epoch-tagged timer re-enables the
+    /// port-class cleanly when it expires.
+    pub hold_down: SimDuration,
+}
+
 /// Full bridge configuration.
 #[derive(Clone, Debug)]
 pub struct BridgeConfig {
@@ -75,6 +94,25 @@ pub struct BridgeConfig {
     /// rolled back to its last-known-good tier (`0` disables the
     /// watchdog).
     pub watchdog_traps: u32,
+    /// Hard cap on learning-table entries (`0` = unbounded, the legacy
+    /// behaviour). When full, a new source evicts the oldest-refresh
+    /// entry on the offending ingress port, or is rejected if that port
+    /// holds nothing.
+    pub learn_cap: usize,
+    /// Per-port learning-table occupancy quota (`0` = no quota). A port
+    /// at quota recycles its own oldest entry instead of crowding out
+    /// well-behaved ports.
+    pub learn_port_quota: usize,
+    /// Storm-control budget for broadcast/multicast ingress (`None` =
+    /// policing off, the legacy behaviour).
+    pub storm_broadcast: Option<StormConfig>,
+    /// Storm-control budget for unknown-unicast (flooded) ingress
+    /// (`None` = policing off).
+    pub storm_unknown: Option<StormConfig>,
+    /// Ports with BPDU guard armed: any received BPDU err-disables the
+    /// port instead of reaching the STP engine, so an access host cannot
+    /// claim root. Empty = guard off everywhere (legacy behaviour).
+    pub bpdu_guard: Vec<usize>,
 }
 
 impl Default for BridgeConfig {
@@ -89,6 +127,11 @@ impl Default for BridgeConfig {
             vm_fuel: 200_000,
             expected_stations: 0,
             watchdog_traps: 3,
+            learn_cap: 0,
+            learn_port_quota: 0,
+            storm_broadcast: None,
+            storm_unknown: None,
+            bpdu_guard: Vec::new(),
         }
     }
 }
@@ -103,6 +146,16 @@ mod tests {
         assert_eq!(t.hello, SimDuration::from_secs(2));
         assert_eq!(t.max_age, SimDuration::from_secs(20));
         assert_eq!(t.forward_delay, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn defenses_default_off() {
+        let c = BridgeConfig::default();
+        assert_eq!(c.learn_cap, 0);
+        assert_eq!(c.learn_port_quota, 0);
+        assert!(c.storm_broadcast.is_none());
+        assert!(c.storm_unknown.is_none());
+        assert!(c.bpdu_guard.is_empty());
     }
 
     #[test]

@@ -34,10 +34,10 @@ pub mod scenario_impl;
 pub mod switchlets;
 
 pub use bridge::{BridgeCommand, BridgeCtx, BridgeNode, DataFrame, NativeInit, NativeSwitchlet};
-pub use config::{BridgeConfig, StpTimers, TransitionTimers};
+pub use config::{BridgeConfig, StormConfig, StpTimers, TransitionTimers};
 pub use plane::{
-    BridgeStats, DataPlaneSel, DecisionCache, LearningTable, Plane, PortFlags, SwitchletStatus,
-    Verdict,
+    BridgeStats, DataPlaneSel, DecisionCache, LearnOutcome, LearningTable, Plane, PortFlags,
+    SwitchletStatus, Verdict,
 };
 pub use switchlets::control::{ControlSwitchlet, Phase, TransitionEvent};
 pub use switchlets::dumb::DumbBridge;

@@ -45,6 +45,29 @@ impl Default for PortFlags {
     }
 }
 
+/// The outcome of one [`LearningTable::learn`] call. Callers surface the
+/// bounded-learning outcomes (eviction, rejection) as bridge counters and
+/// flight-recorder probe records; the plain outcomes are free to ignore.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LearnOutcome {
+    /// Group source: never learned (paper footnote 3).
+    Ignored,
+    /// A new entry was inserted.
+    Fresh,
+    /// An existing entry's timestamp was refreshed (mapping unchanged).
+    Refreshed,
+    /// An existing entry moved to a new port.
+    Moved,
+    /// A new entry was admitted by evicting the named victim — the
+    /// oldest-refreshed entry on the offending port, ties broken by MAC
+    /// order, so the choice is replay-stable by construction.
+    Evicted(MacAddr),
+    /// The new source was rejected: the table is at its hard capacity
+    /// and the offending port holds no entry to evict. The mapping (and
+    /// its generation) are untouched.
+    Rejected,
+}
+
 /// The self-learning table: source address → (port, last-seen time).
 /// Paper Section 5.3: "the triple (source address, current time, input
 /// port) is placed into a hash table keyed by the source address,
@@ -55,6 +78,13 @@ impl Default for PortFlags {
 /// it; refreshing the timestamp of an unchanged mapping does not, because
 /// no forwarding verdict can change when only a last-seen time advances
 /// (staleness is handled by the cache's own freshness deadline).
+///
+/// Since PR 10 the table can be **bounded** ([`LearningTable::set_bounds`]):
+/// a hard capacity plus a per-port occupancy quota, with a deterministic
+/// victim-selection policy (oldest refresh within the offending port, MAC
+/// order as the tiebreak — a total order independent of hash iteration
+/// order, so replays evict identically). Both bounds default to 0 =
+/// unlimited, the legacy behaviour.
 #[derive(Debug)]
 pub struct LearningTable {
     /// Keyed by the fast deterministic hasher: this map is probed and
@@ -62,6 +92,12 @@ pub struct LearningTable {
     map: FastMap<MacAddr, (PortId, SimTime)>,
     age: SimDuration,
     gen: u64,
+    /// Hard entry capacity (0 = unbounded).
+    cap: usize,
+    /// Per-port occupancy quota (0 = none).
+    port_quota: usize,
+    /// Live entry count per port, grown on demand.
+    occupancy: Vec<u32>,
 }
 
 impl LearningTable {
@@ -71,19 +107,114 @@ impl LearningTable {
             map: FastMap::default(),
             age,
             gen: 0,
+            cap: 0,
+            port_quota: 0,
+            occupancy: Vec::new(),
         }
     }
 
+    /// Arm the bounded-learning policy: a hard `cap` on total entries
+    /// and a per-port occupancy `quota` (either 0 = unlimited, the
+    /// legacy default). Bounds gate admissions in
+    /// [`LearningTable::learn`]; existing entries are not retroactively
+    /// evicted.
+    pub fn set_bounds(&mut self, cap: usize, quota: usize) {
+        self.cap = cap;
+        self.port_quota = quota;
+    }
+
+    /// The configured hard capacity (0 = unbounded).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Live entries learned on one port.
+    pub fn occupancy_of(&self, port: PortId) -> usize {
+        self.occupancy.get(port.0).map_or(0, |&c| c as usize)
+    }
+
+    fn occupancy_inc(&mut self, port: PortId) {
+        if self.occupancy.len() <= port.0 {
+            self.occupancy.resize(port.0 + 1, 0);
+        }
+        self.occupancy[port.0] += 1;
+    }
+
+    fn occupancy_dec(&mut self, port: PortId) {
+        if let Some(c) = self.occupancy.get_mut(port.0) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// The deterministic eviction victim on `port`: oldest refresh first,
+    /// MAC order breaking ties — a total order over the entries, so the
+    /// answer never depends on hash iteration order.
+    fn victim_on(&self, port: PortId) -> Option<MacAddr> {
+        self.map
+            .iter()
+            .filter(|&(_, &(p, _))| p == port)
+            .min_by_key(|&(mac, &(_, seen))| (seen, mac.octets()))
+            .map(|(mac, _)| *mac)
+    }
+
     /// Record that `src` was seen on `port`. Group addresses are never
-    /// learned (paper footnote 3).
-    pub fn learn(&mut self, src: MacAddr, port: PortId, now: SimTime) {
+    /// learned (paper footnote 3). When bounds are armed, a new source
+    /// that would exceed the port quota or the hard capacity evicts the
+    /// deterministic victim *on the offending port* — an attacker's
+    /// randomized sources cannibalize the attacker's own entries, never a
+    /// victim port's — or is rejected outright when that port has
+    /// nothing to evict.
+    pub fn learn(&mut self, src: MacAddr, port: PortId, now: SimTime) -> LearnOutcome {
         if src.is_multicast() {
-            return;
+            return LearnOutcome::Ignored;
         }
-        match self.map.insert(src, (port, now)) {
-            Some((old_port, _)) if old_port == port => {} // timestamp refresh
-            _ => self.gen += 1,                           // new entry or port move
+        if let Some(&(old_port, _)) = self.map.get(&src) {
+            if old_port == port {
+                self.map.insert(src, (port, now));
+                return LearnOutcome::Refreshed; // timestamp refresh
+            }
+            // A port move must honor the destination port's quota too,
+            // else an attacker could herd existing sources onto one port
+            // past its bound. The victim is chosen on the *destination*
+            // port (the one gaining an entry), never the mover itself.
+            if self.port_quota > 0 && self.occupancy_of(port) >= self.port_quota {
+                let Some(victim) = self.victim_on(port) else {
+                    // Quota 0-sized in practice cannot happen (the port
+                    // is over quota, so it holds an entry), but stay
+                    // total: refuse the move, keep the old mapping.
+                    return LearnOutcome::Rejected;
+                };
+                self.map.remove(&victim);
+                self.occupancy_dec(port);
+                self.map.insert(src, (port, now));
+                self.occupancy_dec(old_port);
+                self.occupancy_inc(port);
+                self.gen += 1;
+                return LearnOutcome::Evicted(victim);
+            }
+            self.map.insert(src, (port, now));
+            self.occupancy_dec(old_port);
+            self.occupancy_inc(port);
+            self.gen += 1;
+            return LearnOutcome::Moved;
         }
+        let over_quota = self.port_quota > 0 && self.occupancy_of(port) >= self.port_quota;
+        let over_cap = self.cap > 0 && self.map.len() >= self.cap;
+        if over_quota || over_cap {
+            let Some(victim) = self.victim_on(port) else {
+                return LearnOutcome::Rejected;
+            };
+            self.map.remove(&victim);
+            self.occupancy_dec(port);
+            self.map.insert(src, (port, now));
+            self.occupancy_inc(port);
+            self.gen += 1;
+            return LearnOutcome::Evicted(victim);
+        }
+        self.map.insert(src, (port, now));
+        self.occupancy_inc(port);
+        self.gen += 1;
+        LearnOutcome::Fresh
     }
 
     /// Look up a destination; a stale entry counts as absent (and is
@@ -97,8 +228,9 @@ impl LearningTable {
     pub fn lookup_entry(&mut self, dst: MacAddr, now: SimTime) -> Option<(PortId, SimTime)> {
         match self.map.get(&dst) {
             Some(&(port, seen)) if now.saturating_since(seen) <= self.age => Some((port, seen)),
-            Some(_) => {
+            Some(&(port, _)) => {
                 self.map.remove(&dst);
+                self.occupancy_dec(port);
                 self.gen += 1;
                 None
             }
@@ -106,12 +238,29 @@ impl LearningTable {
         }
     }
 
+    /// Non-mutating currency check: is there a live entry for `dst`?
+    /// Stale entries count as absent but are left in place (unlike
+    /// [`LearningTable::lookup`]), so policers can classify
+    /// unknown-unicast traffic without perturbing the table or its
+    /// generation.
+    pub fn peek(&self, dst: MacAddr, now: SimTime) -> bool {
+        matches!(self.map.get(&dst), Some(&(_, seen)) if now.saturating_since(seen) <= self.age)
+    }
+
     /// Drop every entry older than the age limit.
     pub fn sweep(&mut self, now: SimTime) {
         let age = self.age;
         let before = self.map.len();
-        self.map
-            .retain(|_, (_, seen)| now.saturating_since(*seen) <= age);
+        let occupancy = &mut self.occupancy;
+        self.map.retain(|_, (port, seen)| {
+            let keep = now.saturating_since(*seen) <= age;
+            if !keep {
+                if let Some(c) = occupancy.get_mut(port.0) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            keep
+        });
         if self.map.len() != before {
             self.gen += 1;
         }
@@ -123,6 +272,7 @@ impl LearningTable {
             self.gen += 1;
         }
         self.map.clear();
+        self.occupancy.fill(0);
     }
 
     /// The configured entry lifetime.
@@ -213,13 +363,35 @@ pub struct BridgeStats {
     pub cache_hits: u64,
     /// Unicast verdicts computed by full execution (and then cached).
     pub cache_misses: u64,
+    /// Learn-table occupancy gauge (live entries at last learn/sweep).
+    pub learn_occupancy: u64,
+    /// Bounded learning: victims evicted to admit new sources.
+    pub learn_evictions: u64,
+    /// Bounded learning: new sources rejected (table full, offending
+    /// port empty).
+    pub learn_rejects: u64,
+    /// Storm control: ingress port-classes suppressed for a hold-down.
+    pub storm_suppressions: u64,
+    /// BPDU guard: guarded ports shut down on BPDU receipt.
+    pub bpdu_guard_trips: u64,
 }
 
 impl BridgeStats {
+    /// The defense-plane counter names (PR 10). Reports for scenarios
+    /// that never arm a defense filter these out so pre-existing report
+    /// bytes stay pinned.
+    pub const SECURITY_KEYS: [&'static str; 5] = [
+        "learn_occupancy",
+        "learn_evictions",
+        "learn_rejects",
+        "storm_suppressions",
+        "bpdu_guard_trips",
+    ];
+
     /// Every counter as a stable `(name, value)` list, in declaration
     /// order — the shape structured reports (JSON emitters, tables) want,
     /// so they never fall out of sync with the struct.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 16] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 21] {
         [
             ("frames_in", self.frames_in),
             ("queue_drops", self.queue_drops),
@@ -236,6 +408,11 @@ impl BridgeStats {
             ("images_rejected", self.images_rejected),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
+            ("learn_occupancy", self.learn_occupancy),
+            ("learn_evictions", self.learn_evictions),
+            ("learn_rejects", self.learn_rejects),
+            ("storm_suppressions", self.storm_suppressions),
+            ("bpdu_guard_trips", self.bpdu_guard_trips),
             ("forwarded", self.directed + self.flooded),
         ]
     }
@@ -638,6 +815,116 @@ mod tests {
         let g4 = lt.generation();
         lt.flush();
         assert!(lt.generation() > g4);
+    }
+
+    #[test]
+    fn bounded_learning_enforces_quota_with_deterministic_victims() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(300));
+        lt.set_bounds(8, 2);
+        assert_eq!(
+            lt.learn(MacAddr::local(1), PortId(0), t(0)),
+            LearnOutcome::Fresh
+        );
+        assert_eq!(
+            lt.learn(MacAddr::local(2), PortId(0), t(1)),
+            LearnOutcome::Fresh
+        );
+        // Quota reached on port 0: the oldest-refreshed entry there is
+        // the victim.
+        assert_eq!(
+            lt.learn(MacAddr::local(3), PortId(0), t(2)),
+            LearnOutcome::Evicted(MacAddr::local(1))
+        );
+        assert_eq!(lt.len(), 2);
+        assert_eq!(lt.occupancy_of(PortId(0)), 2);
+        // Other ports are untouched by port-0 pressure.
+        assert_eq!(
+            lt.learn(MacAddr::local(9), PortId(1), t(3)),
+            LearnOutcome::Fresh
+        );
+        assert_eq!(lt.lookup(MacAddr::local(9), t(4)), Some(PortId(1)));
+        // Equal refresh times: MAC order breaks the tie.
+        let mut lt2 = LearningTable::new(SimDuration::from_secs(300));
+        lt2.set_bounds(0, 2);
+        lt2.learn(MacAddr::local(5), PortId(0), t(0));
+        lt2.learn(MacAddr::local(4), PortId(0), t(0));
+        assert_eq!(
+            lt2.learn(MacAddr::local(6), PortId(0), t(1)),
+            LearnOutcome::Evicted(MacAddr::local(4)),
+            "tie on refresh time must fall to the smaller MAC"
+        );
+    }
+
+    #[test]
+    fn bounded_learning_rejects_when_offending_port_has_nothing() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(300));
+        lt.set_bounds(2, 0);
+        lt.learn(MacAddr::local(1), PortId(0), t(0));
+        lt.learn(MacAddr::local(2), PortId(0), t(1));
+        let gen = lt.generation();
+        // Table at capacity, port 1 owns no entries: reject, no bump.
+        assert_eq!(
+            lt.learn(MacAddr::local(3), PortId(1), t(2)),
+            LearnOutcome::Rejected
+        );
+        assert_eq!(lt.len(), 2);
+        assert_eq!(
+            lt.generation(),
+            gen,
+            "a reject must not bump the generation"
+        );
+        // A refresh of an existing entry is always admitted.
+        assert_eq!(
+            lt.learn(MacAddr::local(1), PortId(0), t(3)),
+            LearnOutcome::Refreshed
+        );
+        // Cap pressure on a port that has entries evicts within it.
+        assert_eq!(
+            lt.learn(MacAddr::local(4), PortId(0), t(4)),
+            LearnOutcome::Evicted(MacAddr::local(2))
+        );
+    }
+
+    #[test]
+    fn bounded_occupancy_tracks_moves_sweeps_and_flushes() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(100));
+        lt.set_bounds(8, 4);
+        lt.learn(MacAddr::local(1), PortId(0), t(0));
+        lt.learn(MacAddr::local(2), PortId(1), t(0));
+        assert_eq!(lt.occupancy_of(PortId(0)), 1);
+        assert_eq!(lt.occupancy_of(PortId(1)), 1);
+        // A port move shifts occupancy between ports.
+        assert_eq!(
+            lt.learn(MacAddr::local(1), PortId(1), t(1)),
+            LearnOutcome::Moved
+        );
+        assert_eq!(lt.occupancy_of(PortId(0)), 0);
+        assert_eq!(lt.occupancy_of(PortId(1)), 2);
+        // Stale-entry eviction through lookup releases occupancy.
+        assert_eq!(lt.lookup(MacAddr::local(1), t(200)), None);
+        assert_eq!(lt.occupancy_of(PortId(1)), 1);
+        // Sweep releases occupancy for everything it drops.
+        lt.sweep(t(500));
+        assert_eq!(lt.occupancy_of(PortId(1)), 0);
+        lt.learn(MacAddr::local(3), PortId(0), t(500));
+        lt.flush();
+        assert_eq!(lt.occupancy_of(PortId(0)), 0);
+        assert!(lt.is_empty());
+    }
+
+    #[test]
+    fn peek_is_non_mutating() {
+        let mut lt = LearningTable::new(SimDuration::from_secs(100));
+        lt.learn(MacAddr::local(1), PortId(0), t(0));
+        let gen = lt.generation();
+        assert!(lt.peek(MacAddr::local(1), t(50)));
+        assert!(
+            !lt.peek(MacAddr::local(1), t(200)),
+            "stale counts as absent"
+        );
+        assert!(!lt.peek(MacAddr::local(2), t(50)));
+        assert_eq!(lt.len(), 1, "peek must not drop the stale entry");
+        assert_eq!(lt.generation(), gen);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use netsim::{PortId, SimDuration, SimTime};
 
 use crate::bridge::{BridgeCtx, DataFrame, NativeSwitchlet};
-use crate::plane::{DataPlaneSel, Verdict};
+use crate::plane::{DataPlaneSel, LearnOutcome, Verdict};
 
 /// The switchlet's unit name.
 pub const NAME: &str = "bridge_learning";
@@ -152,9 +152,25 @@ impl NativeSwitchlet for LearningBridge {
             return;
         }
         // Learn (footnote 3: skipped for group sources — enforced by the
-        // table — and only on learning-enabled ports).
+        // table — and only on learning-enabled ports). Under a bounded
+        // table the outcome can be an eviction or rejection; both count
+        // and probe so the defense is observable on the timeline.
         if bc.plane.port_flags(port.0).learn {
-            bc.plane.learn.learn(src, port, now);
+            match bc.plane.learn.learn(src, port, now) {
+                LearnOutcome::Evicted(_) => {
+                    bc.plane.stats.learn_evictions += 1;
+                    bc.sim.probe_learn_evict(port);
+                }
+                LearnOutcome::Rejected => {
+                    bc.plane.stats.learn_rejects += 1;
+                    bc.sim.probe_learn_reject(port);
+                }
+                LearnOutcome::Ignored
+                | LearnOutcome::Fresh
+                | LearnOutcome::Refreshed
+                | LearnOutcome::Moved => {}
+            }
+            bc.plane.stats.learn_occupancy = bc.plane.learn.len() as u64;
         }
         // Group destinations always flood (footnote 3).
         if dst.is_multicast() {
@@ -212,6 +228,7 @@ impl NativeSwitchlet for LearningBridge {
         if user == SWEEP_TOKEN {
             let now = bc.now();
             bc.plane.learn.sweep(now);
+            bc.plane.stats.learn_occupancy = bc.plane.learn.len() as u64;
             bc.schedule(SWEEP_EVERY, SWEEP_TOKEN);
         }
     }

@@ -26,6 +26,10 @@ pub struct StpSwitchlet {
     engine: Option<StpEngine>,
     defect: Defect,
     tick: Option<netsim::TimerHandle>,
+    /// BPDU-guard err-disabled ports (sticky for the life of this
+    /// switchlet instance; a crash recreates the instance, which re-arms
+    /// the guard fresh — matching the rest of the volatile plane).
+    tripped: Vec<bool>,
 }
 
 impl StpSwitchlet {
@@ -36,6 +40,7 @@ impl StpSwitchlet {
             engine: None,
             defect: Defect::None,
             tick: None,
+            tripped: Vec::new(),
         }
     }
 
@@ -46,6 +51,7 @@ impl StpSwitchlet {
             engine: None,
             defect: Defect::None,
             tick: None,
+            tripped: Vec::new(),
         }
     }
 
@@ -66,6 +72,11 @@ impl StpSwitchlet {
             StpVariant::Ieee => IEEE_NAME,
             StpVariant::Dec => DEC_NAME,
         }
+    }
+
+    /// True when BPDU guard has err-disabled `port`.
+    pub fn is_tripped(&self, port: usize) -> bool {
+        self.tripped.get(port).copied().unwrap_or(false)
     }
 
     fn start(&mut self, bc: &mut BridgeCtx<'_, '_>) {
@@ -97,11 +108,20 @@ impl StpSwitchlet {
 
     fn apply(&mut self, bc: &mut BridgeCtx<'_, '_>, actions: Vec<StpAction>) {
         for action in actions {
+            // An err-disabled port is dead to the protocol: the engine
+            // may still compute actions for it, but nothing it decides
+            // can transmit on or re-enable a guarded-down port.
             match action {
                 StpAction::SendConfig { port, config } => {
+                    if self.is_tripped(port) {
+                        continue;
+                    }
                     self.emit_config(bc, port, &Bpdu::Config(config));
                 }
                 StpAction::SetPortState { port, state } => {
+                    if self.is_tripped(port) {
+                        continue;
+                    }
                     bc.plane.set_port_flags(
                         port,
                         PortFlags {
@@ -187,6 +207,30 @@ impl NativeSwitchlet for StpSwitchlet {
         port: PortId,
         frame: &DataFrame<'_>,
     ) {
+        // BPDU guard: an access port must never speak spanning tree. Any
+        // BPDU on a guarded port err-disables it before the frame reaches
+        // the decoder — a forged superior BPDU cannot touch the election.
+        if bc.cfg.bpdu_guard.contains(&port.0) {
+            if !self.is_tripped(port.0) {
+                if self.tripped.len() <= port.0 {
+                    self.tripped.resize(port.0 + 1, false);
+                }
+                self.tripped[port.0] = true;
+                bc.plane.set_port_flags(
+                    port.0,
+                    PortFlags {
+                        forward: false,
+                        learn: false,
+                    },
+                );
+                bc.plane.stats.bpdu_guard_trips += 1;
+                bc.sim.bump("bridge.bpdu_guard_trips", 1);
+                bc.sim.probe_bpdu_guard(port);
+                let name = self.unit_name();
+                bc.log(format!("{name}: BPDU guard err-disabled port {}", port.0));
+            }
+            return;
+        }
         let Some(bpdu) = self.decode(frame.view()) else {
             return;
         };

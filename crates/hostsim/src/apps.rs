@@ -33,6 +33,12 @@ pub enum App {
     Probe(ProbeApp),
     /// Raw frame generator (workload for learning/flooding experiments).
     Blast(BlastApp),
+    /// Adversarial: learning-table exhaustion via randomized source MACs.
+    MacFlood(MacFloodApp),
+    /// Adversarial: broadcast ARP storm for nonexistent addresses.
+    ArpStorm(ArpStormApp),
+    /// Adversarial: forged superior BPDUs claiming the spanning-tree root.
+    RogueBpdu(RogueBpduApp),
     /// Any app, started only after a configured delay (scenario
     /// schedules build workload batteries out of these).
     Delayed(DelayedApp),
@@ -69,6 +75,9 @@ impl App {
             App::Upload(a) => a.on_start(core, ctx, idx),
             App::Probe(a) => a.on_start(core, ctx, idx),
             App::Blast(a) => a.on_start(core, ctx, idx),
+            App::MacFlood(a) => a.on_start(core, ctx, idx),
+            App::ArpStorm(a) => a.on_start(core, ctx, idx),
+            App::RogueBpdu(a) => a.on_start(core, ctx, idx),
             App::TtcpRecv(_) => {}
             App::Delayed(a) => a.on_start(core, ctx, idx),
         }
@@ -88,6 +97,9 @@ impl App {
             App::Upload(a) => a.on_timer(core, ctx, idx, user),
             App::Probe(a) => a.on_timer(core, ctx, idx, user),
             App::Blast(a) => a.on_timer(core, ctx, idx, user),
+            App::MacFlood(a) => a.on_timer(core, ctx, idx, user),
+            App::ArpStorm(a) => a.on_timer(core, ctx, idx, user),
+            App::RogueBpdu(a) => a.on_timer(core, ctx, idx, user),
             App::Delayed(a) => a.on_timer(core, ctx, idx, user),
         }
     }
@@ -1357,6 +1369,211 @@ impl BlastApp {
             self.send_one(core, ctx);
             if self.sent < self.count {
                 ctx.schedule(self.interval, app_token(idx, BLAST_TICK));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- attacks
+//
+// Adversarial workloads for the defense-plane battery. Each attacker
+// draws from its own `Xoshiro` stream seeded by the scenario (never the
+// world RNG), so an attack is a pure function of its seed and the
+// defended/undefended arms replay the identical offense.
+
+const ATTACK_TICK: u32 = 1;
+
+/// A MAC-flood attacker: frames with randomized (locally-administered,
+/// unicast) source addresses toward a fixed never-learned destination —
+/// classic CAM-table exhaustion against an unbounded learning table.
+pub struct MacFloodApp {
+    /// Port to send from.
+    pub port: PortId,
+    /// Frames to send.
+    pub count: u64,
+    /// Inter-frame interval.
+    pub interval: SimDuration,
+    /// Frames sent so far.
+    pub sent: u64,
+    rng: netsim::Xoshiro,
+}
+
+impl MacFloodApp {
+    /// Configure a MAC flooder.
+    pub fn new(port: PortId, count: u64, interval: SimDuration, seed: u64) -> App {
+        App::MacFlood(MacFloodApp {
+            port,
+            count,
+            interval,
+            sent: 0,
+            rng: netsim::Xoshiro::seed_from_u64(seed),
+        })
+    }
+
+    fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
+        let mut b = self.rng.next_u64().to_be_bytes();
+        // Locally administered, unicast: never collides with a real
+        // station's globally-unique address, never a group source.
+        b[0] = (b[0] | 0x02) & !0x01;
+        let src = MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]]);
+        // A fixed unicast destination no station owns: every frame is
+        // unknown-unicast and floods (the storm class policing catches).
+        let dst = MacAddr([0x02, 0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+        let frame = FrameBuilder::new(dst, src, EtherType::EXPERIMENTAL)
+            .payload(&[0x5A; 46])
+            .build();
+        core.send_raw(ctx, self.port, frame);
+        self.sent += 1;
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.count > 0 {
+            ctx.probe_mark("attack.macflood.start");
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == ATTACK_TICK && self.sent < self.count {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
+            }
+        }
+    }
+}
+
+/// An ARP-storm attacker: broadcast who-has requests for addresses
+/// nobody owns, at line rate — every frame floods the whole extended LAN.
+pub struct ArpStormApp {
+    /// Port to send from.
+    pub port: PortId,
+    /// Frames to send.
+    pub count: u64,
+    /// Inter-frame interval.
+    pub interval: SimDuration,
+    /// Frames sent so far.
+    pub sent: u64,
+    rng: netsim::Xoshiro,
+}
+
+impl ArpStormApp {
+    /// Configure an ARP storm.
+    pub fn new(port: PortId, count: u64, interval: SimDuration, seed: u64) -> App {
+        App::ArpStorm(ArpStormApp {
+            port,
+            count,
+            interval,
+            sent: 0,
+            rng: netsim::Xoshiro::seed_from_u64(seed),
+        })
+    }
+
+    fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
+        let src_mac = core.cfg.macs[self.port.0];
+        let spa = core.cfg.ips[self.port.0];
+        // Resolve a different nonexistent address each time (a dedicated
+        // dark /16 no scenario host lives in), so no cache ever answers.
+        let r = self.rng.next_u32();
+        let tpa = Ipv4Addr::new(10, 250, (r >> 8) as u8, r as u8);
+        let arp = netstack::ArpPacket::request(src_mac, spa, tpa).emit();
+        let frame = FrameBuilder::new(MacAddr::BROADCAST, src_mac, EtherType::ARP)
+            .payload(&arp)
+            .build();
+        core.send_raw(ctx, self.port, frame);
+        self.sent += 1;
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.count > 0 {
+            ctx.probe_mark("attack.arpstorm.start");
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == ATTACK_TICK && self.sent < self.count {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
+            }
+        }
+    }
+}
+
+/// A rogue-root attacker: forged *superior* configuration BPDUs
+/// (priority 0x0000) claiming this host is the spanning-tree root. On an
+/// unguarded port every bridge believes it; BPDU guard err-disables the
+/// port at the first frame instead.
+pub struct RogueBpduApp {
+    /// Port to send from.
+    pub port: PortId,
+    /// BPDUs to send.
+    pub count: u64,
+    /// Inter-BPDU interval.
+    pub interval: SimDuration,
+    /// BPDUs sent so far.
+    pub sent: u64,
+}
+
+impl RogueBpduApp {
+    /// Configure a rogue-root BPDU source.
+    pub fn new(port: PortId, count: u64, interval: SimDuration) -> App {
+        App::RogueBpdu(RogueBpduApp {
+            port,
+            count,
+            interval,
+            sent: 0,
+        })
+    }
+
+    fn send_one(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>) {
+        use active_bridge_types::*;
+        let src_mac = core.cfg.macs[self.port.0];
+        // Priority 0 beats every real bridge (scenario default 0x8000):
+        // processed anywhere, this claim wins the election outright.
+        let me = BridgeId::new(0x0000, src_mac);
+        let config = ConfigBpdu {
+            root: me,
+            root_cost: 0,
+            bridge: me,
+            port: 1,
+            message_age: 0,
+            max_age: 20,
+            hello_time: 2,
+            forward_delay: 15,
+            tc: false,
+            tca: false,
+        };
+        let payload = ieee_emit(&Bpdu::Config(config));
+        let frame = FrameBuilder::new_llc(MacAddr::ALL_BRIDGES, src_mac)
+            .payload(&Llc::BPDU.wrap(&payload))
+            .build();
+        core.send_raw(ctx, self.port, frame);
+        self.sent += 1;
+    }
+
+    fn on_start(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.count > 0 {
+            ctx.probe_mark("attack.roguebpdu.start");
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut HostCore, ctx: &mut Ctx<'_>, idx: usize, user: u32) {
+        if user == ATTACK_TICK && self.sent < self.count {
+            self.send_one(core, ctx);
+            if self.sent < self.count {
+                ctx.schedule(self.interval, app_token(idx, ATTACK_TICK));
             }
         }
     }

@@ -18,7 +18,8 @@ pub mod host;
 pub mod repeater;
 
 pub use apps::{
-    App, BlastApp, DelayedApp, PingApp, ProbeApp, TtcpRecvApp, TtcpSendApp, UploadApp, UploadConfig,
+    App, ArpStormApp, BlastApp, DelayedApp, MacFloodApp, PingApp, ProbeApp, RogueBpduApp,
+    TtcpRecvApp, TtcpSendApp, UploadApp, UploadConfig,
 };
 pub use cost::HostCostModel;
 pub use host::{HostConfig, HostCore, HostNode};

@@ -212,6 +212,42 @@ pub enum ProbeRecord {
         /// The bridge that quarantined.
         node: NodeId,
     },
+    /// A bounded learning table evicted an entry to admit a new source.
+    LearnEvict {
+        /// The evicting bridge.
+        node: NodeId,
+        /// The ingress port whose quota or cap pressure chose the victim.
+        port: PortId,
+    },
+    /// A bounded learning table rejected a new source (at capacity with
+    /// nothing to evict on the offending port).
+    LearnReject {
+        /// The rejecting bridge.
+        node: NodeId,
+        /// The over-budget ingress port.
+        port: PortId,
+    },
+    /// Storm control suppressed a port-class after sustained violation.
+    PortSuppressed {
+        /// The policing bridge.
+        node: NodeId,
+        /// The suppressed ingress port.
+        port: PortId,
+    },
+    /// A storm-control hold-down expired and the port-class re-enabled.
+    PortReleased {
+        /// The policing bridge.
+        node: NodeId,
+        /// The re-enabled ingress port.
+        port: PortId,
+    },
+    /// BPDU guard err-disabled a port that received a BPDU.
+    BpduGuardTrip {
+        /// The guarding bridge.
+        node: NodeId,
+        /// The err-disabled port.
+        port: PortId,
+    },
 }
 
 /// One recorded event: a [`ProbeRecord`] stamped with the simulated time

@@ -377,6 +377,79 @@ impl<'w> Ctx<'w> {
                 .record(self.core.time, ProbeRecord::Quarantine { node: self.node });
         }
     }
+
+    /// Record that this node's bounded learning table evicted an entry
+    /// under pressure from `port`.
+    #[inline]
+    pub fn probe_learn_evict(&mut self, port: PortId) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::LearnEvict {
+                    node: self.node,
+                    port,
+                },
+            );
+        }
+    }
+
+    /// Record that this node's bounded learning table rejected a new
+    /// source arriving on `port`.
+    #[inline]
+    pub fn probe_learn_reject(&mut self, port: PortId) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::LearnReject {
+                    node: self.node,
+                    port,
+                },
+            );
+        }
+    }
+
+    /// Record that storm control suppressed `port` on this node.
+    #[inline]
+    pub fn probe_port_suppressed(&mut self, port: PortId) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::PortSuppressed {
+                    node: self.node,
+                    port,
+                },
+            );
+        }
+    }
+
+    /// Record that a storm-control hold-down on `port` expired and the
+    /// port re-enabled.
+    #[inline]
+    pub fn probe_port_released(&mut self, port: PortId) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::PortReleased {
+                    node: self.node,
+                    port,
+                },
+            );
+        }
+    }
+
+    /// Record that BPDU guard err-disabled `port` on this node.
+    #[inline]
+    pub fn probe_bpdu_guard(&mut self, port: PortId) {
+        if self.core.probe.is_armed() {
+            self.core.probe.record(
+                self.core.time,
+                ProbeRecord::BpduGuardTrip {
+                    node: self.node,
+                    port,
+                },
+            );
+        }
+    }
 }
 
 /// One segment's identity and wire counters inside a [`WorldStats`]

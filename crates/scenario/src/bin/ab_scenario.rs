@@ -36,14 +36,30 @@ use ab_scenario::topo::TopologyShape;
 use ab_scenario::workload::BatteryKind;
 use ab_scenario::{timeline, Json};
 
+/// Every sweep `render --sweep` accepts, in the order they are listed in
+/// the usage text. Kept in sync with [`sweep_spec`] by a unit test.
+const SWEEP_NAMES: [&str; 4] = ["default", "chaos", "lossy", "adversarial"];
+
+/// Resolve a `--sweep` name to its spec.
+fn sweep_spec(name: &str, seed: u64) -> Option<SweepSpec> {
+    Some(match name {
+        "default" => SweepSpec::default_sweep(seed),
+        "chaos" => SweepSpec::chaos_sweep(seed),
+        "lossy" => SweepSpec::lossy_sweep(seed),
+        "adversarial" => SweepSpec::adversarial_sweep(seed),
+        _ => return None,
+    })
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--sweep default|chaos|lossy] [--profile]\n  \
+        "usage:\n  ab_scenario render [--jobs N] [--seed S] [--sweep {}] [--profile]\n  \
          ab_scenario analyze <sweep.json|-> [--assert-score N] [--assert-pass]\n  \
-         ab_scenario trace <shape> <battery> [--seed S] [--capacity N]\n  \
+         ab_scenario trace <shape> <battery> [--seed S] [--capacity N] [--defended]\n  \
          ab_scenario validate-trace <trace.json|->\n\n\
          shapes: line ring star tree full_mesh random metro metro_large\n\
-         batteries: pings streams uploads churn metro contention chaos lossy"
+         batteries: pings streams uploads churn metro contention chaos lossy adversarial",
+        SWEEP_NAMES.join("|")
     );
     std::process::exit(2);
 }
@@ -91,6 +107,7 @@ fn parse_battery(label: &str) -> Option<BatteryKind> {
         "contention" => BatteryKind::Contention,
         "chaos" => BatteryKind::Chaos,
         "lossy" => BatteryKind::Lossy,
+        "adversarial" => BatteryKind::Adversarial,
         _ => return None,
     })
 }
@@ -115,15 +132,13 @@ fn render(mut args: impl Iterator<Item = String>) {
             _ => usage(),
         }
     }
-    let spec = match sweep.as_str() {
-        "default" => SweepSpec::default_sweep(seed),
-        "chaos" => SweepSpec::chaos_sweep(seed),
-        "lossy" => SweepSpec::lossy_sweep(seed),
-        other => {
-            eprintln!("unknown sweep {other:?}");
-            usage();
-        }
-    };
+    let spec = sweep_spec(&sweep, seed).unwrap_or_else(|| {
+        eprintln!(
+            "unknown sweep {sweep:?} (expected one of: {})",
+            SWEEP_NAMES.join(", ")
+        );
+        usage();
+    });
     let (report, pool) = run_sweep_jobs_profiled(&spec, jobs);
     if profile {
         eprint!("{}", pool.render());
@@ -148,6 +163,7 @@ fn trace(mut args: impl Iterator<Item = String>) {
     };
     let mut seed = 42u64;
     let mut probe = netsim::ProbeConfig::default();
+    let mut defended = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => {
@@ -158,10 +174,12 @@ fn trace(mut args: impl Iterator<Item = String>) {
                 let v = args.next().unwrap_or_else(|| usage());
                 probe.capacity = v.parse().unwrap_or_else(|_| usage());
             }
+            "--defended" => defended = true,
             _ => usage(),
         }
     }
-    let scenario = Scenario::new(shape, battery, seed);
+    let mut scenario = Scenario::new(shape, battery, seed);
+    scenario.defended = defended;
     let (report, digest, world) = ab_scenario::run_recorded(&scenario, probe);
     eprintln!(
         "{}: digest {digest:#018x}, {} invariants, pass={}",
@@ -256,6 +274,27 @@ fn analyze(mut args: impl Iterator<Item = String>) {
                 eprintln!("no scenario produced a quality score; cannot assert {floor}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{sweep_spec, SWEEP_NAMES};
+
+    /// The advertised sweep list and the resolver must never drift: every
+    /// listed name resolves, no duplicates, and anything else is refused.
+    #[test]
+    fn sweep_names_match_the_resolver() {
+        for name in SWEEP_NAMES {
+            assert!(sweep_spec(name, 42).is_some(), "{name} must resolve");
+        }
+        let mut unique = SWEEP_NAMES.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), SWEEP_NAMES.len(), "no duplicate sweep names");
+        for bogus in ["", "Default", "chaos ", "adversary", "all"] {
+            assert!(sweep_spec(bogus, 42).is_none(), "{bogus:?} must be refused");
         }
     }
 }

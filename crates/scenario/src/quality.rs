@@ -222,8 +222,8 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
     };
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
-        "SCENARIO", "PASS", "INV%", "LAT", "LOSS", "FAIR", "DEGR", "QUAL", "PKQ"
+        "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
+        "SCENARIO", "PASS", "INV%", "LAT", "LOSS", "FAIR", "DEGR", "QUAL", "PKQ", "SEC"
     ));
     let mut passed = 0u64;
     let mut overalls = Vec::new();
@@ -245,12 +245,24 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
             .get("quality")
             .and_then(QualityScore::from_json)
             .ok_or_else(|| format!("run {i}: missing or malformed quality section"))?;
+        // SEC: how hard the defense plane worked — evictions plus storm
+        // suppressions plus BPDU-guard trips from the run's `security`
+        // section; `-` on the non-adversarial runs that carry none.
+        let sec = run.get("security").map(|s| {
+            ["learn_evictions", "storm_suppressions", "bpdu_guard_trips"]
+                .iter()
+                .map(|key| match s.get(key) {
+                    Some(Json::U64(v)) => *v,
+                    _ => 0,
+                })
+                .sum::<u64>()
+        });
         passed += u64::from(pass);
         if let Some(o) = q.overall {
             overalls.push(o);
         }
         out.push_str(&format!(
-            "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
+            "{:<34} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
             name,
             if pass { "yes" } else { "NO" },
             cell(inv),
@@ -263,6 +275,7 @@ pub fn sweep_scorecards(sweep: &Json) -> Result<String, String> {
             // congestion evidence behind a weak latency/degradation
             // score, surfaced next to it.
             q.peak_queue,
+            cell(sec),
         ));
     }
     let mean_q = mean(&overalls);
@@ -455,12 +468,41 @@ mod tests {
             ),
             ("quality", q.to_json()),
         ]);
-        let sweep = Json::obj(vec![("runs", Json::Arr(vec![run]))]);
+        // A second, adversarial-style run carrying a security section:
+        // its SEC cell is the evictions+suppressions+trips sum, while
+        // the plain run above renders `-`.
+        let mut secured = run.clone();
+        let Json::Obj(members) = &mut secured else {
+            unreachable!()
+        };
+        members[0].1 = Json::obj(vec![("name", Json::str("line2-adv-s0"))]);
+        members.push((
+            "security".to_owned(),
+            Json::obj(vec![
+                ("defended", Json::Bool(true)),
+                ("learn_evictions", Json::U64(12)),
+                ("storm_suppressions", Json::U64(3)),
+                ("bpdu_guard_trips", Json::U64(1)),
+            ]),
+        ));
+        let sweep = Json::obj(vec![("runs", Json::Arr(vec![run, secured]))]);
         let card = sweep_scorecards(&sweep).expect("well-formed sweep");
         assert!(card.contains("line2-pings-s0"));
         assert!(card.contains("yes"));
-        assert!(card.contains("sweep: 1 scenarios, 1 passed"));
+        assert!(card.contains("sweep: 2 scenarios, 2 passed"));
         assert_eq!(sweep_overall(&sweep), Ok(Some(96)));
+        let lines: Vec<&str> = card.lines().collect();
+        assert!(lines[0].ends_with("SEC"), "header gains SEC: {}", lines[0]);
+        assert!(
+            lines[1].ends_with(" -"),
+            "no security section renders `-`: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].ends_with(" 16"),
+            "SEC sums the defense counters: {}",
+            lines[2]
+        );
 
         // Malformed documents are errors, not panics.
         assert!(sweep_scorecards(&Json::obj(vec![])).is_err());

@@ -19,10 +19,10 @@
 //! Reports render to JSON ([`Report::to_json`]) and are byte-identical
 //! across runs with the same seed.
 
-use active_bridge::{BridgeConfig, BridgeNode};
+use active_bridge::{BridgeConfig, BridgeNode, BridgeStats, StormConfig};
 use hostsim::{
-    App, BlastApp, HostConfig, HostCostModel, HostNode, PingApp, TtcpRecvApp, TtcpSendApp,
-    UploadApp, UploadConfig,
+    App, ArpStormApp, BlastApp, HostConfig, HostCostModel, HostNode, MacFloodApp, PingApp,
+    RogueBpduApp, TtcpRecvApp, TtcpSendApp, UploadApp, UploadConfig,
 };
 use netsim::{NodeId, PortId, SimDuration, SimTime, World, WorldStats};
 use netstack::tcplite::{ReceiverConfig, SenderConfig};
@@ -38,6 +38,26 @@ use crate::workload::{self, AppAction, BatteryKind, FaultAction, Phase, Workload
 /// boots on loopy topologies).
 const STP_NAME: &str = "stp_ieee";
 
+/// Learning-table hard capacity in the defended arm of adversarial
+/// scenarios — comfortably above any honest workload population there,
+/// far below what a MAC flood tries to install.
+pub const DEFENSE_LEARN_CAP: usize = 64;
+/// Per-port occupancy quota in the defended arm: one hostile port can
+/// claim at most this many entries before evicting its own.
+pub const DEFENSE_PORT_QUOTA: usize = 16;
+/// Storm-control budget applied to both the broadcast and the
+/// unknown-unicast class in the defended arm. The trip threshold counts
+/// *consecutive* over-budget drops, so a port suppresses only when the
+/// offered rate stays a multiple of the refill rate — the 1 250–2 000
+/// pps attacks trip within ~100 ms while honest ARP/discovery traffic
+/// never strikes twice in a row.
+pub const DEFENSE_STORM: StormConfig = StormConfig {
+    rate_pps: 50,
+    burst: 80,
+    trip: 20,
+    hold_down: SimDuration::from_ms(1_200),
+};
+
 /// Everything that defines one run. A scenario is a value: running it
 /// twice produces byte-identical reports.
 #[derive(Clone, Debug)]
@@ -52,6 +72,11 @@ pub struct Scenario {
     pub seed: u64,
     /// Total simulated length; `None` sizes it from the workload span.
     pub duration: Option<SimDuration>,
+    /// Arm the defense plane (bounded learning, storm control, BPDU
+    /// guard) on every bridge. Only meaningful for workloads that field
+    /// attacks; `false` everywhere else so every pre-existing scenario
+    /// replays byte-for-byte.
+    pub defended: bool,
 }
 
 impl Scenario {
@@ -63,6 +88,7 @@ impl Scenario {
             battery,
             seed,
             duration: None,
+            defended: false,
         }
     }
 }
@@ -230,6 +256,31 @@ pub struct ResilienceReport {
     pub max_stall: Option<SimDuration>,
 }
 
+/// Defense-plane telemetry for runs whose workload fields hostile hosts
+/// (attack-free runs carry none, keeping their reports byte-identical).
+#[derive(Clone, Debug)]
+pub struct SecurityReport {
+    /// Was the defense plane armed for this run?
+    pub defended: bool,
+    /// The largest learning-table occupancy any bridge showed on the
+    /// runner's slice grid — the CAM-exhaustion evidence (bounded in the
+    /// defended arm, four figures in the control arm).
+    pub max_learn_occupancy: u64,
+    /// Bounded-learning victims evicted across all bridges.
+    pub learn_evictions: u64,
+    /// Learn attempts refused at the table/port bound across all bridges.
+    pub learn_rejects: u64,
+    /// Storm-control port suppressions across all bridges.
+    pub storm_suppressions: u64,
+    /// Hold-down expiries that re-enabled a suppressed port.
+    pub storm_releases: u64,
+    /// Ports err-disabled by BPDU guard.
+    pub bpdu_guard_trips: u64,
+    /// Did any bridge ever publish a spanning-tree root that is not a
+    /// real bridge of this topology (the rogue-root claim landing)?
+    pub rogue_root_seen: bool,
+}
+
 /// The full structured result of one scenario run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -265,6 +316,9 @@ pub struct Report {
     /// Hostile-media telemetry (`Some` only when the workload scripts
     /// bursty loss).
     pub resilience: Option<ResilienceReport>,
+    /// Defense-plane telemetry (`Some` only when the workload fields
+    /// hostile hosts).
+    pub security: Option<SecurityReport>,
     /// The judged invariants.
     pub invariants: Vec<InvariantResult>,
 }
@@ -291,17 +345,25 @@ impl Report {
     /// Render the report as a JSON document. Deterministic: objects are
     /// insertion-ordered and every number is an integer.
     pub fn to_json(&self) -> Json {
-        let scenario = Json::obj(vec![
+        let mut scenario_members = vec![
             ("name", Json::str(&self.scenario.name)),
             ("shape", Json::str(self.scenario.shape.label())),
             ("battery", Json::str(self.scenario.battery.label())),
             ("seed", Json::U64(self.scenario.seed)),
+        ];
+        // Present only on defended runs: every pre-existing report
+        // renders the exact same bytes as before the defense plane.
+        if self.scenario.defended {
+            scenario_members.push(("defended", Json::Bool(true)));
+        }
+        scenario_members.extend(vec![
             ("cyclic", Json::Bool(self.cyclic)),
             ("segments", Json::U64(self.n_segments as u64)),
             ("bridges", Json::U64(self.n_bridges as u64)),
             ("epoch_ns", Json::U64(self.epoch.as_ns())),
             ("end_ns", Json::U64(self.end.as_ns())),
         ]);
+        let scenario = Json::obj(scenario_members);
         let convergence = Json::obj(vec![
             (
                 "converged_at_ns",
@@ -472,6 +534,22 @@ impl Report {
                 ]),
             ));
         }
+        // Present only on adversarial runs, mirroring `resilience`.
+        if let Some(s) = &self.security {
+            members.push((
+                "security",
+                Json::obj(vec![
+                    ("defended", Json::Bool(s.defended)),
+                    ("max_learn_occupancy", Json::U64(s.max_learn_occupancy)),
+                    ("learn_evictions", Json::U64(s.learn_evictions)),
+                    ("learn_rejects", Json::U64(s.learn_rejects)),
+                    ("storm_suppressions", Json::U64(s.storm_suppressions)),
+                    ("storm_releases", Json::U64(s.storm_releases)),
+                    ("bpdu_guard_trips", Json::U64(s.bpdu_guard_trips)),
+                    ("rogue_root_seen", Json::Bool(s.rogue_root_seen)),
+                ]),
+            ));
+        }
         members.push(("invariants", invariants));
         members.push(("quality", quality::score_report(self).to_json()));
         members.push(("summary", summary));
@@ -577,11 +655,51 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     // front, so per-frame work at metro scale never grows a table.
     let n_hosts = wl.host_count() as usize;
     world.reserve_topology(topo.bridges.len() + n_hosts, topo.segments.len());
-    let cfg = BridgeConfig {
+    let hostile = wl.injects_attacks();
+    let mut cfg = BridgeConfig {
         expected_stations: n_hosts + topo.bridges.len(),
         ..BridgeConfig::default()
     };
-    let built = topo::instantiate(world, &topo, &cfg, topo.default_boot());
+    if scenario.defended {
+        cfg.learn_cap = DEFENSE_LEARN_CAP;
+        cfg.learn_port_quota = DEFENSE_PORT_QUOTA;
+        cfg.storm_broadcast = Some(DEFENSE_STORM);
+        cfg.storm_unknown = Some(DEFENSE_STORM);
+    }
+    // Adversarial batteries always boot the spanning tree (BPDU guard and
+    // rogue-root detection need it), even on acyclic shapes.
+    let boot: &[&str] = if hostile {
+        &["bridge_learning", STP_NAME]
+    } else {
+        topo.default_boot()
+    };
+    let built = topo::instantiate(world, &topo, &cfg, boot);
+
+    // A defended bridge err-disables host-facing edge ports (segments
+    // that touch exactly one bridge) on any received BPDU: no end system
+    // has a legitimate reason to speak spanning tree.
+    if scenario.defended {
+        for (bi, spec) in topo.bridges.iter().enumerate() {
+            let guard: Vec<usize> = spec
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(_, seg)| {
+                    topo.bridges
+                        .iter()
+                        .filter(|b| b.segments.contains(seg))
+                        .count()
+                        == 1
+                })
+                .map(|(port, _)| port)
+                .collect();
+            if !guard.is_empty() {
+                world
+                    .node_mut::<BridgeNode>(built.bridges[bi])
+                    .set_bpdu_guard(guard);
+            }
+        }
+    }
 
     // Armed flight recorder ⇒ also collect per-function VM hot counters
     // on every bridge (the trace subcommand's hot-function table).
@@ -594,8 +712,9 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     }
 
     // Loopy topologies need the spanning tree fully forwarding (two
-    // forward-delay intervals plus margin) before traffic starts.
-    let epoch = if topo.cyclic() {
+    // forward-delay intervals plus margin) before traffic starts; hostile
+    // batteries boot STP everywhere, so they wait for it everywhere.
+    let epoch = if topo.cyclic() || hostile {
         SimTime::from_secs(40)
     } else {
         SimTime::from_ms(200)
@@ -625,6 +744,16 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     let mut converged_at: Option<SimTime> = None;
     let mut delivered_at_heal: Option<u64> = None;
     let mut first_delivery_after_heal: Option<SimTime> = None;
+    // Security telemetry, sampled on the slice grid during hostile runs:
+    // the high-water mark of any learning table, and whether any bridge
+    // ever published a spanning-tree root that is not a real bridge.
+    let real_macs: Vec<ether::MacAddr> = topo
+        .bridges
+        .iter()
+        .map(|b| active_bridge::scenario_impl::bridge_mac(b.index))
+        .collect();
+    let mut sec_max_occ = 0u64;
+    let mut rogue_root_seen = false;
     let mut now = SimTime::ZERO;
     while now < end {
         now = (now + SLICE).min(end);
@@ -641,6 +770,15 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
             next_fault += 1;
         }
         world.run_until(now);
+        if hostile {
+            for &b in &built.bridges {
+                let plane = world.node::<BridgeNode>(b).plane();
+                sec_max_occ = sec_max_occ.max(plane.learn.len() as u64);
+                if let Some(snap) = plane.published.get(STP_NAME) {
+                    rogue_root_seen |= !real_macs.contains(&snap.root_mac);
+                }
+            }
+        }
         let sig = convergence_signature(world, &built);
         if sig != signature {
             signature = sig;
@@ -669,7 +807,7 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     let after = world.stats();
     let quiet_tx = after.total_tx_frames() - before.total_tx_frames();
     let total_ports: u64 = topo.bridges.iter().map(|b| b.segments.len() as u64).sum();
-    let quiet_allowed = if topo.cyclic() {
+    let quiet_allowed = if topo.cyclic() || hostile {
         // Per designated port: one hello every 2 s, so ≤ 3 in 4 s, plus
         // slack for ages/boundary effects.
         3 * total_ports + 8
@@ -678,7 +816,7 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     };
 
     let (apps, upload_count) = judge_apps(world, &placed, &topo);
-    let bridges = bridge_reports(world, &built);
+    let bridges = bridge_reports(world, &built, hostile);
     let vm_fuel = built
         .bridges
         .iter()
@@ -693,6 +831,26 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
     let resilience = wl
         .injects_bursts()
         .then(|| resilience_report(world, &placed, &after, &bridges));
+    let security = hostile.then(|| {
+        let mut s = SecurityReport {
+            defended: scenario.defended,
+            max_learn_occupancy: sec_max_occ,
+            learn_evictions: 0,
+            learn_rejects: 0,
+            storm_suppressions: 0,
+            storm_releases: world.counters().get("bridge.storm_releases"),
+            bpdu_guard_trips: 0,
+            rogue_root_seen,
+        };
+        for &b in &built.bridges {
+            let stats = &world.node::<BridgeNode>(b).plane().stats;
+            s.learn_evictions += stats.learn_evictions;
+            s.learn_rejects += stats.learn_rejects;
+            s.storm_suppressions += stats.storm_suppressions;
+            s.bpdu_guard_trips += stats.bpdu_guard_trips;
+        }
+        s
+    });
     let invariants = judge_invariants(
         world,
         &topo,
@@ -704,6 +862,8 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         quiet_tx,
         quiet_allowed,
         &bridges,
+        scenario.defended,
+        security.as_ref(),
     );
 
     Report {
@@ -722,6 +882,7 @@ fn run_prepared(world: &mut World, scenario: &Scenario) -> Report {
         vm_fuel,
         recovery,
         resilience,
+        security,
         invariants,
     }
 }
@@ -968,6 +1129,53 @@ fn materialize(
                     assert!(*hosts > 0, "a crowd needs at least one host");
                     crowd = (0..*hosts).map(|_| host(world, *seg, vec![]).0).collect();
                     (crowd[0], None)
+                }
+                AppAction::MacFlood {
+                    from_seg,
+                    count,
+                    interval,
+                    seed,
+                } => {
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            MacFloodApp::new(PortId(0), *count, *interval, *seed),
+                        )],
+                    );
+                    (tx, None)
+                }
+                AppAction::ArpStorm {
+                    from_seg,
+                    count,
+                    interval,
+                    seed,
+                } => {
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            ArpStormApp::new(PortId(0), *count, *interval, *seed),
+                        )],
+                    );
+                    (tx, None)
+                }
+                AppAction::RogueBpdu {
+                    from_seg,
+                    count,
+                    interval,
+                } => {
+                    let (tx, _) = host(
+                        world,
+                        *from_seg,
+                        vec![App::delayed(
+                            start,
+                            RogueBpduApp::new(PortId(0), *count, *interval),
+                        )],
+                    );
+                    (tx, None)
                 }
             };
             Placed {
@@ -1246,6 +1454,62 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
                         metrics: AppMetrics::delivery(true, Some(if ok { 1000 } else { 0 })),
                     }
                 }
+                // Attack apps carry no receiver: they are judged only on
+                // having fired their full schedule (whether the network
+                // absorbed or suppressed them is the invariants' job).
+                // Only a `sent` detail key, deliberately no `received`,
+                // so `no_duplicate_delivery` skips them.
+                (
+                    AppAction::MacFlood {
+                        from_seg, count, ..
+                    },
+                    App::MacFlood(a),
+                ) => AppReport {
+                    label: "mac_flood",
+                    phase: p.phase,
+                    from_seg: *from_seg,
+                    to_seg: *from_seg,
+                    ok: a.sent == *count,
+                    detail: vec![("sent", a.sent)],
+                    metrics: AppMetrics::delivery(
+                        *count > 0,
+                        (*count > 0).then(|| a.sent.min(*count) * 1000 / count),
+                    ),
+                },
+                (
+                    AppAction::ArpStorm {
+                        from_seg, count, ..
+                    },
+                    App::ArpStorm(a),
+                ) => AppReport {
+                    label: "arp_storm",
+                    phase: p.phase,
+                    from_seg: *from_seg,
+                    to_seg: *from_seg,
+                    ok: a.sent == *count,
+                    detail: vec![("sent", a.sent)],
+                    metrics: AppMetrics::delivery(
+                        *count > 0,
+                        (*count > 0).then(|| a.sent.min(*count) * 1000 / count),
+                    ),
+                },
+                (
+                    AppAction::RogueBpdu {
+                        from_seg, count, ..
+                    },
+                    App::RogueBpdu(a),
+                ) => AppReport {
+                    label: "rogue_bpdu",
+                    phase: p.phase,
+                    from_seg: *from_seg,
+                    to_seg: *from_seg,
+                    ok: a.sent == *count,
+                    detail: vec![("sent", a.sent)],
+                    metrics: AppMetrics::delivery(
+                        *count > 0,
+                        (*count > 0).then(|| a.sent.min(*count) * 1000 / count),
+                    ),
+                },
                 (action, _) => unreachable!(
                     "placed app for {} does not match its action",
                     action.label()
@@ -1256,13 +1520,23 @@ fn judge_apps(world: &World, placed: &[Placed], topo: &Topology) -> (Vec<AppRepo
     (reports, uploads)
 }
 
-fn bridge_reports(world: &World, built: &topo::BuiltTopology) -> Vec<BridgeReport> {
+/// Per-bridge counters. The security keys only render on hostile runs so
+/// every pre-existing report stays byte-identical.
+fn bridge_reports(
+    world: &World,
+    built: &topo::BuiltTopology,
+    include_security: bool,
+) -> Vec<BridgeReport> {
     built
         .bridges
         .iter()
         .map(|&b| {
             let node = world.node::<BridgeNode>(b);
             let plane = node.plane();
+            let mut counters = plane.stats.as_pairs().to_vec();
+            if !include_security {
+                counters.retain(|(k, _)| !BridgeStats::SECURITY_KEYS.contains(k));
+            }
             BridgeReport {
                 name: world.node_name(b).to_owned(),
                 root: plane
@@ -1270,7 +1544,7 @@ fn bridge_reports(world: &World, built: &topo::BuiltTopology) -> Vec<BridgeRepor
                     .get(STP_NAME)
                     .map(|s| s.root_mac.to_string()),
                 blocked_ports: plane.flags().iter().filter(|f| !f.forward).count() as u64,
-                counters: plane.stats.as_pairs().to_vec(),
+                counters,
             }
         })
         .collect()
@@ -1288,7 +1562,14 @@ fn judge_invariants(
     quiet_tx: u64,
     quiet_allowed: u64,
     bridges: &[BridgeReport],
+    defended: bool,
+    security: Option<&SecurityReport>,
 ) -> Vec<InvariantResult> {
+    let hostile = wl.injects_attacks();
+    // The control arm runs the attacks with every defense off: it exists
+    // to prove the attacks bite, so the usual health invariants are
+    // waived there and `attack_degrades_undefended` judges it instead.
+    let control_arm = hostile && !defended;
     let mut out = Vec::new();
 
     out.push(InvariantResult {
@@ -1308,14 +1589,16 @@ fn judge_invariants(
     // Convergence: the control plane must settle before the workload
     // epoch and stay settled to the end. Scripted downtime legitimately
     // moves port states mid-run, so it waives this — the
-    // `reconverges_after_heal` invariant below takes over.
+    // `reconverges_after_heal` invariant below takes over. So do hostile
+    // batteries: a rogue BPDU (or the guard err-disabling its port)
+    // changes the control-plane signature by design after the epoch.
     let downtime = wl.injects_downtime();
     let settled = converged_at.is_none_or(|t| t <= epoch);
     out.push(InvariantResult {
         name: "converged_before_workload",
         verdict: if settled {
             Verdict::Pass
-        } else if downtime {
+        } else if downtime || hostile {
             Verdict::Waived
         } else {
             Verdict::Fail
@@ -1334,6 +1617,10 @@ fn judge_invariants(
         name: "no_storm",
         verdict: if quiet_tx <= quiet_allowed {
             Verdict::Pass
+        } else if control_arm {
+            // An undefended rogue root ages out (max-age) inside the
+            // quiet window and the real tree re-elects itself there.
+            Verdict::Waived
         } else {
             Verdict::Fail
         },
@@ -1352,6 +1639,10 @@ fn judge_invariants(
     for a in apps {
         if !a.ok {
             if drops_scripted && (a.label == "blast" || a.phase == Phase::Loaded) {
+                waived_loss += 1;
+            } else if control_arm {
+                // Attacks running without defenses are *expected* to hurt
+                // the victims; `attack_degrades_undefended` judges that.
                 waived_loss += 1;
             } else {
                 lost.push(format!("{} {}→{}", a.label, a.from_seg, a.to_seg));
@@ -1402,8 +1693,10 @@ fn judge_invariants(
         verdict: if !duplicated.is_empty() {
             // Scripted duplication waives this, as does scripted
             // downtime: a healing ring can loop transiently while the
-            // spanning tree re-blocks a port.
-            if wl.injects_duplicates() || downtime {
+            // spanning tree re-blocks a port. The undefended attack arm
+            // is waived too — a rogue root can transiently re-open a
+            // blocked port.
+            if wl.injects_duplicates() || downtime || control_arm {
                 Verdict::Waived
             } else {
                 Verdict::Fail
@@ -1639,6 +1932,104 @@ fn judge_invariants(
             detail: format!(
                 "{quarantines} watchdog quarantines (scripted {})",
                 wl.expected_quarantines
+            ),
+        });
+    }
+
+    // Adversarial invariants: the defended arm must shrug the attacks
+    // off; the control arm must visibly suffer them (otherwise the
+    // defended arm proves nothing).
+    if hostile {
+        let sec = security.expect("hostile runs always carry a security report");
+        let rogue_scheduled = wl
+            .items
+            .iter()
+            .any(|i| matches!(i.action, AppAction::RogueBpdu { .. }));
+        let attack_labels = ["mac_flood", "arp_storm", "rogue_bpdu"];
+
+        out.push(InvariantResult {
+            name: "learn_table_bounded",
+            verdict: if control_arm {
+                Verdict::Waived
+            } else if sec.max_learn_occupancy <= DEFENSE_LEARN_CAP as u64 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "max learning-table occupancy {} (cap {})",
+                sec.max_learn_occupancy, DEFENSE_LEARN_CAP
+            ),
+        });
+
+        let starved: Vec<String> = apps
+            .iter()
+            .filter(|a| !attack_labels.contains(&a.label) && !a.ok)
+            .map(|a| format!("{} {}→{}", a.label, a.from_seg, a.to_seg))
+            .collect();
+        out.push(InvariantResult {
+            name: "victim_flows_survive",
+            verdict: if control_arm {
+                Verdict::Waived
+            } else if starved.is_empty() {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: if starved.is_empty() {
+                "every victim flow completed under attack".to_owned()
+            } else {
+                format!("starved under attack: {}", starved.join(", "))
+            },
+        });
+
+        out.push(InvariantResult {
+            name: "storm_suppressed_and_released",
+            verdict: if control_arm {
+                Verdict::Waived
+            } else if sec.storm_suppressions > 0 && sec.storm_suppressions == sec.storm_releases {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "{} suppressions, {} releases",
+                sec.storm_suppressions, sec.storm_releases
+            ),
+        });
+
+        out.push(InvariantResult {
+            name: "root_stays_stable",
+            verdict: if control_arm {
+                Verdict::Waived
+            } else if !sec.rogue_root_seen && (!rogue_scheduled || sec.bpdu_guard_trips > 0) {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "rogue root seen: {}, guard trips: {} (rogue scheduled: {})",
+                sec.rogue_root_seen, sec.bpdu_guard_trips, rogue_scheduled
+            ),
+        });
+
+        // The control arm earns its keep by demonstrating degradation:
+        // the flood blows past the (defended-arm) cap, and a scheduled
+        // rogue BPDU actually steals the root.
+        let degraded = sec.max_learn_occupancy > DEFENSE_LEARN_CAP as u64
+            && (!rogue_scheduled || sec.rogue_root_seen);
+        out.push(InvariantResult {
+            name: "attack_degrades_undefended",
+            verdict: if !control_arm {
+                Verdict::Waived
+            } else if degraded {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "max occupancy {} vs cap {}, rogue root seen: {}",
+                sec.max_learn_occupancy, DEFENSE_LEARN_CAP, sec.rogue_root_seen
             ),
         });
     }

@@ -22,6 +22,11 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Per-scenario duration override (None = auto).
     pub duration: Option<SimDuration>,
+    /// When set, every `(shape, battery)` cell runs **twice** on the same
+    /// seed: once as scheduled (the undefended control arm) and once with
+    /// `Scenario::defended` set (name suffixed `-defended`). Only the
+    /// adversarial sweep turns this on.
+    pub defended_arms: bool,
 }
 
 impl SweepSpec {
@@ -55,6 +60,7 @@ impl SweepSpec {
             ],
             seed,
             duration: None,
+            defended_arms: false,
         }
     }
 
@@ -71,6 +77,7 @@ impl SweepSpec {
             batteries: vec![BatteryKind::Chaos],
             seed,
             duration: None,
+            defended_arms: false,
         }
     }
 
@@ -88,6 +95,26 @@ impl SweepSpec {
             batteries: vec![BatteryKind::Lossy],
             seed,
             duration: None,
+            defended_arms: false,
+        }
+    }
+
+    /// The adversarial sweep: the same two shapes as the chaos sweep ×
+    /// the adversarial battery, each cell run as an A/B pair — an
+    /// undefended control arm proving the attacks bite, and a defended
+    /// arm (bounded learning, storm policing, BPDU guard) proving the
+    /// victims survive them. Kept out of [`default_sweep`] for the same
+    /// reason as the chaos sweep.
+    pub fn adversarial_sweep(seed: u64) -> SweepSpec {
+        SweepSpec {
+            shapes: vec![
+                TopologyShape::Line { bridges: 2 },
+                TopologyShape::Ring { bridges: 3 },
+            ],
+            batteries: vec![BatteryKind::Adversarial],
+            seed,
+            duration: None,
+            defended_arms: true,
         }
     }
 
@@ -102,7 +129,17 @@ impl SweepSpec {
                     self.seed + (i * self.batteries.len() + j) as u64,
                 );
                 sc.duration = self.duration;
-                out.push(sc);
+                if self.defended_arms {
+                    // Same seed on purpose: both arms replay the exact
+                    // same offense, so any difference is the defenses.
+                    let mut defended = sc.clone();
+                    defended.defended = true;
+                    defended.name = format!("{}-defended", sc.name);
+                    out.push(sc);
+                    out.push(defended);
+                } else {
+                    out.push(sc);
+                }
             }
         }
         out

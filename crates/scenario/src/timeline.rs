@@ -364,6 +364,29 @@ pub fn timeline_json(world: &World, report: &Report) -> Json {
                     vec![],
                 ));
             }
+            // Defense-plane records: each is an instant on the bridge's
+            // track carrying the port it fired on.
+            ProbeRecord::LearnEvict { node, port }
+            | ProbeRecord::LearnReject { node, port }
+            | ProbeRecord::PortSuppressed { node, port }
+            | ProbeRecord::PortReleased { node, port }
+            | ProbeRecord::BpduGuardTrip { node, port } => {
+                let label = match ev.record {
+                    ProbeRecord::LearnEvict { .. } => "learn_evict",
+                    ProbeRecord::LearnReject { .. } => "learn_reject",
+                    ProbeRecord::PortSuppressed { .. } => "port_suppressed",
+                    ProbeRecord::PortReleased { .. } => "port_released",
+                    _ => "bpdu_guard_trip",
+                };
+                name_node(&mut events, node);
+                events.push(instant(
+                    label,
+                    node_pid(world, node),
+                    node.0 as u64,
+                    ns,
+                    vec![("port", Json::U64(port.0 as u64))],
+                ));
+            }
         }
     }
 

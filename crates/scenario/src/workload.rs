@@ -61,11 +61,23 @@ pub enum BatteryKind {
     /// `uploads_complete_under_loss`, `retries_within_budget`,
     /// `corrupted_image_never_activates` and `no_livelock` invariants.
     Lossy,
+    /// The hostile-host battery: a MAC flood with randomized sources
+    /// (CAM-table exhaustion), a broadcast ARP storm for addresses
+    /// nobody owns, and — where the attacker sits on a single-bridge
+    /// access segment — a forged superior-BPDU rogue-root claim, all
+    /// launched against victim ping/ttcp flows on other segments. The
+    /// runner executes it twice per scenario: an *undefended* control
+    /// arm proving the attacks bite (`attack_degrades_undefended`) and
+    /// a *defended* arm with bounded learning, storm control and BPDU
+    /// guard switched on, judged by `learn_table_bounded`,
+    /// `victim_flows_survive`, `storm_suppressed_and_released` and
+    /// `root_stays_stable`.
+    Adversarial,
 }
 
 impl BatteryKind {
     /// Every battery, in a stable order.
-    pub const ALL: [BatteryKind; 8] = [
+    pub const ALL: [BatteryKind; 9] = [
         BatteryKind::Pings,
         BatteryKind::Streams,
         BatteryKind::Uploads,
@@ -74,6 +86,7 @@ impl BatteryKind {
         BatteryKind::Contention,
         BatteryKind::Chaos,
         BatteryKind::Lossy,
+        BatteryKind::Adversarial,
     ];
 
     /// Short label for names and reports.
@@ -87,6 +100,7 @@ impl BatteryKind {
             BatteryKind::Contention => "contention",
             BatteryKind::Chaos => "chaos",
             BatteryKind::Lossy => "lossy",
+            BatteryKind::Adversarial => "adversarial",
         }
     }
 
@@ -100,6 +114,7 @@ impl BatteryKind {
             BatteryKind::Contention => 6,
             BatteryKind::Chaos => 7,
             BatteryKind::Lossy => 8,
+            BatteryKind::Adversarial => 9,
         }
     }
 }
@@ -217,6 +232,46 @@ pub enum AppAction {
         /// Target bridge index.
         bridge: usize,
     },
+    /// A MAC-flood attacker on `from_seg`: `count` frames with
+    /// randomized locally-administered source addresses toward a fixed
+    /// never-learned destination — CAM-table exhaustion against an
+    /// unbounded learning table (the adversarial battery's first arm).
+    MacFlood {
+        /// Attacker's segment.
+        from_seg: usize,
+        /// Frames to send.
+        count: u64,
+        /// Inter-frame interval.
+        interval: SimDuration,
+        /// The attacker's private RNG seed (never the world RNG, so
+        /// both defense arms replay the identical offense).
+        seed: u64,
+    },
+    /// A broadcast ARP storm on `from_seg`: `count` who-has requests
+    /// for addresses in a dark /16 nobody owns — every frame floods the
+    /// whole extended LAN until storm control suppresses the port.
+    ArpStorm {
+        /// Attacker's segment.
+        from_seg: usize,
+        /// Frames to send.
+        count: u64,
+        /// Inter-frame interval.
+        interval: SimDuration,
+        /// The attacker's private RNG seed.
+        seed: u64,
+    },
+    /// A rogue-root attacker on `from_seg`: forged superior (priority
+    /// 0x0000) configuration BPDUs claiming the host is the spanning-
+    /// tree root. Scheduled only where the attacker's segment touches a
+    /// single bridge, so the defended arm can BPDU-guard that port.
+    RogueBpdu {
+        /// Attacker's segment.
+        from_seg: usize,
+        /// BPDUs to send.
+        count: u64,
+        /// Inter-BPDU interval.
+        interval: SimDuration,
+    },
     /// `hosts` silent listener hosts on `seg` — the metro battery's
     /// district population. They never initiate traffic, but every
     /// broadcast or flood crossing their segment is delivered to each
@@ -243,6 +298,9 @@ impl AppAction {
             AppAction::UploadTrap { .. } => "upload_trap",
             AppAction::UploadSealed { .. } => "upload_sealed",
             AppAction::UploadCorrupt { .. } => "upload_corrupt",
+            AppAction::MacFlood { .. } => "mac_flood",
+            AppAction::ArpStorm { .. } => "arp_storm",
+            AppAction::RogueBpdu { .. } => "rogue_bpdu",
             AppAction::Crowd { .. } => "crowd",
         }
     }
@@ -254,7 +312,10 @@ impl AppAction {
             AppAction::Upload { .. }
             | AppAction::UploadTrap { .. }
             | AppAction::UploadSealed { .. }
-            | AppAction::UploadCorrupt { .. } => 1,
+            | AppAction::UploadCorrupt { .. }
+            | AppAction::MacFlood { .. }
+            | AppAction::ArpStorm { .. }
+            | AppAction::RogueBpdu { .. } => 1,
             AppAction::Crowd { hosts, .. } => *hosts as u64,
         }
     }
@@ -278,6 +339,15 @@ impl AppAction {
             AppAction::UploadSealed { .. } | AppAction::UploadCorrupt { .. } => {
                 SimDuration::from_secs(15)
             }
+            AppAction::MacFlood {
+                count, interval, ..
+            }
+            | AppAction::ArpStorm {
+                count, interval, ..
+            }
+            | AppAction::RogueBpdu {
+                count, interval, ..
+            } => *interval * *count + SimDuration::from_secs(2),
             AppAction::Crowd { .. } => SimDuration::ZERO,
         }
     }
@@ -382,6 +452,22 @@ impl Workload {
     /// invariants take over.
     pub fn injects_downtime(&self) -> bool {
         !self.chaos.is_transparent()
+    }
+
+    /// Does the workload field hostile hosts (MAC flood, ARP storm,
+    /// rogue BPDUs)? When it does, the runner executes defended and
+    /// undefended arms, samples security telemetry on the slice grid,
+    /// judges the adversarial invariants and renders the `security`
+    /// report section.
+    pub fn injects_attacks(&self) -> bool {
+        self.items.iter().any(|i| {
+            matches!(
+                i.action,
+                AppAction::MacFlood { .. }
+                    | AppAction::ArpStorm { .. }
+                    | AppAction::RogueBpdu { .. }
+            )
+        })
     }
 
     /// Does the script inject frame duplication at any point?
@@ -968,6 +1054,96 @@ pub fn generate(kind: BatteryKind, topo: &Topology, seed: u64) -> Workload {
                 },
             });
         }
+        BatteryKind::Adversarial => {
+            // Placement is deterministic: the attackers share the first
+            // access segment (sacrificial — no victim flow terminates
+            // there) and the victim pair spans the remaining two, so
+            // the victims' path never *requires* the attacker's
+            // first-hop bridge.
+            let access = topo.access_segments();
+            let attacker = access[0];
+            let (v_from, v_to) = if access.len() >= 3 {
+                (access[1], access[2])
+            } else {
+                (access[access.len() - 1], access[access.len() / 2])
+            };
+            // Baseline pings measure the quiet network (done by 1.6 s);
+            // loaded pings re-measure with the storm in full swing and
+            // feed the degradation subscore.
+            let ping = |phase, offset_ms| WorkItem {
+                phase,
+                offset: SimDuration::from_ms(offset_ms),
+                action: AppAction::Ping {
+                    from_seg: v_from,
+                    to_seg: v_to,
+                    count: 8,
+                    payload: 256,
+                    interval: SimDuration::from_ms(200),
+                },
+            };
+            items.push(ping(Phase::Baseline, 0));
+            items.push(ping(Phase::Loaded, 2_200));
+            // The offense opens at +2 s: a MAC flood (2 000 pps) and an
+            // ARP storm (1 250 pps) — far over the defended arm's
+            // 50 pps class budgets, so suppression trips within
+            // ~100 ms; both end before the 1.2 s hold-down releases,
+            // proving a clean re-enable. Attack RNG seeds come from the
+            // battery stream, never the world RNG: the undefended and
+            // defended arms replay the identical offense.
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(2_000),
+                action: AppAction::MacFlood {
+                    from_seg: attacker,
+                    count: 2_000,
+                    interval: SimDuration::from_us(500),
+                    seed: rng.next_u64(),
+                },
+            });
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_ms(2_000),
+                action: AppAction::ArpStorm {
+                    from_seg: attacker,
+                    count: 1_500,
+                    interval: SimDuration::from_us(800),
+                    seed: rng.next_u64(),
+                },
+            });
+            // The rogue-root claim needs a guardable port: only fire it
+            // where the attacker's segment touches exactly one bridge
+            // (a line end, never a ring segment), so the defended arm
+            // can err-disable that port at the first forged BPDU.
+            let touches = topo
+                .bridges
+                .iter()
+                .filter(|b| b.segments.contains(&attacker))
+                .count();
+            if touches == 1 {
+                items.push(WorkItem {
+                    phase: Phase::Main,
+                    offset: SimDuration::from_ms(2_000),
+                    action: AppAction::RogueBpdu {
+                        from_seg: attacker,
+                        count: 20,
+                        interval: SimDuration::from_ms(100),
+                    },
+                });
+            }
+            // Recovery proof: after the attacks die out (and the
+            // defended arm's hold-down has released), a strict reliable
+            // transfer between the victims must complete.
+            items.push(WorkItem {
+                phase: Phase::Main,
+                offset: SimDuration::from_secs(6),
+                action: AppAction::Ttcp {
+                    from_seg: v_from,
+                    to_seg: v_to,
+                    total_bytes: 100_000,
+                    write_size: 4096,
+                },
+            });
+        }
     }
     Workload {
         kind,
@@ -1093,7 +1269,10 @@ mod tests {
                     AppAction::Upload { from_seg, .. }
                     | AppAction::UploadTrap { from_seg, .. }
                     | AppAction::UploadSealed { from_seg, .. }
-                    | AppAction::UploadCorrupt { from_seg, .. } => {
+                    | AppAction::UploadCorrupt { from_seg, .. }
+                    | AppAction::MacFlood { from_seg, .. }
+                    | AppAction::ArpStorm { from_seg, .. }
+                    | AppAction::RogueBpdu { from_seg, .. } => {
                         vec![from_seg]
                     }
                 };
@@ -1257,6 +1436,96 @@ mod tests {
                 .find_map(|i| matches!(i.action, AppAction::Ttcp { .. }).then_some(i.offset))
                 .expect("lossy schedules a recovery transfer");
             assert!(ttcp_at > heal && ttcp_at > clear_at);
+        }
+    }
+
+    #[test]
+    fn adversarial_battery_separates_attackers_from_victims() {
+        for shape in [
+            TopologyShape::Line { bridges: 2 },
+            TopologyShape::Ring { bridges: 3 },
+        ] {
+            let topo = gen_topo(shape, 5);
+            let wl = generate(BatteryKind::Adversarial, &topo, 5);
+            assert!(wl.injects_attacks());
+            assert!(
+                wl.chaos.is_transparent(),
+                "attacks come from hosts, not scripts"
+            );
+            assert!(wl.faults.is_empty(), "attacks come from hosts, not faults");
+            // Both storm attacks are always scheduled; the rogue-root
+            // claim only where the attacker's segment touches exactly
+            // one bridge (so the defended arm can guard that port):
+            // every segment of a ring touches two.
+            assert!(wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::MacFlood { .. })));
+            assert!(wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::ArpStorm { .. })));
+            let rogue = wl
+                .items
+                .iter()
+                .any(|i| matches!(i.action, AppAction::RogueBpdu { .. }));
+            match shape {
+                TopologyShape::Line { .. } => assert!(rogue, "line ends are guardable"),
+                _ => assert!(!rogue, "no single-bridge segment on a ring"),
+            }
+            // No victim flow terminates on the attacker's segment, and
+            // every attack starts after the baseline measurement ends.
+            let attacker = wl
+                .items
+                .iter()
+                .find_map(|i| match i.action {
+                    AppAction::MacFlood { from_seg, .. } => Some(from_seg),
+                    _ => None,
+                })
+                .unwrap();
+            for item in &wl.items {
+                match item.action {
+                    AppAction::Ping {
+                        from_seg, to_seg, ..
+                    }
+                    | AppAction::Ttcp {
+                        from_seg, to_seg, ..
+                    } => {
+                        assert_ne!(from_seg, attacker);
+                        assert_ne!(to_seg, attacker);
+                        if item.phase == Phase::Baseline {
+                            assert!(item.offset + item.action.span() > SimDuration::ZERO);
+                        }
+                    }
+                    AppAction::MacFlood { .. }
+                    | AppAction::ArpStorm { .. }
+                    | AppAction::RogueBpdu { .. } => {
+                        assert!(item.offset >= SimDuration::from_secs(2));
+                    }
+                    _ => {}
+                }
+            }
+            // The strict recovery transfer runs after every attack ends.
+            let ttcp_at = wl
+                .items
+                .iter()
+                .find_map(|i| matches!(i.action, AppAction::Ttcp { .. }).then_some(i.offset))
+                .expect("adversarial schedules a recovery transfer");
+            let last_attack_end = wl
+                .items
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i.action,
+                        AppAction::MacFlood { .. }
+                            | AppAction::ArpStorm { .. }
+                            | AppAction::RogueBpdu { .. }
+                    )
+                })
+                .map(|i| i.offset + i.action.span() - SimDuration::from_secs(2))
+                .max()
+                .unwrap();
+            assert!(ttcp_at > last_attack_end);
         }
     }
 
